@@ -1,0 +1,155 @@
+// Package repro's root benchmark suite maps one benchmark to every table
+// and figure of the paper's evaluation (see DESIGN.md's per-experiment
+// index). Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Output values beyond ns/op are reported via b.ReportMetric: analytic and
+// simulated communication costs, so the paper's numbers appear directly in
+// benchmark output.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/experiment"
+	"repro/internal/graph"
+	hinetmodel "repro/internal/hinet"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/tvg"
+	"repro/internal/xrand"
+)
+
+// BenchmarkTable2 evaluates the closed-form Table 2 model at the Table 3
+// point and reports the headline cells as metrics.
+func BenchmarkTable2(b *testing.B) {
+	var rows []analysis.Row
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Table3()
+	}
+	b.ReportMetric(float64(rows[0].Cost.Comm), "kloT-comm")
+	b.ReportMetric(float64(rows[1].Cost.Comm), "alg1-comm")
+	b.ReportMetric(float64(rows[2].Cost.Comm), "klo1-comm")
+	b.ReportMetric(float64(rows[3].Cost.Comm), "alg2-comm")
+}
+
+// BenchmarkTable3 runs the full simulated Table 3 point (all four rows,
+// one seed each per iteration) and reports measured communication.
+func BenchmarkTable3(b *testing.B) {
+	var rows []experiment.RowResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Table3Config(1)
+		var err error
+		rows, err = experiment.RunPoint(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MeasuredComm, "kloT-sim-comm")
+	b.ReportMetric(rows[1].MeasuredComm, "alg1-sim-comm")
+	b.ReportMetric(rows[2].MeasuredComm, "klo1-sim-comm")
+	b.ReportMetric(rows[3].MeasuredComm, "alg2-sim-comm")
+}
+
+// BenchmarkFig1 regenerates the Fig. 1 artefact: clustering a connected
+// network into the head/member/gateway hierarchy.
+func BenchmarkFig1(b *testing.B) {
+	g := graph.RandomConnected(100, 220, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cluster.Form(g, cluster.Config{})
+		if len(h.Heads()) == 0 {
+			b.Fatal("no heads")
+		}
+	}
+}
+
+// BenchmarkFig2 exercises the Definition 2-8 predicate tree (the Fig. 2
+// relationships) over a generated HiNet window.
+func BenchmarkFig2(b *testing.B) {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 100, Theta: 30, L: 2, T: 18, Reaffiliations: 3, ChurnEdges: 10,
+	}, xrand.New(1))
+	adv.At(17) // materialise one phase
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := (hinetmodel.Model{T: 18, L: 2}).CheckWindow(adv, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 runs the Fig. 3 walkthrough: one token crossing two
+// clusters via a gateway under Algorithm 1.
+func BenchmarkFig3(b *testing.B) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	h := ctvg.NewHierarchy(5)
+	h.SetHead(0)
+	h.SetHead(3)
+	h.SetMember(1, 0)
+	h.SetGateway(2, 0)
+	h.SetMember(4, 3)
+	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
+	assign := token.SingleSource(5, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		met := sim.RunProtocol(d, core.Alg1{T: 8}, assign, sim.Options{
+			MaxRounds: 8, StopWhenComplete: true,
+		})
+		if !met.Complete {
+			b.Fatal("walkthrough incomplete")
+		}
+	}
+}
+
+// BenchmarkSweepN0 measures one non-headline sweep point (n0=40) per
+// iteration; the full sweep is produced by `hinetbench -sweep n0`.
+func BenchmarkSweepN0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SweepN0([]int{40}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepK measures the k=4 sweep point per iteration.
+func BenchmarkSweepK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SweepK([]int{4}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepNR measures the nr=5 sweep point per iteration.
+func BenchmarkSweepNR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SweepNR([]int{5}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchmarkHarnessSanity keeps the benchmark inputs honest under plain
+// `go test`: the Table 3 simulation completes on every row.
+func TestBenchmarkHarnessSanity(t *testing.T) {
+	rows, err := experiment.RunPoint(experiment.Table3Config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Completed != r.Seeds {
+			t.Fatalf("%s incomplete in harness", r.Model)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command hinetbench regenerates the paper's evaluation: Table 2 (the
+// closed-form cost model), Table 3 (the numerical instance, side by side
+// with simulation measurements), and the extension sweeps of DESIGN.md.
+//
+// Usage:
+//
+//	hinetbench -table 2            # symbolic + evaluated Table 2
+//	hinetbench -table 3            # paper vs formula vs simulation
+//	hinetbench -sweep n0           # communication vs network size
+//	hinetbench -sweep k            # communication vs token count
+//	hinetbench -sweep nr           # communication vs re-affiliation rate
+//	hinetbench -all                # everything
+//	hinetbench -csv                # CSV instead of aligned text
+//	hinetbench -seeds 8            # Monte-Carlo replications per row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "paper table to regenerate (2 or 3)")
+		sweep  = flag.String("sweep", "", "parameter sweep: n0 | k | nr | alpha | mobility")
+		all    = flag.Bool("all", false, "run every table and sweep")
+		seeds  = flag.Int("seeds", 8, "Monte-Carlo replications per row")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		curve  = flag.Bool("curve", false, "print per-round convergence sparklines")
+		claims = flag.Bool("claims", false, "print the reproduction ledger")
+		outDir = flag.String("out", "", "directory to additionally write each table as CSV")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	out := os.Stdout
+	emitted := 0
+	emit := func(tb *report.Table) {
+		if *csv {
+			if err := tb.WriteCSV(out); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := tb.WriteText(out); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintln(out)
+		if *outDir != "" {
+			emitted++
+			path := filepath.Join(*outDir, fmt.Sprintf("table_%02d.csv", emitted))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	ran := false
+	if *all || *table == 2 {
+		emit(table2())
+		ran = true
+	}
+	if *all || *table == 3 {
+		tb, rows, err := experiment.Table3Report(experiment.Table3Config(*seeds))
+		if err != nil {
+			fatal(err)
+		}
+		emit(tb)
+		emitHeadline(out, rows)
+		ran = true
+	}
+	if *all || *sweep == "n0" {
+		pts, err := experiment.SweepN0([]int{40, 80, 120, 200, 300, 400}, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiment.SweepTable("Sweep A — communication vs network size (Table 3 proportions)", "n0", pts))
+		ran = true
+	}
+	if *all || *sweep == "k" {
+		pts, err := experiment.SweepK([]int{1, 2, 4, 8, 16, 32}, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiment.SweepTable("Sweep B — communication vs token count (n0=100)", "k", pts))
+		ran = true
+	}
+	if *all || *sweep == "nr" {
+		pts, err := experiment.SweepNR([]int{0, 2, 5, 10, 15, 20}, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiment.SweepTable("Sweep C — communication vs re-affiliation rate (n0=100)", "nr", pts))
+		fmt.Fprintf(out, "analytic crossovers at this point: Alg1 stops paying at nr > %.1f; Alg2 at nr > %.0f\n\n",
+			analysis.CrossoverNRT(analysis.Table3Params), analysis.CrossoverNR1(analysis.Table3Params))
+		ran = true
+	}
+	if *all || *sweep == "alpha" {
+		pts, err := experiment.SweepAlpha([]int{1, 2, 3, 5, 8, 12, 15, 30}, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiment.AlphaTable(pts))
+		ran = true
+	}
+	if *all || *sweep == "mobility" {
+		pts, err := experiment.MobilityCampaign(60, 6, []float64{0.5, 2, 5, 10}, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiment.MobilityTable(pts))
+		ran = true
+	}
+	if *all || *curve {
+		curves, err := experiment.ConvergenceCurves(experiment.Table3Config(1), 7, 60)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, "Convergence — fraction of (node, token) pairs delivered per round (Table 3 point, seed 7)")
+		fmt.Fprint(out, experiment.RenderCurves(curves))
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if *all || *claims {
+		if err := experiment.VerifyCheapClaims(); err != nil {
+			fatal(err)
+		}
+		emit(experiment.ClaimsTable())
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// table2 renders the symbolic Table 2 next to its evaluation at the Table 3
+// parameters.
+func table2() *report.Table {
+	tb := report.NewTable(
+		"Table 2 — performance of the algorithms (evaluated at the Table 3 point)",
+		"model", "time formula", "comm formula", "time", "comm",
+	)
+	for _, r := range analysis.Table3() {
+		tb.AddRowf(r.Model, r.TimeFormula, r.CommFormula, r.Cost.Time, r.Cost.Comm)
+	}
+	return tb
+}
+
+// emitHeadline prints the paper's headline comparison in ratio form.
+func emitHeadline(w io.Writer, rows []experiment.RowResult) {
+	kloT, alg1, klo1, alg2 := rows[0], rows[1], rows[2], rows[3]
+	fmt.Fprintf(w, "headline: Alg1 vs KLO-T comm saving: formula %s, simulated %s\n",
+		report.Pct(1-float64(alg1.Analytic.Comm)/float64(kloT.Analytic.Comm)),
+		report.Pct(1-alg1.MeasuredComm/kloT.MeasuredComm))
+	fmt.Fprintf(w, "headline: Alg2 vs KLO-1 comm saving: formula %s, simulated %s\n\n",
+		report.Pct(1-float64(alg2.Analytic.Comm)/float64(klo1.Analytic.Comm)),
+		report.Pct(1-alg2.MeasuredComm/klo1.MeasuredComm))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hinetbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,264 @@
+// Command hinetsim runs a single dissemination scenario and prints its
+// metrics; the fig1 and fig3 scenarios regenerate the paper's illustrative
+// figures in text form.
+//
+// Usage:
+//
+//	hinetsim -scenario fig1                 # Fig. 1: an example clustered network
+//	hinetsim -scenario fig3                 # Fig. 3: Algorithm 1 token-flow walkthrough
+//	hinetsim -scenario hinet  [-n -k ...]   # Algorithm 1 on a (T, L)-HiNet
+//	hinetsim -scenario onel   [-n -k ...]   # Algorithm 2 on a (1, L)-HiNet
+//	hinetsim -scenario mobility [-n -k ...] # Algorithm 2 on random waypoint mobility
+//	hinetsim -scenario emdg     [-n -k ...] # Algorithm 2 on a clustered edge-Markovian graph
+//	hinetsim -scenario coded    [-n -k ...] # Haeupler-Karger network coding vs flooding
+//	hinetsim -scenario multihop [-n -k ...] # Algorithm 1 on d-hop (multi-hop) clusters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/hinet"
+	"repro/internal/multihop"
+	"repro/internal/netcode"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/tvg"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "hinet", "fig1 | fig3 | hinet | onel | mobility | emdg | coded | multihop")
+		n        = flag.Int("n", 100, "number of nodes")
+		k        = flag.Int("k", 8, "number of tokens")
+		theta    = flag.Int("theta", 30, "max cluster heads (θ)")
+		alpha    = flag.Int("alpha", 5, "progress coefficient (α)")
+		l        = flag.Int("l", 2, "head connectivity hop bound (L)")
+		reaffil  = flag.Int("reaffil", 3, "member re-affiliations per phase boundary")
+		churn    = flag.Int("churn", 10, "random extra edges per round")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *scenario {
+	case "fig1":
+		err = runFig1(*seed)
+	case "fig3":
+		err = runFig3()
+	case "hinet":
+		err = runHiNet(*n, *k, *theta, *alpha, *l, *reaffil, *churn, *seed)
+	case "onel":
+		err = runOneL(*n, *k, *theta, *l, *reaffil, *churn, *seed)
+	case "mobility":
+		err = runMobility(*n, *k, *seed)
+	case "emdg":
+		err = runEMDG(*n, *k, *seed)
+	case "coded":
+		err = runCoded(*n, *k, *seed)
+	case "multihop":
+		err = runMultiHop(*n, *k, *seed)
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hinetsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runFig1 reproduces Fig. 1: cluster a random geometric network and print
+// the hierarchy (heads, members, gateways, backbone).
+func runFig1(seed uint64) error {
+	rng := xrand.New(seed)
+	field := geom.Field{W: 60, H: 60}
+	pos := make([]geom.Point, 24)
+	for i := range pos {
+		pos[i] = field.RandomPoint(rng)
+	}
+	g := geom.UnitDisk(pos, 20)
+	// Patch to connectivity so the example matches the figure's connected
+	// network.
+	for {
+		comps := g.Components()
+		if len(comps) <= 1 {
+			break
+		}
+		g.AddEdge(comps[0][0], comps[1][0])
+	}
+	h := cluster.Form(g, cluster.Config{})
+	fmt.Println("Fig. 1 — an example network with cluster-based hierarchy")
+	fmt.Printf("nodes=%d edges=%d\n\n", g.N(), g.M())
+	fmt.Print(render.Network(pos, field, h, 60, 18))
+	fmt.Println()
+	for _, head := range h.Heads() {
+		fmt.Printf("cluster %d: head=%d members=%v\n", head, head, h.MembersOf(head))
+	}
+	fmt.Printf("\ngateways: %v\n", h.Gateways())
+	bb := cluster.Backbone(g, h)
+	fmt.Printf("backbone edges: %v\n", bb.Edges())
+	if L, ok := hinet.HeadLinkage(bb, h.Heads()); ok {
+		fmt.Printf("head linkage L = %d (paper: L <= 3 for 1-hop clusterings)\n", L)
+	}
+	return h.Validate(g)
+}
+
+// runFig3 reproduces Fig. 3's walkthrough: token t travels member u ->
+// head v -> gateway -> head w -> members, printed round by round.
+func runFig3() error {
+	// u=1 member of head v=0; gateway 2; head w=3 with member 4.
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	h := ctvg.NewHierarchy(5)
+	h.SetHead(0)
+	h.SetHead(3)
+	h.SetMember(1, 0)
+	h.SetGateway(2, 0)
+	h.SetMember(4, 3)
+	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
+	assign := token.SingleSource(5, 1, 1)
+
+	fmt.Println("Fig. 3 — Algorithm 1 walkthrough: token 0 starts at member node 1")
+	fmt.Println("topology: member1 - head0 - gateway2 - head3 - member4")
+	obs := &sim.Observer{Sent: func(r int, m *sim.Message) {
+		role := h.Role[m.From]
+		if m.To == sim.NoAddr {
+			fmt.Printf("  round %d: node %d (%s) broadcasts %v\n", r, m.From, role, m.Tokens)
+		} else {
+			fmt.Printf("  round %d: node %d (%s) sends %v to head %d\n", r, m.From, role, m.Tokens, m.To)
+		}
+	}}
+	met := sim.RunProtocol(d, core.Alg1{T: 8}, assign, sim.Options{
+		MaxRounds: 8, StopWhenComplete: true, Observer: obs,
+	})
+	fmt.Println("result:", met)
+	if !met.Complete {
+		return fmt.Errorf("walkthrough did not complete")
+	}
+	return nil
+}
+
+func runHiNet(n, k, theta, alpha, l, reaffil, churn int, seed uint64) error {
+	T := core.Theorem1T(k, alpha, l)
+	phases := core.Theorem1Phases(theta, alpha)
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: l, T: T,
+		Reaffiliations: reaffil, ChurnEdges: churn,
+	}, xrand.New(seed))
+	if err := (hinet.Model{T: T, L: l}).CheckValid(adv, phases); err != nil {
+		return fmt.Errorf("generated network violates the model: %w", err)
+	}
+	assign := token.Spread(n, k, xrand.New(seed+1))
+	met := sim.RunProtocol(adv, core.Alg1{T: T}, assign, sim.Options{
+		MaxRounds: phases * T, StopWhenComplete: true,
+	})
+	fmt.Printf("Algorithm 1 on a (%d, %d)-HiNet (n=%d θ=%d k=%d α=%d)\n", T, l, n, theta, k, alpha)
+	fmt.Printf("theorem budget: %d phases x %d rounds = %d rounds\n", phases, T, phases*T)
+	fmt.Println("result:", met)
+	return nil
+}
+
+func runOneL(n, k, theta, l, reaffil, churn int, seed uint64) error {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: l, T: 1,
+		Reaffiliations: reaffil, HeadChurn: 1, ChurnEdges: churn,
+	}, xrand.New(seed))
+	assign := token.Spread(n, k, xrand.New(seed+1))
+	met := sim.RunProtocol(adv, core.Alg2{}, assign, sim.Options{
+		MaxRounds: core.Theorem2Rounds(n), StopWhenComplete: true,
+	})
+	fmt.Printf("Algorithm 2 on a (1, %d)-HiNet (n=%d θ=%d k=%d)\n", l, n, theta, k)
+	fmt.Printf("theorem budget: n-1 = %d rounds\n", core.Theorem2Rounds(n))
+	fmt.Println("result:", met)
+	return nil
+}
+
+func runEMDG(n, k int, seed uint64) error {
+	adv := adversary.NewClusteredEMDG(n, 0.02, 0.11, cluster.Config{}, xrand.New(seed))
+	assign := token.Spread(n, k, xrand.New(seed+1))
+	met := sim.RunProtocol(adv, core.Alg2{}, assign, sim.Options{
+		MaxRounds: 3 * n, StopWhenComplete: true,
+	})
+	fmt.Printf("Algorithm 2 on a clustered edge-Markovian graph (n=%d k=%d, birth=0.02 death=0.11)\n", n, k)
+	fmt.Println("result:", met)
+	st := adv.Stats()
+	fmt.Printf("clustering churn: %d re-affiliations, %d new heads, %d removed heads\n",
+		st.Reaffiliations, st.NewHeads, st.RemovedHeads)
+	return nil
+}
+
+func runCoded(n, k int, seed uint64) error {
+	assign := token.Spread(n, k, xrand.New(seed+1))
+
+	cAdv := adversary.NewOneInterval(n, 0, xrand.New(seed))
+	coded := sim.RunProtocol(sim.NewFlat(cAdv), netcode.CodedFlood{Seed: seed}, assign,
+		sim.Options{MaxRounds: 6 * (n + k), StopWhenComplete: true})
+
+	fAdv := adversary.NewOneInterval(n, 0, xrand.New(seed))
+	flood := sim.RunProtocol(sim.NewFlat(fAdv), baseline.Flood{}, assign,
+		sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
+
+	fmt.Printf("network coding vs flooding on 1-interval dynamics (n=%d k=%d)\n", n, k)
+	fmt.Println("  coded (HK): ", coded)
+	fmt.Println("  flooding:   ", flood)
+	if coded.Complete && flood.Complete {
+		fmt.Printf("coding sends %.1f%% of flooding's tokens at %.1fx its round count\n",
+			100*float64(coded.TokensSent)/float64(flood.TokensSent),
+			float64(coded.CompletionRound)/float64(flood.CompletionRound))
+	}
+	return nil
+}
+
+func runMultiHop(n, k int, seed uint64) error {
+	const d = 2
+	rng := xrand.New(seed)
+	g := graph.RandomConnected(n, 2*n, rng)
+	nw, hier, err := multihop.NewNetwork(g, d, 0, n/10, rng)
+	if err != nil {
+		return err
+	}
+	T := k + (2*d + 1) + d
+	budget := (len(hier.Heads) + 2) * T
+	assign := token.Spread(n, k, xrand.New(seed+1))
+	met := sim.RunProtocol(nw, core.Alg1{T: T}, assign,
+		sim.Options{MaxRounds: budget, StopWhenComplete: true})
+	fmt.Printf("Algorithm 1 on %d-hop clusters (n=%d k=%d, %d heads, T=%d)\n",
+		d, n, k, len(hier.Heads), T)
+	if L, ok := hier.MaxHeadSeparation(g); ok {
+		fmt.Printf("head separation: %d hops (bound 2d+1 = %d)\n", L, 2*d+1)
+	}
+	fmt.Println("result:", met)
+	return nil
+}
+
+func runMobility(n, k int, seed uint64) error {
+	adv := adversary.NewMobility(adversary.MobilityConfig{
+		N: n, Field: geom.Field{W: 100, H: 100}, Radius: 22,
+		MinSpeed: 0.5, MaxSpeed: 2, PauseRounds: 1,
+		Cluster:         cluster.Config{},
+		EnsureConnected: true,
+	}, xrand.New(seed))
+	assign := token.Spread(n, k, xrand.New(seed+1))
+	met := sim.RunProtocol(adv, core.Alg2{}, assign, sim.Options{
+		MaxRounds: 6 * n, StopWhenComplete: true,
+	})
+	fmt.Printf("Algorithm 2 on random-waypoint mobility (n=%d k=%d)\n", n, k)
+	fmt.Println("result:", met)
+	st := adv.Stats()
+	fmt.Printf("clustering churn: %d re-affiliations, %d new heads, %d removed heads\n",
+		st.Reaffiliations, st.NewHeads, st.RemovedHeads)
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command hinettrace records, inspects and replays CTVG traces: frozen
+// dynamic-network runs that make experiments forensically reproducible.
+//
+// Usage:
+//
+//	hinettrace record -out net.ctvg [-n -theta -l -t -rounds -seed]
+//	hinettrace info   -in net.ctvg
+//	hinettrace replay -in net.ctvg [-proto alg1|alg2] [-k -seed]
+//	hinettrace probe  -in net.ctvg   # infer which (T, L)-HiNet the trace satisfies
+//	hinettrace probe  -in net.ctvg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/hinet"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	case "probe":
+		err = probe(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hinettrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe [flags]")
+	os.Exit(2)
+}
+
+// probe infers which (T, L)-HiNet model a recorded trace satisfies.
+func probe(args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	in := fs.String("in", "net.ctvg", "input file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := load(*in)
+	if err != nil {
+		return err
+	}
+	rep := hinet.Probe(tr, tr.Len())
+	fmt.Println(rep)
+	fmt.Printf("backbone fragility: %d bridge edges, %d cut relays\n",
+		rep.BackboneBridges, rep.BackboneCutNodes)
+	return nil
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "net.ctvg", "output file")
+	n := fs.Int("n", 50, "nodes")
+	theta := fs.Int("theta", 10, "max heads")
+	l := fs.Int("l", 2, "hop bound L")
+	t := fs.Int("t", 12, "phase length T")
+	rounds := fs.Int("rounds", 60, "rounds to record")
+	reaffil := fs.Int("reaffil", 3, "re-affiliations per boundary")
+	churn := fs.Int("churn", 5, "churn edges per round")
+	seed := fs.Uint64("seed", 1, "seed")
+	full := fs.Bool("full", false, "use the uncompressed v1 format instead of delta encoding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: *n, Theta: *theta, L: *l, T: *t,
+		Reaffiliations: *reaffil, ChurnEdges: *churn,
+	}, xrand.New(*seed))
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := ctvg.Record(adv, *rounds)
+	if *full {
+		err = trace.Write(f, rec)
+	} else {
+		err = trace.WriteDelta(f, rec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d rounds of a (%d, %d)-HiNet on %d nodes to %s\n", *rounds, *t, *l, *n, *out)
+	return f.Sync()
+}
+
+func load(path string) (*ctvg.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "net.ctvg", "input file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := load(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d nodes, %d rounds\n", tr.N(), tr.Len())
+	if err := tr.Validate(); err != nil {
+		fmt.Printf("structural validation: FAILED: %v\n", err)
+	} else {
+		fmt.Println("structural validation: ok")
+	}
+	for r := 0; r < tr.Len(); r++ {
+		g := tr.At(r)
+		h := tr.HierarchyAt(r)
+		fmt.Printf("round %3d: edges=%3d heads=%v gateways=%d connected=%v\n",
+			r, g.M(), h.Heads(), len(h.Gateways()), g.Connected())
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "net.ctvg", "input file")
+	proto := fs.String("proto", "alg1", "protocol: alg1 | alg2")
+	k := fs.Int("k", 8, "tokens")
+	t := fs.Int("t", 12, "Algorithm 1 phase length")
+	seed := fs.Uint64("seed", 1, "token placement seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := load(*in)
+	if err != nil {
+		return err
+	}
+	var p sim.Protocol
+	switch *proto {
+	case "alg1":
+		p = core.Alg1{T: *t}
+	case "alg2":
+		p = core.Alg2{}
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+	assign := token.Spread(tr.N(), *k, xrand.New(*seed))
+	met := sim.RunProtocol(tr, p, assign, sim.Options{
+		MaxRounds: tr.Len(), StopWhenComplete: true,
+	})
+	fmt.Printf("replayed %s over %s: %v\n", p.Name(), *in, met)
+	return nil
+}

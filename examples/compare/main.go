@@ -1,0 +1,61 @@
+// Compare: the full four-way comparison of the paper's Section V at a
+// user-chosen operating point — both the closed-form Table 2 costs and
+// measured simulation costs, rendered side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 100, "nodes (n0)")
+		theta = flag.Int("theta", 30, "max cluster heads (θ)")
+		nm    = flag.Int("nm", 40, "average members per round (n_m)")
+		k     = flag.Int("k", 8, "tokens (k)")
+		alpha = flag.Int("alpha", 5, "progress coefficient (α)")
+		l     = flag.Int("l", 2, "hop bound (L)")
+		nrT   = flag.Int("nrt", 3, "re-affiliations per member, (T,L)-HiNet row")
+		nr1   = flag.Int("nr1", 10, "re-affiliations per member, (1,L)-HiNet row")
+		seeds = flag.Int("seeds", 6, "replications")
+	)
+	flag.Parse()
+
+	cfg := experiment.PointConfig{
+		P:          analysis.Params{N0: *n, Theta: *theta, NM: *nm, K: *k, Alpha: *alpha, L: *l},
+		NRT:        *nrT,
+		NR1:        *nr1,
+		Seeds:      *seeds,
+		ChurnEdges: *n / 10,
+	}
+	rows, err := experiment.RunPoint(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("four-way comparison at n0=%d θ=%d k=%d α=%d L=%d (%d seeds)",
+			*n, *theta, *k, *alpha, *l, *seeds),
+		"model", "budget (rounds)", "formula comm", "sim time", "sim comm", "done",
+	)
+	for _, r := range rows {
+		tb.AddRowf(r.Model, r.Budget, r.Analytic.Comm, r.MeasuredTime, r.MeasuredComm,
+			fmt.Sprintf("%d/%d", r.Completed, r.Seeds))
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	kloT, alg1, klo1, alg2 := rows[0], rows[1], rows[2], rows[3]
+	fmt.Printf("\nAlg1 saves %s of KLO-T's measured communication\n",
+		report.Pct(1-alg1.MeasuredComm/kloT.MeasuredComm))
+	fmt.Printf("Alg2 saves %s of 1-interval flooding's measured communication\n",
+		report.Pct(1-alg2.MeasuredComm/klo1.MeasuredComm))
+}

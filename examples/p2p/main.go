@@ -1,0 +1,71 @@
+// P2p: announcement dissemination in a peer-to-peer overlay with Markovian
+// link churn — the paper's proposed future-work model (edge-Markovian
+// dynamics extended with clusters) made executable.
+//
+// Peers maintain overlay links that appear and disappear per round with
+// birth/death probabilities; a super-peer tier (cluster heads) is
+// maintained incrementally on top. k content announcements must reach
+// every peer.
+//
+// The run sweeps the link death rate and compares the hierarchical
+// Algorithm 2 on the clustered overlay against flat flooding on identical
+// link dynamics. It demonstrates the boundary the paper's analysis
+// predicts: clustering pays while the hierarchy is reasonably stable
+// (members re-affiliate rarely) and the saving erodes as churn destroys
+// cluster stability — the executable form of the "n_r must be much less
+// than n_0" premise.
+package main
+
+import (
+	"fmt"
+
+	"repro/hinet"
+)
+
+func main() {
+	const (
+		n     = 50 // peers
+		k     = 6  // announcements
+		seeds = 5
+	)
+	fmt.Printf("P2P overlay: %d peers, %d announcements (stationary link density held at ~0.15)\n\n", n, k)
+	fmt.Printf("%-18s  %-10s %-12s %-12s %-8s\n",
+		"per-round death", "dyn diam", "alg2 tokens", "flood tokens", "saving")
+
+	// Hold the stationary density p/(p+q) ≈ 0.15 while scaling how fast
+	// individual links churn.
+	for _, q := range []float64{0.02, 0.10, 0.40} {
+		p := q / 5.5
+		probe := hinet.NewEMDGNetwork(n, p, q, true, 999)
+		dd := hinet.DynamicDiameter(probe, 3, n-1)
+
+		var alg2Tok, floodTok float64
+		for seed := uint64(0); seed < seeds; seed++ {
+			tokens := hinet.SpreadTokens(n, k, seed+500)
+
+			clustered := hinet.NewClusteredEMDGNetwork(n, p, q, seed)
+			m2 := hinet.Run(clustered, hinet.Algorithm2(), tokens, hinet.RunOptions{
+				MaxRounds: 3 * n, StopWhenComplete: true,
+			})
+			if !m2.Complete {
+				fmt.Printf("  seed %d q=%.2f: WARNING Algorithm 2 incomplete\n", seed, q)
+			}
+			alg2Tok += float64(m2.TokensSent)
+
+			flat := hinet.NewEMDGNetwork(n, p, q, true, seed)
+			mf := hinet.Run(flat, hinet.KLOFlood(), tokens, hinet.RunOptions{
+				MaxRounds: 3 * n, StopWhenComplete: true,
+			})
+			if !mf.Complete {
+				fmt.Printf("  seed %d q=%.2f: WARNING flooding incomplete\n", seed, q)
+			}
+			floodTok += float64(mf.TokensSent)
+		}
+		fmt.Printf("%-18.2f  %-10d %-12.0f %-12.0f %.1f%%\n",
+			q, dd, alg2Tok/seeds, floodTok/seeds, 100*(1-alg2Tok/floodTok))
+	}
+	fmt.Println("\nreading: while links are reasonably stable the super-peer tier saves;")
+	fmt.Println("at extreme churn (links living ~2.5 rounds) re-affiliation uploads cross")
+	fmt.Println("over and clustering costs more than flooding — the executable boundary of")
+	fmt.Println("the paper's stability premise, on its own proposed EMDG extension.")
+}

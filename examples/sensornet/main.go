@@ -1,0 +1,76 @@
+// Sensornet: the paper's motivating scenario — a resource-constrained
+// wireless sensor network where every transmission costs energy.
+//
+// A field of sensors must share k alarm readings network-wide. The network
+// has a clustered topology maintained by the deployment's clustering layer
+// and re-clusters slowly (a stable hierarchy per phase). This example
+// quantifies the energy argument: it runs Algorithm 1 and the flat KLO
+// T-interval protocol over networks of equal dynamics and reports the
+// token-sends each role pays — the clustered design concentrates cost on
+// the backbone and silences the (battery-poor) leaf members.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		n     = 120 // sensors
+		k     = 6   // alarm readings
+		theta = 24  // elected cluster heads
+		alpha = 4
+		l     = 2
+		seeds = 5
+	)
+	T := core.Theorem1T(k, alpha, l)
+	phases := core.Theorem1Phases(theta, alpha)
+
+	fmt.Printf("sensor field: %d nodes, %d readings, θ=%d heads, T=%d, %d phases\n\n",
+		n, k, theta, T, phases)
+
+	var alg1Tokens, kloTokens, alg1Upload, alg1Relay int64
+	for seed := uint64(0); seed < seeds; seed++ {
+		// Clustered network for Algorithm 1.
+		clustered := adversary.NewHiNet(adversary.HiNetConfig{
+			N: n, Theta: theta, L: l, T: T,
+			Reaffiliations: 2, ChurnEdges: 8,
+		}, xrand.New(seed))
+		assign := token.Spread(n, k, xrand.New(seed+100))
+		m1 := sim.RunProtocol(clustered, core.Alg1{T: T}, assign,
+			sim.Options{MaxRounds: phases * T})
+		if !m1.Complete {
+			fmt.Printf("seed %d: WARNING Algorithm 1 incomplete\n", seed)
+		}
+		alg1Tokens += m1.TokensSent
+		alg1Upload += m1.TokensByKind[sim.KindUpload]
+		alg1Relay += m1.TokensByKind[sim.KindRelay]
+
+		// Flat network of the same dynamics class for KLO-T.
+		flat := sim.NewFlat(adversary.NewTInterval(n, T, 8, xrand.New(seed)))
+		mk := sim.RunProtocol(flat, baseline.KLOT{T: T}, assign,
+			sim.Options{MaxRounds: baseline.KLOTPhases(n, T, k) * T})
+		if !mk.Complete {
+			fmt.Printf("seed %d: WARNING KLO-T incomplete\n", seed)
+		}
+		kloTokens += mk.TokensSent
+	}
+
+	avg := func(x int64) float64 { return float64(x) / seeds }
+	fmt.Printf("KLO T-interval (flat)   : %.0f token-sends (every sensor transmits every phase)\n", avg(kloTokens))
+	fmt.Printf("Algorithm 1 (clustered) : %.0f token-sends\n", avg(alg1Tokens))
+	fmt.Printf("  backbone (heads+gateways): %.0f  — the mains-powered minority\n", avg(alg1Relay))
+	fmt.Printf("  member uploads           : %.0f  — the battery-powered majority\n", avg(alg1Upload))
+	saving := 1 - avg(alg1Tokens)/avg(kloTokens)
+	fmt.Printf("energy saving            : %.1f%%\n", 100*saving)
+	if saving <= 0 {
+		fmt.Println("unexpected: clustering did not pay off at this operating point")
+	}
+}

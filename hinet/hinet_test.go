@@ -1,0 +1,292 @@
+package hinet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/hinet"
+)
+
+func TestEndToEndAlgorithm1(t *testing.T) {
+	T := hinet.Theorem1T(8, 5, 2)
+	cfg := hinet.HiNetConfig{
+		N: 100, Theta: 30, L: 2, T: T, Reaffiliations: 3, ChurnEdges: 10,
+	}
+	net := hinet.NewHiNetNetwork(cfg, 42)
+	phases := hinet.Theorem1Phases(30, 5)
+	if err := hinet.CheckModel(net, T, 2, phases); err != nil {
+		t.Fatalf("model check: %v", err)
+	}
+	tokens := hinet.SpreadTokens(100, 8, 43)
+	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+		MaxRounds:        phases * T,
+		StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("incomplete: %v", res)
+	}
+}
+
+func TestEndToEndAlgorithm2VsFlood(t *testing.T) {
+	const n, k = 60, 6
+	// Algorithm 2 on a fully dynamic clustered network.
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: n, Theta: 12, L: 2, T: 1, Reaffiliations: 3, HeadChurn: 1, ChurnEdges: 5,
+	}, 7)
+	tokens := hinet.SpreadTokens(n, k, 8)
+	alg2 := hinet.Run(net, hinet.Algorithm2(), tokens, hinet.RunOptions{
+		MaxRounds: hinet.Theorem2Rounds(n),
+	})
+	if !alg2.Complete {
+		t.Fatalf("Algorithm 2 incomplete: %v", alg2)
+	}
+
+	// Flooding on an equally dynamic flat network.
+	flat := hinet.NewOneIntervalNetwork(n, 0, 9)
+	flood := hinet.Run(flat, hinet.KLOFlood(), hinet.SpreadTokens(n, k, 8), hinet.RunOptions{
+		MaxRounds: hinet.Theorem2Rounds(n),
+	})
+	if !flood.Complete {
+		t.Fatalf("flood incomplete: %v", flood)
+	}
+	if alg2.TokensSent >= flood.TokensSent {
+		t.Fatalf("Algorithm 2 (%d tokens) not cheaper than flooding (%d tokens)",
+			alg2.TokensSent, flood.TokensSent)
+	}
+}
+
+func TestCheckModelRejectsWrongClaim(t *testing.T) {
+	// An L=3 network must fail an L=1 model check.
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: 40, Theta: 6, L: 3, T: 10, ChurnEdges: 0,
+	}, 3)
+	if err := hinet.CheckModel(net, 10, 1, 2); err == nil {
+		t.Fatal("L=1 claim accepted on an L=3 network")
+	}
+}
+
+func TestMobilityNetworkRuns(t *testing.T) {
+	net := hinet.NewMobilityNetwork(hinet.MobilityConfig{
+		N: 30, Field: hinet.Field{W: 60, H: 60}, Radius: 18,
+		MinSpeed: 0.5, MaxSpeed: 2, EnsureConnected: true,
+	}, 11)
+	tokens := hinet.SpreadTokens(30, 4, 12)
+	res := hinet.Run(net, hinet.Algorithm2(), tokens, hinet.RunOptions{
+		MaxRounds: 120, StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("incomplete on mobility: %v", res)
+	}
+}
+
+func TestAnalyticCosts(t *testing.T) {
+	costs := hinet.AnalyticCosts(hinet.Params{
+		N0: 100, Theta: 30, NM: 40, K: 8, Alpha: 5, L: 2,
+	}, 3, 10)
+	if len(costs) != 4 {
+		t.Fatalf("costs %v", costs)
+	}
+	if costs[0] != (hinet.Cost{Time: 180, Comm: 8000}) {
+		t.Fatalf("KLO-T %+v", costs[0])
+	}
+	if costs[1] != (hinet.Cost{Time: 126, Comm: 4320}) {
+		t.Fatalf("Alg1 %+v", costs[1])
+	}
+}
+
+func TestTokenAssignments(t *testing.T) {
+	if err := hinet.SpreadTokens(10, 5, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hinet.SingleSourceTokens(10, 5, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hinet.RandomTokens(4, 9, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTIntervalNetwork(t *testing.T) {
+	net := hinet.NewTIntervalNetwork(30, 11, 5, 2)
+	tokens := hinet.SpreadTokens(30, 5, 3)
+	res := hinet.Run(net, hinet.KLOTInterval(11), tokens, hinet.RunOptions{
+		MaxRounds: 10 * 11, StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("KLOT incomplete: %v", res)
+	}
+}
+
+func TestRemark1Variant(t *testing.T) {
+	T := hinet.Theorem1T(6, 2, 2)
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: 50, Theta: 8, L: 2, T: T, Reaffiliations: 4, ChurnEdges: 5,
+	}, 21)
+	tokens := hinet.SpreadTokens(50, 6, 22)
+	res := hinet.Run(net, hinet.Algorithm1StableHeads(T), tokens, hinet.RunOptions{
+		MaxRounds: hinet.Theorem1Phases(8, 2) * T, StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("Remark 1 incomplete: %v", res)
+	}
+}
+
+func TestEMDGNetworks(t *testing.T) {
+	net := hinet.NewEMDGNetwork(25, 0.1, 0.2, true, 5)
+	tokens := hinet.SpreadTokens(25, 4, 6)
+	res := hinet.Run(net, hinet.KLOFlood(), tokens, hinet.RunOptions{
+		MaxRounds: 24, StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("flood incomplete on patched EMDG: %v", res)
+	}
+
+	cnet := hinet.NewClusteredEMDGNetwork(25, 0.1, 0.2, 7)
+	res2 := hinet.Run(cnet, hinet.Algorithm2(), tokens, hinet.RunOptions{
+		MaxRounds: 3 * 25, StopWhenComplete: true,
+	})
+	if !res2.Complete {
+		t.Fatalf("Algorithm 2 incomplete on clustered EMDG: %v", res2)
+	}
+}
+
+func TestCodedFloodFacade(t *testing.T) {
+	net := hinet.NewOneIntervalNetwork(20, 0, 3)
+	tokens := hinet.SpreadTokens(20, 8, 4)
+	res := hinet.Run(net, hinet.CodedFlood(5), tokens, hinet.RunOptions{
+		MaxRounds: 150, StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("coded flood incomplete: %v", res)
+	}
+}
+
+func TestMultiHopNetworkFacade(t *testing.T) {
+	net, heads, err := hinet.NewMultiHopNetwork(40, 70, 2, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heads < 1 {
+		t.Fatal("no heads")
+	}
+	tokens := hinet.SpreadTokens(40, 5, 10)
+	T := 5 + 5 + 2
+	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+		MaxRounds: (heads + 2) * T, StopWhenComplete: true,
+	})
+	if !res.Complete {
+		t.Fatalf("Algorithm 1 incomplete on multi-hop clusters: %v", res)
+	}
+}
+
+func TestGossipFacade(t *testing.T) {
+	net := hinet.NewOneIntervalNetwork(20, 60, 2)
+	tokens := hinet.SpreadTokens(20, 3, 3)
+	for _, p := range []hinet.Protocol{hinet.PushGossip(4), hinet.PushPullGossip(4)} {
+		res := hinet.Run(net, p, tokens, hinet.RunOptions{
+			MaxRounds: 600, StopWhenComplete: true,
+		})
+		if !res.Complete {
+			t.Fatalf("%s incomplete: %v", p.Name(), res)
+		}
+	}
+}
+
+func TestFaultsFacade(t *testing.T) {
+	net := hinet.NewOneIntervalNetwork(15, 0, 5)
+	tokens := hinet.SpreadTokens(15, 3, 6)
+	res := hinet.Run(net, hinet.KLOFlood(), tokens, hinet.RunOptions{
+		MaxRounds:        400,
+		StopWhenComplete: true,
+		Faults:           &hinet.Faults{DropProb: 0.3, Seed: 7},
+	})
+	if !res.Complete {
+		t.Fatalf("flood under loss incomplete: %v", res)
+	}
+}
+
+func TestAdviseStableNetwork(t *testing.T) {
+	const n, k = 40, 6
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: n, Theta: 6, L: 2, T: 14, Reaffiliations: 2, ChurnEdges: 4,
+	}, 5)
+	rep := hinet.ProbeNetwork(net, 42)
+	adv := hinet.Advise(rep, n, k)
+	if !adv.UseAlg1 {
+		t.Fatalf("stable network not advised Alg1: probe %+v", rep)
+	}
+	if adv.T != 14 || adv.Alpha != (14-6)/2 {
+		t.Fatalf("advice %+v", adv)
+	}
+	// The advice must actually work.
+	res := hinet.Run(net, hinet.Algorithm1(adv.T), hinet.SpreadTokens(n, k, 6),
+		hinet.RunOptions{MaxRounds: adv.MaxRounds, StopWhenComplete: true})
+	if !res.Complete {
+		t.Fatalf("advised parameters failed: advice %+v result %v", adv, res)
+	}
+}
+
+func TestAdviseDynamicNetworkFallsBack(t *testing.T) {
+	const n, k = 30, 6
+	// T=1 dynamics: the window (1 round) cannot cover k + L.
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: n, Theta: 6, L: 2, T: 1, Reaffiliations: 3, HeadChurn: 1, Heads: 4, ChurnEdges: 3,
+	}, 7)
+	rep := hinet.ProbeNetwork(net, n)
+	adv := hinet.Advise(rep, n, k)
+	if adv.UseAlg1 {
+		t.Fatalf("dynamic network advised Alg1: probe %+v", rep)
+	}
+	if adv.MaxRounds != n-1 {
+		t.Fatalf("fallback budget %d, want n-1", adv.MaxRounds)
+	}
+	res := hinet.Run(net, hinet.Algorithm2(), hinet.SpreadTokens(n, k, 8),
+		hinet.RunOptions{MaxRounds: adv.MaxRounds, StopWhenComplete: true})
+	if !res.Complete {
+		t.Fatalf("fallback advice failed: %v", res)
+	}
+}
+
+func TestProbeNetworkFacade(t *testing.T) {
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: 30, Theta: 5, L: 2, T: 6, Reaffiliations: 2, ChurnEdges: 0,
+	}, 11)
+	rep := hinet.ProbeNetwork(net, 18)
+	if !rep.Valid || rep.MaxStableT != 6 || rep.MinL != 2 {
+		t.Fatalf("probe: %+v", rep)
+	}
+	if rep.Reaffiliations == 0 {
+		t.Fatal("churn not measured")
+	}
+}
+
+func TestDynamicDiameterFacade(t *testing.T) {
+	net := hinet.NewOneIntervalNetwork(12, 0, 2)
+	d := hinet.DynamicDiameter(net, 3, 11)
+	if d < 1 || d > 11 {
+		t.Fatalf("dynamic diameter %d outside (0, n-1]", d)
+	}
+	// With a budget too small to flood a 12-node spanning tree from its
+	// far end, the result saturates at limit+1.
+	if got := hinet.DynamicDiameter(net, 1, 2); got != 3 && got > 2 {
+		// got == 3 means saturated (2+1); anything <= 2 means the flood
+		// finished that fast, which a single random tree round cannot do
+		// for n=12.
+		t.Fatalf("saturation cap wrong: %d", got)
+	}
+}
+
+// ExampleRun demonstrates the quickstart flow from the package comment.
+func ExampleRun() {
+	T := hinet.Theorem1T(4, 2, 2) // k=4 tokens, α=2, L=2 -> T=8
+	net := hinet.NewHiNetNetwork(hinet.HiNetConfig{
+		N: 30, Theta: 6, L: 2, T: T, Reaffiliations: 2, ChurnEdges: 3,
+	}, 1)
+	tokens := hinet.SpreadTokens(30, 4, 2)
+	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+		MaxRounds:        hinet.Theorem1Phases(6, 2) * T,
+		StopWhenComplete: true,
+	})
+	fmt.Println("complete:", res.Complete)
+	// Output: complete: true
+}

@@ -1,0 +1,302 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ctvg"
+	"repro/internal/geom"
+	"repro/internal/hinet"
+	"repro/internal/tvg"
+	"repro/internal/xrand"
+)
+
+func TestOneIntervalEveryRoundConnected(t *testing.T) {
+	a := NewOneInterval(20, 0, xrand.New(1))
+	for r := 0; r < 30; r++ {
+		if !a.At(r).Connected() {
+			t.Fatalf("round %d disconnected", r)
+		}
+		if a.At(r).M() != 19 {
+			t.Fatalf("round %d has %d edges, want spanning tree", r, a.At(r).M())
+		}
+	}
+	if !tvg.AlwaysConnected(a, 30) {
+		t.Fatal("not 1-interval connected")
+	}
+}
+
+func TestOneIntervalMemoised(t *testing.T) {
+	a := NewOneInterval(10, 15, xrand.New(2))
+	g1 := a.At(5)
+	g2 := a.At(5)
+	if g1 != g2 {
+		t.Fatal("At not memoised")
+	}
+	if g1.M() != 15 {
+		t.Fatalf("m=%d", g1.M())
+	}
+}
+
+func TestOneIntervalActuallyChanges(t *testing.T) {
+	a := NewOneInterval(15, 0, xrand.New(3))
+	same := 0
+	for r := 1; r < 20; r++ {
+		if a.At(r).Equal(a.At(r - 1)) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/19 consecutive rounds identical; adversary too static", same)
+	}
+}
+
+func TestOneIntervalValidation(t *testing.T) {
+	for _, bad := range []struct{ n, m int }{{0, 0}, {5, 3}, {5, 11}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d m=%d accepted", bad.n, bad.m)
+				}
+			}()
+			NewOneInterval(bad.n, bad.m, xrand.New(1))
+		}()
+	}
+}
+
+func TestTIntervalAlignedWindowsStable(t *testing.T) {
+	const T = 5
+	a := NewTInterval(20, T, 8, xrand.New(4))
+	for w := 0; w < 4; w++ {
+		if !tvg.WindowConnected(a, w*T, T) {
+			t.Fatalf("window %d lacks stable connected spanning subgraph", w)
+		}
+		st := tvg.StableSubgraph(a, w*T, T)
+		if st.M() < 19 {
+			t.Fatalf("window %d stable subgraph too small: %d edges", w, st.M())
+		}
+	}
+	if a.Interval() != T {
+		t.Fatalf("Interval()=%d", a.Interval())
+	}
+}
+
+func TestTIntervalChurnAddsEdges(t *testing.T) {
+	a := NewTInterval(30, 4, 10, xrand.New(5))
+	// Each round must have more edges than the bare backbone tree.
+	for r := 0; r < 8; r++ {
+		if a.At(r).M() <= 29 {
+			t.Fatalf("round %d has no churn edges (m=%d)", r, a.At(r).M())
+		}
+	}
+	// Backbone changes across windows (probabilistically near-certain).
+	b0 := tvg.StableSubgraph(a, 0, 4)
+	b1 := tvg.StableSubgraph(a, 4, 4)
+	if b0.Equal(b1) {
+		t.Log("warning: two consecutive backbones identical (possible but unlikely)")
+	}
+}
+
+func TestTIntervalValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params accepted")
+		}
+	}()
+	NewTInterval(10, 0, 0, xrand.New(1))
+}
+
+func TestHiNetSatisfiesModel(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  HiNetConfig
+	}{
+		{"L2 stable heads", HiNetConfig{N: 40, Theta: 8, L: 2, T: 12, Reaffiliations: 3, ChurnEdges: 6}},
+		{"L3 with head churn", HiNetConfig{N: 50, Theta: 10, Heads: 6, L: 3, T: 15, Reaffiliations: 5, HeadChurn: 2, ChurnEdges: 4}},
+		{"L1 direct heads", HiNetConfig{N: 30, Theta: 5, L: 1, T: 8, ChurnEdges: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewHiNet(tc.cfg, xrand.New(7))
+			m := hinet.Model{T: tc.cfg.T, L: tc.cfg.L}
+			if err := m.CheckValid(a, 5); err != nil {
+				t.Fatalf("model violated: %v", err)
+			}
+		})
+	}
+}
+
+func TestHiNetHeadPoolRespected(t *testing.T) {
+	cfg := HiNetConfig{N: 40, Theta: 6, Heads: 4, L: 2, T: 5, HeadChurn: 2, Reaffiliations: 2, ChurnEdges: 2}
+	a := NewHiNet(cfg, xrand.New(9))
+	seen := map[int]bool{}
+	for p := 0; p < 12; p++ {
+		for _, h := range a.HierarchyAt(p * cfg.T).Heads() {
+			seen[h] = true
+		}
+	}
+	if len(seen) > cfg.Theta {
+		t.Fatalf("%d distinct heads observed, pool bound is %d", len(seen), cfg.Theta)
+	}
+	if len(seen) <= cfg.Heads {
+		t.Fatalf("head churn never rotated heads: only %v", seen)
+	}
+}
+
+func TestHiNetStableHeadSetWhenNoChurn(t *testing.T) {
+	cfg := HiNetConfig{N: 30, Theta: 5, L: 2, T: 6, Reaffiliations: 2, ChurnEdges: 3}
+	a := NewHiNet(cfg, xrand.New(11))
+	horizon := 8 * cfg.T
+	a.At(horizon - 1) // force generation
+	if !hinet.HeadSetStableForever(a, horizon) {
+		t.Fatal("HeadChurn=0 should yield an ∞-interval stable head set")
+	}
+}
+
+func TestHiNetReaffiliationStats(t *testing.T) {
+	cfg := HiNetConfig{N: 30, Theta: 5, L: 2, T: 4, Reaffiliations: 3, ChurnEdges: 0}
+	a := NewHiNet(cfg, xrand.New(13))
+	a.At(5*cfg.T - 1) // 5 phases generated
+	st := a.Stats()
+	if st.Phases != 5 {
+		t.Fatalf("phases %d", st.Phases)
+	}
+	// Phase 0 has no boundary; 4 boundaries x 3 re-affiliations.
+	if st.Reaffiliations != 12 {
+		t.Fatalf("reaffiliations %d, want 12", st.Reaffiliations)
+	}
+}
+
+func TestHiNetMembershipChangesAcrossPhases(t *testing.T) {
+	cfg := HiNetConfig{N: 30, Theta: 5, L: 2, T: 4, Reaffiliations: 3, ChurnEdges: 0}
+	a := NewHiNet(cfg, xrand.New(15))
+	h0 := a.HierarchyAt(0)
+	h1 := a.HierarchyAt(cfg.T)
+	diff := 0
+	for v := 0; v < cfg.N; v++ {
+		if h0.Cluster[v] != h1.Cluster[v] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no membership changed across a phase boundary despite re-affiliations")
+	}
+}
+
+func TestHiNetInfeasibleConfigsPanic(t *testing.T) {
+	bad := []HiNetConfig{
+		{N: 1, Theta: 1, L: 1, T: 1},                          // too small
+		{N: 10, Theta: 0, L: 1, T: 1},                         // no heads
+		{N: 10, Theta: 11, L: 1, T: 1},                        // theta > n
+		{N: 10, Theta: 5, L: 4, T: 1},                         // L out of range
+		{N: 10, Theta: 5, L: 2, T: 0},                         // T zero
+		{N: 6, Theta: 5, Heads: 5, L: 3, T: 1},                // cannot host gateways
+		{N: 30, Theta: 5, Heads: 3, L: 2, T: 1, HeadChurn: 4}, // churn > heads
+		{N: 30, Theta: 5, L: 2, T: 1, Reaffiliations: -1},     // negative
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d accepted: %+v", i, cfg)
+				}
+			}()
+			NewHiNet(cfg, xrand.New(1))
+		}()
+	}
+}
+
+func TestHiNetDeterministic(t *testing.T) {
+	cfg := HiNetConfig{N: 25, Theta: 5, L: 2, T: 5, Reaffiliations: 2, ChurnEdges: 3}
+	a := NewHiNet(cfg, xrand.New(21))
+	b := NewHiNet(cfg, xrand.New(21))
+	for r := 0; r < 20; r++ {
+		if !a.At(r).Equal(b.At(r)) {
+			t.Fatalf("round %d graphs differ", r)
+		}
+		if !a.HierarchyAt(r).Equal(b.HierarchyAt(r)) {
+			t.Fatalf("round %d hierarchies differ", r)
+		}
+	}
+}
+
+func TestMobilityHierarchiesValidEveryRound(t *testing.T) {
+	cfg := MobilityConfig{
+		N:        40,
+		Field:    geom.Field{W: 60, H: 60},
+		Radius:   18,
+		MinSpeed: 0.5, MaxSpeed: 2, PauseRounds: 1,
+		Cluster: cluster.Config{Election: cluster.LowestID},
+	}
+	a := NewMobility(cfg, xrand.New(17))
+	for r := 0; r < 50; r++ {
+		if err := a.HierarchyAt(r).Validate(a.At(r)); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	st := a.Stats()
+	if st.Reaffiliations == 0 && st.NewHeads == 0 && st.RemovedHeads == 0 {
+		t.Log("note: no churn observed in 50 rounds (possible at this density)")
+	}
+}
+
+func TestMobilityEnsureConnected(t *testing.T) {
+	cfg := MobilityConfig{
+		N:        25,
+		Field:    geom.Field{W: 100, H: 100}, // sparse: would disconnect
+		Radius:   12,
+		MinSpeed: 1, MaxSpeed: 3,
+		EnsureConnected: true,
+	}
+	a := NewMobility(cfg, xrand.New(19))
+	if !tvg.AlwaysConnected(a, 40) {
+		t.Fatal("EnsureConnected failed to keep rounds connected")
+	}
+}
+
+func TestMobilityCoverage(t *testing.T) {
+	// With EnsureConnected and maintenance, every node must always have a
+	// head (possibly itself).
+	cfg := MobilityConfig{
+		N: 30, Field: geom.Field{W: 80, H: 80}, Radius: 15,
+		MinSpeed: 1, MaxSpeed: 2, EnsureConnected: true,
+	}
+	a := NewMobility(cfg, xrand.New(23))
+	for r := 0; r < 30; r++ {
+		h := a.HierarchyAt(r)
+		for v := 0; v < cfg.N; v++ {
+			if h.HeadOf(v) == ctvg.NoCluster {
+				t.Fatalf("round %d: node %d uncovered", r, v)
+			}
+		}
+	}
+}
+
+func TestMobilityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	NewMobility(MobilityConfig{N: 0, Radius: 1}, xrand.New(1))
+}
+
+func BenchmarkHiNetRound(b *testing.B) {
+	cfg := HiNetConfig{N: 100, Theta: 30, L: 2, T: 10, Reaffiliations: 3, ChurnEdges: 10}
+	a := NewHiNet(cfg, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.At(i)
+	}
+}
+
+func BenchmarkMobilityRound(b *testing.B) {
+	cfg := MobilityConfig{
+		N: 100, Field: geom.Field{W: 100, H: 100}, Radius: 20,
+		MinSpeed: 1, MaxSpeed: 2, EnsureConnected: true,
+	}
+	a := NewMobility(cfg, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.At(i)
+	}
+}

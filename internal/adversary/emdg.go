@@ -1,0 +1,128 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// EMDG is the Edge-Markovian Dynamic Graph of Clementi et al. (PODC 2008),
+// one of the flat models the paper's conclusion proposes extending with
+// clusters: every potential edge evolves as an independent two-state Markov
+// chain — an absent edge appears with birth probability P (per round), a
+// present edge disappears with death probability Q.
+//
+// EMDG makes no connectivity promise; with Patch set, each snapshot is
+// patched to connectivity with bridge edges (the patched edges are part of
+// the snapshot and may die in later rounds like any other edge).
+type EMDG struct {
+	n     int
+	p, q  float64
+	patch bool
+	rng   *xrand.Rand
+	snaps []*graph.Graph
+}
+
+// NewEMDG creates an edge-Markovian adversary with birth rate p and death
+// rate q. The initial snapshot draws each edge with the chain's stationary
+// probability p/(p+q), so the process starts in equilibrium.
+func NewEMDG(n int, p, q float64, patch bool, rng *xrand.Rand) *EMDG {
+	if n < 1 || p < 0 || p > 1 || q < 0 || q > 1 || p+q == 0 {
+		panic(fmt.Sprintf("adversary: invalid EMDG parameters n=%d p=%f q=%f", n, p, q))
+	}
+	return &EMDG{n: n, p: p, q: q, patch: patch, rng: rng}
+}
+
+// N implements tvg.Dynamic.
+func (a *EMDG) N() int { return a.n }
+
+// At implements tvg.Dynamic.
+func (a *EMDG) At(r int) *graph.Graph {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	for len(a.snaps) <= r {
+		var g *graph.Graph
+		if len(a.snaps) == 0 {
+			g = graph.New(a.n)
+			stationary := a.p / (a.p + a.q)
+			for u := 0; u < a.n; u++ {
+				for v := u + 1; v < a.n; v++ {
+					if a.rng.Prob(stationary) {
+						g.AddEdge(u, v)
+					}
+				}
+			}
+		} else {
+			prev := a.snaps[len(a.snaps)-1]
+			g = graph.New(a.n)
+			for u := 0; u < a.n; u++ {
+				for v := u + 1; v < a.n; v++ {
+					if prev.HasEdge(u, v) {
+						if !a.rng.Prob(a.q) {
+							g.AddEdge(u, v) // survives
+						}
+					} else if a.rng.Prob(a.p) {
+						g.AddEdge(u, v) // born
+					}
+				}
+			}
+		}
+		if a.patch {
+			patchConnect(g, a.rng)
+		}
+		a.snaps = append(a.snaps, g)
+	}
+	return a.snaps[r]
+}
+
+// ClusteredEMDG implements the paper's proposed future-work model: an
+// edge-Markovian topology with a cluster hierarchy maintained on top of it
+// round by round (head election + incremental maintenance, as a deployed
+// clustering layer would do). It is a ctvg.Dynamic with no a-priori
+// (T, L)-HiNet promise — the executable form of "extending EMDG with
+// clusters".
+type ClusteredEMDG struct {
+	*EMDG
+	cfg   cluster.Config
+	hiers []*ctvg.Hierarchy
+	stats cluster.Stats
+}
+
+// NewClusteredEMDG layers incremental clustering over an EMDG topology.
+// Snapshots are always patched to connectivity (an unconnected round can
+// never disseminate, so the clustered variant targets the connected
+// regime).
+func NewClusteredEMDG(n int, p, q float64, cfg cluster.Config, rng *xrand.Rand) *ClusteredEMDG {
+	return &ClusteredEMDG{EMDG: NewEMDG(n, p, q, true, rng), cfg: cfg}
+}
+
+// HierarchyAt implements ctvg.Dynamic.
+func (a *ClusteredEMDG) HierarchyAt(r int) *ctvg.Hierarchy {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	for len(a.hiers) <= r {
+		g := a.At(len(a.hiers))
+		var h *ctvg.Hierarchy
+		if len(a.hiers) == 0 {
+			h = cluster.Form(g, a.cfg)
+		} else {
+			var st cluster.Stats
+			h, st = cluster.Maintain(g, a.hiers[len(a.hiers)-1], a.cfg)
+			a.stats.Reaffiliations += st.Reaffiliations
+			a.stats.NewHeads += st.NewHeads
+			a.stats.RemovedHeads += st.RemovedHeads
+		}
+		a.hiers = append(a.hiers, h)
+	}
+	return a.hiers[r]
+}
+
+// Stats returns accumulated clustering churn.
+func (a *ClusteredEMDG) Stats() cluster.Stats { return a.stats }
+
+var _ ctvg.Dynamic = (*ClusteredEMDG)(nil)

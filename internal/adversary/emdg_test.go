@@ -1,0 +1,133 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ctvg"
+	"repro/internal/tvg"
+	"repro/internal/xrand"
+)
+
+func TestEMDGStationaryDensity(t *testing.T) {
+	// With p = q the stationary edge probability is 1/2; the initial
+	// snapshot should have roughly half of all possible edges.
+	a := NewEMDG(30, 0.3, 0.3, false, xrand.New(1))
+	g := a.At(0)
+	possible := 30 * 29 / 2
+	frac := float64(g.M()) / float64(possible)
+	if frac < 0.38 || frac > 0.62 {
+		t.Fatalf("initial density %.2f far from stationary 0.5", frac)
+	}
+}
+
+func TestEMDGBirthDeathDynamics(t *testing.T) {
+	a := NewEMDG(20, 0.1, 0.1, false, xrand.New(2))
+	// Consecutive rounds must share most edges (death rate 0.1) but not
+	// all (birth/death happen).
+	g0, g1 := a.At(0), a.At(1)
+	shared, died := 0, 0
+	for _, e := range g0.Edges() {
+		if g1.HasEdge(e.U, e.V) {
+			shared++
+		} else {
+			died++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no edge survived a round at q=0.1")
+	}
+	if died == 0 && g1.M() == g0.M() {
+		t.Log("note: zero churn in one round (unlikely but possible)")
+	}
+	// Death rate sanity: roughly 10% should die.
+	frac := float64(died) / float64(g0.M())
+	if frac > 0.35 {
+		t.Fatalf("death fraction %.2f far above q=0.1", frac)
+	}
+}
+
+func TestEMDGExtremes(t *testing.T) {
+	// q=1, p=1: every edge flips every round, so each snapshot is the
+	// exact complement of the previous one.
+	a := NewEMDG(6, 1, 1, false, xrand.New(3))
+	g0, g1 := a.At(0), a.At(1)
+	if g0.M()+g1.M() != 15 {
+		t.Fatalf("p=q=1 snapshots not complementary: %d + %d != 15", g0.M(), g1.M())
+	}
+	for _, e := range g0.Edges() {
+		if g1.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v survived q=1", e)
+		}
+	}
+	// p=0, q=1 from a stationary start of density 0: empty forever.
+	b := NewEMDG(6, 0, 1, false, xrand.New(4))
+	if b.At(0).M() != 0 || b.At(3).M() != 0 {
+		t.Fatal("p=0 should stay empty")
+	}
+}
+
+func TestEMDGPatchedIsConnected(t *testing.T) {
+	a := NewEMDG(25, 0.02, 0.5, true, xrand.New(5)) // sparse without patch
+	if !tvg.AlwaysConnected(a, 20) {
+		t.Fatal("patched EMDG has a disconnected round")
+	}
+}
+
+func TestEMDGMemoised(t *testing.T) {
+	a := NewEMDG(10, 0.2, 0.2, false, xrand.New(6))
+	if a.At(4) != a.At(4) {
+		t.Fatal("not memoised")
+	}
+}
+
+func TestEMDGValidation(t *testing.T) {
+	bad := [][3]float64{{0, -0.1, 0.5}, {0, 0.5, 1.5}, {0, 0, 0}}
+	for i, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d accepted", i)
+				}
+			}()
+			NewEMDG(5, c[1], c[2], false, xrand.New(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("n=0 accepted")
+			}
+		}()
+		NewEMDG(0, 0.5, 0.5, false, xrand.New(1))
+	}()
+}
+
+func TestClusteredEMDGHierarchyValidEveryRound(t *testing.T) {
+	a := NewClusteredEMDG(30, 0.05, 0.3, cluster.Config{}, xrand.New(7))
+	for r := 0; r < 40; r++ {
+		if err := a.HierarchyAt(r).Validate(a.At(r)); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		// Coverage: maintenance guarantees every node has a head.
+		h := a.HierarchyAt(r)
+		for v := 0; v < 30; v++ {
+			if h.HeadOf(v) == ctvg.NoCluster {
+				t.Fatalf("round %d: node %d uncovered", r, v)
+			}
+		}
+	}
+	if a.Stats().Reaffiliations == 0 {
+		t.Fatal("no re-affiliations over 40 rounds of heavy churn")
+	}
+}
+
+func TestEMDGNegativeRoundPanics(t *testing.T) {
+	a := NewEMDG(5, 0.5, 0.5, false, xrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.At(-1)
+}

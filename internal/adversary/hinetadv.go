@@ -1,0 +1,391 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// HiNetConfig parameterises the clustered (T, L)-HiNet adversary.
+type HiNetConfig struct {
+	// N is the number of nodes.
+	N int
+	// Theta (θ) is the upper bound on the number of distinct nodes that
+	// may ever serve as cluster head: heads are drawn from a fixed pool
+	// of this size, matching the paper's "upper bound number of nodes
+	// that can be cluster head".
+	Theta int
+	// Heads is the number of simultaneous cluster heads per phase
+	// (0 means Theta).
+	Heads int
+	// L is the hop bound on cluster-head connectivity (1..3; the paper
+	// notes 1-hop clusterings have L <= 3).
+	L int
+	// T is the phase length in rounds; the hierarchy and backbone are
+	// stable within each aligned window [iT, (i+1)T).
+	T int
+	// Reaffiliations is the number of members moved to a different
+	// cluster at each phase boundary.
+	Reaffiliations int
+	// HeadChurn is the number of heads replaced (from within the θ pool)
+	// at each phase boundary; 0 yields the ∞-interval stable head set of
+	// Remark 1.
+	HeadChurn int
+	// ChurnEdges is the number of random extra edges added per round on
+	// top of the stable structure, making the instance genuinely dynamic.
+	ChurnEdges int
+}
+
+func (c HiNetConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("adversary: N=%d too small", c.N)
+	}
+	if c.Theta < 1 || c.Theta > c.N {
+		return fmt.Errorf("adversary: Theta=%d out of range", c.Theta)
+	}
+	if c.Heads < 0 || c.Heads > c.Theta {
+		return fmt.Errorf("adversary: Heads=%d exceeds Theta=%d", c.Heads, c.Theta)
+	}
+	if c.L < 1 || c.L > 3 {
+		return fmt.Errorf("adversary: L=%d not in 1..3", c.L)
+	}
+	if c.T < 1 {
+		return fmt.Errorf("adversary: T=%d must be positive", c.T)
+	}
+	if c.Reaffiliations < 0 || c.HeadChurn < 0 || c.ChurnEdges < 0 {
+		return fmt.Errorf("adversary: negative churn parameter")
+	}
+	heads := c.Heads
+	if heads == 0 {
+		heads = c.Theta
+	}
+	need := heads + (heads-1)*(c.L-1)
+	if c.N < need {
+		return fmt.Errorf("adversary: N=%d cannot host %d heads with L=%d (need >= %d)", c.N, heads, c.L, need)
+	}
+	if c.HeadChurn > heads {
+		return fmt.Errorf("adversary: HeadChurn=%d exceeds head count %d", c.HeadChurn, heads)
+	}
+	return nil
+}
+
+// phase is the stable structure of one T-round window.
+type phase struct {
+	hier   *ctvg.Hierarchy
+	stable *graph.Graph // member stars + gateway backbone, constant all phase
+	heads  []int
+	links  []link         // head-level tree edges
+	gwFor  map[link][]int // gateway chain per head-tree edge
+}
+
+// link is one edge of the head-level tree.
+type link struct{ from, to int }
+
+// HiNetStats counts churn events actually applied.
+type HiNetStats struct {
+	// Reaffiliations is the total number of member re-affiliation events
+	// across all generated phase boundaries (the paper's n_m * n_r
+	// aggregate).
+	Reaffiliations int
+	// HeadChanges is the total number of head replacements applied.
+	HeadChanges int
+	// Phases is the number of phases generated so far.
+	Phases int
+}
+
+// HiNet is the clustered adversary realising the paper's (T, L)-HiNet
+// model (Definition 8) on aligned phase windows. Construction per phase:
+// the heads (a subset of a fixed θ-node pool) are joined into a random
+// head-level tree whose edges are realised as gateway chains of exactly
+// L-1 intermediate nodes; every remaining node is a member with a stable
+// star edge to its head; churn edges are layered per round on top. At each
+// phase boundary the configured number of members re-affiliate and heads
+// rotate within the pool.
+type HiNet struct {
+	cfg      HiNetConfig
+	headsPer int
+	pool     []int // the θ head-eligible node IDs
+	rng      *xrand.Rand
+
+	phases []*phase
+	snaps  []*graph.Graph
+	stats  HiNetStats
+}
+
+// NewHiNet builds the adversary; it panics on an infeasible configuration
+// (see HiNetConfig).
+func NewHiNet(cfg HiNetConfig, rng *xrand.Rand) *HiNet {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	headsPer := cfg.Heads
+	if headsPer == 0 {
+		headsPer = cfg.Theta
+	}
+	a := &HiNet{cfg: cfg, headsPer: headsPer, rng: rng}
+	all := make([]int, cfg.N)
+	for i := range all {
+		all[i] = i
+	}
+	a.pool = xrand.Sample(rng, all, cfg.Theta)
+	return a
+}
+
+// Config returns the adversary's configuration.
+func (a *HiNet) Config() HiNetConfig { return a.cfg }
+
+// Stats returns churn counters for the phases generated so far.
+func (a *HiNet) Stats() HiNetStats { return a.stats }
+
+// N implements ctvg.Dynamic.
+func (a *HiNet) N() int { return a.cfg.N }
+
+// At implements ctvg.Dynamic.
+func (a *HiNet) At(r int) *graph.Graph {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	for len(a.snaps) <= r {
+		cur := len(a.snaps)
+		p := a.phaseAt(cur / a.cfg.T)
+		g := p.stable.Clone()
+		for j := 0; j < a.cfg.ChurnEdges; j++ {
+			u, v := a.rng.Intn(a.cfg.N), a.rng.Intn(a.cfg.N)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		a.snaps = append(a.snaps, g)
+	}
+	return a.snaps[r]
+}
+
+// HierarchyAt implements ctvg.Dynamic.
+func (a *HiNet) HierarchyAt(r int) *ctvg.Hierarchy {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	return a.phaseAt(r / a.cfg.T).hier
+}
+
+// phaseAt returns (generating as needed) the stable structure of phase i.
+func (a *HiNet) phaseAt(i int) *phase {
+	for len(a.phases) <= i {
+		if len(a.phases) == 0 {
+			heads := xrand.Sample(a.rng, a.pool, a.headsPer)
+			a.phases = append(a.phases, a.buildPhase(heads, nil))
+		} else {
+			a.phases = append(a.phases, a.nextPhase(a.phases[len(a.phases)-1]))
+		}
+		a.stats.Phases++
+	}
+	return a.phases[i]
+}
+
+// nextPhase derives phase i+1 from phase i: rotate heads within the pool,
+// re-affiliate members, rebuild the backbone.
+func (a *HiNet) nextPhase(prev *phase) *phase {
+	heads := append([]int(nil), prev.heads...)
+
+	// Head churn: replace HeadChurn current heads with pool nodes not
+	// currently serving (if any exist).
+	if a.cfg.HeadChurn > 0 {
+		serving := make(map[int]bool, len(heads))
+		for _, h := range heads {
+			serving[h] = true
+		}
+		var bench []int
+		for _, v := range a.pool {
+			if !serving[v] {
+				bench = append(bench, v)
+			}
+		}
+		for c := 0; c < a.cfg.HeadChurn && len(bench) > 0; c++ {
+			// Retire a random head, promote a random benched pool node.
+			ri := a.rng.Intn(len(heads))
+			bi := a.rng.Intn(len(bench))
+			heads[ri], bench[bi] = bench[bi], heads[ri]
+			a.stats.HeadChanges++
+		}
+	}
+
+	return a.buildPhaseWithReaffiliation(heads, prev)
+}
+
+// buildPhaseWithReaffiliation builds a phase reusing as much of the
+// previous stable structure as possible, then forcibly re-affiliates the
+// configured number of members.
+func (a *HiNet) buildPhaseWithReaffiliation(heads []int, prev *phase) *phase {
+	p := a.buildPhase(heads, prev)
+	// Forced re-affiliations: move random members to a different head.
+	members := []int{}
+	for v := 0; v < a.cfg.N; v++ {
+		if p.hier.Role[v] == ctvg.Member {
+			members = append(members, v)
+		}
+	}
+	for c := 0; c < a.cfg.Reaffiliations && len(members) > 0 && len(heads) > 1; c++ {
+		v := members[a.rng.Intn(len(members))]
+		old := p.hier.HeadOf(v)
+		nh := heads[a.rng.Intn(len(heads))]
+		for nh == old {
+			nh = heads[a.rng.Intn(len(heads))]
+		}
+		p.stable.RemoveEdge(v, old)
+		p.stable.AddEdge(v, nh)
+		p.hier.SetMember(v, nh)
+		a.stats.Reaffiliations++
+	}
+	return p
+}
+
+// buildPhase constructs a phase's hierarchy and stable graph for the given
+// head set. When prev is non-nil, the structure is sticky: the head-level
+// tree is reused if the head set is unchanged, gateway chains are reused
+// per head pair, and members keep their previous head when it is still
+// serving. Churn beyond the configured re-affiliations and head rotation
+// is thereby avoided, so the paper's n_r parameter maps directly onto the
+// forced re-affiliation count.
+func (a *HiNet) buildPhase(heads []int, prev *phase) *phase {
+	n := a.cfg.N
+	h := ctvg.NewHierarchy(n)
+	stable := graph.New(n)
+	isHead := make([]bool, n)
+	for _, v := range heads {
+		h.SetHead(v)
+		isHead[v] = true
+	}
+
+	// Head-level tree: reuse the previous tree when the head set is
+	// unchanged, otherwise draw a fresh random tree (attach head i to a
+	// random earlier head).
+	var links []link
+	if prev != nil && sameIntSet(heads, prev.heads) {
+		links = prev.links
+	} else {
+		for i := 1; i < len(heads); i++ {
+			links = append(links, link{heads[a.rng.Intn(i)], heads[i]})
+		}
+	}
+
+	// Gateway chains: reuse the previous chain for a link when all its
+	// nodes are still non-heads; otherwise draw fresh gateways, preferring
+	// nodes not previously affiliated anywhere special. `taken` tracks
+	// nodes already committed as gateways this phase.
+	gwPerLink := a.cfg.L - 1
+	taken := make([]bool, n)
+	gwFor := make(map[link][]int, len(links))
+	needFresh := 0
+	for _, lk := range links {
+		if prev != nil {
+			chain := prev.gwFor[lk]
+			ok := len(chain) == gwPerLink
+			for _, g := range chain {
+				if isHead[g] || taken[g] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, g := range chain {
+					taken[g] = true
+				}
+				gwFor[lk] = chain
+				continue
+			}
+		}
+		needFresh += gwPerLink
+		gwFor[lk] = nil
+	}
+	// Pool of free non-head nodes for fresh chains, shuffled.
+	if needFresh > 0 {
+		var free []int
+		for v := 0; v < n; v++ {
+			if !isHead[v] && !taken[v] {
+				free = append(free, v)
+			}
+		}
+		a.rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		idx := 0
+		for _, lk := range links {
+			if gwFor[lk] != nil || gwPerLink == 0 {
+				continue
+			}
+			chain := make([]int, gwPerLink)
+			for c := range chain {
+				chain[c] = free[idx]
+				taken[free[idx]] = true
+				idx++
+			}
+			gwFor[lk] = chain
+		}
+	}
+
+	// Realise the backbone.
+	for _, lk := range links {
+		chain := gwFor[lk]
+		switch gwPerLink {
+		case 0: // L=1: heads directly adjacent
+			stable.AddEdge(lk.from, lk.to)
+		case 1: // L=2: one gateway, adjacent to both heads
+			g1 := chain[0]
+			stable.AddEdge(lk.from, g1)
+			stable.AddEdge(g1, lk.to)
+			h.SetGateway(g1, lk.from)
+		case 2: // L=3: two gateways
+			g1, g2 := chain[0], chain[1]
+			stable.AddEdge(lk.from, g1)
+			stable.AddEdge(g1, g2)
+			stable.AddEdge(g2, lk.to)
+			h.SetGateway(g1, lk.from)
+			h.SetGateway(g2, lk.to)
+		}
+	}
+
+	// Members: keep the previous head when it is still serving (whether
+	// the node was a member or an affiliated gateway), else a random head.
+	for v := 0; v < n; v++ {
+		if isHead[v] || taken[v] {
+			continue
+		}
+		head := -1
+		if prev != nil {
+			if ph := prev.hier.HeadOf(v); ph != ctvg.NoCluster && ph != v && isHead[ph] {
+				head = ph
+			}
+		}
+		if head < 0 {
+			head = heads[a.rng.Intn(len(heads))]
+		}
+		h.SetMember(v, head)
+		stable.AddEdge(v, head)
+	}
+	return &phase{
+		hier:   h,
+		stable: stable,
+		heads:  append([]int(nil), heads...),
+		links:  links,
+		gwFor:  gwFor,
+	}
+}
+
+// sameIntSet reports whether a and b contain the same elements (as sets).
+func sameIntSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ ctvg.Dynamic = (*HiNet)(nil)

@@ -1,0 +1,122 @@
+package adversary
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ctvg"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// MobilityConfig parameterises the physically-driven adversary.
+type MobilityConfig struct {
+	// N is the number of mobile nodes.
+	N int
+	// Field is the deployment area.
+	Field geom.Field
+	// Radius is the radio range defining the unit-disk graph.
+	Radius float64
+	// MinSpeed/MaxSpeed/PauseRounds parameterise random waypoint.
+	MinSpeed, MaxSpeed float64
+	PauseRounds        int
+	// Cluster configures incremental clustering maintenance.
+	Cluster cluster.Config
+	// EnsureConnected, when set, patches each round's snapshot with
+	// bridge edges joining connected components (a long-range "base
+	// station" link), guaranteeing 1-interval connectivity. Documented
+	// substitution: real deployments reach this via higher density; the
+	// patch keeps the dissemination guarantees exercisable at small n.
+	EnsureConnected bool
+}
+
+// Mobility is a CTVG adversary driven by random-waypoint motion: each round
+// the nodes move, the unit-disk snapshot is taken, and the cluster
+// hierarchy is incrementally maintained (lowest-ID or highest-degree
+// election, gateway re-selection). It makes no (T, L)-HiNet promise — it is
+// the "reality check" adversary for examples and robustness tests.
+type Mobility struct {
+	cfg MobilityConfig
+	mob *geom.Mobility
+	rng *xrand.Rand
+
+	snaps []*graph.Graph
+	hiers []*ctvg.Hierarchy
+	stats cluster.Stats
+}
+
+// NewMobility builds the adversary.
+func NewMobility(cfg MobilityConfig, rng *xrand.Rand) *Mobility {
+	if cfg.N < 1 || cfg.Radius <= 0 {
+		panic("adversary: invalid mobility config")
+	}
+	return &Mobility{
+		cfg: cfg,
+		mob: geom.NewMobility(cfg.N, cfg.Field, cfg.MinSpeed, cfg.MaxSpeed, cfg.PauseRounds, rng.Split()),
+		rng: rng,
+	}
+}
+
+// N implements ctvg.Dynamic.
+func (a *Mobility) N() int { return a.cfg.N }
+
+// Stats returns accumulated clustering churn over generated rounds.
+func (a *Mobility) Stats() cluster.Stats { return a.stats }
+
+// generate materialises rounds up to and including r.
+func (a *Mobility) generate(r int) {
+	for len(a.snaps) <= r {
+		if len(a.snaps) > 0 {
+			a.mob.Step()
+		}
+		g := a.mob.Snapshot(a.cfg.Radius)
+		if a.cfg.EnsureConnected {
+			patchConnect(g, a.rng)
+		}
+		var h *ctvg.Hierarchy
+		if len(a.hiers) == 0 {
+			h = cluster.Form(g, a.cfg.Cluster)
+		} else {
+			var st cluster.Stats
+			h, st = cluster.Maintain(g, a.hiers[len(a.hiers)-1], a.cfg.Cluster)
+			a.stats.Reaffiliations += st.Reaffiliations
+			a.stats.NewHeads += st.NewHeads
+			a.stats.RemovedHeads += st.RemovedHeads
+		}
+		a.snaps = append(a.snaps, g)
+		a.hiers = append(a.hiers, h)
+	}
+}
+
+// At implements ctvg.Dynamic.
+func (a *Mobility) At(r int) *graph.Graph {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	a.generate(r)
+	return a.snaps[r]
+}
+
+// HierarchyAt implements ctvg.Dynamic.
+func (a *Mobility) HierarchyAt(r int) *ctvg.Hierarchy {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	a.generate(r)
+	return a.hiers[r]
+}
+
+// patchConnect links the components of g with random bridge edges until g
+// is connected.
+func patchConnect(g *graph.Graph, rng *xrand.Rand) {
+	for {
+		comps := g.Components()
+		if len(comps) <= 1 {
+			return
+		}
+		a := comps[0][rng.Intn(len(comps[0]))]
+		b := comps[1][rng.Intn(len(comps[1]))]
+		g.AddEdge(a, b)
+	}
+}
+
+var _ ctvg.Dynamic = (*Mobility)(nil)

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable3ReproducesPaperNumbers(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Row 0: (k+αL)-interval connected [7] — exact.
+	if rows[0].Cost != (Cost{Time: 180, Comm: 8000}) {
+		t.Fatalf("KLO-T row: %+v", rows[0].Cost)
+	}
+	// Row 1: (k+αL, L)-HiNet — exact.
+	if rows[1].Cost != (Cost{Time: 126, Comm: 4320}) {
+		t.Fatalf("HiNet-T row: %+v", rows[1].Cost)
+	}
+	// Row 2: 1-interval connected [7] — exact.
+	if rows[2].Cost != (Cost{Time: 99, Comm: 79200}) {
+		t.Fatalf("KLO-1 row: %+v", rows[2].Cost)
+	}
+	// Row 3: (1, L)-HiNet — the formula yields 50720; the paper prints
+	// 51680 (a 960-token slip in the published table, see EXPERIMENTS.md).
+	if rows[3].Cost != (Cost{Time: 99, Comm: 50720}) {
+		t.Fatalf("HiNet-1 row: %+v", rows[3].Cost)
+	}
+	// Sanity: the published value is within 2% of the formula value, so
+	// the paper's qualitative claim stands either way.
+	pub := float64(Table3Published[3].Comm)
+	got := float64(rows[3].Cost.Comm)
+	if math.Abs(pub-got)/pub > 0.02 {
+		t.Fatalf("formula %v vs published %v diverge by more than 2%%", got, pub)
+	}
+}
+
+func TestTable3PublishedTimesMatch(t *testing.T) {
+	rows := Table3()
+	for i, r := range rows {
+		if r.Cost.Time != Table3Published[i].Time {
+			t.Fatalf("row %d time %d, published %d", i, r.Cost.Time, Table3Published[i].Time)
+		}
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	rows := Table3()
+	kloT, hinetT := rows[0].Cost, rows[1].Cost
+	klo1, hinet1 := rows[2].Cost, rows[3].Cost
+
+	// Claim 1: Algorithm 1 communicates much less than KLO-T…
+	if hinetT.Comm >= kloT.Comm {
+		t.Fatal("HiNet-T not cheaper than KLO-T")
+	}
+	// …with ~46% reduction at the Table 3 point ("benefit can be as much
+	// as 50%").
+	if r := Reduction(kloT, hinetT); r < 0.40 || r > 0.55 {
+		t.Fatalf("HiNet-T reduction %.2f outside the paper's ballpark", r)
+	}
+	// Claim 2: Algorithm 1 is also faster here (126 < 180).
+	if hinetT.Time >= kloT.Time {
+		t.Fatal("HiNet-T not faster than KLO-T at the Table 3 point")
+	}
+	// Claim 3: Algorithm 2 halves-ish the 1-interval flooding cost at the
+	// same time cost.
+	if hinet1.Comm >= klo1.Comm || hinet1.Time != klo1.Time {
+		t.Fatalf("HiNet-1 claim fails: %+v vs %+v", hinet1, klo1)
+	}
+	if r := Reduction(klo1, hinet1); r < 0.30 {
+		t.Fatalf("HiNet-1 reduction %.2f too small", r)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Table3Params
+	good.NR = 3
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N0: 1, Theta: 1, NM: 0, K: 1, Alpha: 1, L: 1},
+		{N0: 10, Theta: 0, NM: 0, K: 1, Alpha: 1, L: 1},
+		{N0: 10, Theta: 11, NM: 0, K: 1, Alpha: 1, L: 1},
+		{N0: 10, Theta: 5, NM: 11, K: 1, Alpha: 1, L: 1},
+		{N0: 10, Theta: 5, NM: 5, NR: -1, K: 1, Alpha: 1, L: 1},
+		{N0: 10, Theta: 5, NM: 5, K: 0, Alpha: 1, L: 1},
+		{N0: 10, Theta: 5, NM: 5, K: 1, Alpha: 0, L: 1},
+		{N0: 10, Theta: 5, NM: 5, K: 1, Alpha: 1, L: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestTHelper(t *testing.T) {
+	if Table3Params.T() != 18 {
+		t.Fatalf("T = %d", Table3Params.T())
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(Cost{Comm: 100}, Cost{Comm: 60}); math.Abs(r-0.4) > 1e-12 {
+		t.Fatalf("Reduction = %f", r)
+	}
+	if Reduction(Cost{}, Cost{Comm: 5}) != 0 {
+		t.Fatal("zero-division guard failed")
+	}
+}
+
+func TestQuickHiNetAlwaysBeatsKLOWhenChurnModest(t *testing.T) {
+	// Property: whenever n_r < time (the paper's "n_r should be much less
+	// than n_0" premise) and there is at least one member, the HiNet rows
+	// are strictly cheaper in communication than their flat counterparts.
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		n0 := 20 + int(s%200)
+		theta := 2 + int((s/7)%uint64(n0/2))
+		nm := 1 + int((s/11)%uint64(n0/2))
+		k := 1 + int((s/13)%32)
+		alpha := 1 + int((s/17)%8)
+		L := 1 + int((s/19)%3)
+		p := Params{N0: n0, Theta: theta, NM: nm, K: k, Alpha: alpha, L: L}
+		if p.Validate() != nil {
+			return true // skip infeasible combinations
+		}
+		// 1-interval comparison: nr < n0-1 guarantees the saving since
+		// members would otherwise broadcast every round.
+		p.NR = int(s % uint64(n0-1))
+		if HiNetOneInterval(p).Comm >= KLOOneInterval(p).Comm {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverNRT(t *testing.T) {
+	// At the Table 3 point: (10·100 − 7·60)/40 = (1000−420)/40 = 14.5 —
+	// matching Sweep C's observed crossover between nr=10 (x0.82) and
+	// nr=15 (x1.02).
+	got := CrossoverNRT(Table3Params)
+	if math.Abs(got-14.5) > 1e-9 {
+		t.Fatalf("CrossoverNRT = %f, want 14.5", got)
+	}
+	// Consistency with the row formulas: strictly below the threshold
+	// Alg1 wins; strictly above it loses.
+	below := Table3Params
+	below.NR = 14
+	if HiNetTInterval(below).Comm >= KLOTInterval(below).Comm {
+		t.Fatal("below crossover but not cheaper")
+	}
+	above := Table3Params
+	above.NR = 15
+	if HiNetTInterval(above).Comm <= KLOTInterval(above).Comm {
+		t.Fatal("above crossover but not costlier")
+	}
+	if CrossoverNRT(Params{NM: 0}) != 0 {
+		t.Fatal("zero-member guard")
+	}
+}
+
+func TestCrossoverNR1(t *testing.T) {
+	if CrossoverNR1(Table3Params) != 99 {
+		t.Fatalf("CrossoverNR1 = %f", CrossoverNR1(Table3Params))
+	}
+	// Verify against the formulas at the boundary.
+	p := Table3Params
+	p.NR = 98
+	if HiNetOneInterval(p).Comm >= KLOOneInterval(p).Comm {
+		t.Fatal("below crossover but not cheaper")
+	}
+	p.NR = 100
+	if HiNetOneInterval(p).Comm <= KLOOneInterval(p).Comm {
+		t.Fatal("above crossover but not costlier")
+	}
+}
+
+func TestTable2RowMetadata(t *testing.T) {
+	rows := Table2(Table3Params, 3, 10)
+	wantModels := []string{
+		"(k+α*L)-interval connected [7]",
+		"(k+α*L, L)-HiNet",
+		"1-interval connected [7]",
+		"(1, L)-HiNet",
+	}
+	for i, r := range rows {
+		if r.Model != wantModels[i] {
+			t.Fatalf("row %d model %q", i, r.Model)
+		}
+		if r.TimeFormula == "" || r.CommFormula == "" {
+			t.Fatalf("row %d missing formulas", i)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// Example evaluates the paper's Table 2 formulas at its Table 3 operating
+// point (n0=100, θ=30, nm=40, k=8, α=5, L=2).
+func Example() {
+	for _, row := range analysis.Table3() {
+		fmt.Printf("%-31s time=%-4d comm=%d\n", row.Model, row.Cost.Time, row.Cost.Comm)
+	}
+	// Output:
+	// (k+α*L)-interval connected [7]  time=180  comm=8000
+	// (k+α*L, L)-HiNet                time=126  comm=4320
+	// 1-interval connected [7]        time=99   comm=79200
+	// (1, L)-HiNet                    time=99   comm=50720
+}
+
+func ExampleReduction() {
+	rows := analysis.Table3()
+	fmt.Printf("%.1f%%\n", 100*analysis.Reduction(rows[0].Cost, rows[1].Cost))
+	// Output: 46.0%
+}

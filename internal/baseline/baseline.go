@@ -1,0 +1,138 @@
+// Package baseline implements the flat (cluster-free) dissemination
+// algorithms of Kuhn, Lynch and Oshman (STOC 2010) that the paper compares
+// against.
+//
+//   - Flood is the 1-interval connected baseline: every node broadcasts its
+//     entire token set in every round. Under 1-interval connectivity all
+//     nodes hold all k tokens after n-1 rounds; the paper's Table 2 charges
+//     it (n0-1)·n0·k token-sends.
+//   - KLOT is the T-interval connected protocol: execution is divided into
+//     phases of T rounds; in every round each node broadcasts the smallest
+//     token it has not yet broadcast in the current phase. The stable
+//     spanning subgraph of each phase pipelines tokens T-k hops per phase,
+//     so ⌈n0/(T-k)⌉ phases suffice; the paper charges it
+//     ⌈n0/(2α)⌉·n0·k token-sends for T = k + α·L.
+//
+// Both protocols ignore the cluster hierarchy entirely — they run on the
+// sim.Flat adapter or directly on clustered networks (the roles are simply
+// not consulted).
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// Flood is the KLO/O'Dell 1-interval baseline: full-set flooding.
+type Flood struct{}
+
+// Name implements sim.Protocol.
+func (Flood) Name() string { return "klo-flood" }
+
+// Nodes implements sim.Protocol.
+func (Flood) Nodes(assign *token.Assignment) []sim.Node {
+	nodes := make([]sim.Node, assign.N())
+	for v := range nodes {
+		nodes[v] = &floodNode{ta: assign.Initial[v].Clone()}
+	}
+	return nodes
+}
+
+// FloodRounds is the completion bound under 1-interval connectivity: n-1.
+func FloodRounds(n int) int { return n - 1 }
+
+type floodNode struct {
+	ta *bitset.Set
+}
+
+func (n *floodNode) Send(v sim.View) *sim.Message {
+	return &sim.Message{
+		To:     sim.NoAddr,
+		Kind:   sim.KindBroadcast,
+		Tokens: n.ta.Clone(),
+	}
+}
+
+func (n *floodNode) Deliver(v sim.View, msgs []*sim.Message) {
+	for _, m := range msgs {
+		n.ta.UnionWith(m.Tokens)
+	}
+}
+
+func (n *floodNode) Tokens() *bitset.Set { return n.ta }
+
+// KLOT is the KLO T-interval connected protocol (token pipelining).
+type KLOT struct {
+	// T is the phase length in rounds; correctness under T-interval
+	// connectivity requires T > k.
+	T int
+}
+
+// Name implements sim.Protocol.
+func (p KLOT) Name() string { return fmt.Sprintf("klo-tinterval(T=%d)", p.T) }
+
+// Nodes implements sim.Protocol.
+func (p KLOT) Nodes(assign *token.Assignment) []sim.Node {
+	if p.T <= 0 {
+		panic("baseline: KLOT requires T > 0")
+	}
+	nodes := make([]sim.Node, assign.N())
+	for v := range nodes {
+		nodes[v] = &klotNode{
+			T:  p.T,
+			ta: assign.Initial[v].Clone(),
+			ts: bitset.New(assign.K),
+		}
+	}
+	return nodes
+}
+
+// KLOTPhases returns the phase count sufficient under T-interval
+// connectivity with T = k + progress: ⌈n/progress⌉ where progress = T - k
+// is the per-phase pipelining distance. For the paper's parameterisation
+// T = k + α·L this is ⌈n/(α·L)⌉, matching Table 2's time formula.
+func KLOTPhases(n, T, k int) int {
+	progress := T - k
+	if progress <= 0 {
+		panic("baseline: KLOT needs T > k for guaranteed progress")
+	}
+	return (n + progress - 1) / progress
+}
+
+type klotNode struct {
+	T  int
+	ta *bitset.Set
+	ts *bitset.Set // tokens broadcast in the current phase
+}
+
+func (n *klotNode) Send(v sim.View) *sim.Message {
+	if v.Round%n.T == 0 {
+		n.ts.Clear()
+	}
+	t := n.ta.MinNotIn(n.ts)
+	if t < 0 {
+		return nil
+	}
+	n.ts.Add(t)
+	return &sim.Message{
+		To:     sim.NoAddr,
+		Kind:   sim.KindBroadcast,
+		Tokens: bitset.FromSlice([]int{t}),
+	}
+}
+
+func (n *klotNode) Deliver(v sim.View, msgs []*sim.Message) {
+	for _, m := range msgs {
+		n.ta.UnionWith(m.Tokens)
+	}
+}
+
+func (n *klotNode) Tokens() *bitset.Set { return n.ta }
+
+var (
+	_ sim.Protocol = Flood{}
+	_ sim.Protocol = KLOT{}
+)

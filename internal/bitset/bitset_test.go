@@ -1,0 +1,453 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mkSet builds a Set from raw bytes, interpreting each byte mod 200 as an
+// element. Used by the quick-check properties.
+func mkSet(raw []byte) (*Set, map[int]bool) {
+	s := &Set{}
+	m := map[int]bool{}
+	for _, b := range raw {
+		e := int(b) % 200
+		s.Add(e)
+		m[e] = true
+	}
+	return s, m
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 || s.Min() != -1 || s.Max() != -1 {
+		t.Fatal("zero value is not an empty set")
+	}
+	s.Add(100)
+	if !s.Contains(100) || s.Len() != 1 {
+		t.Fatal("Add on zero value failed")
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(0)
+	for _, e := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		if s.Contains(e) {
+			t.Fatalf("fresh set contains %d", e)
+		}
+		s.Add(e)
+		if !s.Contains(e) {
+			t.Fatalf("set missing %d after Add", e)
+		}
+		s.Remove(e)
+		if s.Contains(e) {
+			t.Fatalf("set contains %d after Remove", e)
+		}
+	}
+}
+
+func TestRemoveOutOfRangeIsNoop(t *testing.T) {
+	s := FromSlice([]int{1, 2})
+	s.Remove(-1)
+	s.Remove(100000)
+	if s.Len() != 2 {
+		t.Fatalf("out-of-range Remove changed set: %v", s)
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestContainsNegative(t *testing.T) {
+	s := FromSlice([]int{0})
+	if s.Contains(-1) {
+		t.Fatal("Contains(-1) true")
+	}
+}
+
+func TestLenAndElements(t *testing.T) {
+	elems := []int{5, 70, 3, 3, 130, 64}
+	s := FromSlice(elems)
+	want := []int{3, 5, 64, 70, 130}
+	got := s.Elements()
+	if len(got) != len(want) || s.Len() != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	cases := []struct {
+		elems    []int
+		min, max int
+	}{
+		{nil, -1, -1},
+		{[]int{0}, 0, 0},
+		{[]int{63}, 63, 63},
+		{[]int{64}, 64, 64},
+		{[]int{7, 200, 64}, 7, 200},
+	}
+	for _, c := range cases {
+		s := FromSlice(c.elems)
+		if s.Min() != c.min || s.Max() != c.max {
+			t.Fatalf("elems %v: min/max = %d/%d want %d/%d",
+				c.elems, s.Min(), s.Max(), c.min, c.max)
+		}
+	}
+}
+
+func TestMinNotInMaxNotIn(t *testing.T) {
+	s := FromSlice([]int{1, 5, 70, 130})
+	o := FromSlice([]int{5, 130})
+	if got := s.MinNotIn(o); got != 1 {
+		t.Fatalf("MinNotIn = %d want 1", got)
+	}
+	if got := s.MaxNotIn(o); got != 70 {
+		t.Fatalf("MaxNotIn = %d want 70", got)
+	}
+	if got := s.MinNotIn(s); got != -1 {
+		t.Fatalf("MinNotIn(self) = %d want -1", got)
+	}
+	if got := s.MaxNotIn(nil); got != 130 {
+		t.Fatalf("MaxNotIn(nil) = %d want 130", got)
+	}
+	// o larger than s in word count.
+	big := FromSlice([]int{1000})
+	if got := s.MinNotIn(big); got != 1 {
+		t.Fatalf("MinNotIn(bigger) = %d want 1", got)
+	}
+}
+
+func TestUnionDifferenceIntersection(t *testing.T) {
+	a := FromSlice([]int{1, 2, 65})
+	b := FromSlice([]int{2, 3, 200})
+
+	u := Union(a, b)
+	for _, e := range []int{1, 2, 3, 65, 200} {
+		if !u.Contains(e) {
+			t.Fatalf("union missing %d", e)
+		}
+	}
+	if u.Len() != 5 {
+		t.Fatalf("union len %d", u.Len())
+	}
+
+	d := Difference(a, b)
+	if !d.Equal(FromSlice([]int{1, 65})) {
+		t.Fatalf("difference = %v", d)
+	}
+
+	i := Intersection(a, b)
+	if !i.Equal(FromSlice([]int{2})) {
+		t.Fatalf("intersection = %v", i)
+	}
+
+	// In-place variants must not have modified operands.
+	if !a.Equal(FromSlice([]int{1, 2, 65})) || !b.Equal(FromSlice([]int{2, 3, 200})) {
+		t.Fatal("operands were modified")
+	}
+}
+
+func TestDifferenceWithShorter(t *testing.T) {
+	a := FromSlice([]int{1, 300})
+	b := FromSlice([]int{1})
+	a.DifferenceWith(b)
+	if !a.Equal(FromSlice([]int{300})) {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestIntersectWithShorterAndNil(t *testing.T) {
+	a := FromSlice([]int{1, 300})
+	a.IntersectWith(FromSlice([]int{300, 1, 5}))
+	if !a.Equal(FromSlice([]int{1, 300})) {
+		t.Fatalf("got %v", a)
+	}
+	a.IntersectWith(FromSlice([]int{1}))
+	if !a.Equal(FromSlice([]int{1})) {
+		t.Fatalf("got %v", a)
+	}
+	a.IntersectWith(nil)
+	if !a.Empty() {
+		t.Fatalf("intersect with nil not empty: %v", a)
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a := New(1000)
+	b := New(0)
+	a.Add(3)
+	b.Add(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equal sets with different capacities compare unequal")
+	}
+	a.Add(999)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("unequal sets compare equal")
+	}
+}
+
+func TestEqualNil(t *testing.T) {
+	empty := New(10)
+	if !empty.Equal(nil) {
+		t.Fatal("empty set != nil")
+	}
+	nonEmpty := FromSlice([]int{1})
+	if nonEmpty.Equal(nil) {
+		t.Fatal("non-empty set == nil")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := FromSlice([]int{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Fatal("a not subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b subset of a")
+	}
+	if !New(0).SubsetOf(a) {
+		t.Fatal("empty not subset")
+	}
+	if !New(0).SubsetOf(nil) {
+		t.Fatal("empty not subset of nil")
+	}
+	if a.SubsetOf(nil) {
+		t.Fatal("non-empty subset of nil")
+	}
+	big := FromSlice([]int{500})
+	if big.SubsetOf(a) {
+		t.Fatal("big subset of a")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	c := a.Clone()
+	c.Add(3)
+	a.Remove(1)
+	if a.Contains(3) || !c.Contains(1) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestClearRetainsUsability(t *testing.T) {
+	a := FromSlice([]int{1, 500})
+	a.Clear()
+	if !a.Empty() {
+		t.Fatal("not empty after clear")
+	}
+	a.Add(7)
+	if !a.Contains(7) || a.Len() != 1 {
+		t.Fatal("set unusable after clear")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 4})
+	var got []int
+	s.Range(func(i int) bool {
+		got = append(got, i)
+		return len(got) < 2
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Range early stop got %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := FromSlice([]int{2, 1}).String(); s != "{1, 2}" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := New(0).String(); s != "{}" {
+		t.Fatalf("empty String() = %q", s)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	a := FromSlice([]int{0, 63, 64, 199})
+	var b Set
+	b.SetWords(a.Words())
+	if !a.Equal(&b) {
+		t.Fatal("Words/SetWords round trip failed")
+	}
+}
+
+// --- property-based tests ---
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, _ := mkSet(x)
+		b, _ := mkSet(y)
+		return Union(a, b).Equal(Union(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionMatchesMapModel(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, am := mkSet(x)
+		b, bm := mkSet(y)
+		u := Union(a, b)
+		model := map[int]bool{}
+		for e := range am {
+			model[e] = true
+		}
+		for e := range bm {
+			model[e] = true
+		}
+		if u.Len() != len(model) {
+			return false
+		}
+		for e := range model {
+			if !u.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDifferenceMatchesMapModel(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, am := mkSet(x)
+		b, bm := mkSet(y)
+		d := Difference(a, b)
+		want := []int{}
+		for e := range am {
+			if !bm[e] {
+				want = append(want, e)
+			}
+		}
+		sort.Ints(want)
+		got := d.Elements()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// Within a universe U: U \ (A ∪ B) == (U \ A) ∩ (U \ B).
+	f := func(x, y []byte) bool {
+		u := &Set{}
+		for i := 0; i < 200; i++ {
+			u.Add(i)
+		}
+		a, _ := mkSet(x)
+		b, _ := mkSet(y)
+		lhs := Difference(u, Union(a, b))
+		rhs := Intersection(Difference(u, a), Difference(u, b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinNotInMatchesScan(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, _ := mkSet(x)
+		b, _ := mkSet(y)
+		want := -1
+		for _, e := range a.Elements() {
+			if !b.Contains(e) {
+				want = e
+				break
+			}
+		}
+		return a.MinNotIn(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxNotInMatchesScan(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, _ := mkSet(x)
+		b, _ := mkSet(y)
+		want := -1
+		es := a.Elements()
+		for i := len(es) - 1; i >= 0; i-- {
+			if !b.Contains(es[i]) {
+				want = es[i]
+				break
+			}
+		}
+		return a.MaxNotIn(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetUnion(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, _ := mkSet(x)
+		b, _ := mkSet(y)
+		u := Union(a, b)
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	a := New(1024)
+	o := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 1024; i += 5 {
+		o.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionWith(o)
+	}
+}
+
+func BenchmarkMinNotIn(b *testing.B) {
+	a := New(1024)
+	o := New(1024)
+	for i := 0; i < 1024; i++ {
+		a.Add(i)
+	}
+	for i := 0; i < 1000; i++ {
+		o.Add(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = a.MinNotIn(o)
+	}
+	_ = sink
+}

@@ -1,0 +1,32 @@
+package bitset_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Example shows the token-set algebra used by the dissemination protocols:
+// TA (collected), TS (sent), TR (received from head), and the min/max
+// selection rules of Algorithm 1.
+func Example() {
+	ta := bitset.FromSlice([]int{0, 2, 5, 7}) // tokens collected
+	ts := bitset.FromSlice([]int{5})          // already sent
+	tr := bitset.FromSlice([]int{0})          // received from the head
+
+	known := bitset.Union(ts, tr)
+	fmt.Println("next upload (max unknown):", ta.MaxNotIn(known))
+	fmt.Println("next relay (min unsent):  ", ta.MinNotIn(ts))
+	fmt.Println("outstanding:", bitset.Difference(ta, known))
+	// Output:
+	// next upload (max unknown): 7
+	// next relay (min unsent):   0
+	// outstanding: {2, 7}
+}
+
+func ExampleSet_SubsetOf() {
+	have := bitset.FromSlice([]int{1, 2, 3})
+	want := bitset.FromSlice([]int{1, 2, 3, 4})
+	fmt.Println(have.SubsetOf(want), want.SubsetOf(have))
+	// Output: true false
+}

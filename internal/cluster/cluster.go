@@ -1,0 +1,308 @@
+// Package cluster implements the clustering substrate the paper assumes:
+// cluster-head election, member affiliation, gateway selection between
+// clusters, and incremental maintenance under topology change.
+//
+// The paper deliberately treats clustering as out of scope ("the clustering
+// procedure can be carried out by clustering algorithms") and only assumes
+// the resulting 1-hop hierarchy: one head per cluster, members adjacent to
+// their head, heads connected through gateway nodes with hop bound L ≤ 3.
+// This package supplies concrete algorithms with exactly those guarantees —
+// lowest-ID and highest-degree head election (both classic ad hoc
+// clustering rules) — so the simulated hierarchies are constructed rather
+// than conjured.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+)
+
+// Election selects which head-election rule Form uses.
+type Election byte
+
+const (
+	// LowestID elects a node head iff it has the smallest ID among the
+	// still-undecided nodes in its closed neighbourhood (Lin & Gerla's
+	// lowest-ID cluster algorithm). Heads form a maximal independent set.
+	LowestID Election = iota
+	// HighestDegree elects heads by descending degree (ties by ascending
+	// ID) — the "highest-connectivity" rule. Heads also form a maximal
+	// independent set.
+	HighestDegree
+	// WCDS elects a weakly-connected dominating set (greedy
+	// piece-merging approximation; see wcds.go). Heads need not be
+	// independent; consecutive heads are at most two hops apart, giving
+	// L <= 2. Requires a connected graph.
+	WCDS
+)
+
+// String names the election rule.
+func (e Election) String() string {
+	switch e {
+	case LowestID:
+		return "lowest-id"
+	case HighestDegree:
+		return "highest-degree"
+	case WCDS:
+		return "wcds"
+	default:
+		return fmt.Sprintf("election(%d)", byte(e))
+	}
+}
+
+// Config parameterises clustering.
+type Config struct {
+	// Election is the head-election rule (default LowestID).
+	Election Election
+	// GatewayDepth is the maximum hop distance between heads bridged by
+	// gateway selection; 0 means the default of 3, the bound the paper
+	// cites for 1-hop clusterings ("the value of L is not more than
+	// three").
+	GatewayDepth int
+}
+
+func (c Config) gatewayDepth() int {
+	if c.GatewayDepth <= 0 {
+		return 3
+	}
+	return c.GatewayDepth
+}
+
+// Form clusters the graph from scratch: elects heads, affiliates every
+// remaining node to an adjacent head, and marks gateway nodes on shortest
+// paths between nearby heads. The result satisfies ctvg's structural
+// invariants (heads self-identify, members adjacent to heads), and on a
+// connected graph the heads plus gateways form a connected backbone with
+// head linkage at most Config.GatewayDepth.
+func Form(g *graph.Graph, cfg Config) *ctvg.Hierarchy {
+	heads := electHeads(g, cfg.Election)
+	h := ctvg.NewHierarchy(g.N())
+	for _, v := range heads {
+		h.SetHead(v)
+	}
+	affiliate(g, h, cfg.Election)
+	SelectGateways(g, h, cfg.gatewayDepth())
+	return h
+}
+
+// electHeads returns the head set as a sorted slice.
+func electHeads(g *graph.Graph, rule Election) []int {
+	n := g.N()
+	isHead := make([]bool, n)
+	switch rule {
+	case WCDS:
+		return WCDSHeads(g)
+	case LowestID:
+		// Greedy MIS in ID order: v becomes head iff no lower-ID
+		// neighbour already is one.
+		for v := 0; v < n; v++ {
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if u < v && isHead[u] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				isHead[v] = true
+			}
+		}
+	case HighestDegree:
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := g.Degree(order[i]), g.Degree(order[j])
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+		covered := make([]bool, n)
+		for _, v := range order {
+			if covered[v] {
+				continue
+			}
+			isHead[v] = true
+			covered[v] = true
+			for _, u := range g.Neighbors(v) {
+				covered[u] = true
+			}
+		}
+	default:
+		panic(fmt.Sprintf("cluster: unknown election rule %d", byte(rule)))
+	}
+	var out []int
+	for v, ok := range isHead {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// affiliate attaches every non-head node to an adjacent head: the lowest-ID
+// adjacent head under LowestID, the highest-degree one (ties by ID) under
+// HighestDegree. Nodes with no adjacent head stay unaffiliated (cannot
+// happen when heads form a maximal independent set, but isolated vertices
+// of disconnected inputs are covered by becoming their own heads during
+// election).
+func affiliate(g *graph.Graph, h *ctvg.Hierarchy, rule Election) {
+	for v := 0; v < h.N(); v++ {
+		if h.IsHead(v) {
+			continue
+		}
+		best := -1
+		for _, u := range g.Neighbors(v) {
+			if !h.IsHead(u) {
+				continue
+			}
+			if best == -1 {
+				best = u
+				continue
+			}
+			if rule == HighestDegree {
+				du, db := g.Degree(u), g.Degree(best)
+				if du > db || (du == db && u < best) {
+					best = u
+				}
+			} // LowestID: neighbours iterate ascending, first head wins.
+		}
+		if best >= 0 {
+			h.SetMember(v, best)
+		}
+	}
+}
+
+// SelectGateways promotes to Gateway every interior node of a shortest path
+// between each pair of heads within depth hops of each other, preserving
+// the node's cluster affiliation. It mutates h in place.
+func SelectGateways(g *graph.Graph, h *ctvg.Hierarchy, depth int) {
+	heads := h.Heads()
+	for _, u := range heads {
+		dist, parent := g.BFS(u)
+		for _, w := range heads {
+			if w <= u || dist[w] == graph.Inf || dist[w] > depth {
+				continue
+			}
+			// Walk the BFS path w -> u, promoting interior nodes.
+			for cur := parent[w]; cur != u && cur != -1; cur = parent[cur] {
+				if h.Role[cur] == ctvg.Member {
+					h.SetGateway(cur, h.Cluster[cur])
+				} else if h.Role[cur] == ctvg.Unaffiliated {
+					h.SetGateway(cur, ctvg.NoCluster)
+				}
+			}
+		}
+	}
+}
+
+// Backbone returns the subgraph of g induced by heads and gateways — the
+// candidate stable head subgraph Υ of Definition 5.
+func Backbone(g *graph.Graph, h *ctvg.Hierarchy) *graph.Graph {
+	in := make([]bool, h.N())
+	for v := 0; v < h.N(); v++ {
+		if h.IsRelay(v) {
+			in[v] = true
+		}
+	}
+	b := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b
+}
+
+// Stats reports what incremental maintenance changed.
+type Stats struct {
+	// Reaffiliations counts nodes whose cluster head changed to a
+	// different head (the paper's n_r events).
+	Reaffiliations int
+	// NewHeads and RemovedHeads count head-set churn.
+	NewHeads     int
+	RemovedHeads int
+}
+
+// Maintain updates a hierarchy after a topology change with minimal churn:
+//
+//   - an existing head abdicates only if it is adjacent to a surviving
+//     lower-ID head (cluster merge);
+//   - a member keeps its head while the adjacency survives, otherwise it
+//     re-affiliates to an adjacent head, or becomes a head itself if none
+//     is adjacent;
+//   - gateways are recomputed from scratch.
+//
+// It returns the new hierarchy and churn statistics; prev is not modified.
+func Maintain(g *graph.Graph, prev *ctvg.Hierarchy, cfg Config) (*ctvg.Hierarchy, Stats) {
+	if g.N() != prev.N() {
+		panic("cluster: Maintain with mismatched sizes")
+	}
+	n := g.N()
+	var st Stats
+	next := ctvg.NewHierarchy(n)
+
+	// Pass 1: surviving heads. Process ascending so merges cascade
+	// deterministically.
+	isHead := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !prev.IsHead(v) {
+			continue
+		}
+		merge := false
+		for _, u := range g.Neighbors(v) {
+			if u < v && isHead[u] {
+				merge = true
+				break
+			}
+		}
+		if merge {
+			st.RemovedHeads++
+		} else {
+			isHead[v] = true
+			next.SetHead(v)
+		}
+	}
+
+	// Pass 2: everyone else keeps or changes affiliation.
+	for v := 0; v < n; v++ {
+		if next.IsHead(v) {
+			continue
+		}
+		oldHead := prev.HeadOf(v)
+		if oldHead == v {
+			oldHead = ctvg.NoCluster // was a head, now demoted
+		}
+		if oldHead != ctvg.NoCluster && isHead[oldHead] && g.HasEdge(v, oldHead) {
+			next.SetMember(v, oldHead)
+			continue
+		}
+		// Re-affiliate to the lowest-ID adjacent head.
+		newHead := -1
+		for _, u := range g.Neighbors(v) {
+			if isHead[u] {
+				newHead = u
+				break
+			}
+		}
+		if newHead >= 0 {
+			next.SetMember(v, newHead)
+			if oldHead != ctvg.NoCluster && oldHead != newHead {
+				st.Reaffiliations++
+			}
+		} else {
+			// No head in range: v founds its own cluster.
+			isHead[v] = true
+			next.SetHead(v)
+			st.NewHeads++
+		}
+	}
+
+	SelectGateways(g, next, cfg.gatewayDepth())
+	return next, st
+}

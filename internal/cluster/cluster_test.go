@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/hinet"
+	"repro/internal/xrand"
+)
+
+func TestFormLowestIDOnStar(t *testing.T) {
+	g := graph.Star(5, 2)
+	h := Form(g, Config{})
+	// Node 0 has the lowest ID and no lower neighbour, so it is a head;
+	// 2 is adjacent to 0? No: star center is 2, so 0's only neighbour is
+	// 2. Greedy: 0 becomes head; 1 becomes head (only neighbour 2 not a
+	// head yet and 2 > 1)... verify structural invariants instead of the
+	// exact set, then the exact set.
+	if err := h.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	heads := h.Heads()
+	// Greedy by ID on star(center=2): 0 head, 1 head (nb 2 not head),
+	// 2 not head (nb 0,1 lower are heads), 3 head? nb of 3 is 2 only,
+	// 2 is not a head, so 3 is a head; same for 4.
+	want := []int{0, 1, 3, 4}
+	if len(heads) != len(want) {
+		t.Fatalf("heads %v", heads)
+	}
+	for i := range want {
+		if heads[i] != want[i] {
+			t.Fatalf("heads %v want %v", heads, want)
+		}
+	}
+	if h.HeadOf(2) != 0 {
+		t.Fatalf("center affiliated to %d, want 0", h.HeadOf(2))
+	}
+}
+
+func TestFormHeadsIndependentAndDominating(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := xrand.New(seed)
+		g := graph.RandomConnected(40, 80, rng)
+		for _, rule := range []Election{LowestID, HighestDegree} {
+			h := Form(g, Config{Election: rule})
+			if err := h.Validate(g); err != nil {
+				t.Fatalf("seed %d rule %v: %v", seed, rule, err)
+			}
+			heads := h.Heads()
+			isHead := make([]bool, g.N())
+			for _, v := range heads {
+				isHead[v] = true
+			}
+			// Independent: no two heads adjacent.
+			for _, e := range g.Edges() {
+				if isHead[e.U] && isHead[e.V] {
+					t.Fatalf("seed %d rule %v: adjacent heads %d-%d", seed, rule, e.U, e.V)
+				}
+			}
+			// Dominating: every node is a head or affiliated with an
+			// adjacent head.
+			for v := 0; v < g.N(); v++ {
+				if h.HeadOf(v) == ctvg.NoCluster {
+					t.Fatalf("seed %d rule %v: node %d uncovered", seed, rule, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFormBackboneConnectsHeadsWithinL3(t *testing.T) {
+	// The paper's claim: in a 1-hop clustering, head linkage L <= 3, and
+	// the backbone (heads + gateways) connects all heads.
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := xrand.New(1000 + seed)
+		g := graph.RandomConnected(50, 90, rng)
+		h := Form(g, Config{})
+		bb := Backbone(g, h)
+		heads := h.Heads()
+		if !bb.ConnectedSubset(heads) {
+			t.Fatalf("seed %d: backbone does not connect heads", seed)
+		}
+		L, ok := hinet.HeadLinkage(bb, heads)
+		if !ok || L > 3 {
+			t.Fatalf("seed %d: head linkage %d (ok=%v), want <= 3", seed, L, ok)
+		}
+	}
+}
+
+func TestFormHighestDegreePicksHubs(t *testing.T) {
+	// Star with center 3: highest-degree must elect the center.
+	g := graph.Star(6, 3)
+	h := Form(g, Config{Election: HighestDegree})
+	if !h.IsHead(3) {
+		t.Fatal("center not elected")
+	}
+	if len(h.Heads()) != 1 {
+		t.Fatalf("heads %v", h.Heads())
+	}
+	for v := 0; v < 6; v++ {
+		if v != 3 && h.HeadOf(v) != 3 {
+			t.Fatalf("node %d head %d", v, h.HeadOf(v))
+		}
+	}
+}
+
+func TestGatewaysOnTwoClusterPath(t *testing.T) {
+	// Path 0-1-2-3: lowest-ID heads are 0 and 2? Greedy: 0 head; 1 (nb 0
+	// head) not; 2 (nb 1 not head, 3 higher) head; 3 member of 2.
+	g := graph.Path(4)
+	h := Form(g, Config{})
+	heads := h.Heads()
+	if len(heads) != 2 || heads[0] != 0 || heads[1] != 2 {
+		t.Fatalf("heads %v", heads)
+	}
+	// Node 1 sits on the 0-2 path and must be a gateway retaining its
+	// affiliation to head 0.
+	if h.Role[1] != ctvg.Gateway {
+		t.Fatalf("node 1 role %v", h.Role[1])
+	}
+	if h.HeadOf(1) != 0 {
+		t.Fatalf("gateway lost affiliation: head %d", h.HeadOf(1))
+	}
+}
+
+func TestSelectGatewaysDepthLimit(t *testing.T) {
+	// Heads 5 hops apart with depth 3 must not promote the whole path.
+	g := graph.Path(6)
+	h := ctvg.NewHierarchy(6)
+	h.SetHead(0)
+	h.SetHead(5)
+	for v := 1; v < 5; v++ {
+		h.Role[v] = ctvg.Unaffiliated
+	}
+	SelectGateways(g, h, 3)
+	if len(h.Gateways()) != 0 {
+		t.Fatalf("gateways %v promoted across a 5-hop gap", h.Gateways())
+	}
+	SelectGateways(g, h, 5)
+	if len(h.Gateways()) != 4 {
+		t.Fatalf("gateways %v, want interior of the path", h.Gateways())
+	}
+}
+
+func TestBackbone(t *testing.T) {
+	g := graph.Path(4)
+	h := Form(g, Config{})
+	bb := Backbone(g, h)
+	// Backbone vertices: heads 0, 2 and gateway 1; member 3 excluded.
+	if !bb.HasEdge(0, 1) || !bb.HasEdge(1, 2) {
+		t.Fatalf("backbone edges %v", bb.Edges())
+	}
+	if bb.Degree(3) != 0 {
+		t.Fatal("member 3 in backbone")
+	}
+}
+
+func TestMaintainKeepsStableAffiliation(t *testing.T) {
+	g := graph.Path(4)
+	h := Form(g, Config{})
+	// Unchanged topology: no churn.
+	next, st := Maintain(g, h, Config{})
+	if st.Reaffiliations != 0 || st.NewHeads != 0 || st.RemovedHeads != 0 {
+		t.Fatalf("stats %+v on unchanged topology", st)
+	}
+	if !next.SameHeadSet(h) {
+		t.Fatal("head set changed on unchanged topology")
+	}
+	if err := next.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainReaffiliates(t *testing.T) {
+	// 0 and 3 heads; 1 member of 0; edge 0-1 breaks, 1-3 appears.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	h := ctvg.NewHierarchy(4)
+	h.SetHead(0)
+	h.SetHead(3)
+	h.SetMember(1, 0)
+	h.SetMember(2, 3)
+
+	g2 := graph.New(4)
+	g2.AddEdge(1, 3)
+	g2.AddEdge(2, 3)
+	next, st := Maintain(g2, h, Config{})
+	if st.Reaffiliations != 1 {
+		t.Fatalf("reaffiliations %d, want 1", st.Reaffiliations)
+	}
+	if next.HeadOf(1) != 3 {
+		t.Fatalf("node 1 head %d, want 3", next.HeadOf(1))
+	}
+	// Node 0 is now isolated: it must found its own cluster (it stays a
+	// head, so no churn counted for it).
+	if !next.IsHead(0) {
+		t.Fatal("isolated former head lost head status")
+	}
+	if err := next.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainMergesAdjacentHeads(t *testing.T) {
+	// Heads 0 and 1 become adjacent: 1 must abdicate (lower-ID wins).
+	h := ctvg.NewHierarchy(3)
+	h.SetHead(0)
+	h.SetHead(1)
+	h.SetMember(2, 1)
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 2)
+	g2.AddEdge(0, 2)
+	next, st := Maintain(g2, h, Config{})
+	if st.RemovedHeads != 1 {
+		t.Fatalf("removed heads %d", st.RemovedHeads)
+	}
+	if !next.IsHead(0) || next.IsHead(1) {
+		t.Fatalf("merge wrong: heads %v", next.Heads())
+	}
+	if next.HeadOf(1) != 0 {
+		t.Fatalf("demoted head affiliation %d", next.HeadOf(1))
+	}
+	if err := next.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainOrphanBecomesHead(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	h := ctvg.NewHierarchy(2)
+	h.SetHead(0)
+	h.SetMember(1, 0)
+	g2 := graph.New(2) // edge gone
+	next, st := Maintain(g2, h, Config{})
+	if !next.IsHead(1) || st.NewHeads != 1 {
+		t.Fatalf("orphan handling wrong: %v %+v", next.Heads(), st)
+	}
+}
+
+func TestMaintainSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Maintain(graph.New(3), ctvg.NewHierarchy(2), Config{})
+}
+
+func TestElectionString(t *testing.T) {
+	if LowestID.String() != "lowest-id" || HighestDegree.String() != "highest-degree" {
+		t.Fatal("strings wrong")
+	}
+	if Election(9).String() != "election(9)" {
+		t.Fatal("unknown string wrong")
+	}
+}
+
+func TestFormUnknownElectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Form(graph.New(2), Config{Election: Election(9)})
+}
+
+func TestQuickFormAlwaysValid(t *testing.T) {
+	f := func(seed uint64, ruleRaw bool) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(40)
+		maxM := n * (n - 1) / 2
+		m := n - 1 + rng.Intn(maxM-(n-1)+1)
+		g := graph.RandomConnected(n, m, rng)
+		rule := LowestID
+		if ruleRaw {
+			rule = HighestDegree
+		}
+		h := Form(g, Config{Election: rule})
+		if h.Validate(g) != nil {
+			return false
+		}
+		// Coverage.
+		for v := 0; v < n; v++ {
+			if h.HeadOf(v) == ctvg.NoCluster {
+				return false
+			}
+		}
+		// Backbone connects heads.
+		return Backbone(g, h).ConnectedSubset(h.Heads())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaintainAlwaysValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(30)
+		g := graph.RandomConnected(n, n+5, rng)
+		h := Form(g, Config{})
+		// Perturb the topology and maintain.
+		g2 := graph.RandomConnected(n, n+5, rng)
+		next, _ := Maintain(g2, h, Config{})
+		if next.Validate(g2) != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if next.HeadOf(v) == ctvg.NoCluster {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForm(b *testing.B) {
+	g := graph.RandomConnected(200, 500, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Form(g, Config{})
+	}
+}
+
+func BenchmarkMaintain(b *testing.B) {
+	rng := xrand.New(1)
+	g := graph.RandomConnected(200, 500, rng)
+	h := Form(g, Config{})
+	g2 := graph.RandomConnected(200, 500, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Maintain(g2, h, Config{})
+	}
+}

@@ -1,0 +1,30 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// Example clusters a path network with the lowest-ID rule: heads 0 and 2,
+// node 1 promoted to gateway on the inter-head path.
+func Example() {
+	g := graph.Path(4)
+	h := cluster.Form(g, cluster.Config{Election: cluster.LowestID})
+	fmt.Println("heads:   ", h.Heads())
+	fmt.Println("gateways:", h.Gateways())
+	fmt.Println("node 3 -> head", h.HeadOf(3))
+	// Output:
+	// heads:    [0 2]
+	// gateways: [1]
+	// node 3 -> head 2
+}
+
+// ExampleWCDSHeads elects a weakly-connected dominating set — the
+// clustering family the paper cites for achieving L <= 2.
+func ExampleWCDSHeads() {
+	g := graph.Star(5, 2)
+	fmt.Println(cluster.WCDSHeads(g))
+	// Output: [2]
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"repro/internal/graph"
+)
+
+// This file implements weakly-connected dominating set (WCDS) head
+// election, the clustering family the paper cites for delicate control of
+// the head-connectivity bound L ("L can be delicately controlled by
+// clustering algorithms, as in WCDS-based clusters" — refs [12, 13], Han &
+// Jia / Chen & Liestman).
+//
+// A set S is a WCDS when S dominates V and the subgraph *weakly induced*
+// by S (S, its neighbours, and every edge with at least one endpoint in S)
+// is connected. Consecutive WCDS heads are at most 2 hops apart (they
+// share a dominated neighbour), so WCDS clusterings achieve L <= 2 — one
+// hop tighter than the L <= 3 of independent-set clusterings.
+//
+// The construction is the classic greedy piece-merging approximation:
+// repeatedly colour black the grey/white vertex that merges the most
+// "pieces" (components of the weakly induced structure, with undominated
+// vertices as singleton pieces), until every vertex is dominated and the
+// black vertices share one piece.
+
+// WCDSHeads returns a weakly-connected dominating set of the connected
+// graph g as a sorted head list. It panics if g is disconnected (a WCDS
+// only exists per component) and returns {0} for the single-vertex graph.
+func WCDSHeads(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	if !g.Connected() {
+		panic("cluster: WCDSHeads requires a connected graph")
+	}
+
+	const (
+		white = iota // undominated
+		gray         // dominated, not in the set
+		black        // in the WCDS
+	)
+	color := make([]byte, n)
+	pieces := graph.NewUnionFind(n)
+	whites := n
+	var blacks []int
+
+	// distinctRoots returns the number of distinct pieces among v and its
+	// neighbours — colouring v black merges them all, so the merit of v
+	// is distinctRoots-1.
+	merit := func(v int) int {
+		seen := map[int]bool{pieces.Find(v): true}
+		for _, u := range g.Neighbors(v) {
+			seen[pieces.Find(u)] = true
+		}
+		return len(seen) - 1
+	}
+
+	blacksConnected := func() bool {
+		if len(blacks) <= 1 {
+			return true
+		}
+		r := pieces.Find(blacks[0])
+		for _, b := range blacks[1:] {
+			if pieces.Find(b) != r {
+				return false
+			}
+		}
+		return true
+	}
+
+	for whites > 0 || !blacksConnected() {
+		// Pick the non-black vertex with the greatest merit; ties go to
+		// the higher degree, then the lower ID (deterministic).
+		best, bestMerit := -1, 0
+		for v := 0; v < n; v++ {
+			if color[v] == black {
+				continue
+			}
+			m := merit(v)
+			if m > bestMerit ||
+				(m == bestMerit && best >= 0 && m > 0 &&
+					(g.Degree(v) > g.Degree(best) ||
+						(g.Degree(v) == g.Degree(best) && v < best))) {
+				best, bestMerit = v, m
+			}
+		}
+		if best < 0 || bestMerit == 0 {
+			// No merging move exists; cannot happen on a connected graph
+			// unless we are already done.
+			break
+		}
+		if color[best] == white {
+			whites--
+		}
+		color[best] = black
+		blacks = append(blacks, best)
+		for _, u := range g.Neighbors(best) {
+			if color[u] == white {
+				color[u] = gray
+				whites--
+			}
+			pieces.Union(best, u)
+		}
+	}
+
+	sortInts(blacks)
+	return blacks
+}
+
+// sortInts is a tiny insertion sort (head lists are short).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+// IsWCDS verifies the two defining properties of a weakly-connected
+// dominating set on g.
+func IsWCDS(g *graph.Graph, heads []int) bool {
+	n := g.N()
+	isHead := make([]bool, n)
+	for _, h := range heads {
+		if h < 0 || h >= n {
+			return false
+		}
+		isHead[h] = true
+	}
+	// Domination.
+	for v := 0; v < n; v++ {
+		if isHead[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if isHead[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	if len(heads) <= 1 {
+		return len(heads) == 1 || n == 0
+	}
+	// Weak connectivity: the subgraph with every edge incident to a head
+	// must connect all heads.
+	weak := graph.New(n)
+	for _, e := range g.Edges() {
+		if isHead[e.U] || isHead[e.V] {
+			weak.AddEdge(e.U, e.V)
+		}
+	}
+	return weak.ConnectedSubset(heads)
+}

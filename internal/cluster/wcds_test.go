@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/hinet"
+	"repro/internal/xrand"
+)
+
+func TestWCDSHeadsOnSmallGraphs(t *testing.T) {
+	// Single vertex.
+	if h := WCDSHeads(graph.New(1)); len(h) != 1 || h[0] != 0 {
+		t.Fatalf("single vertex: %v", h)
+	}
+	// Empty graph.
+	if h := WCDSHeads(graph.New(0)); h != nil {
+		t.Fatalf("empty graph: %v", h)
+	}
+	// Star: the center alone is a WCDS.
+	s := WCDSHeads(graph.Star(6, 2))
+	if len(s) != 1 || s[0] != 2 {
+		t.Fatalf("star: %v", s)
+	}
+	// Path of 5: a WCDS needs at least 2 heads (e.g. {1, 3}).
+	p := WCDSHeads(graph.Path(5))
+	if !IsWCDS(graph.Path(5), p) {
+		t.Fatalf("path WCDS invalid: %v", p)
+	}
+	if len(p) > 3 {
+		t.Fatalf("path WCDS too large: %v", p)
+	}
+}
+
+func TestWCDSDisconnectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	WCDSHeads(graph.New(3))
+}
+
+func TestIsWCDS(t *testing.T) {
+	g := graph.Path(5)
+	if !IsWCDS(g, []int{1, 3}) {
+		t.Fatal("{1,3} is a WCDS of P5")
+	}
+	if IsWCDS(g, []int{1}) {
+		t.Fatal("{1} does not dominate P5")
+	}
+	if IsWCDS(g, []int{0, 4}) {
+		// 0 and 4 dominate only 1 and 3; vertex 2 is uncovered.
+		t.Fatal("{0,4} should fail domination")
+	}
+	// Weak connectivity failure: C6 with opposite heads {0, 3} dominates
+	// 1,2,4,5 but the weakly induced structure is two disjoint stars.
+	c6 := graph.Ring(6)
+	if IsWCDS(c6, []int{0, 3}) {
+		t.Fatal("{0,3} on C6 should fail weak connectivity")
+	}
+	if !IsWCDS(c6, []int{0, 2, 4}) {
+		t.Fatal("{0,2,4} on C6 is a WCDS")
+	}
+	if IsWCDS(g, []int{9}) {
+		t.Fatal("out-of-range head accepted")
+	}
+}
+
+func TestWCDSHeadsAlwaysValidOnRandomGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(50)
+		g := graph.RandomConnected(n, n-1+rng.Intn(2*n), rng)
+		heads := WCDSHeads(g)
+		if !IsWCDS(g, heads) {
+			t.Fatalf("seed %d: invalid WCDS %v", seed, heads)
+		}
+	}
+}
+
+func TestWCDSAchievesL2(t *testing.T) {
+	// The point of WCDS clustering: head linkage <= 2 (vs <= 3 for MIS).
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := xrand.New(100 + seed)
+		g := graph.RandomConnected(40, 70, rng)
+		h := Form(g, Config{Election: WCDS, GatewayDepth: 2})
+		if err := h.Validate(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bb := Backbone(g, h)
+		heads := h.Heads()
+		if !bb.ConnectedSubset(heads) {
+			t.Fatalf("seed %d: WCDS backbone does not connect heads", seed)
+		}
+		L, ok := hinet.HeadLinkage(bb, heads)
+		if !ok || L > 2 {
+			t.Fatalf("seed %d: WCDS head linkage %d > 2", seed, L)
+		}
+	}
+}
+
+func TestWCDSFormCoversEveryNode(t *testing.T) {
+	rng := xrand.New(7)
+	g := graph.RandomConnected(30, 50, rng)
+	h := Form(g, Config{Election: WCDS})
+	for v := 0; v < g.N(); v++ {
+		if h.HeadOf(v) == ctvg.NoCluster {
+			t.Fatalf("node %d uncovered", v)
+		}
+	}
+}
+
+func TestWCDSSmallerOrSimilarToMIS(t *testing.T) {
+	// WCDS never needs to be dramatically larger than the MIS head set;
+	// on many graphs it is smaller. Check it stays within 1.5x across
+	// seeds (a loose structural sanity bound, not a theorem).
+	worse := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := xrand.New(200 + seed)
+		g := graph.RandomConnected(40, 80, rng)
+		wcds := len(WCDSHeads(g))
+		mis := len(Form(g, Config{}).Heads())
+		if float64(wcds) > 1.5*float64(mis) {
+			worse++
+		}
+	}
+	if worse > 2 {
+		t.Fatalf("WCDS exceeded 1.5x MIS size on %d/10 seeds", worse)
+	}
+}
+
+func TestElectionStringWCDS(t *testing.T) {
+	if WCDS.String() != "wcds" {
+		t.Fatal("wcds string wrong")
+	}
+}
+
+func TestQuickWCDSAlwaysWCDS(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(30)
+		g := graph.RandomConnected(n, n-1+rng.Intn(n), rng)
+		return IsWCDS(g, WCDSHeads(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWCDSHeads(b *testing.B) {
+	g := graph.RandomConnected(100, 200, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WCDSHeads(g)
+	}
+}

@@ -1,0 +1,134 @@
+// Package conformance is a reusable safety harness for dissemination
+// protocols: it runs any sim.Protocol against a recorded dynamic network
+// and checks the invariants every correct protocol must satisfy,
+// independent of its algorithmic strategy:
+//
+//   - causality: a node may hold token t in round r only if some initial
+//     owner of t causally influenced it by round r (information cannot
+//     outrun the dynamic graph — checked against tvg.InfluenceTimes);
+//   - monotonicity: TA never shrinks;
+//   - domain safety: no token outside {0..k-1} ever appears;
+//   - determinism: two runs from identical inputs produce identical
+//     metrics and final states.
+//
+// The kit exists for downstream protocol authors: a new protocol that
+// passes Check on the standard scenarios is at least not cheating the
+// model. Every protocol in this repository is held to it (see the test).
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/ctvg"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/tvg"
+)
+
+// Violation describes one invariant breach.
+type Violation struct {
+	Round int
+	Node  int
+	Desc  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d node %d: %s", v.Round, v.Node, v.Desc)
+}
+
+// Check runs the protocol on the recorded network for `rounds` rounds and
+// returns all invariant violations (empty = conformant). The network must
+// be a recorded trace (or otherwise deterministic and re-readable), since
+// causal reachability is precomputed from its snapshots.
+func Check(d ctvg.Dynamic, p sim.Protocol, assign *token.Assignment, rounds int) []Violation {
+	var out []Violation
+
+	// Precompute causal availability: earliest[t][v] = first round count
+	// after which v can possibly know token t (0 for initial owners).
+	earliest := make([][]int, assign.K)
+	for t := 0; t < assign.K; t++ {
+		earliest[t] = make([]int, d.N())
+		for v := range earliest[t] {
+			earliest[t][v] = tvg.Inf
+		}
+		for owner := 0; owner < assign.N(); owner++ {
+			if !assign.Initial[owner].Contains(t) {
+				continue
+			}
+			times := tvg.InfluenceTimes(d, owner, 0, rounds)
+			for v, tm := range times {
+				if tm < earliest[t][v] {
+					earliest[t][v] = tm
+				}
+			}
+		}
+	}
+
+	inner := p.Nodes(assign)
+	nodes := make([]sim.Node, len(inner))
+	for v := range inner {
+		nodes[v] = &auditNode{
+			id:       v,
+			inner:    inner[v],
+			k:        assign.K,
+			earliest: earliest,
+			prev:     bitset.New(assign.K),
+			report: func(vio Violation) {
+				out = append(out, vio)
+			},
+		}
+	}
+	first := sim.Run(d, nodes, assign, sim.Options{MaxRounds: rounds})
+
+	// Determinism: replay and compare.
+	second := sim.RunProtocol(d, p, assign, sim.Options{MaxRounds: rounds})
+	if first.TokensSent != second.TokensSent || first.Messages != second.Messages ||
+		first.CompletionRound != second.CompletionRound {
+		out = append(out, Violation{Round: -1, Node: -1,
+			Desc: fmt.Sprintf("nondeterministic: %v vs %v", first, second)})
+	}
+	return out
+}
+
+// auditNode wraps a protocol node and audits its token set after every
+// delivery.
+type auditNode struct {
+	id       int
+	inner    sim.Node
+	k        int
+	earliest [][]int
+	prev     *bitset.Set
+	report   func(Violation)
+}
+
+func (a *auditNode) Send(v sim.View) *sim.Message { return a.inner.Send(v) }
+
+func (a *auditNode) Deliver(v sim.View, msgs []*sim.Message) {
+	a.inner.Deliver(v, msgs)
+	ta := a.inner.Tokens()
+
+	// Monotonicity.
+	if !a.prev.SubsetOf(ta) {
+		a.report(Violation{Round: v.Round, Node: a.id,
+			Desc: fmt.Sprintf("token set shrank: had %v, now %v", a.prev, ta)})
+	}
+	// Domain safety.
+	if max := ta.Max(); max >= a.k {
+		a.report(Violation{Round: v.Round, Node: a.id,
+			Desc: fmt.Sprintf("out-of-domain token %d (k=%d)", max, a.k)})
+	}
+	// Causality: token t present => reachable by round v.Round+1.
+	ta.Range(func(t int) bool {
+		if t < a.k && a.earliest[t][a.id] > v.Round+1 {
+			a.report(Violation{Round: v.Round, Node: a.id,
+				Desc: fmt.Sprintf("holds token %d before causal reachability (earliest %d)",
+					t, a.earliest[t][a.id])})
+			return false
+		}
+		return true
+	})
+	a.prev = ta.Clone()
+}
+
+func (a *auditNode) Tokens() *bitset.Set { return a.inner.Tokens() }

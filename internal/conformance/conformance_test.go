@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/gossip"
+	"repro/internal/netcode"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// recordedNet freezes a HiNet adversary so causal reachability and the
+// protocol run see identical snapshots.
+func recordedNet(seed uint64, T int) (*ctvg.Trace, *token.Assignment) {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 30, Theta: 6, L: 2, T: T, Reaffiliations: 2, HeadChurn: 1, Heads: 4, ChurnEdges: 4,
+	}, xrand.New(seed))
+	tr := ctvg.Record(adv, 60)
+	assign := token.Spread(30, 5, xrand.New(seed+100))
+	return tr, assign
+}
+
+// TestAllProtocolsConformant holds every protocol in the repository to the
+// causality/monotonicity/domain/determinism invariants.
+func TestAllProtocolsConformant(t *testing.T) {
+	tr, assign := recordedNet(1, 10)
+	protocols := []sim.Protocol{
+		core.Alg1{T: 10},
+		core.Alg1{T: 10, StableHeads: true},
+		core.Alg1{T: 10, Promiscuous: true},
+		core.Alg1{T: 10, UploadLowFirst: true},
+		core.Alg2{},
+		baseline.Flood{},
+		baseline.KLOT{T: 10},
+		netcode.CodedFlood{Seed: 7},
+		gossip.Push{Seed: 7},
+		gossip.PushPull{Seed: 7},
+	}
+	for _, p := range protocols {
+		if vs := Check(tr, p, assign, 60); len(vs) != 0 {
+			t.Fatalf("%s: %d violations, first: %v", p.Name(), len(vs), vs[0])
+		}
+	}
+}
+
+// cheatProto violates causality: every node magically knows everything
+// from round 0. The kit must catch it.
+type cheatProto struct{}
+
+func (cheatProto) Name() string { return "cheat" }
+func (cheatProto) Nodes(a *token.Assignment) []sim.Node {
+	full := bitset.New(a.K)
+	for t := 0; t < a.K; t++ {
+		full.Add(t)
+	}
+	nodes := make([]sim.Node, a.N())
+	for v := range nodes {
+		nodes[v] = &cheatNode{ta: full.Clone()}
+	}
+	return nodes
+}
+
+type cheatNode struct{ ta *bitset.Set }
+
+func (c *cheatNode) Send(v sim.View) *sim.Message            { return nil }
+func (c *cheatNode) Deliver(v sim.View, msgs []*sim.Message) {}
+func (c *cheatNode) Tokens() *bitset.Set                     { return c.ta }
+
+func TestKitCatchesCausalityCheat(t *testing.T) {
+	tr, assign := recordedNet(2, 10)
+	vs := Check(tr, cheatProto{}, assign, 10)
+	if len(vs) == 0 {
+		t.Fatal("causality cheat not caught")
+	}
+}
+
+// shrinkProto violates monotonicity: it forgets tokens after round 3.
+type shrinkProto struct{}
+
+func (shrinkProto) Name() string { return "shrink" }
+func (shrinkProto) Nodes(a *token.Assignment) []sim.Node {
+	nodes := make([]sim.Node, a.N())
+	for v := range nodes {
+		nodes[v] = &shrinkNode{ta: a.Initial[v].Clone()}
+	}
+	return nodes
+}
+
+type shrinkNode struct{ ta *bitset.Set }
+
+func (s *shrinkNode) Send(v sim.View) *sim.Message {
+	return &sim.Message{To: sim.NoAddr, Kind: sim.KindBroadcast, Tokens: s.ta.Clone()}
+}
+func (s *shrinkNode) Deliver(v sim.View, msgs []*sim.Message) {
+	for _, m := range msgs {
+		s.ta.UnionWith(m.Tokens)
+	}
+	if v.Round == 3 {
+		s.ta.Clear()
+	}
+}
+func (s *shrinkNode) Tokens() *bitset.Set { return s.ta }
+
+func TestKitCatchesShrinkage(t *testing.T) {
+	tr, assign := recordedNet(3, 10)
+	vs := Check(tr, shrinkProto{}, assign, 10)
+	if len(vs) == 0 {
+		t.Fatal("shrinkage not caught")
+	}
+}
+
+// rogueProto violates domain safety: it invents token k.
+type rogueProto struct{}
+
+func (rogueProto) Name() string { return "rogue" }
+func (rogueProto) Nodes(a *token.Assignment) []sim.Node {
+	nodes := make([]sim.Node, a.N())
+	for v := range nodes {
+		ta := a.Initial[v].Clone()
+		ta.Add(a.K) // out of domain
+		nodes[v] = &cheatNode{ta: ta}
+	}
+	return nodes
+}
+
+func TestKitCatchesDomainViolation(t *testing.T) {
+	tr, assign := recordedNet(4, 10)
+	vs := Check(tr, rogueProto{}, assign, 5)
+	if len(vs) == 0 {
+		t.Fatal("domain violation not caught")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Round: 3, Node: 7, Desc: "x"}
+	if v.String() != "round 3 node 7: x" {
+		t.Fatalf("got %q", v.String())
+	}
+}

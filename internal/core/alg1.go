@@ -1,0 +1,225 @@
+// Package core implements the paper's contribution: the hierarchical
+// k-token dissemination algorithms for (T, L)-HiNet dynamic networks.
+//
+//   - Alg1 is Algorithm 1 (Fig. 4): M phases of T rounds; members upload
+//     the max-ID token their head does not yet know, one per round;
+//     heads and gateways pipeline-broadcast the min-ID token not yet sent
+//     this phase. Theorem 1: with T >= k + α·L, all nodes hold all k
+//     tokens after M >= θ/α + 1 phases.
+//   - Alg1 with StableHeads set is the Remark 1 variant for an ∞-interval
+//     stable head set: members upload only during the first phase and
+//     never re-upload after re-affiliation; terminates in |V_h|/α + 1
+//     phases.
+//   - Alg2 is Algorithm 2 (Fig. 5) for the worst-case (1, L)-HiNet:
+//     heads/gateways broadcast their entire token set every round, members
+//     send their entire set only upon (re-)affiliation. Theorems 2-4 give
+//     round bounds of n-1, θ/α + 1 and θ·L + 1 under increasingly strong
+//     assumptions.
+//
+// Every node is a sim.Node state machine driven purely by its local view
+// (round number, own role, current head), so the algorithms run unchanged
+// on scripted HiNet adversaries and on mobility-driven hierarchies.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/ctvg"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// Alg1 is Algorithm 1: hierarchical k-token dissemination in (T, L)-HiNet.
+type Alg1 struct {
+	// T is the phase length in rounds (Theorem 1 requires T >= k + α·L).
+	T int
+	// StableHeads enables the Remark 1 optimisation, valid when the head
+	// set is ∞-interval stable: members upload only during phase 0.
+	StableHeads bool
+	// UploadLowFirst is an ABLATION switch, not part of the paper's
+	// design: members upload the MIN-ID unknown token instead of the
+	// paper's max-ID rule. The paper's choice is deliberate: heads
+	// broadcast min-first, so members working max-first approach the head
+	// from the opposite end of the ID space and rarely upload a token the
+	// head is about to broadcast anyway. The ablation quantifies that
+	// collision-avoidance (see BenchmarkAblationUploadOrder).
+	UploadLowFirst bool
+	// Promiscuous is an ABLATION switch, not part of the paper's design:
+	// members absorb relay broadcasts from any neighbour instead of only
+	// their own cluster head. The paper's pseudo code restricts members
+	// to "receive t' from its cluster head"; this flag measures what that
+	// restriction costs (it can only speed things up, never add cost,
+	// since members transmit no more either way). TR bookkeeping still
+	// tracks only the own head's broadcasts, so upload suppression is
+	// unchanged.
+	Promiscuous bool
+}
+
+// Name implements sim.Protocol.
+func (p Alg1) Name() string {
+	if p.StableHeads {
+		return fmt.Sprintf("hinet-alg1-stable(T=%d)", p.T)
+	}
+	return fmt.Sprintf("hinet-alg1(T=%d)", p.T)
+}
+
+// Nodes implements sim.Protocol.
+func (p Alg1) Nodes(assign *token.Assignment) []sim.Node {
+	if p.T <= 0 {
+		panic("core: Alg1 requires T > 0")
+	}
+	nodes := make([]sim.Node, assign.N())
+	for v := range nodes {
+		nodes[v] = &alg1Node{
+			id:       v,
+			proto:    p,
+			ta:       assign.Initial[v].Clone(),
+			ts:       bitset.New(assign.K),
+			tr:       bitset.New(assign.K),
+			lastHead: ctvg.NoCluster,
+		}
+	}
+	return nodes
+}
+
+// Theorem1T returns the phase length Theorem 1 requires: T = k + α·L.
+func Theorem1T(k, alpha, L int) int { return k + alpha*L }
+
+// Theorem1Phases returns the phase count Theorem 1 requires:
+// M = ⌈θ/α⌉ + 1.
+func Theorem1Phases(theta, alpha int) int { return ceilDiv(theta, alpha) + 1 }
+
+// Remark1Phases returns the phase count of the Remark 1 variant:
+// M = ⌈|V_h|/α⌉ + 1 where heads is the (constant) number of serving heads.
+func Remark1Phases(heads, alpha int) int { return ceilDiv(heads, alpha) + 1 }
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("core: non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// alg1Node is the per-node state machine of Algorithm 1. The three sets
+// are exactly the paper's: ta — tokens ever collected (TA); ts — tokens
+// sent in the current phase (relay) or sent to the current head (member)
+// (TS); tr — tokens received from the current head (TR, members only).
+type alg1Node struct {
+	id    int
+	proto Alg1
+
+	ta *bitset.Set
+	ts *bitset.Set
+	tr *bitset.Set
+
+	lastHead int
+	wasRelay bool
+	started  bool
+}
+
+// Send implements sim.Node.
+func (n *alg1Node) Send(v sim.View) *sim.Message {
+	relay := v.Role == ctvg.Head || v.Role == ctvg.Gateway
+
+	// Role transitions invalidate the bookkeeping sets: a promoted member
+	// must re-broadcast from scratch; a demoted relay starts a fresh
+	// member conversation with its head.
+	if n.started && relay != n.wasRelay {
+		n.ts.Clear()
+		n.tr.Clear()
+		n.lastHead = ctvg.NoCluster
+	}
+	n.wasRelay = relay
+	n.started = true
+
+	if relay {
+		return n.sendRelay(v)
+	}
+	if v.Role == ctvg.Member {
+		return n.sendMember(v)
+	}
+	return nil // unaffiliated nodes are silent under Algorithm 1
+}
+
+// sendRelay implements the head/gateway side of Fig. 4: broadcast the
+// min-ID token not yet sent this phase; TS is emptied at each phase
+// boundary.
+func (n *alg1Node) sendRelay(v sim.View) *sim.Message {
+	if v.Round%n.proto.T == 0 {
+		n.ts.Clear()
+	}
+	t := n.ta.MinNotIn(n.ts)
+	if t < 0 {
+		return nil
+	}
+	n.ts.Add(t)
+	return &sim.Message{
+		To:     sim.NoAddr,
+		Kind:   sim.KindRelay,
+		Tokens: bitset.FromSlice([]int{t}),
+	}
+}
+
+// sendMember implements the member side of Fig. 4: on a head change, empty
+// TS and TR; then upload the max-ID token in TA \ (TS ∪ TR), one per
+// round. Under StableHeads (Remark 1) uploads happen only in phase 0.
+func (n *alg1Node) sendMember(v sim.View) *sim.Message {
+	if v.Head != n.lastHead {
+		n.ts.Clear()
+		n.tr.Clear()
+		n.lastHead = v.Head
+	}
+	if v.Head == ctvg.NoCluster {
+		return nil
+	}
+	if n.proto.StableHeads && v.Round >= n.proto.T {
+		return nil // Remark 1: never upload after the first phase
+	}
+	known := bitset.Union(n.ts, n.tr)
+	var t int
+	if n.proto.UploadLowFirst {
+		t = n.ta.MinNotIn(known)
+	} else {
+		t = n.ta.MaxNotIn(known)
+	}
+	if t < 0 {
+		return nil
+	}
+	n.ts.Add(t)
+	return &sim.Message{
+		To:     v.Head,
+		Kind:   sim.KindUpload,
+		Tokens: bitset.FromSlice([]int{t}),
+	}
+}
+
+// Deliver implements sim.Node.
+func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
+	relay := v.Role == ctvg.Head || v.Role == ctvg.Gateway
+	for _, m := range msgs {
+		switch {
+		case relay && m.Kind == sim.KindRelay:
+			// Heads and gateways absorb every relay broadcast heard:
+			// this is the KLO pipelining over the head subgraph Υ.
+			n.ta.UnionWith(m.Tokens)
+		case relay && m.Kind == sim.KindUpload && m.To == n.id:
+			// A head accepts uploads addressed to it.
+			n.ta.UnionWith(m.Tokens)
+		case v.Role == ctvg.Member && m.Kind == sim.KindRelay && m.From == v.Head:
+			// A member receives tokens only from its own cluster head
+			// ("receive t' from its cluster head").
+			n.ta.UnionWith(m.Tokens)
+			n.tr.UnionWith(m.Tokens)
+		case v.Role == ctvg.Member && m.Kind == sim.KindRelay && n.proto.Promiscuous:
+			// Ablation: overhear foreign relays too (TA only — TR keeps
+			// tracking the own head so uploads stay correct).
+			n.ta.UnionWith(m.Tokens)
+		}
+	}
+}
+
+// Tokens implements sim.Node.
+func (n *alg1Node) Tokens() *bitset.Set { return n.ta }
+
+var _ sim.Protocol = Alg1{}

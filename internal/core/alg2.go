@@ -1,0 +1,104 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ctvg"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// Alg2 is Algorithm 2 (Fig. 5): k-token dissemination in the worst-case
+// (1, L)-HiNet, where only single-round stability is guaranteed.
+//
+// Heads and gateways broadcast their entire token set every round; a member
+// sends its entire set to its cluster head exactly once per affiliation —
+// in the first round, and again whenever its cluster head changes. The
+// price for tolerating single-round dynamics is that packets carry whole
+// sets rather than single tokens.
+type Alg2 struct{}
+
+// Name implements sim.Protocol.
+func (Alg2) Name() string { return "hinet-alg2" }
+
+// Nodes implements sim.Protocol.
+func (Alg2) Nodes(assign *token.Assignment) []sim.Node {
+	nodes := make([]sim.Node, assign.N())
+	for v := range nodes {
+		nodes[v] = &alg2Node{
+			id:       v,
+			ta:       assign.Initial[v].Clone(),
+			lastHead: ctvg.NoCluster,
+			needSend: true,
+		}
+	}
+	return nodes
+}
+
+// Theorem2Rounds returns the always-sufficient round bound of Theorem 2:
+// M = n - 1 under 1-interval connectivity.
+func Theorem2Rounds(n int) int { return n - 1 }
+
+// Theorem3Rounds returns Theorem 3's bound: M = ⌈θ/α⌉ + 1 rounds when the
+// network has (α·L)-interval cluster head connectivity.
+func Theorem3Rounds(theta, alpha int) int { return ceilDiv(theta, alpha) + 1 }
+
+// Theorem4Rounds returns Theorem 4's bound: M = θ·L + 1 rounds when the
+// network has an L-interval stable hierarchy.
+func Theorem4Rounds(theta, L int) int { return theta*L + 1 }
+
+// alg2Node is the per-node state machine of Algorithm 2.
+type alg2Node struct {
+	id int
+
+	ta       *bitset.Set
+	lastHead int
+	needSend bool // member must (re-)send TA to its current head
+}
+
+// Send implements sim.Node.
+func (n *alg2Node) Send(v sim.View) *sim.Message {
+	if v.Role == ctvg.Head || v.Role == ctvg.Gateway {
+		// Relays broadcast TA in every round.
+		return &sim.Message{
+			To:     sim.NoAddr,
+			Kind:   sim.KindRelay,
+			Tokens: n.ta.Clone(),
+		}
+	}
+	if v.Role != ctvg.Member {
+		return nil
+	}
+	if v.Head != n.lastHead {
+		n.lastHead = v.Head
+		n.needSend = true
+	}
+	if !n.needSend || v.Head == ctvg.NoCluster {
+		return nil
+	}
+	n.needSend = false
+	return &sim.Message{
+		To:     v.Head,
+		Kind:   sim.KindUpload,
+		Tokens: n.ta.Clone(),
+	}
+}
+
+// Deliver implements sim.Node. Per Fig. 5 every role unions in what it
+// hears from neighbours: relays accept broadcasts and uploads addressed to
+// them; members accept any overheard relay broadcast.
+func (n *alg2Node) Deliver(v sim.View, msgs []*sim.Message) {
+	relay := v.Role == ctvg.Head || v.Role == ctvg.Gateway
+	for _, m := range msgs {
+		switch {
+		case m.Kind == sim.KindRelay:
+			n.ta.UnionWith(m.Tokens)
+		case relay && m.Kind == sim.KindUpload && m.To == n.id:
+			n.ta.UnionWith(m.Tokens)
+		}
+	}
+}
+
+// Tokens implements sim.Node.
+func (n *alg2Node) Tokens() *bitset.Set { return n.ta }
+
+var _ sim.Protocol = Alg2{}

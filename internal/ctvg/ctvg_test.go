@@ -1,0 +1,247 @@
+package ctvg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tvg"
+)
+
+// starCluster builds a 5-node graph where 0 is a head with members 1,2 and
+// gateway 3 (affiliated), plus an unaffiliated node 4 adjacent to 3.
+func starCluster() (*graph.Graph, *Hierarchy) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	h := NewHierarchy(5)
+	h.SetHead(0)
+	h.SetMember(1, 0)
+	h.SetMember(2, 0)
+	h.SetGateway(3, 0)
+	return g, h
+}
+
+func TestRoleString(t *testing.T) {
+	if Member.String() != "m" || Head.String() != "h" || Gateway.String() != "g" || Unaffiliated.String() != "-" {
+		t.Fatal("role strings wrong")
+	}
+	if !strings.HasPrefix(Role(200).String(), "Role(") {
+		t.Fatal("unknown role string wrong")
+	}
+}
+
+func TestNewHierarchyUnaffiliated(t *testing.T) {
+	h := NewHierarchy(3)
+	for v := 0; v < 3; v++ {
+		if h.Role[v] != Unaffiliated || h.Cluster[v] != NoCluster {
+			t.Fatal("fresh hierarchy not unaffiliated")
+		}
+	}
+	if h.N() != 3 {
+		t.Fatalf("N=%d", h.N())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	_, h := starCluster()
+	heads := h.Heads()
+	if len(heads) != 1 || heads[0] != 0 {
+		t.Fatalf("heads %v", heads)
+	}
+	mem := h.MembersOf(0)
+	if len(mem) != 3 || mem[0] != 1 || mem[1] != 2 || mem[2] != 3 {
+		t.Fatalf("members %v", mem)
+	}
+	gw := h.Gateways()
+	if len(gw) != 1 || gw[0] != 3 {
+		t.Fatalf("gateways %v", gw)
+	}
+	if h.HeadOf(1) != 0 || h.HeadOf(0) != 0 || h.HeadOf(4) != NoCluster {
+		t.Fatal("HeadOf wrong")
+	}
+	if !h.IsHead(0) || h.IsHead(1) {
+		t.Fatal("IsHead wrong")
+	}
+	if !h.IsRelay(0) || !h.IsRelay(3) || h.IsRelay(1) || h.IsRelay(4) {
+		t.Fatal("IsRelay wrong")
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	g, h := starCluster()
+	if err := h.Validate(g); err != nil {
+		t.Fatalf("valid hierarchy rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(g *graph.Graph, h *Hierarchy)
+	}{
+		{"head with foreign cluster id", func(g *graph.Graph, h *Hierarchy) {
+			h.Cluster[0] = 1
+		}},
+		{"member without cluster", func(g *graph.Graph, h *Hierarchy) {
+			h.Cluster[1] = NoCluster
+		}},
+		{"member naming non-head", func(g *graph.Graph, h *Hierarchy) {
+			h.Cluster[1] = 2
+		}},
+		{"member not adjacent to head", func(g *graph.Graph, h *Hierarchy) {
+			g.RemoveEdge(0, 1)
+		}},
+		{"gateway naming non-head", func(g *graph.Graph, h *Hierarchy) {
+			h.Cluster[3] = 2
+		}},
+		{"gateway not adjacent to head", func(g *graph.Graph, h *Hierarchy) {
+			g.RemoveEdge(0, 3)
+		}},
+		{"unaffiliated with cluster id", func(g *graph.Graph, h *Hierarchy) {
+			h.Cluster[4] = 0
+		}},
+		{"invalid role value", func(g *graph.Graph, h *Hierarchy) {
+			h.Role[4] = Role(99)
+		}},
+	}
+	for _, c := range cases {
+		g, h := starCluster()
+		c.mutate(g, h)
+		if err := h.Validate(g); err == nil {
+			t.Fatalf("%s: Validate accepted invalid hierarchy", c.name)
+		}
+	}
+}
+
+func TestValidateSizeMismatch(t *testing.T) {
+	_, h := starCluster()
+	if err := h.Validate(graph.New(4)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	_, h := starCluster()
+	c := h.Clone()
+	c.SetHead(4)
+	if h.Role[4] == Head {
+		t.Fatal("Clone shares storage")
+	}
+	if !h.Clone().Equal(h) {
+		t.Fatal("clone not equal to original")
+	}
+}
+
+func TestEqualAndSameHeadSet(t *testing.T) {
+	_, a := starCluster()
+	_, b := starCluster()
+	if !a.Equal(b) || !a.SameHeadSet(b) {
+		t.Fatal("identical hierarchies compare unequal")
+	}
+	b.SetMember(4, 0)
+	// Head set unchanged but membership differs.
+	if a.Equal(b) {
+		t.Fatal("different hierarchies compare equal")
+	}
+	if !a.SameHeadSet(b) {
+		t.Fatal("head set should still match")
+	}
+	b.SetHead(4)
+	if a.SameHeadSet(b) {
+		t.Fatal("head sets should differ")
+	}
+	if a.Equal(nil) || a.SameHeadSet(nil) {
+		t.Fatal("nil comparisons should be false")
+	}
+	if a.Equal(NewHierarchy(3)) {
+		t.Fatal("size mismatch compares equal")
+	}
+}
+
+func TestSameCluster(t *testing.T) {
+	_, a := starCluster()
+	_, b := starCluster()
+	if !a.SameCluster(b, 0) {
+		t.Fatal("identical clusters differ")
+	}
+	b.SetMember(4, 0)
+	if a.SameCluster(b, 0) {
+		t.Fatal("changed cluster compares same")
+	}
+	// A cluster that exists in neither is vacuously the same.
+	if !a.SameCluster(b, 2) {
+		t.Fatal("empty clusters should compare same")
+	}
+	if a.SameCluster(nil, 0) {
+		t.Fatal("nil compares same")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g, h := starCluster()
+	g2 := g.Clone()
+	g2.AddEdge(0, 4)
+	h2 := h.Clone()
+	h2.SetMember(4, 0)
+	tr := NewTrace(tvg.NewTrace([]*graph.Graph{g, g2}), []*Hierarchy{h, h2})
+	if tr.N() != 5 || tr.Len() != 2 {
+		t.Fatalf("N=%d Len=%d", tr.N(), tr.Len())
+	}
+	if tr.HierarchyAt(0) != h || tr.HierarchyAt(1) != h2 {
+		t.Fatal("HierarchyAt wrong")
+	}
+	if tr.HierarchyAt(7) != h2 {
+		t.Fatal("HierarchyAt past end should repeat last")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestTraceHierarchyNegativePanics(t *testing.T) {
+	g, h := starCluster()
+	tr := NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*Hierarchy{h})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative round did not panic")
+		}
+	}()
+	tr.HierarchyAt(-1)
+}
+
+func TestNewTraceLengthMismatchPanics(t *testing.T) {
+	g, h := starCluster()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	NewTrace(tvg.NewTrace([]*graph.Graph{g, g.Clone()}), []*Hierarchy{h})
+}
+
+func TestTraceValidateCatchesBadRound(t *testing.T) {
+	g, h := starCluster()
+	badH := h.Clone()
+	badH.SetMember(4, 2) // 2 is not a head
+	tr := NewTrace(tvg.NewTrace([]*graph.Graph{g, g.Clone()}), []*Hierarchy{h, badH})
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted bad round")
+	}
+}
+
+func TestRecord(t *testing.T) {
+	g, h := starCluster()
+	src := NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*Hierarchy{h})
+	rec := Record(src, 3)
+	if rec.Len() != 3 {
+		t.Fatalf("Len=%d", rec.Len())
+	}
+	// Deep copies.
+	rec.HierarchyAt(0).SetHead(4)
+	if h.IsHead(4) {
+		t.Fatal("Record aliased hierarchy")
+	}
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// TestAnalyticBoundDominatesMeasured ties the paper's cost formula to the
+// simulator: on a conforming (T, L)-HiNet with a stable head set, measured
+// communication must stay below the analytic worst case evaluated with the
+// adversary's *actual* structural parameters —
+//
+//	relays·M·k  (every relay may broadcast every token once per phase)
+//	+ k         (initial member uploads: each token has one owner)
+//	+ reaffils·k (a re-affiliating member re-uploads at most its TA)
+func TestAnalyticBoundDominatesMeasured(t *testing.T) {
+	const (
+		n, theta, L = 100, 30, 2
+		k, alpha    = 8, 5
+	)
+	T := core.Theorem1T(k, alpha, L)
+	phases := core.Theorem1Phases(theta, alpha)
+	relays := theta + (theta-1)*(L-1)
+	for seed := uint64(0); seed < 6; seed++ {
+		adv := adversary.NewHiNet(adversary.HiNetConfig{
+			N: n, Theta: theta, L: L, T: T,
+			Reaffiliations: 4, ChurnEdges: 10,
+		}, xrand.New(seed))
+		assign := token.Spread(n, k, xrand.New(seed+55))
+		met := sim.RunProtocol(adv, core.Alg1{T: T}, assign,
+			sim.Options{MaxRounds: phases * T})
+		if !met.Complete {
+			t.Fatalf("seed %d: incomplete", seed)
+		}
+		reaffils := adv.Stats().Reaffiliations
+		bound := int64(relays*phases*k + k + reaffils*k)
+		if met.TokensSent > bound {
+			t.Fatalf("seed %d: measured %d exceeds analytic bound %d", seed, met.TokensSent, bound)
+		}
+		// Relay-side sub-bound.
+		if relay := met.TokensByKind[sim.KindRelay]; relay > int64(relays*phases*k) {
+			t.Fatalf("seed %d: relay tokens %d exceed %d", seed, relay, relays*phases*k)
+		}
+		// Upload-side sub-bound.
+		if up := met.TokensByKind[sim.KindUpload]; up > int64(k+reaffils*k) {
+			t.Fatalf("seed %d: upload tokens %d exceed %d", seed, up, k+reaffils*k)
+		}
+	}
+}
+
+// TestScaleN1000 exercises the engine and adversary at an order of
+// magnitude above the paper's evaluation point; the shape claim must
+// survive the scale-up.
+func TestScaleN1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const (
+		n, theta, L = 1000, 300, 2
+		k, alpha    = 8, 5
+	)
+	T := core.Theorem1T(k, alpha, L)
+	phases := core.Theorem1Phases(theta, alpha)
+
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: T,
+		Reaffiliations: 30, ChurnEdges: 100,
+	}, xrand.New(1))
+	assign := token.Spread(n, k, xrand.New(2))
+	alg1 := sim.RunProtocol(adv, core.Alg1{T: T}, assign,
+		sim.Options{MaxRounds: phases * T})
+	if !alg1.Complete {
+		t.Fatalf("Alg1 incomplete at n=1000: %v", alg1)
+	}
+
+	flat := sim.NewFlat(adversary.NewTInterval(n, T, 100, xrand.New(1)))
+	klot := sim.RunProtocol(flat, baseline.KLOT{T: T}, assign,
+		sim.Options{MaxRounds: baseline.KLOTPhases(n, T, k) * T, StopWhenComplete: true})
+	if !klot.Complete {
+		t.Fatalf("KLOT incomplete at n=1000: %v", klot)
+	}
+	// Shape at scale: the full-budget Alg1 run must still undercut even
+	// the early-stopped KLOT run... KLOT here stops at completion, so
+	// compare against its full-budget analytic instead: Alg1's measured
+	// cost stays under half of KLO-T's analytic cost at these proportions
+	// (Sweep A reached x0.40 at n0=400 and the ratio shrinks with n).
+	p := scalePoint(n, k, alpha, L, 3, 10, 1, 100).P
+	kloAnalytic := float64(analysisKLOT(p))
+	if float64(alg1.TokensSent) > 0.5*kloAnalytic {
+		t.Fatalf("Alg1 at n=1000 cost %d vs KLO-T analytic %.0f: shape broke at scale",
+			alg1.TokensSent, kloAnalytic)
+	}
+}
+
+func analysisKLOT(p analysis.Params) int {
+	return analysis.KLOTInterval(p).Comm
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClaimsLedgerConsistent(t *testing.T) {
+	if err := VerifyCheapClaims(); err != nil {
+		t.Fatal(err)
+	}
+	claims := Claims()
+	if len(claims) < 10 {
+		t.Fatalf("ledger shrank to %d claims", len(claims))
+	}
+	seen := map[string]bool{}
+	valid := map[ClaimStatus]bool{
+		StatusExact: true, StatusHolds: true, StatusShape: true,
+		StatusDiscrepancy: true, StatusFails: true,
+	}
+	for _, c := range claims {
+		if seen[c.ID] {
+			t.Fatalf("duplicate claim ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		if !valid[c.Status] {
+			t.Fatalf("claim %q has invalid status %q", c.ID, c.Status)
+		}
+		if c.Statement == "" || c.Evidence == "" || c.Source == "" {
+			t.Fatalf("claim %q incomplete", c.ID)
+		}
+	}
+	// The two known deviations must be recorded.
+	if !seen["T3-alg2"] || !seen["THM3"] {
+		t.Fatal("known deviations missing from ledger")
+	}
+}
+
+func TestClaimsTable(t *testing.T) {
+	out := ClaimsTable().String()
+	for _, want := range []string{"THM1", "fails", "exact", "discrepancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("claims table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/gossip"
+	"repro/internal/netcode"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// Curve is a per-round delivery trajectory: fraction of (node, token)
+// pairs delivered after each round, in [0, 1].
+type Curve struct {
+	Name   string
+	Points []float64
+}
+
+// measureCurve runs a protocol and records its coverage trajectory.
+func measureCurve(name string, d ctvg.Dynamic, p sim.Protocol, assign *token.Assignment, rounds int) Curve {
+	n := assign.N()
+	total := float64(n * assign.K)
+	pts := make([]float64, 0, rounds)
+	obs := &sim.Observer{Progress: func(r int, delivered int) {
+		pts = append(pts, float64(delivered)/total)
+	}}
+	sim.RunProtocol(d, p, assign, sim.Options{MaxRounds: rounds, Observer: obs})
+	return Curve{Name: name, Points: pts}
+}
+
+// ConvergenceCurves measures the delivery trajectories of all four Table 2
+// protocols at the configured operating point for a single seed: the
+// extension "figure" showing not just final cost but the whole shape of
+// dissemination over time.
+func ConvergenceCurves(cfg PointConfig, seed uint64, rounds int) ([]Curve, error) {
+	p := cfg.P
+	p.NR = cfg.NRT
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, k, theta, L := p.N0, p.K, p.Theta, p.L
+	T := p.T()
+	assign := token.Spread(n, k, xrand.New(seed^0xabcdef))
+
+	curves := make([]Curve, 0, 4)
+
+	kloT := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
+	curves = append(curves, measureCurve("KLO T-interval", sim.NewFlat(kloT),
+		baseline.KLOT{T: T}, assign, rounds))
+
+	h1 := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: T,
+		Reaffiliations: distribute(cfg.P.NM*cfg.NRT, core.Theorem1Phases(theta, p.Alpha)-1),
+		ChurnEdges:     cfg.ChurnEdges,
+	}, xrand.New(seed))
+	curves = append(curves, measureCurve("Algorithm 1", h1, core.Alg1{T: T}, assign, rounds))
+
+	flood := adversary.NewOneInterval(n, 0, xrand.New(seed))
+	curves = append(curves, measureCurve("KLO flooding", sim.NewFlat(flood),
+		baseline.Flood{}, assign, rounds))
+
+	h2 := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: 1,
+		Reaffiliations: distribute(cfg.P.NM*cfg.NR1, n-2),
+		ChurnEdges:     cfg.ChurnEdges,
+	}, xrand.New(seed))
+	curves = append(curves, measureCurve("Algorithm 2", h2, core.Alg2{}, assign, rounds))
+
+	// Comparators beyond the paper's four rows: Haeupler–Karger network
+	// coding and push-pull gossip, both on the 1-interval adversary.
+	coded := adversary.NewOneInterval(n, 0, xrand.New(seed))
+	curves = append(curves, measureCurve("HK network coding", sim.NewFlat(coded),
+		netcode.CodedFlood{Seed: seed}, assign, rounds))
+
+	gos := adversary.NewOneInterval(n, 3*n, xrand.New(seed))
+	curves = append(curves, measureCurve("push-pull gossip", sim.NewFlat(gos),
+		gossip.PushPull{Seed: seed}, assign, rounds))
+
+	return curves, nil
+}
+
+// sparkGlyphs are the eight levels of a unicode sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values in [0, 1] as a unicode bar strip.
+func Sparkline(points []float64) string {
+	var sb strings.Builder
+	for _, v := range points {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v * float64(len(sparkGlyphs)-1))
+		sb.WriteRune(sparkGlyphs[idx])
+	}
+	return sb.String()
+}
+
+// RenderCurves formats convergence curves as labelled sparklines with the
+// round of full delivery.
+func RenderCurves(curves []Curve) string {
+	var sb strings.Builder
+	width := 0
+	for _, c := range curves {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, c := range curves {
+		doneAt := "-"
+		for r, v := range c.Points {
+			if v >= 1 {
+				doneAt = fmt.Sprintf("%d", r+1)
+				break
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s  %s  done@%s\n", width, c.Name, Sparkline(c.Points), doneAt)
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConvergenceCurves(t *testing.T) {
+	cfg := Table3Config(1)
+	curves, err := ConvergenceCurves(cfg, 7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 6 {
+		t.Fatalf("curves %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) != 60 {
+			t.Fatalf("%s has %d points", c.Name, len(c.Points))
+		}
+		// Monotone non-decreasing delivery.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i] < c.Points[i-1]-1e-12 {
+				t.Fatalf("%s regressed at round %d", c.Name, i)
+			}
+		}
+		// Starts below completion (k of n·k pairs pre-delivered).
+		if c.Points[0] >= 1 {
+			t.Fatalf("%s complete at round 0", c.Name)
+		}
+	}
+	// The paper's four protocols (the first four curves) must finish
+	// within 60 rounds at the Table 3 point; the extra comparators
+	// (network coding, gossip) have longer randomized horizons and only
+	// owe the monotonicity checked above.
+	for _, c := range curves[:4] {
+		if c.Points[len(c.Points)-1] < 1 {
+			t.Fatalf("%s did not converge: %.3f", c.Name, c.Points[len(c.Points)-1])
+		}
+	}
+}
+
+func TestConvergenceCurvesValidation(t *testing.T) {
+	cfg := Table3Config(1)
+	cfg.P.K = 0
+	if _, err := ConvergenceCurves(cfg, 1, 10); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	// Clamping.
+	c := []rune(Sparkline([]float64{-1, 2}))
+	if c[0] != '▁' || c[1] != '█' {
+		t.Fatalf("clamping wrong: %q", string(c))
+	}
+}
+
+func TestRenderCurves(t *testing.T) {
+	curves := []Curve{
+		{Name: "a", Points: []float64{0.5, 1, 1}},
+		{Name: "never", Points: []float64{0.1, 0.2}},
+	}
+	out := RenderCurves(curves)
+	if !strings.Contains(out, "done@2") {
+		t.Fatalf("completion round missing:\n%s", out)
+	}
+	if !strings.Contains(out, "done@-") {
+		t.Fatalf("incomplete marker missing:\n%s", out)
+	}
+}

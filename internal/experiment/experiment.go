@@ -1,0 +1,268 @@
+// Package experiment is the harness that regenerates the paper's evaluation
+// (Tables 2 and 3) and its extension sweeps, pairing the closed-form
+// analytical costs with measured costs from executable simulation.
+//
+// Every row of the paper's comparison maps to a (protocol, adversary)
+// pair run over several seeds:
+//
+//	(k+αL)-interval connected [7]  -> baseline.KLOT on adversary.TInterval
+//	(k+αL, L)-HiNet (Algorithm 1)  -> core.Alg1    on adversary.HiNet (T=k+αL)
+//	1-interval connected [7]       -> baseline.Flood on adversary.OneInterval
+//	(1, L)-HiNet (Algorithm 2)     -> core.Alg2    on adversary.HiNet (T=1)
+//
+// Measured communication is the cost of the full prescribed round budget
+// (the analytical formulas are worst-case budgets, not early-exit costs);
+// measured time is the first round after which every node held all k
+// tokens. Replications fan out over a worker pool and aggregate
+// deterministically.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// PointConfig describes one measured operating point.
+type PointConfig struct {
+	// P carries the paper's Table 1 parameters (NR is ignored here; the
+	// per-row NRT/NR1 below are used instead).
+	P analysis.Params
+	// NRT and NR1 are the average per-member re-affiliation counts for
+	// the (T, L)-HiNet and (1, L)-HiNet rows respectively.
+	NRT, NR1 int
+	// Seeds is the number of Monte-Carlo replications per row.
+	Seeds int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// ChurnEdges is the per-round random edge churn of every adversary.
+	ChurnEdges int
+}
+
+// Table3Config is the paper's Table 3 operating point with a default
+// replication count.
+func Table3Config(seeds int) PointConfig {
+	return PointConfig{
+		P:          analysis.Table3Params,
+		NRT:        analysis.Table3NRT,
+		NR1:        analysis.Table3NR1,
+		Seeds:      seeds,
+		ChurnEdges: 10,
+	}
+}
+
+// RowResult pairs one row's analytical and measured costs.
+type RowResult struct {
+	// Model is the paper's row label.
+	Model string
+	// Analytic is the Table 2 formula evaluated at this point.
+	Analytic analysis.Cost
+	// Budget is the prescribed round budget actually executed.
+	Budget int
+	// MeasuredTime is the mean completion round across seeds.
+	MeasuredTime float64
+	// MeasuredComm is the mean total token-sends over the full budget.
+	MeasuredComm float64
+	// TimeStddev and CommStddev are the sample standard deviations of the
+	// per-seed measurements.
+	TimeStddev float64
+	CommStddev float64
+	// MeasuredBytes is the mean wire-level cost under the internal/wire
+	// codec (header + token bitmap + 32-byte token bodies).
+	MeasuredBytes float64
+	// RelayTokens and MemberTokens split MeasuredComm by sender role
+	// (heads+gateways vs members) — the paper's energy argument.
+	RelayTokens  float64
+	MemberTokens float64
+	// Completed counts replications that finished within the budget.
+	Completed int
+	// Seeds is the replication count.
+	Seeds int
+}
+
+// measured runs a protocol/adversary pairing over seeds and aggregates.
+type runSpec struct {
+	model   string
+	budget  int
+	build   func(seed uint64) (ctvg.Dynamic, sim.Protocol)
+	k       int
+	n       int
+	seeds   int
+	workers int
+}
+
+func runRow(spec runSpec, analytic analysis.Cost) RowResult {
+	type sample struct {
+		time     int
+		comm     int64
+		bytes    int64
+		relay    int64
+		member   int64
+		complete bool
+	}
+	samples := parallel.Map(spec.seeds, spec.workers, func(i int) sample {
+		seed := uint64(i)*1_000_003 + 17
+		d, p := spec.build(seed)
+		assign := token.Spread(spec.n, spec.k, xrand.New(seed^0xabcdef))
+		met := sim.RunProtocol(d, p, assign, sim.Options{
+			MaxRounds: spec.budget,
+			SizeFn:    wire.Size,
+		})
+		t := met.CompletionRound
+		if !met.Complete {
+			t = spec.budget
+		}
+		return sample{
+			time:     t,
+			comm:     met.TokensSent,
+			bytes:    met.BytesSent,
+			relay:    met.TokensByRole[ctvg.Head] + met.TokensByRole[ctvg.Gateway],
+			member:   met.TokensByRole[ctvg.Member] + met.TokensByRole[ctvg.Unaffiliated],
+			complete: met.Complete,
+		}
+	})
+	res := RowResult{
+		Model:    spec.model,
+		Analytic: analytic,
+		Budget:   spec.budget,
+		Seeds:    spec.seeds,
+	}
+	times := make([]float64, 0, len(samples))
+	comms := make([]float64, 0, len(samples))
+	var bytesSum, relaySum, memberSum float64
+	for _, s := range samples {
+		times = append(times, float64(s.time))
+		comms = append(comms, float64(s.comm))
+		bytesSum += float64(s.bytes)
+		relaySum += float64(s.relay)
+		memberSum += float64(s.member)
+		if s.complete {
+			res.Completed++
+		}
+	}
+	res.MeasuredTime = parallel.Mean(times)
+	res.MeasuredComm = parallel.Mean(comms)
+	res.TimeStddev = parallel.Stddev(times)
+	res.CommStddev = parallel.Stddev(comms)
+	res.MeasuredBytes = bytesSum / float64(spec.seeds)
+	res.RelayTokens = relaySum / float64(spec.seeds)
+	res.MemberTokens = memberSum / float64(spec.seeds)
+	return res
+}
+
+// distribute spreads `total` churn events over `boundaries` phase
+// boundaries, rounding up so the modelled n_r is a lower bound on the
+// injected churn.
+func distribute(total, boundaries int) int {
+	if boundaries <= 0 {
+		return 0
+	}
+	return (total + boundaries - 1) / boundaries
+}
+
+// RunPoint executes all four rows at the configured operating point and
+// returns them in the paper's Table 2 order.
+func RunPoint(cfg PointConfig) ([]RowResult, error) {
+	p := cfg.P
+	p.NR = cfg.NRT
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Seeds <= 0 {
+		return nil, fmt.Errorf("experiment: Seeds must be positive")
+	}
+	n, k, alpha, L, theta := p.N0, p.K, p.Alpha, p.L, p.Theta
+	T := p.T()
+
+	// Row 1: KLO T-interval.
+	kloTPhases := baseline.KLOTPhases(n, T, k)
+	rowKLOT := runRow(runSpec{
+		model:  "(k+α*L)-interval connected [7]",
+		budget: kloTPhases * T,
+		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
+			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
+			return sim.NewFlat(adv), baseline.KLOT{T: T}
+		},
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+	}, analysis.KLOTInterval(p))
+
+	// Row 2: Algorithm 1 on (T, L)-HiNet.
+	alg1Phases := core.Theorem1Phases(theta, alpha)
+	nrTotalT := cfg.P.NM * cfg.NRT
+	rowAlg1 := runRow(runSpec{
+		model:  "(k+α*L, L)-HiNet",
+		budget: alg1Phases * T,
+		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
+			adv := adversary.NewHiNet(adversary.HiNetConfig{
+				N: n, Theta: theta, L: L, T: T,
+				Reaffiliations: distribute(nrTotalT, alg1Phases-1),
+				ChurnEdges:     cfg.ChurnEdges,
+			}, xrand.New(seed))
+			return adv, core.Alg1{T: T}
+		},
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
+
+	// Row 3: KLO 1-interval flooding.
+	rowFlood := runRow(runSpec{
+		model:  "1-interval connected [7]",
+		budget: baseline.FloodRounds(n),
+		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
+			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
+			return sim.NewFlat(adv), baseline.Flood{}
+		},
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+	}, analysis.KLOOneInterval(p))
+
+	// Row 4: Algorithm 2 on (1, L)-HiNet.
+	budget1 := core.Theorem2Rounds(n)
+	nrTotal1 := cfg.P.NM * cfg.NR1
+	rowAlg2 := runRow(runSpec{
+		model:  "(1, L)-HiNet",
+		budget: budget1,
+		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
+			adv := adversary.NewHiNet(adversary.HiNetConfig{
+				N: n, Theta: theta, L: L, T: 1,
+				Reaffiliations: distribute(nrTotal1, budget1-1),
+				ChurnEdges:     cfg.ChurnEdges,
+			}, xrand.New(seed))
+			return adv, core.Alg2{}
+		},
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
+
+	return []RowResult{rowKLOT, rowAlg1, rowFlood, rowAlg2}, nil
+}
+
+// Table3Report renders the full paper-vs-analytic-vs-measured comparison
+// for the Table 3 point.
+func Table3Report(cfg PointConfig) (*report.Table, []RowResult, error) {
+	rows, err := RunPoint(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("Table 3 — paper vs analytic vs simulated (n0=%d θ=%d k=%d α=%d L=%d, %d seeds)",
+			cfg.P.N0, cfg.P.Theta, cfg.P.K, cfg.P.Alpha, cfg.P.L, cfg.Seeds),
+		"model", "paper time", "paper comm", "formula time", "formula comm",
+		"sim time", "sim comm", "sim done",
+	)
+	for i, r := range rows {
+		pub := analysis.Table3Published[i]
+		tb.AddRowf(r.Model, pub.Time, pub.Comm, r.Analytic.Time, r.Analytic.Comm,
+			fmt.Sprintf("%.1f±%.1f", r.MeasuredTime, r.TimeStddev),
+			fmt.Sprintf("%.0f±%.0f", r.MeasuredComm, r.CommStddev),
+			fmt.Sprintf("%d/%d", r.Completed, r.Seeds))
+	}
+	return tb, rows, nil
+}

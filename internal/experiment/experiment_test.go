@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestTable3PointShape(t *testing.T) {
+	// The headline reproduction: at the paper's Table 3 operating point,
+	// simulation must reproduce the paper's *shape* — Algorithm 1 beats
+	// KLO-T on communication, Algorithm 2 beats flooding, and all runs
+	// complete within their prescribed budgets.
+	cfg := Table3Config(4)
+	rows, err := RunPoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	kloT, alg1, klo1, alg2 := rows[0], rows[1], rows[2], rows[3]
+
+	// Completion within the paper's budgets, every seed.
+	for _, r := range rows {
+		if r.Completed != r.Seeds {
+			t.Fatalf("%s: only %d/%d replications completed within budget %d",
+				r.Model, r.Completed, r.Seeds, r.Budget)
+		}
+	}
+
+	// Analytic rows must match the analysis package exactly.
+	if alg1.Analytic != analysis.Table3()[1].Cost {
+		t.Fatalf("alg1 analytic %+v", alg1.Analytic)
+	}
+
+	// Shape: measured communication ordering matches the paper.
+	if alg1.MeasuredComm >= kloT.MeasuredComm {
+		t.Fatalf("Alg1 measured comm %.0f not below KLO-T %.0f",
+			alg1.MeasuredComm, kloT.MeasuredComm)
+	}
+	if alg2.MeasuredComm >= klo1.MeasuredComm {
+		t.Fatalf("Alg2 measured comm %.0f not below KLO-1 %.0f",
+			alg2.MeasuredComm, klo1.MeasuredComm)
+	}
+	// Factor check: the analytic saving at this point is ~46% (T rows)
+	// and ~36% (1-interval rows). Simulation should show a comparable or
+	// larger saving (measured baselines pay full freight; measured HiNet
+	// saves on top via TR/TS suppression). Require at least 30%.
+	if r := 1 - alg1.MeasuredComm/kloT.MeasuredComm; r < 0.30 {
+		t.Fatalf("Alg1 measured saving %.2f below shape threshold", r)
+	}
+	if r := 1 - alg2.MeasuredComm/klo1.MeasuredComm; r < 0.30 {
+		t.Fatalf("Alg2 measured saving %.2f below shape threshold", r)
+	}
+
+	// Time shape: Alg1 completes no slower than its budget and the
+	// 1-interval rows complete well under n-1.
+	if alg1.MeasuredTime > float64(alg1.Budget) {
+		t.Fatalf("Alg1 time %.1f exceeds budget %d", alg1.MeasuredTime, alg1.Budget)
+	}
+	if alg2.MeasuredTime > float64(alg2.Budget) {
+		t.Fatalf("Alg2 time %.1f exceeds budget %d", alg2.MeasuredTime, alg2.Budget)
+	}
+}
+
+func TestRunPointValidation(t *testing.T) {
+	cfg := Table3Config(0)
+	if _, err := RunPoint(cfg); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+	cfg = Table3Config(1)
+	cfg.P.K = 0
+	if _, err := RunPoint(cfg); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	tb, rows, err := Table3Report(Table3Config(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || tb.Len() != 4 {
+		t.Fatalf("report shape: %d rows, table len %d", len(rows), tb.Len())
+	}
+	out := tb.String()
+	for _, want := range []string{"(k+α*L, L)-HiNet", "paper comm", "8000", "4320"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDistribute(t *testing.T) {
+	if distribute(120, 6) != 20 {
+		t.Fatalf("distribute(120,6)=%d", distribute(120, 6))
+	}
+	if distribute(121, 6) != 21 {
+		t.Fatalf("distribute rounds down")
+	}
+	if distribute(5, 0) != 0 {
+		t.Fatal("zero boundaries")
+	}
+}
+
+func TestScalePointProportions(t *testing.T) {
+	cfg := scalePoint(200, 8, 5, 2, 3, 10, 1, 10)
+	if cfg.P.N0 != 200 || cfg.P.Theta != 60 {
+		t.Fatalf("%+v", cfg.P)
+	}
+	// nm = 200 - 60 - 59 = 81.
+	if cfg.P.NM != 81 {
+		t.Fatalf("nm=%d", cfg.P.NM)
+	}
+	if err := cfg.P.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny n floor.
+	tiny := scalePoint(5, 2, 1, 1, 1, 1, 1, 0)
+	if tiny.P.Theta < 2 || tiny.P.NM < 1 {
+		t.Fatalf("floors violated: %+v", tiny.P)
+	}
+}
+
+func TestSweepN0ShapeHolds(t *testing.T) {
+	pts, err := SweepN0([]int{40, 80}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, pt := range pts {
+		kloT, alg1, klo1, alg2 := pt.Rows[0], pt.Rows[1], pt.Rows[2], pt.Rows[3]
+		if alg1.Analytic.Comm >= kloT.Analytic.Comm {
+			t.Fatalf("n0=%d: analytic Alg1 not cheaper", pt.X)
+		}
+		if alg2.Analytic.Comm >= klo1.Analytic.Comm {
+			t.Fatalf("n0=%d: analytic Alg2 not cheaper", pt.X)
+		}
+		if alg1.MeasuredComm >= kloT.MeasuredComm {
+			t.Fatalf("n0=%d: measured Alg1 not cheaper", pt.X)
+		}
+		if alg2.MeasuredComm >= klo1.MeasuredComm {
+			t.Fatalf("n0=%d: measured Alg2 not cheaper", pt.X)
+		}
+	}
+	// The flat-vs-HiNet gap must widen with n0 (analytic: quadratic vs
+	// linear in n0).
+	r0 := float64(pts[0].Rows[1].Analytic.Comm) / float64(pts[0].Rows[0].Analytic.Comm)
+	r1 := float64(pts[1].Rows[1].Analytic.Comm) / float64(pts[1].Rows[0].Analytic.Comm)
+	if r1 >= r0 {
+		t.Fatalf("Alg1/KLO-T ratio did not shrink with n0: %.3f -> %.3f", r0, r1)
+	}
+}
+
+func TestSweepKMonotone(t *testing.T) {
+	pts, err := SweepK([]int{2, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All costs grow with k.
+	for rowIdx := 0; rowIdx < 4; rowIdx++ {
+		if pts[1].Rows[rowIdx].Analytic.Comm <= pts[0].Rows[rowIdx].Analytic.Comm {
+			t.Fatalf("row %d analytic comm not increasing in k", rowIdx)
+		}
+		if pts[1].Rows[rowIdx].MeasuredComm <= pts[0].Rows[rowIdx].MeasuredComm {
+			t.Fatalf("row %d measured comm not increasing in k", rowIdx)
+		}
+	}
+}
+
+func TestSweepNRBaselineInsensitive(t *testing.T) {
+	pts, err := SweepNR([]int{0, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat baselines' analytic cost must not depend on nr.
+	if pts[0].Rows[0].Analytic != pts[1].Rows[0].Analytic {
+		t.Fatal("KLO-T analytic changed with nr")
+	}
+	if pts[0].Rows[2].Analytic != pts[1].Rows[2].Analytic {
+		t.Fatal("KLO-1 analytic changed with nr")
+	}
+	// HiNet analytic cost rises with nr.
+	if pts[1].Rows[1].Analytic.Comm <= pts[0].Rows[1].Analytic.Comm {
+		t.Fatal("Alg1 analytic comm not increasing in nr")
+	}
+	if pts[1].Rows[3].Analytic.Comm <= pts[0].Rows[3].Analytic.Comm {
+		t.Fatal("Alg2 analytic comm not increasing in nr")
+	}
+	// Measured HiNet cost also rises with churn.
+	if pts[1].Rows[1].MeasuredComm <= pts[0].Rows[1].MeasuredComm {
+		t.Fatal("Alg1 measured comm not increasing in nr")
+	}
+}
+
+func TestSweepAlphaTradeoff(t *testing.T) {
+	pts, err := SweepAlpha([]int{1, 5, 30}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1's analytic communication falls with α (fewer phases).
+	if !(pts[0].Rows[1].Analytic.Comm > pts[1].Rows[1].Analytic.Comm &&
+		pts[1].Rows[1].Analytic.Comm > pts[2].Rows[1].Analytic.Comm) {
+		t.Fatalf("comm not decreasing in α: %d %d %d",
+			pts[0].Rows[1].Analytic.Comm, pts[1].Rows[1].Analytic.Comm, pts[2].Rows[1].Analytic.Comm)
+	}
+	// All runs complete within their budgets.
+	for _, pt := range pts {
+		if pt.Rows[1].Completed != pt.Rows[1].Seeds {
+			t.Fatalf("alpha=%d incomplete", pt.X)
+		}
+	}
+	out := AlphaTable(pts).String()
+	if !strings.Contains(out, "T=k+αL") {
+		t.Fatalf("alpha table malformed:\n%s", out)
+	}
+}
+
+func TestRowResultBytesAndRoles(t *testing.T) {
+	rows, err := RunPoint(Table3Config(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MeasuredBytes <= 0 {
+			t.Fatalf("%s: no byte accounting", r.Model)
+		}
+		if r.RelayTokens+r.MemberTokens == 0 {
+			t.Fatalf("%s: no role accounting", r.Model)
+		}
+	}
+	alg1 := rows[1]
+	// The energy story: under Algorithm 1 the backbone pays nearly all
+	// the cost; members pay a small fraction.
+	if alg1.MemberTokens >= alg1.RelayTokens/2 {
+		t.Fatalf("members pay too much under Alg1: relay=%.0f member=%.0f",
+			alg1.RelayTokens, alg1.MemberTokens)
+	}
+	// Flat protocols attribute everything to unaffiliated/member senders.
+	kloT := rows[0]
+	if kloT.RelayTokens != 0 {
+		t.Fatalf("flat protocol attributed tokens to relays: %.0f", kloT.RelayTokens)
+	}
+	// Byte-level shape: Algorithm 1 also wins in bytes.
+	if alg1.MeasuredBytes >= kloT.MeasuredBytes {
+		t.Fatalf("Alg1 bytes %.0f not below KLO-T %.0f", alg1.MeasuredBytes, kloT.MeasuredBytes)
+	}
+}
+
+func TestSweepTableRendering(t *testing.T) {
+	pts, err := SweepN0([]int{40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := SweepTable("sweep", "n0", pts)
+	out := tb.String()
+	if !strings.Contains(out, "40") || !strings.Contains(out, "Alg1/KLO-T") {
+		t.Fatalf("sweep table malformed:\n%s", out)
+	}
+}

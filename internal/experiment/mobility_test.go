@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMobilityCampaign(t *testing.T) {
+	pts, err := MobilityCampaign(30, 4, []float64{0.5, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Alg2Done != pt.Seeds || pt.FloodDone != pt.Seeds {
+			t.Fatalf("speed %.1f: incomplete runs (alg2 %d/%d, flood %d/%d)",
+				pt.Speed, pt.Alg2Done, pt.Seeds, pt.FloodDone, pt.Seeds)
+		}
+		if pt.Alg2Comm <= 0 || pt.FloodComm <= 0 {
+			t.Fatalf("speed %.1f: zero cost", pt.Speed)
+		}
+		// Clustering must still beat flooding on the physical substrate.
+		if pt.Alg2Comm >= pt.FloodComm {
+			t.Fatalf("speed %.1f: Alg2 (%.0f) not below flooding (%.0f)",
+				pt.Speed, pt.Alg2Comm, pt.FloodComm)
+		}
+	}
+	// Physical grounding of n_r: faster motion means more re-affiliation.
+	if pts[1].MeasuredNR <= pts[0].MeasuredNR {
+		t.Fatalf("measured n_r did not rise with speed: %.3f -> %.3f",
+			pts[0].MeasuredNR, pts[1].MeasuredNR)
+	}
+}
+
+func TestMobilityCampaignValidation(t *testing.T) {
+	if _, err := MobilityCampaign(5, 1, []float64{1}, 1); err == nil {
+		t.Fatal("tiny n accepted")
+	}
+	if _, err := MobilityCampaign(30, 2, []float64{1}, 0); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+}
+
+func TestMobilityTable(t *testing.T) {
+	pts, err := MobilityCampaign(30, 3, []float64{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MobilityTable(pts).String()
+	if !strings.Contains(out, "measured n_r") || !strings.Contains(out, "saving") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+)
+
+// SweepPoint is one x-value of a parameter sweep with the four rows'
+// analytic and measured communication costs.
+type SweepPoint struct {
+	// X is the swept parameter value.
+	X int
+	// Rows are the four Table 2 rows at this x, in paper order.
+	Rows []RowResult
+}
+
+// scalePoint derives a full operating point from a node count, keeping the
+// Table 3 proportions: θ = 0.3·n0 (at least 2), k, α, L fixed, and n_m
+// taken as the member population the (T, L)-HiNet construction actually
+// yields (n0 − heads − gateways).
+func scalePoint(n0, k, alpha, L, nrT, nr1, seeds, churn int) PointConfig {
+	theta := (3 * n0) / 10
+	if theta < 2 {
+		theta = 2
+	}
+	gateways := (theta - 1) * (L - 1)
+	nm := n0 - theta - gateways
+	if nm < 1 {
+		nm = 1
+	}
+	return PointConfig{
+		P:          analysis.Params{N0: n0, Theta: theta, NM: nm, K: k, Alpha: alpha, L: L},
+		NRT:        nrT,
+		NR1:        nr1,
+		Seeds:      seeds,
+		ChurnEdges: churn,
+	}
+}
+
+// SweepN0 sweeps the network size with Table 3 proportions and returns one
+// SweepPoint per n0. The paper's headline shape — the HiNet rows cost a
+// fraction of their flat counterparts, with the gap widening in n0 — is
+// what this sweep regenerates.
+func SweepN0(ns []int, seeds int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ns))
+	for _, n0 := range ns {
+		cfg := scalePoint(n0, 8, 5, 2, analysis.Table3NRT, analysis.Table3NR1, seeds, n0/10)
+		rows, err := RunPoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("n0=%d: %w", n0, err)
+		}
+		out = append(out, SweepPoint{X: n0, Rows: rows})
+	}
+	return out, nil
+}
+
+// SweepK sweeps the token count at the Table 3 network point.
+func SweepK(ks []int, seeds int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ks))
+	for _, k := range ks {
+		cfg := Table3Config(seeds)
+		cfg.P.K = k
+		rows, err := RunPoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("k=%d: %w", k, err)
+		}
+		out = append(out, SweepPoint{X: k, Rows: rows})
+	}
+	return out, nil
+}
+
+// SweepNR sweeps the re-affiliation rate applied to both HiNet rows. The
+// flat baselines are insensitive to it; the HiNet communication rises
+// linearly with slope n_m·k, and the crossover where clustering stops
+// paying appears only at implausibly high churn — the paper's "n_r should
+// be much less than n_0" argument, made executable.
+func SweepNR(nrs []int, seeds int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(nrs))
+	for _, nr := range nrs {
+		cfg := Table3Config(seeds)
+		cfg.NRT = nr
+		cfg.NR1 = nr
+		rows, err := RunPoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("nr=%d: %w", nr, err)
+		}
+		out = append(out, SweepPoint{X: nr, Rows: rows})
+	}
+	return out, nil
+}
+
+// SweepAlpha sweeps the progress coefficient α at the Table 3 network
+// point — a tradeoff the paper leaves unexplored. Raising α lengthens each
+// phase (T = k + α·L) but cuts the phase count (⌈θ/α⌉ + 1), so both the
+// analytic time (⌈θ/α⌉+1)(k+αL) and the analytic communication
+// (⌈θ/α⌉+1)(n0−nm)k + nm·nr·k are non-monotone in α; the sweep exposes the
+// optimum.
+func SweepAlpha(alphas []int, seeds int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(alphas))
+	for _, a := range alphas {
+		cfg := Table3Config(seeds)
+		cfg.P.Alpha = a
+		rows, err := RunPoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("alpha=%d: %w", a, err)
+		}
+		out = append(out, SweepPoint{X: a, Rows: rows})
+	}
+	return out, nil
+}
+
+// AlphaTable renders the α sweep focused on the Algorithm 1 tradeoff.
+func AlphaTable(pts []SweepPoint) *report.Table {
+	tb := report.NewTable(
+		"Sweep D — the α tradeoff for Algorithm 1 (n0=100, θ=30, k=8, L=2)",
+		"α", "T=k+αL", "phases", "budget (rounds)", "formula comm", "sim time", "sim comm",
+	)
+	for _, pt := range pts {
+		alg1 := pt.Rows[1]
+		T := 8 + pt.X*2
+		tb.AddRowf(pt.X, T, alg1.Budget/T, alg1.Budget, alg1.Analytic.Comm,
+			alg1.MeasuredTime, alg1.MeasuredComm)
+	}
+	return tb
+}
+
+// SweepTable renders sweep points as a table: one line per x with the
+// analytic and simulated communication of all four rows plus the HiNet/KLO
+// cost ratios.
+func SweepTable(name, xLabel string, pts []SweepPoint) *report.Table {
+	tb := report.NewTable(name,
+		xLabel,
+		"KLO-T comm", "Alg1 comm", "Alg1/KLO-T",
+		"KLO-1 comm", "Alg2 comm", "Alg2/KLO-1",
+		"Alg1 sim", "KLO-T sim", "Alg2 sim", "KLO-1 sim",
+	)
+	for _, pt := range pts {
+		kloT, alg1, klo1, alg2 := pt.Rows[0], pt.Rows[1], pt.Rows[2], pt.Rows[3]
+		tb.AddRowf(pt.X,
+			kloT.Analytic.Comm, alg1.Analytic.Comm,
+			report.Ratio(float64(kloT.Analytic.Comm), float64(alg1.Analytic.Comm)),
+			klo1.Analytic.Comm, alg2.Analytic.Comm,
+			report.Ratio(float64(klo1.Analytic.Comm), float64(alg2.Analytic.Comm)),
+			alg1.MeasuredComm, kloT.MeasuredComm, alg2.MeasuredComm, klo1.MeasuredComm,
+		)
+	}
+	return tb
+}

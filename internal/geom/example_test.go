@@ -1,0 +1,34 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Example builds the physical substrate of a wireless scenario: positions
+// in a field and the unit-disk communication graph they induce.
+func Example() {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 4}}
+	g := geom.UnitDisk(pos, 4)
+	fmt.Println("0-1 in range:", g.HasEdge(0, 1))
+	fmt.Println("1-2 in range:", g.HasEdge(1, 2))
+	fmt.Println("0-2 in range (distance 5):", g.HasEdge(0, 2))
+	// Output:
+	// 0-1 in range: true
+	// 1-2 in range: true
+	// 0-2 in range (distance 5): false
+}
+
+// ExampleMobility runs random-waypoint motion and takes topology
+// snapshots, the driver behind the MANET scenarios.
+func ExampleMobility() {
+	m := geom.NewMobility(20, geom.Field{W: 50, H: 50}, 1, 2, 0, xrand.New(7))
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	g := m.Snapshot(20)
+	fmt.Println("nodes:", g.N(), "edges nonzero:", g.M() > 0)
+	// Output: nodes: 20 edges nonzero: true
+}

@@ -1,0 +1,176 @@
+// Package geom provides the 2-D geometry used by the mobility-driven
+// dynamic-network scenarios: points, a rectangular field, unit-disk
+// (communication-range) graphs, and a random-waypoint mobility model.
+//
+// The paper's system model is an ad hoc wireless network whose neighbourhood
+// relation "is determined by the communication range of the wireless
+// transmission" and whose topology changes "due to node mobility or other
+// reasons". This package supplies that physical substrate for the examples
+// and the mobility adversary.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Point is a position in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Add returns p + q (componentwise).
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q (componentwise).
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// String formats the point as (x, y) with two decimals.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Field is an axis-aligned rectangular deployment area [0,W] x [0,H].
+type Field struct {
+	W, H float64
+}
+
+// RandomPoint returns a uniform point inside the field.
+func (f Field) RandomPoint(rng *xrand.Rand) Point {
+	return Point{rng.Float64() * f.W, rng.Float64() * f.H}
+}
+
+// Clamp returns the nearest point of the field to p.
+func (f Field) Clamp(p Point) Point {
+	return Point{clamp(p.X, 0, f.W), clamp(p.Y, 0, f.H)}
+}
+
+// Contains reports whether p lies inside the field (inclusive).
+func (f Field) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= f.W && p.Y >= 0 && p.Y <= f.H
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// UnitDisk builds the communication graph induced by positions: nodes u and
+// v are neighbours iff their distance is at most radius.
+func UnitDisk(pos []Point, radius float64) *graph.Graph {
+	g := graph.New(len(pos))
+	for u := 0; u < len(pos); u++ {
+		for v := u + 1; v < len(pos); v++ {
+			if pos[u].Dist(pos[v]) <= radius {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Waypoint is the per-node state of the random-waypoint mobility model.
+type Waypoint struct {
+	pos   Point
+	dest  Point
+	speed float64
+	pause int // rounds left to pause at the current destination
+}
+
+// Mobility simulates n nodes moving in a field under the random-waypoint
+// model: each node repeatedly picks a uniform destination and a uniform
+// speed in [MinSpeed, MaxSpeed], travels there in straight-line steps (one
+// step per round), pauses for PauseRounds, and repeats.
+type Mobility struct {
+	Field       Field
+	MinSpeed    float64 // distance units per round
+	MaxSpeed    float64
+	PauseRounds int
+
+	nodes []Waypoint
+	rng   *xrand.Rand
+}
+
+// NewMobility places n nodes uniformly in the field and assigns initial
+// destinations. Speeds must satisfy 0 < MinSpeed <= MaxSpeed.
+func NewMobility(n int, field Field, minSpeed, maxSpeed float64, pauseRounds int, rng *xrand.Rand) *Mobility {
+	if minSpeed <= 0 || maxSpeed < minSpeed {
+		panic("geom: invalid speed range")
+	}
+	m := &Mobility{
+		Field:       field,
+		MinSpeed:    minSpeed,
+		MaxSpeed:    maxSpeed,
+		PauseRounds: pauseRounds,
+		nodes:       make([]Waypoint, n),
+		rng:         rng,
+	}
+	for i := range m.nodes {
+		m.nodes[i].pos = field.RandomPoint(rng)
+		m.retarget(i)
+	}
+	return m
+}
+
+// retarget assigns node i a fresh destination and speed.
+func (m *Mobility) retarget(i int) {
+	w := &m.nodes[i]
+	w.dest = m.Field.RandomPoint(m.rng)
+	w.speed = m.MinSpeed + m.rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+}
+
+// Step advances every node by one round.
+func (m *Mobility) Step() {
+	for i := range m.nodes {
+		w := &m.nodes[i]
+		if w.pause > 0 {
+			w.pause--
+			continue
+		}
+		d := w.dest.Sub(w.pos)
+		dist := d.Norm()
+		if dist <= w.speed {
+			w.pos = w.dest
+			w.pause = m.PauseRounds
+			m.retarget(i)
+			continue
+		}
+		w.pos = w.pos.Add(d.Scale(w.speed / dist))
+	}
+}
+
+// Positions returns a snapshot of current node positions.
+func (m *Mobility) Positions() []Point {
+	out := make([]Point, len(m.nodes))
+	for i := range m.nodes {
+		out[i] = m.nodes[i].pos
+	}
+	return out
+}
+
+// Snapshot returns the current communication graph for the given radio
+// range.
+func (m *Mobility) Snapshot(radius float64) *graph.Graph {
+	return UnitDisk(m.Positions(), radius)
+}
+
+// N returns the number of mobile nodes.
+func (m *Mobility) N() int { return len(m.nodes) }

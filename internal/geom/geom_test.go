@@ -1,0 +1,205 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, 1}
+	if p.Norm() != 5 {
+		t.Fatalf("Norm = %f", p.Norm())
+	}
+	if p.Dist(Point{0, 0}) != 5 {
+		t.Fatalf("Dist = %f", p.Dist(Point{0, 0}))
+	}
+	if p.Add(q) != (Point{4, 5}) || p.Sub(q) != (Point{2, 3}) || p.Scale(2) != (Point{6, 8}) {
+		t.Fatal("arithmetic wrong")
+	}
+	if p.String() != "(3.00, 4.00)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestFieldRandomPointInside(t *testing.T) {
+	f := Field{W: 10, H: 5}
+	rng := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		p := f.RandomPoint(rng)
+		if !f.Contains(p) {
+			t.Fatalf("point %v outside field", p)
+		}
+	}
+}
+
+func TestFieldClamp(t *testing.T) {
+	f := Field{W: 10, H: 5}
+	cases := []struct{ in, want Point }{
+		{Point{-1, 2}, Point{0, 2}},
+		{Point{11, 2}, Point{10, 2}},
+		{Point{3, -4}, Point{3, 0}},
+		{Point{3, 9}, Point{3, 5}},
+		{Point{3, 3}, Point{3, 3}},
+	}
+	for _, c := range cases {
+		if got := f.Clamp(c.in); got != c.want {
+			t.Fatalf("Clamp(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnitDisk(t *testing.T) {
+	pos := []Point{{0, 0}, {1, 0}, {3, 0}}
+	g := UnitDisk(pos, 1.5)
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatalf("unit disk edges wrong: %v", g.Edges())
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge 1-2 present despite dist 2 > radius 1.5")
+	}
+}
+
+func TestUnitDiskRadiusBoundaryInclusive(t *testing.T) {
+	pos := []Point{{0, 0}, {2, 0}}
+	if !UnitDisk(pos, 2).HasEdge(0, 1) {
+		t.Fatal("distance exactly radius should be an edge")
+	}
+	if UnitDisk(pos, 1.999).HasEdge(0, 1) {
+		t.Fatal("distance above radius should not be an edge")
+	}
+}
+
+func TestMobilityStaysInField(t *testing.T) {
+	f := Field{W: 20, H: 20}
+	m := NewMobility(30, f, 0.5, 2.0, 2, xrand.New(7))
+	for r := 0; r < 500; r++ {
+		m.Step()
+		for _, p := range m.Positions() {
+			if !f.Contains(p) {
+				t.Fatalf("round %d: node escaped to %v", r, p)
+			}
+		}
+	}
+}
+
+func TestMobilityActuallyMoves(t *testing.T) {
+	m := NewMobility(10, Field{W: 100, H: 100}, 1, 1, 0, xrand.New(3))
+	before := m.Positions()
+	for i := 0; i < 20; i++ {
+		m.Step()
+	}
+	after := m.Positions()
+	moved := 0
+	for i := range before {
+		if before[i].Dist(after[i]) > 1e-9 {
+			moved++
+		}
+	}
+	if moved < 8 {
+		t.Fatalf("only %d/10 nodes moved", moved)
+	}
+}
+
+func TestMobilityStepLengthBounded(t *testing.T) {
+	m := NewMobility(20, Field{W: 50, H: 50}, 0.5, 1.5, 0, xrand.New(9))
+	prev := m.Positions()
+	for r := 0; r < 200; r++ {
+		m.Step()
+		cur := m.Positions()
+		for i := range cur {
+			step := prev[i].Dist(cur[i])
+			if step > 1.5+1e-9 {
+				t.Fatalf("round %d node %d moved %f > max speed", r, i, step)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestMobilityPause(t *testing.T) {
+	// With speed large enough to arrive in one step and a long pause, a
+	// node must sit still for PauseRounds rounds after arrival.
+	m := NewMobility(1, Field{W: 10, H: 10}, 100, 100, 5, xrand.New(11))
+	m.Step() // arrives at destination
+	arrived := m.Positions()[0]
+	for i := 0; i < 5; i++ {
+		m.Step()
+		if m.Positions()[0] != arrived {
+			t.Fatalf("node moved during pause at step %d", i)
+		}
+	}
+	m.Step()
+	if m.Positions()[0] == arrived {
+		t.Fatal("node still paused after pause expired")
+	}
+}
+
+func TestNewMobilityInvalidSpeedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid speed range did not panic")
+		}
+	}()
+	NewMobility(1, Field{W: 1, H: 1}, 2, 1, 0, xrand.New(1))
+}
+
+func TestMobilityDeterministic(t *testing.T) {
+	a := NewMobility(10, Field{W: 30, H: 30}, 0.5, 2, 1, xrand.New(42))
+	b := NewMobility(10, Field{W: 30, H: 30}, 0.5, 2, 1, xrand.New(42))
+	for r := 0; r < 100; r++ {
+		a.Step()
+		b.Step()
+	}
+	pa, pb := a.Positions(), b.Positions()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("mobility nondeterministic at node %d", i)
+		}
+	}
+}
+
+func TestQuickDistSymmetricTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Bound inputs to avoid float overflow artifacts.
+		norm := func(v float64) float64 { return math.Mod(v, 1000) }
+		a := Point{norm(ax), norm(ay)}
+		b := Point{norm(bx), norm(by)}
+		c := Point{norm(cx), norm(cy)}
+		if math.IsNaN(a.X) || math.IsNaN(b.X) || math.IsNaN(c.X) ||
+			math.IsNaN(a.Y) || math.IsNaN(b.Y) || math.IsNaN(c.Y) {
+			return true
+		}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnitDisk(b *testing.B) {
+	rng := xrand.New(1)
+	f := Field{W: 100, H: 100}
+	pos := make([]Point, 200)
+	for i := range pos {
+		pos[i] = f.RandomPoint(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnitDisk(pos, 15)
+	}
+}
+
+func BenchmarkMobilityStep(b *testing.B) {
+	m := NewMobility(500, Field{W: 100, H: 100}, 0.5, 2, 2, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}

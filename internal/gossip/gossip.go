@@ -1,0 +1,119 @@
+// Package gossip implements the randomized gossip protocols the paper's
+// related-work section surveys (Kempe et al. FOCS'03, Mosk-Aoyama & Shah
+// PODC'06): probabilistic token exchange with one random neighbour per
+// round, the classic alternative to deterministic flooding in *static*
+// environments.
+//
+// Gossip is included as a comparator: it shows why the paper's setting
+// wants deterministic guarantees — in adversarial dynamic graphs gossip
+// delivers only with high probability and its completion time degrades
+// with churn, whereas flooding and the HiNet algorithms carry proofs.
+//
+// Two variants:
+//
+//   - Push: each round a node sends its token set to one uniformly chosen
+//     current neighbour.
+//   - PushPull: like Push, but a node that received pushes answers the
+//     pushers (one per round, FIFO) before resuming random pushing —
+//     the round-based analogue of the push-pull exchange.
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// Push is uniform push gossip.
+type Push struct {
+	// Seed derives each node's private partner-selection randomness.
+	Seed uint64
+}
+
+// Name implements sim.Protocol.
+func (p Push) Name() string { return fmt.Sprintf("gossip-push(seed=%d)", p.Seed) }
+
+// Nodes implements sim.Protocol.
+func (p Push) Nodes(assign *token.Assignment) []sim.Node {
+	return build(assign, p.Seed, false)
+}
+
+// PushPull is push gossip with reply-to-pusher behaviour.
+type PushPull struct {
+	// Seed derives each node's private partner-selection randomness.
+	Seed uint64
+}
+
+// Name implements sim.Protocol.
+func (p PushPull) Name() string { return fmt.Sprintf("gossip-pushpull(seed=%d)", p.Seed) }
+
+// Nodes implements sim.Protocol.
+func (p PushPull) Nodes(assign *token.Assignment) []sim.Node {
+	return build(assign, p.Seed, true)
+}
+
+func build(assign *token.Assignment, seed uint64, pull bool) []sim.Node {
+	master := xrand.New(seed)
+	nodes := make([]sim.Node, assign.N())
+	for v := range nodes {
+		nodes[v] = &gossipNode{
+			id:   v,
+			ta:   assign.Initial[v].Clone(),
+			rng:  master.Split(),
+			pull: pull,
+		}
+	}
+	return nodes
+}
+
+type gossipNode struct {
+	id   int
+	ta   *bitset.Set
+	rng  *xrand.Rand
+	pull bool
+
+	pending []int // pushers awaiting a pull reply (FIFO)
+}
+
+// Send implements sim.Node: push TA to one partner.
+func (n *gossipNode) Send(v sim.View) *sim.Message {
+	target := -1
+	if n.pull && len(n.pending) > 0 {
+		target = n.pending[0]
+		n.pending = n.pending[1:]
+	} else if len(v.Neighbors) > 0 {
+		target = xrand.Pick(n.rng, v.Neighbors)
+	}
+	if target < 0 {
+		return nil
+	}
+	return &sim.Message{
+		To:     target,
+		Kind:   sim.KindBroadcast,
+		Tokens: n.ta.Clone(),
+	}
+}
+
+// Deliver implements sim.Node: absorb pushes addressed to this node.
+func (n *gossipNode) Deliver(v sim.View, msgs []*sim.Message) {
+	for _, m := range msgs {
+		if m.To != n.id {
+			continue
+		}
+		n.ta.UnionWith(m.Tokens)
+		if n.pull {
+			n.pending = append(n.pending, m.From)
+		}
+	}
+}
+
+// Tokens implements sim.Node.
+func (n *gossipNode) Tokens() *bitset.Set { return n.ta }
+
+var (
+	_ sim.Protocol = Push{}
+	_ sim.Protocol = PushPull{}
+)

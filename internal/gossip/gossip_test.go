@@ -1,0 +1,147 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/tvg"
+	"repro/internal/xrand"
+)
+
+func TestNames(t *testing.T) {
+	if (Push{Seed: 3}).Name() != "gossip-push(seed=3)" {
+		t.Fatal("push name")
+	}
+	if (PushPull{Seed: 3}).Name() != "gossip-pushpull(seed=3)" {
+		t.Fatal("pushpull name")
+	}
+}
+
+func TestPushCompletesOnCompleteGraph(t *testing.T) {
+	// Classic epidemic spreading: O(log n) rounds whp on K_n. With n=32
+	// a 60-round budget is astronomically safe for fixed seeds.
+	const n = 32
+	d := sim.NewFlat(tvg.Static{G: graph.Complete(n)})
+	for seed := uint64(0); seed < 5; seed++ {
+		assign := token.SingleSource(n, 1, 0)
+		met := sim.RunProtocol(d, Push{Seed: seed}, assign,
+			sim.Options{MaxRounds: 60, StopWhenComplete: true})
+		if !met.Complete {
+			t.Fatalf("seed %d: push gossip incomplete on K_n: %v", seed, met)
+		}
+		if met.CompletionRound < 5 {
+			t.Fatalf("seed %d: completion in %d rounds is faster than 1-per-push allows",
+				seed, met.CompletionRound)
+		}
+	}
+}
+
+func TestPushPullFasterOrEqualOnAverage(t *testing.T) {
+	const n, k, seeds = 32, 4, 8
+	d := sim.NewFlat(tvg.Static{G: graph.Complete(n)})
+	var push, pushpull int
+	for seed := uint64(0); seed < seeds; seed++ {
+		assign := token.Spread(n, k, xrand.New(seed+40))
+		mp := sim.RunProtocol(d, Push{Seed: seed}, assign,
+			sim.Options{MaxRounds: 200, StopWhenComplete: true})
+		mpp := sim.RunProtocol(d, PushPull{Seed: seed}, assign,
+			sim.Options{MaxRounds: 200, StopWhenComplete: true})
+		if !mp.Complete || !mpp.Complete {
+			t.Fatalf("seed %d incomplete", seed)
+		}
+		push += mp.CompletionRound
+		pushpull += mpp.CompletionRound
+	}
+	// Pull replies cannot hurt on a complete graph; allow small noise.
+	if pushpull > push+seeds {
+		t.Fatalf("push-pull (%d total rounds) much slower than push (%d)", pushpull, push)
+	}
+}
+
+func TestGossipOnlyAddresseeAbsorbs(t *testing.T) {
+	// Node 1 pushes to exactly one of its two neighbours on a path; the
+	// other must not absorb.
+	g := graph.Path(3)
+	d := sim.NewFlat(tvg.Static{G: g})
+	assign := token.SingleSource(3, 1, 1)
+	nodes := Push{Seed: 7}.Nodes(assign)
+	sim.Run(d, nodes, assign, sim.Options{MaxRounds: 1})
+	got0 := nodes[0].Tokens().Contains(0)
+	got2 := nodes[2].Tokens().Contains(0)
+	if got0 == got2 {
+		t.Fatalf("exactly one neighbour should have the token (got0=%v got2=%v)", got0, got2)
+	}
+}
+
+func TestPushPullRepliesToPusher(t *testing.T) {
+	// Star with center 0 holding nothing; leaf 1 holds the token and
+	// pushes to 0 (its only neighbour). Next round, 0 must reply to 1
+	// (pull) rather than push to a random other leaf — observable when 0
+	// has pending repliers.
+	g := graph.Star(4, 0)
+	d := sim.NewFlat(tvg.Static{G: g})
+	assign := token.SingleSource(4, 1, 1)
+	var round1Target = -2
+	obs := &sim.Observer{Sent: func(r int, m *sim.Message) {
+		if r == 1 && m.From == 0 {
+			round1Target = m.To
+		}
+	}}
+	sim.RunProtocol(d, PushPull{Seed: 5}, assign,
+		sim.Options{MaxRounds: 2, Observer: obs})
+	if round1Target != 1 {
+		t.Fatalf("center replied to %d, want pusher 1", round1Target)
+	}
+}
+
+func TestGossipSurvivesDynamicGraphs(t *testing.T) {
+	// On 1-interval dynamics gossip still completes eventually (no
+	// worst-case guarantee, but overwhelmingly within a generous budget).
+	const n, k = 24, 4
+	for seed := uint64(0); seed < 4; seed++ {
+		adv := adversary.NewOneInterval(n, 3*n, xrand.New(seed))
+		assign := token.Spread(n, k, xrand.New(seed+9))
+		met := sim.RunProtocol(sim.NewFlat(adv), PushPull{Seed: seed}, assign,
+			sim.Options{MaxRounds: 40 * n, StopWhenComplete: true})
+		if !met.Complete {
+			t.Fatalf("seed %d: gossip incomplete within 40n rounds: %v", seed, met)
+		}
+	}
+}
+
+func TestGossipIsolatedNodeSilent(t *testing.T) {
+	g := graph.New(2) // no edges
+	d := sim.NewFlat(tvg.Static{G: g})
+	assign := token.SingleSource(2, 1, 0)
+	met := sim.RunProtocol(d, Push{Seed: 1}, assign, sim.Options{MaxRounds: 5})
+	if met.Messages != 0 {
+		t.Fatalf("isolated nodes pushed %d messages", met.Messages)
+	}
+}
+
+func TestGossipDeterministicWithSeed(t *testing.T) {
+	const n, k = 20, 3
+	run := func() *sim.Metrics {
+		adv := adversary.NewOneInterval(n, 2*n, xrand.New(4))
+		assign := token.Spread(n, k, xrand.New(5))
+		return sim.RunProtocol(sim.NewFlat(adv), Push{Seed: 11}, assign,
+			sim.Options{MaxRounds: 300, StopWhenComplete: true})
+	}
+	a, b := run(), run()
+	if a.CompletionRound != b.CompletionRound || a.TokensSent != b.TokensSent {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkPushGossip(b *testing.B) {
+	const n, k = 64, 8
+	d := sim.NewFlat(tvg.Static{G: graph.Complete(n)})
+	for i := 0; i < b.N; i++ {
+		assign := token.Spread(n, k, xrand.New(uint64(i)))
+		sim.RunProtocol(d, Push{Seed: uint64(i)}, assign,
+			sim.Options{MaxRounds: 300, StopWhenComplete: true})
+	}
+}

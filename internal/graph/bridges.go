@@ -1,0 +1,120 @@
+package graph
+
+// This file implements bridge and articulation-point detection (Tarjan's
+// low-link algorithm, iterative to stay stack-safe on large graphs). The
+// backbone-fragility analysis uses it: a bridge in the stable head
+// subgraph Υ is a single edge whose loss partitions the cluster heads, and
+// an articulation gateway is a single node whose crash does the same.
+
+// Bridges returns the bridge edges of g (edges whose removal increases the
+// number of connected components), in canonical order.
+func (g *Graph) Bridges() []Edge {
+	bridges, _ := g.cutAnalysis()
+	return bridges
+}
+
+// ArticulationPoints returns the cut vertices of g, ascending.
+func (g *Graph) ArticulationPoints() []int {
+	_, arts := g.cutAnalysis()
+	return arts
+}
+
+// cutAnalysis runs one iterative DFS computing both bridges and
+// articulation points.
+func (g *Graph) cutAnalysis() ([]Edge, []int) {
+	n := g.n
+	disc := make([]int, n) // discovery time, 0 = unvisited
+	low := make([]int, n)  // low-link
+	parent := make([]int, n)
+	isArt := make([]bool, n)
+	var bridges []Edge
+	timer := 0
+
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	type frame struct {
+		v   int
+		idx int // next neighbour index to process
+	}
+
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		rootChildren := 0
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack := []frame{{v: root}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			nbrs := g.adj[v]
+			if f.idx < len(nbrs) {
+				u := nbrs[f.idx]
+				f.idx++
+				switch {
+				case disc[u] == 0:
+					parent[u] = v
+					if v == root {
+						rootChildren++
+					}
+					timer++
+					disc[u] = timer
+					low[u] = timer
+					stack = append(stack, frame{v: u})
+				case u != parent[v]:
+					if disc[u] < low[v] {
+						low[v] = disc[u]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent and detect
+			// bridges / articulation points.
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p >= 0 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] > disc[p] {
+					bridges = append(bridges, NormEdge(p, v))
+				}
+				if p != root && low[v] >= disc[p] {
+					isArt[p] = true
+				}
+			}
+		}
+		if rootChildren >= 2 {
+			isArt[root] = true
+		}
+	}
+
+	// Canonical ordering for determinism.
+	sortEdges(bridges)
+	var arts []int
+	for v, ok := range isArt {
+		if ok {
+			arts = append(arts, v)
+		}
+	}
+	return bridges, arts
+}
+
+func sortEdges(es []Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}
+
+func less(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBridgesOnPath(t *testing.T) {
+	// Every edge of a path is a bridge; every interior vertex articulates.
+	g := Path(5)
+	bridges := g.Bridges()
+	if len(bridges) != 4 {
+		t.Fatalf("bridges %v", bridges)
+	}
+	arts := g.ArticulationPoints()
+	want := []int{1, 2, 3}
+	if len(arts) != 3 {
+		t.Fatalf("articulation points %v", arts)
+	}
+	for i := range want {
+		if arts[i] != want[i] {
+			t.Fatalf("articulation points %v", arts)
+		}
+	}
+}
+
+func TestBridgesOnCycle(t *testing.T) {
+	g := Ring(6)
+	if len(g.Bridges()) != 0 {
+		t.Fatalf("cycle has bridges: %v", g.Bridges())
+	}
+	if len(g.ArticulationPoints()) != 0 {
+		t.Fatalf("cycle has articulation points: %v", g.ArticulationPoints())
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one edge 2-3: that edge is the only bridge;
+	// 2 and 3 are the only articulation points.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	g.AddEdge(2, 3)
+	bridges := g.Bridges()
+	if len(bridges) != 1 || bridges[0] != NormEdge(2, 3) {
+		t.Fatalf("bridges %v", bridges)
+	}
+	arts := g.ArticulationPoints()
+	if len(arts) != 2 || arts[0] != 2 || arts[1] != 3 {
+		t.Fatalf("articulation points %v", arts)
+	}
+}
+
+func TestBridgesStar(t *testing.T) {
+	g := Star(5, 2)
+	if len(g.Bridges()) != 4 {
+		t.Fatalf("star bridges %v", g.Bridges())
+	}
+	arts := g.ArticulationPoints()
+	if len(arts) != 1 || arts[0] != 2 {
+		t.Fatalf("star articulation points %v", arts)
+	}
+}
+
+func TestBridgesDisconnected(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3) // vertex 4 isolated
+	bridges := g.Bridges()
+	if len(bridges) != 2 {
+		t.Fatalf("bridges %v", bridges)
+	}
+	if len(g.ArticulationPoints()) != 0 {
+		t.Fatal("K2 components have no articulation points")
+	}
+}
+
+func TestBridgesEmptyAndSingle(t *testing.T) {
+	if len(New(0).Bridges()) != 0 || len(New(1).Bridges()) != 0 {
+		t.Fatal("trivial graphs have bridges")
+	}
+	if len(Complete(4).Bridges()) != 0 {
+		t.Fatal("K4 has bridges")
+	}
+}
+
+// bruteBridges recomputes bridges by removing each edge and checking
+// component counts — the oracle for the property test.
+func bruteBridges(g *Graph) []Edge {
+	var out []Edge
+	base := len(g.Components())
+	for _, e := range g.Edges() {
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		if len(h.Components()) > base {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// bruteArticulation removes each vertex's edges and compares component
+// counts among the remaining vertices.
+func bruteArticulation(g *Graph) []int {
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		h := g.Clone()
+		for _, u := range append([]int(nil), h.Neighbors(v)...) {
+			h.RemoveEdge(v, u)
+		}
+		// Count components ignoring the now-isolated v; compare against
+		// the original count ignoring nothing.
+		orig := 0
+		for _, c := range g.Components() {
+			if len(c) > 1 || c[0] != v {
+				orig++
+			}
+		}
+		after := 0
+		for _, c := range h.Components() {
+			if len(c) > 1 || c[0] != v {
+				after++
+			}
+		}
+		if after > orig {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestQuickBridgesMatchOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(20)
+		g := RandomGNP(n, 0.15+rng.Float64()*0.2, rng)
+		got := g.Bridges()
+		want := bruteBridges(g)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickArticulationMatchesOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(20)
+		g := RandomGNP(n, 0.15+rng.Float64()*0.2, rng)
+		got := g.ArticulationPoints()
+		want := bruteArticulation(g)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBridges(b *testing.B) {
+	g := RandomConnected(300, 500, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Bridges()
+	}
+}

@@ -1,0 +1,211 @@
+// Package graph implements the static undirected graphs that underlie every
+// dynamic network model in this repository.
+//
+// A dynamic network is a sequence of static snapshots (one per round), so
+// the representation is optimised for cheap construction, cloning, and
+// neighbourhood iteration. Vertices are dense integers 0..n-1, matching the
+// node identifiers used by the simulator.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1, stored as sorted
+// adjacency lists. Self-loops and parallel edges are rejected.
+type Graph struct {
+	n   int
+	adj [][]int
+	m   int
+}
+
+// New returns an empty graph on n vertices. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// check panics if v is not a valid vertex.
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Adding an existing edge or a
+// self-loop is a no-op returning false; a new edge returns true.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.insert(u, v)
+	g.insert(v, u)
+	g.m++
+	return true
+}
+
+// insert places w into u's sorted adjacency list.
+func (g *Graph) insert(u, w int) {
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, w)
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = w
+	g.adj[u] = lst
+}
+
+// RemoveEdge deletes the undirected edge {u, v}; it returns false if the
+// edge was absent.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.delete(u, v)
+	g.delete(v, u)
+	g.m--
+	return true
+}
+
+func (g *Graph) delete(u, w int) {
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, w)
+	g.adj[u] = append(lst[:i], lst[i+1:]...)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, v)
+	return i < len(lst) && lst[i] == v
+}
+
+// Neighbors returns u's adjacency list in ascending order. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([][]int, g.n)}
+	for v, lst := range g.adj {
+		c.adj[v] = append([]int(nil), lst...)
+	}
+	return c
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int
+}
+
+// NormEdge returns the canonical (U < V) form of {u, v}.
+func NormEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{u, v}
+}
+
+// Edges returns all edges in canonical order (sorted by U then V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u, lst := range g.adj {
+		for _, v := range lst {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// FromEdges builds a graph on n vertices from an edge list. Duplicate edges
+// and self-loops are ignored.
+func FromEdges(n int, edges []Edge) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// Union returns the union of a and b (which must have equal vertex counts).
+func Union(a, b *Graph) *Graph {
+	if a.n != b.n {
+		panic("graph: Union of graphs with different vertex counts")
+	}
+	c := a.Clone()
+	for u, lst := range b.adj {
+		for _, v := range lst {
+			if u < v {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// Intersect returns the intersection of a and b (equal vertex counts).
+func Intersect(a, b *Graph) *Graph {
+	if a.n != b.n {
+		panic("graph: Intersect of graphs with different vertex counts")
+	}
+	c := New(a.n)
+	for u, lst := range a.adj {
+		for _, v := range lst {
+			if u < v && b.HasEdge(u, v) {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// IsSubgraphOf reports whether every edge of g is an edge of h (same vertex
+// count required).
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.n != h.n {
+		return false
+	}
+	for u, lst := range g.adj {
+		for _, v := range lst {
+			if u < v && !h.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether g and h have identical vertex and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	return g.n == h.n && g.m == h.m && g.IsSubgraphOf(h)
+}
+
+// String renders a compact description, e.g. "G(n=4, m=3)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("G(n=%d, m=%d)", g.n, g.m)
+}

@@ -1,0 +1,174 @@
+package hinet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+)
+
+// Probe inspects a recorded or generated dynamic network and reports which
+// of the paper's stability definitions it satisfies, and with what
+// parameters — the diagnostic counterpart of the Model checker. Given a
+// trace, it answers "what (T, L)-HiNet is this, if any?".
+type ProbeReport struct {
+	// Horizon is the number of rounds examined.
+	Horizon int
+	// MaxStableT is the largest T such that the hierarchy is T-interval
+	// stable on every aligned window of the horizon (Definition 4); 0 if
+	// even single rounds break structural validity.
+	MaxStableT int
+	// HeadSetForever reports Definition 2 with T = ∞ over the horizon.
+	HeadSetForever bool
+	// MinL is the smallest L such that every aligned MaxStableT-window
+	// has L-hop head connectivity within its stable head subgraph
+	// (Definition 7); -1 if some window lacks head connectivity entirely.
+	MinL int
+	// Valid reports whether every round passed structural validation.
+	Valid bool
+	// InvalidRound is the first structurally invalid round (when !Valid).
+	InvalidRound int
+	// Reaffiliations counts member cluster-change events over the
+	// horizon: a node affiliated in consecutive rounds whose cluster ID
+	// changed. This is the measured total behind the paper's n_m·n_r.
+	Reaffiliations int
+	// AvgMembers is the mean number of members per round (the paper's
+	// n_m).
+	AvgMembers float64
+	// MeasuredNR is Reaffiliations normalised per member (the paper's
+	// n_r over this horizon): Reaffiliations / AvgMembers.
+	MeasuredNR float64
+	// Heads is the maximum number of simultaneous cluster heads observed
+	// (the θ to plug into the phase-count formulas).
+	Heads int
+	// BackboneBridges and BackboneCutNodes measure the fragility of the
+	// first window's stable head subgraph Υ: bridges are single edges
+	// whose loss partitions the heads, cut nodes are single relays whose
+	// crash does. Tree backbones are maximally fragile; deployments
+	// wanting crash tolerance should provision redundant gateways.
+	BackboneBridges  int
+	BackboneCutNodes int
+}
+
+// String renders the report in the paper's vocabulary.
+func (r ProbeReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "probe over %d rounds: ", r.Horizon)
+	if !r.Valid {
+		fmt.Fprintf(&sb, "INVALID hierarchy at round %d", r.InvalidRound)
+		return sb.String()
+	}
+	if r.MinL < 0 {
+		fmt.Fprintf(&sb, "hierarchy %d-interval stable but cluster heads are not connected", r.MaxStableT)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "(%d, %d)-HiNet", r.MaxStableT, r.MinL)
+	if r.HeadSetForever {
+		sb.WriteString(" with ∞-interval stable head set (Remark 1 applies)")
+	}
+	fmt.Fprintf(&sb, "; n_m≈%.0f, measured n_r=%.2f", r.AvgMembers, r.MeasuredNR)
+	return sb.String()
+}
+
+// Probe analyses rounds [0, horizon) of the network.
+func Probe(d ctvg.Dynamic, horizon int) ProbeReport {
+	if horizon <= 0 {
+		panic("hinet: Probe needs horizon > 0")
+	}
+	rep := ProbeReport{Horizon: horizon, Valid: true, InvalidRound: -1, MinL: -1}
+
+	for r := 0; r < horizon; r++ {
+		if err := d.HierarchyAt(r).Validate(d.At(r)); err != nil {
+			rep.Valid = false
+			rep.InvalidRound = r
+			return rep
+		}
+	}
+	rep.HeadSetForever = HeadSetStable(d, 0, horizon)
+
+	// Churn accounting: member-role cluster changes between consecutive
+	// rounds, plus the average member population.
+	memberRounds := 0
+	for r := 0; r < horizon; r++ {
+		h := d.HierarchyAt(r)
+		if heads := len(h.Heads()); heads > rep.Heads {
+			rep.Heads = heads
+		}
+		for v := 0; v < h.N(); v++ {
+			if h.Role[v] == ctvg.Member {
+				memberRounds++
+			}
+		}
+		if r == 0 {
+			continue
+		}
+		prev := d.HierarchyAt(r - 1)
+		for v := 0; v < h.N(); v++ {
+			if h.Role[v] != ctvg.Member {
+				continue
+			}
+			pc, cc := prev.Cluster[v], h.Cluster[v]
+			if pc != ctvg.NoCluster && cc != ctvg.NoCluster && pc != cc {
+				rep.Reaffiliations++
+			}
+		}
+	}
+	rep.AvgMembers = float64(memberRounds) / float64(horizon)
+	if rep.AvgMembers > 0 {
+		rep.MeasuredNR = float64(rep.Reaffiliations) / rep.AvgMembers
+	}
+
+	// Largest T whose ALIGNED windows are all hierarchy-stable. Stability
+	// of aligned T-windows is not monotone in T, so scan down from the
+	// horizon.
+	rep.MaxStableT = 1
+	for T := horizon; T >= 2; T-- {
+		ok := true
+		for from := 0; from+T <= horizon; from += T {
+			if !HierarchyStable(d, from, T) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rep.MaxStableT = T
+			break
+		}
+	}
+
+	// Minimal L over the aligned MaxStableT windows.
+	T := rep.MaxStableT
+	maxLinkage := 0
+	for from := 0; from+T <= horizon; from += T {
+		upsilon, connected := HeadSubgraph(d, from, T)
+		if !connected {
+			rep.MinL = -1
+			return rep
+		}
+		L, ok := HeadLinkage(upsilon, d.HierarchyAt(from).Heads())
+		if !ok {
+			rep.MinL = -1
+			return rep
+		}
+		if L > maxLinkage {
+			maxLinkage = L
+		}
+	}
+	rep.MinL = maxLinkage
+
+	// Fragility of the first window's Υ, restricted to relay nodes
+	// (heads + gateways): member star edges are pendant by construction
+	// and would drown the signal.
+	upsilon, _ := HeadSubgraph(d, 0, T)
+	h0 := d.HierarchyAt(0)
+	backbone := graph.New(d.N())
+	for _, e := range upsilon.Edges() {
+		if h0.IsRelay(e.U) && h0.IsRelay(e.V) {
+			backbone.AddEdge(e.U, e.V)
+		}
+	}
+	rep.BackboneBridges = len(backbone.Bridges())
+	rep.BackboneCutNodes = len(backbone.ArticulationPoints())
+	return rep
+}

@@ -1,0 +1,27 @@
+package multihop_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/multihop"
+)
+
+// Example builds a 2-hop clustering of a 9-node path — the paper's
+// future-work "multi-hop clusters" — and shows the parent-oriented view
+// that lets Algorithm 1 run on it unchanged.
+func Example() {
+	g := graph.Path(9)
+	h, err := multihop.Build(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("heads:", h.Heads)
+	fmt.Println("node 8: head", h.HeadOf[8], "parent", h.Parent[8], "depth", h.Depth[8])
+	L, _ := h.MaxHeadSeparation(g)
+	fmt.Printf("head separation %d <= 2d+1 = %d\n", L, 2*2+1)
+	// Output:
+	// heads: [0 3 6]
+	// node 8: head 6 parent 7 depth 2
+	// head separation 3 <= 2d+1 = 5
+}

@@ -1,0 +1,268 @@
+// Package multihop implements the paper's stated future-work direction:
+// cluster hierarchies whose members may be up to d hops from their head
+// ("how to handle multi-hop clusters should be an interesting issue").
+//
+// Construction: a greedy d-hop independent dominating head set (no two
+// heads within d hops; every node within d hops of a head), shortest-path
+// trees rooted at the heads assigning every node a parent toward its head,
+// and gateway marking on inter-head bridge paths (heads of neighbouring
+// clusters are at most 2d+1 hops apart, generalising the paper's L <= 3
+// observation for 1-hop clusters).
+//
+// The key design insight is the *parent-oriented view*: exporting the
+// hierarchy to the engine with I(v) = parent(v) (rather than the cluster
+// head) and marking every tree-internal node a Gateway makes the paper's
+// Algorithms 1 and 2 run on d-hop clusters completely unchanged — members
+// upload to their parent, tree-internal relays pipeline tokens up, across
+// the inter-head backbone, and back down.
+package multihop
+
+import (
+	"fmt"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+)
+
+// Hierarchy is a d-hop cluster structure over a static topology.
+type Hierarchy struct {
+	// D is the cluster radius in hops.
+	D int
+	// HeadOf[v] is the cluster head's node ID (HeadOf[h] == h for heads).
+	HeadOf []int
+	// Parent[v] is v's tree parent toward its head; -1 for heads.
+	Parent []int
+	// Depth[v] is v's hop distance from its head (0 for heads).
+	Depth []int
+	// Heads is the sorted head list.
+	Heads []int
+}
+
+// Build constructs a d-hop clustering of the connected graph g. It returns
+// an error if g is disconnected (clusters would be ill-defined for
+// unreachable nodes) or d < 1.
+func Build(g *graph.Graph, d int) (*Hierarchy, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("multihop: d=%d must be at least 1", d)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("multihop: graph must be connected")
+	}
+	n := g.N()
+	h := &Hierarchy{
+		D:      d,
+		HeadOf: make([]int, n),
+		Parent: make([]int, n),
+		Depth:  make([]int, n),
+	}
+	for v := range h.HeadOf {
+		h.HeadOf[v] = -1
+		h.Parent[v] = -1
+		h.Depth[v] = -1
+	}
+
+	// Greedy d-hop independent dominating set in ID order: v becomes a
+	// head iff no already-elected head lies within d hops.
+	covered := make([]bool, n) // within d hops of some head
+	for v := 0; v < n; v++ {
+		if covered[v] {
+			continue
+		}
+		h.Heads = append(h.Heads, v)
+		for _, u := range g.NeighborhoodWithin(v, d) {
+			covered[u] = true
+		}
+	}
+
+	// Multi-source BFS from all heads simultaneously: nearest head wins,
+	// ties broken by BFS order (lowest head first since Heads ascend and
+	// the queue is seeded in order).
+	queue := make([]int, 0, n)
+	for _, hd := range h.Heads {
+		h.HeadOf[hd] = hd
+		h.Depth[hd] = 0
+		queue = append(queue, hd)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if h.HeadOf[w] < 0 {
+				h.HeadOf[w] = h.HeadOf[u]
+				h.Parent[w] = u
+				h.Depth[w] = h.Depth[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Validate checks the structural invariants against the topology:
+// domination within D hops, parent adjacency, parents one level shallower
+// and in the same cluster, heads self-rooted.
+func (h *Hierarchy) Validate(g *graph.Graph) error {
+	n := g.N()
+	if len(h.HeadOf) != n {
+		return fmt.Errorf("multihop: size mismatch")
+	}
+	isHead := make([]bool, n)
+	for _, hd := range h.Heads {
+		isHead[hd] = true
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case h.HeadOf[v] < 0:
+			return fmt.Errorf("multihop: node %d unassigned", v)
+		case isHead[v]:
+			if h.HeadOf[v] != v || h.Parent[v] != -1 || h.Depth[v] != 0 {
+				return fmt.Errorf("multihop: head %d malformed", v)
+			}
+		default:
+			p := h.Parent[v]
+			if p < 0 {
+				return fmt.Errorf("multihop: non-head %d has no parent", v)
+			}
+			if !g.HasEdge(v, p) {
+				return fmt.Errorf("multihop: node %d not adjacent to parent %d", v, p)
+			}
+			if h.HeadOf[p] != h.HeadOf[v] {
+				return fmt.Errorf("multihop: node %d and parent %d in different clusters", v, p)
+			}
+			if h.Depth[v] != h.Depth[p]+1 {
+				return fmt.Errorf("multihop: node %d depth inconsistent", v)
+			}
+			if h.Depth[v] > h.D {
+				return fmt.Errorf("multihop: node %d at depth %d > d=%d", v, h.Depth[v], h.D)
+			}
+		}
+	}
+	// d-hop independence of heads.
+	for i, a := range h.Heads {
+		da, _ := g.BFS(a)
+		for _, b := range h.Heads[i+1:] {
+			if da[b] <= h.D {
+				t := da[b]
+				return fmt.Errorf("multihop: heads %d and %d only %d hops apart", a, b, t)
+			}
+		}
+	}
+	return nil
+}
+
+// MembersOf returns the nodes of head k's cluster excluding k, ascending.
+func (h *Hierarchy) MembersOf(k int) []int {
+	var out []int
+	for v, hd := range h.HeadOf {
+		if hd == k && v != k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ParentView exports the parent-oriented ctvg.Hierarchy that runs the
+// paper's algorithms unchanged on d-hop clusters:
+//
+//   - heads keep the Head role;
+//   - tree-internal nodes (nodes with children) and inter-head bridge
+//     nodes become Gateways, with I(v) = parent(v);
+//   - leaves become Members with I(v) = parent(v).
+//
+// bridge nodes are the interiors of shortest paths between heads at most
+// maxLink hops apart in g (pass 2*D+1 for neighbouring clusters).
+func (h *Hierarchy) ParentView(g *graph.Graph, maxLink int) *ctvg.Hierarchy {
+	n := len(h.HeadOf)
+	out := ctvg.NewHierarchy(n)
+	hasChild := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if p := h.Parent[v]; p >= 0 {
+			hasChild[p] = true
+		}
+	}
+	for _, hd := range h.Heads {
+		out.SetHead(hd)
+	}
+	for v := 0; v < n; v++ {
+		if h.HeadOf[v] == v {
+			continue
+		}
+		if hasChild[v] {
+			out.SetGateway(v, h.Parent[v])
+		} else {
+			out.SetMember(v, h.Parent[v])
+		}
+	}
+	// Inter-head bridges: promote interiors of head-to-head shortest
+	// paths so the relay subgraph is connected across clusters.
+	for _, a := range h.Heads {
+		dist, parent := g.BFS(a)
+		for _, b := range h.Heads {
+			if b <= a || dist[b] > maxLink {
+				continue
+			}
+			for cur := parent[b]; cur != a && cur != -1; cur = parent[cur] {
+				if out.Role[cur] == ctvg.Member {
+					out.SetGateway(cur, out.Cluster[cur])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxHeadSeparation returns the largest head-to-head bottleneck linkage in
+// g (the generalised L). For a d-hop clustering of a connected graph it is
+// at most 2d+1.
+func (h *Hierarchy) MaxHeadSeparation(g *graph.Graph) (int, bool) {
+	return headLinkage(g, h.Heads)
+}
+
+// headLinkage is the bottleneck-MST linkage (duplicated from
+// internal/hinet to keep the dependency graph acyclic: hinet depends on
+// ctvg only; multihop is a leaf extension).
+func headLinkage(g *graph.Graph, heads []int) (int, bool) {
+	if len(heads) < 2 {
+		return 0, true
+	}
+	k := len(heads)
+	dist := make([][]int, k)
+	for i, hd := range heads {
+		d, _ := g.BFS(hd)
+		dist[i] = make([]int, k)
+		for j, h2 := range heads {
+			dist[i][j] = d[h2]
+			if d[h2] == graph.Inf && i != j {
+				return 0, false
+			}
+		}
+	}
+	inTree := make([]bool, k)
+	best := make([]int, k)
+	for i := range best {
+		best[i] = graph.Inf
+	}
+	inTree[0] = true
+	for j := 1; j < k; j++ {
+		best[j] = dist[0][j]
+	}
+	L := 0
+	for added := 1; added < k; added++ {
+		min, at := graph.Inf, -1
+		for j := 0; j < k; j++ {
+			if !inTree[j] && best[j] < min {
+				min, at = best[j], j
+			}
+		}
+		if min > L {
+			L = min
+		}
+		inTree[at] = true
+		for j := 0; j < k; j++ {
+			if !inTree[j] && dist[at][j] < best[j] {
+				best[j] = dist[at][j]
+			}
+		}
+	}
+	return L, true
+}

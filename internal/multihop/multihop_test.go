@@ -1,0 +1,290 @@
+package multihop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Build(g, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	if _, err := Build(disc, 2); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestBuildOnPath(t *testing.T) {
+	// Path of 9 nodes, d=2: head 0 covers 0..2; node 3 uncovered -> head
+	// 3 covers 1..5; node 6 -> head 6 covers 4..8. Heads: 0, 3, 6.
+	g := graph.Path(9)
+	h, err := Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Heads) != 3 || h.Heads[0] != 0 || h.Heads[1] != 3 || h.Heads[2] != 6 {
+		t.Fatalf("heads %v", h.Heads)
+	}
+	if err := h.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Node 8 is depth 2 from head 6.
+	if h.HeadOf[8] != 6 || h.Depth[8] != 2 || h.Parent[8] != 7 {
+		t.Fatalf("node 8: head=%d depth=%d parent=%d", h.HeadOf[8], h.Depth[8], h.Parent[8])
+	}
+}
+
+func TestBuildRandomGraphsValid(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := xrand.New(seed)
+		g := graph.RandomConnected(50, 80, rng)
+		for _, d := range []int{1, 2, 3} {
+			h, err := Build(g, d)
+			if err != nil {
+				t.Fatalf("seed %d d %d: %v", seed, d, err)
+			}
+			if err := h.Validate(g); err != nil {
+				t.Fatalf("seed %d d %d: %v", seed, d, err)
+			}
+			// The generalised linkage bound: heads at most 2d+1 apart.
+			L, ok := h.MaxHeadSeparation(g)
+			if !ok || L > 2*d+1 {
+				t.Fatalf("seed %d d %d: head separation %d > 2d+1", seed, d, L)
+			}
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	g := graph.Path(9)
+	fresh := func() *Hierarchy {
+		h, err := Build(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	cases := []struct {
+		name   string
+		mutate func(h *Hierarchy)
+	}{
+		{"unassigned node", func(h *Hierarchy) { h.HeadOf[4] = -1 }},
+		{"head with parent", func(h *Hierarchy) { h.Parent[0] = 1 }},
+		{"orphan non-head", func(h *Hierarchy) { h.Parent[4] = -1 }},
+		{"non-adjacent parent", func(h *Hierarchy) { h.Parent[4] = 8 }},
+		{"cross-cluster parent", func(h *Hierarchy) { h.Parent[4] = 5; h.Depth[4] = h.Depth[5] + 1 }},
+		{"depth too large", func(h *Hierarchy) { h.D = 1 }},
+		{"heads too close", func(h *Hierarchy) { h.Heads = append(h.Heads, 1); h.HeadOf[1] = 1; h.Parent[1] = -1; h.Depth[1] = 0 }},
+	}
+	for _, c := range cases {
+		h := fresh()
+		c.mutate(h)
+		if h.Validate(g) == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMembersOf(t *testing.T) {
+	g := graph.Path(9)
+	h, _ := Build(g, 2)
+	m := h.MembersOf(3)
+	// Multi-source BFS ties go to the earlier-seeded head: node 2 is at
+	// distance 2 from head 0 and 1 from head 3 -> head 3? No: BFS seeds
+	// heads in order 0,3,6; level-1 neighbours of 0 are {1}, of 3 are
+	// {2,4}, of 6 are {5,7}. So 2 belongs to 3.
+	want := map[int]bool{2: true, 4: true}
+	if len(m) != 2 || !want[m[0]] || !want[m[1]] {
+		t.Fatalf("MembersOf(3)=%v", m)
+	}
+}
+
+func TestParentViewRoles(t *testing.T) {
+	g := graph.Path(9)
+	h, _ := Build(g, 2)
+	view := h.ParentView(g, 5)
+	// Heads keep the Head role.
+	for _, hd := range h.Heads {
+		if !view.IsHead(hd) {
+			t.Fatalf("head %d lost role", hd)
+		}
+	}
+	// Every non-head's cluster field is its parent.
+	for v := 0; v < 9; v++ {
+		if h.HeadOf[v] == v {
+			continue
+		}
+		if view.Cluster[v] != h.Parent[v] {
+			t.Fatalf("node %d view cluster %d != parent %d", v, view.Cluster[v], h.Parent[v])
+		}
+	}
+	// On a path with bridges promoted, the relay subgraph spans the
+	// whole path interior: every internal path node must relay.
+	for v := 1; v < 8; v++ {
+		if !view.IsRelay(v) && h.HeadOf[v] != v {
+			// Leaves of the trees that are not on bridges may be members;
+			// on a path, though, nodes 1..7 all lie between heads 0 and 6.
+			t.Fatalf("interior node %d is not a relay (%v)", v, view.Role[v])
+		}
+	}
+}
+
+func TestRelaySubgraphConnected(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		rng := xrand.New(seed)
+		g := graph.RandomConnected(40, 70, rng)
+		h, err := Build(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := h.ParentView(g, 5)
+		// Induced subgraph on relays must connect all heads.
+		relay := graph.New(g.N())
+		for _, e := range g.Edges() {
+			if view.IsRelay(e.U) && view.IsRelay(e.V) {
+				relay.AddEdge(e.U, e.V)
+			}
+		}
+		if !relay.ConnectedSubset(h.Heads) {
+			t.Fatalf("seed %d: relay subgraph does not connect heads", seed)
+		}
+	}
+}
+
+func TestAlg1CompletesOnMultiHopClusters(t *testing.T) {
+	// The future-work scenario: Algorithm 1, unchanged, on d=2 and d=3
+	// clusterings via the parent-oriented view.
+	const n, k = 50, 6
+	for _, d := range []int{2, 3} {
+		for seed := uint64(0); seed < 4; seed++ {
+			rng := xrand.New(seed)
+			g := graph.RandomConnected(n, 80, rng)
+			nw, h, err := NewNetwork(g, d, 0, 5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Generous phase length: k + backbone linkage + tree depth.
+			T := k + (2*d + 1) + d
+			budget := (len(h.Heads) + 2) * T
+			assign := token.Spread(n, k, xrand.New(seed+50))
+			met := sim.RunProtocol(nw, core.Alg1{T: T}, assign,
+				sim.Options{MaxRounds: budget, StopWhenComplete: true})
+			if !met.Complete {
+				t.Fatalf("d=%d seed=%d: incomplete: %v", d, seed, met)
+			}
+		}
+	}
+}
+
+func TestAlg2CompletesOnMultiHopClusters(t *testing.T) {
+	const n, k = 40, 5
+	rng := xrand.New(9)
+	g := graph.RandomConnected(n, 70, rng)
+	nw, _, err := NewNetwork(g, 2, 0, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := token.Spread(n, k, xrand.New(10))
+	met := sim.RunProtocol(nw, core.Alg2{}, assign,
+		sim.Options{MaxRounds: 2 * n, StopWhenComplete: true})
+	if !met.Complete {
+		t.Fatalf("Alg2 incomplete: %v", met)
+	}
+}
+
+func TestMultiHopCheaperThanFlooding(t *testing.T) {
+	// The motivation carries over: d-hop clustering still beats flat
+	// flooding on communication (with an even smaller relay fraction).
+	const n, k = 60, 6
+	rng := xrand.New(4)
+	g := graph.RandomConnected(n, 100, rng)
+	nw, h, err := NewNetwork(g, 2, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := token.Spread(n, k, xrand.New(5))
+	T := k + (2*2 + 1) + 2
+	alg1 := sim.RunProtocol(nw, core.Alg1{T: T}, assign,
+		sim.Options{MaxRounds: (len(h.Heads) + 2) * T})
+	if !alg1.Complete {
+		t.Fatalf("alg1 incomplete: %v", alg1)
+	}
+	flood := sim.RunProtocol(nw, baseline.Flood{}, assign,
+		sim.Options{MaxRounds: alg1.Rounds})
+	if alg1.TokensSent >= flood.TokensSent {
+		t.Fatalf("multi-hop Alg1 (%d) not cheaper than flooding (%d)",
+			alg1.TokensSent, flood.TokensSent)
+	}
+}
+
+func TestNetworkChurnZeroReturnsBase(t *testing.T) {
+	rng := xrand.New(1)
+	g := graph.RandomConnected(20, 30, rng)
+	nw, _, err := NewNetwork(g, 2, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.At(0) != nw.At(5) {
+		t.Fatal("churn-free network should return the base graph")
+	}
+}
+
+func TestNetworkNegativeRoundPanics(t *testing.T) {
+	rng := xrand.New(1)
+	g := graph.RandomConnected(10, 15, rng)
+	nw, _, _ := NewNetwork(g, 1, 0, 0, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.At(-1)
+}
+
+func TestHierarchyViewIsCTVGDynamic(t *testing.T) {
+	rng := xrand.New(2)
+	g := graph.RandomConnected(15, 25, rng)
+	nw, _, _ := NewNetwork(g, 2, 0, 2, rng)
+	var d ctvg.Dynamic = nw
+	if d.N() != 15 {
+		t.Fatal("interface wrong")
+	}
+}
+
+func TestQuickBuildAlwaysValid(t *testing.T) {
+	f := func(seed uint64, dRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := 8 + rng.Intn(40)
+		g := graph.RandomConnected(n, n+rng.Intn(2*n), rng)
+		d := 1 + int(dRaw%3)
+		h, err := Build(g, d)
+		if err != nil {
+			return false
+		}
+		return h.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildD2(b *testing.B) {
+	g := graph.RandomConnected(200, 400, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

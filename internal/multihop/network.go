@@ -1,0 +1,67 @@
+package multihop
+
+import (
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Network wraps a d-hop clustered static topology as a ctvg.Dynamic: the
+// base graph and parent-oriented hierarchy are stable; random churn edges
+// (which can only help dissemination) differ per round. It is the
+// executable environment for running the paper's algorithms on multi-hop
+// clusters.
+type Network struct {
+	base  *graph.Graph
+	view  *ctvg.Hierarchy
+	churn int
+	rng   *xrand.Rand
+	snaps []*graph.Graph
+}
+
+// NewNetwork builds a d-hop clustering of g and wraps it. maxLink bounds
+// the inter-head bridge search; pass 0 for the default 2d+1.
+func NewNetwork(g *graph.Graph, d, maxLink, churn int, rng *xrand.Rand) (*Network, *Hierarchy, error) {
+	h, err := Build(g, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxLink <= 0 {
+		maxLink = 2*d + 1
+	}
+	return &Network{
+		base:  g,
+		view:  h.ParentView(g, maxLink),
+		churn: churn,
+		rng:   rng,
+	}, h, nil
+}
+
+// N implements ctvg.Dynamic.
+func (nw *Network) N() int { return nw.base.N() }
+
+// At implements ctvg.Dynamic.
+func (nw *Network) At(r int) *graph.Graph {
+	if r < 0 {
+		panic("multihop: negative round")
+	}
+	if nw.churn == 0 {
+		return nw.base
+	}
+	for len(nw.snaps) <= r {
+		g := nw.base.Clone()
+		for j := 0; j < nw.churn; j++ {
+			u, v := nw.rng.Intn(g.N()), nw.rng.Intn(g.N())
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		nw.snaps = append(nw.snaps, g)
+	}
+	return nw.snaps[r]
+}
+
+// HierarchyAt implements ctvg.Dynamic.
+func (nw *Network) HierarchyAt(r int) *ctvg.Hierarchy { return nw.view }
+
+var _ ctvg.Dynamic = (*Network)(nil)

@@ -1,0 +1,27 @@
+package netcode_test
+
+import (
+	"fmt"
+
+	"repro/internal/netcode"
+)
+
+// Example shows the GF(2) decoding substrate: a receiver accumulates coded
+// combinations and can decode token i once the unit vector e_i enters the
+// span.
+func Example() {
+	b := netcode.NewBasis(4)
+
+	// Receive e0^e1 — nothing decodable yet.
+	v01 := netcode.Unit(4, 0)
+	v01.Xor(netcode.Unit(4, 1))
+	b.Add(v01)
+	fmt.Println("after e0^e1: rank", b.Rank(), "token 0 decodable:", b.Decodable(0))
+
+	// Receive e1 — now both 0 and 1 decode.
+	b.Add(netcode.Unit(4, 1))
+	fmt.Println("after e1:    rank", b.Rank(), "token 0 decodable:", b.Decodable(0))
+	// Output:
+	// after e0^e1: rank 1 token 0 decodable: false
+	// after e1:    rank 2 token 0 decodable: true
+}

@@ -1,0 +1,150 @@
+// Package netcode implements random linear network coding over GF(2) and
+// the Haeupler–Karger coded dissemination protocol (PODC 2011) — the
+// paper's reference [8], which speeds up KLO-style token dissemination by
+// broadcasting random combinations instead of individual tokens.
+//
+// The substrate is a row-reduced GF(2) basis over k-dimensional bit
+// vectors: nodes accumulate received coefficient vectors, track their
+// rank, and can decode token i as soon as the unit vector e_i enters the
+// span (full decode at rank k).
+package netcode
+
+import (
+	"math/bits"
+
+	"repro/internal/xrand"
+)
+
+// Vec is a k-dimensional GF(2) vector packed into 64-bit words.
+type Vec []uint64
+
+// NewVec returns the zero vector of dimension k.
+func NewVec(k int) Vec {
+	return make(Vec, (k+63)/64)
+}
+
+// Unit returns the unit vector e_i of dimension k.
+func Unit(k, i int) Vec {
+	v := NewVec(k)
+	v.Set(i)
+	return v
+}
+
+// Set sets bit i.
+func (v Vec) Set(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Bit reports bit i.
+func (v Vec) Bit(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Xor adds o into v (GF(2) addition). Dimensions must match.
+func (v Vec) Xor(o Vec) {
+	for i := range v {
+		v[i] ^= o[i]
+	}
+}
+
+// IsZero reports whether v is the zero vector.
+func (v Vec) IsZero() bool {
+	for _, w := range v {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}
+
+// LowestBit returns the index of the lowest set bit, or -1 for zero.
+func (v Vec) LowestBit() int {
+	for i, w := range v {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Basis is a GF(2) row space kept in reduced form: each stored row has a
+// distinct pivot (its lowest set bit) and no row has a one in another
+// row's pivot column below it. Rows are stored densely by pivot index —
+// basis operations are the simulator's hottest loop under network coding.
+// The zero value is unusable; use NewBasis.
+type Basis struct {
+	k    int
+	rank int
+	rows []Vec // indexed by pivot; nil = no row with that pivot
+}
+
+// NewBasis returns an empty basis of dimension k.
+func NewBasis(k int) *Basis {
+	if k <= 0 {
+		panic("netcode: basis dimension must be positive")
+	}
+	return &Basis{k: k, rows: make([]Vec, k)}
+}
+
+// K returns the vector dimension.
+func (b *Basis) K() int { return b.k }
+
+// Rank returns the current rank.
+func (b *Basis) Rank() int { return b.rank }
+
+// Full reports whether the basis spans the whole space.
+func (b *Basis) Full() bool { return b.rank == b.k }
+
+// reduce XORs matching-pivot rows into v until v is zero or has a fresh
+// pivot; v is modified in place and returned.
+func (b *Basis) reduce(v Vec) Vec {
+	for {
+		p := v.LowestBit()
+		if p < 0 || b.rows[p] == nil {
+			return v
+		}
+		v.Xor(b.rows[p])
+	}
+}
+
+// Add inserts vector v (copied) into the span; it returns true if the rank
+// grew.
+func (b *Basis) Add(v Vec) bool {
+	r := b.reduce(v.Clone())
+	p := r.LowestBit()
+	if p < 0 {
+		return false
+	}
+	b.rows[p] = r
+	b.rank++
+	return true
+}
+
+// Contains reports whether v lies in the span.
+func (b *Basis) Contains(v Vec) bool {
+	return b.reduce(v.Clone()).IsZero()
+}
+
+// Decodable reports whether token i is decodable: e_i ∈ span. With the
+// reduced representation this needs a reduction of the unit vector.
+func (b *Basis) Decodable(i int) bool {
+	return b.Contains(Unit(b.k, i))
+}
+
+// RandomCombination returns a uniformly random vector from the span
+// (XOR of a random subset of basis rows); for an empty basis it returns
+// the zero vector. The combination is non-zero with probability
+// 1 - 2^{-rank}; callers typically retry on zero. Rows are visited in
+// pivot order, so runs are reproducible from the RNG seed.
+func (b *Basis) RandomCombination(rng *xrand.Rand) Vec {
+	out := NewVec(b.k)
+	for _, row := range b.rows {
+		if row != nil && rng.Bool() {
+			out.Xor(row)
+		}
+	}
+	return out
+}

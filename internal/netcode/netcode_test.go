@@ -1,0 +1,248 @@
+package netcode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(70)
+	if !v.IsZero() || v.LowestBit() != -1 {
+		t.Fatal("fresh vec not zero")
+	}
+	v.Set(3)
+	v.Set(69)
+	if !v.Bit(3) || !v.Bit(69) || v.Bit(4) {
+		t.Fatal("Set/Bit wrong")
+	}
+	if v.LowestBit() != 3 {
+		t.Fatalf("LowestBit=%d", v.LowestBit())
+	}
+	c := v.Clone()
+	c.Xor(v)
+	if !c.IsZero() {
+		t.Fatal("v xor v != 0")
+	}
+	if v.IsZero() {
+		t.Fatal("Clone aliased")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Unit(10, 7)
+	if !u.Bit(7) || u.LowestBit() != 7 {
+		t.Fatal("Unit wrong")
+	}
+}
+
+func TestBasisRankAndContains(t *testing.T) {
+	b := NewBasis(8)
+	if b.Rank() != 0 || b.Full() {
+		t.Fatal("fresh basis wrong")
+	}
+	if !b.Add(Unit(8, 1)) || !b.Add(Unit(8, 3)) {
+		t.Fatal("fresh adds failed")
+	}
+	if b.Add(Unit(8, 1)) {
+		t.Fatal("duplicate grew rank")
+	}
+	// e1 ^ e3 is in the span; e2 is not.
+	v := Unit(8, 1)
+	v.Xor(Unit(8, 3))
+	if !b.Contains(v) {
+		t.Fatal("span membership wrong")
+	}
+	if b.Contains(Unit(8, 2)) {
+		t.Fatal("non-member accepted")
+	}
+	if b.Add(v) {
+		t.Fatal("span member grew rank")
+	}
+	if b.Rank() != 2 {
+		t.Fatalf("rank %d", b.Rank())
+	}
+}
+
+func TestBasisDecodable(t *testing.T) {
+	b := NewBasis(4)
+	// Add e0^e1 and e1: both e0 and e1 become decodable; e2, e3 not.
+	v01 := Unit(4, 0)
+	v01.Xor(Unit(4, 1))
+	b.Add(v01)
+	b.Add(Unit(4, 1))
+	if !b.Decodable(0) || !b.Decodable(1) {
+		t.Fatal("decodable wrong")
+	}
+	if b.Decodable(2) || b.Decodable(3) {
+		t.Fatal("undecodable reported decodable")
+	}
+}
+
+func TestBasisFull(t *testing.T) {
+	b := NewBasis(5)
+	for i := 0; i < 5; i++ {
+		b.Add(Unit(5, i))
+	}
+	if !b.Full() {
+		t.Fatal("not full")
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Decodable(i) {
+			t.Fatalf("token %d not decodable at full rank", i)
+		}
+	}
+}
+
+func TestBasisZeroDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBasis(0)
+}
+
+func TestRandomCombinationInSpan(t *testing.T) {
+	rng := xrand.New(5)
+	b := NewBasis(16)
+	b.Add(Unit(16, 2))
+	b.Add(Unit(16, 9))
+	v := Unit(16, 2)
+	v.Xor(Unit(16, 14))
+	b.Add(v)
+	for i := 0; i < 100; i++ {
+		c := b.RandomCombination(rng)
+		if !b.Contains(c) {
+			t.Fatal("combination outside span")
+		}
+	}
+}
+
+func TestQuickBasisRankNeverExceedsAdds(t *testing.T) {
+	f := func(raw []byte) bool {
+		const k = 12
+		b := NewBasis(k)
+		adds := 0
+		grown := 0
+		for _, by := range raw {
+			v := NewVec(k)
+			v[0] = uint64(by) & ((1 << k) - 1)
+			if v.IsZero() {
+				continue
+			}
+			adds++
+			if b.Add(v) {
+				grown++
+			}
+			if !b.Contains(v) {
+				return false // everything added must be in the span
+			}
+		}
+		return b.Rank() == grown && b.Rank() <= adds && b.Rank() <= k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodedFloodCompletesOnStaticAndDynamic(t *testing.T) {
+	const n, k = 30, 8
+	for seed := uint64(0); seed < 5; seed++ {
+		adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
+		assign := token.Spread(n, k, xrand.New(seed+10))
+		met := sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: seed}, assign,
+			sim.Options{MaxRounds: 4 * (n + k), StopWhenComplete: true})
+		if !met.Complete {
+			t.Fatalf("seed %d: coded flood incomplete: %v", seed, met)
+		}
+	}
+}
+
+func TestCodedFloodCostBelowFloodAtLargeK(t *testing.T) {
+	// Haeupler–Karger's advantage: with k large, sending 1-token coded
+	// packets beats broadcasting k-token sets, despite more rounds.
+	const n, k = 25, 32
+	adv1 := adversary.NewOneInterval(n, 0, xrand.New(3))
+	assign := token.Random(n, k, xrand.New(4))
+	coded := sim.RunProtocol(sim.NewFlat(adv1), CodedFlood{Seed: 9}, assign,
+		sim.Options{MaxRounds: 6 * (n + k), StopWhenComplete: true})
+	if !coded.Complete {
+		t.Fatalf("coded incomplete: %v", coded)
+	}
+	adv2 := adversary.NewOneInterval(n, 0, xrand.New(3))
+	flood := sim.RunProtocol(sim.NewFlat(adv2), baseline.Flood{}, assign,
+		sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
+	if !flood.Complete {
+		t.Fatalf("flood incomplete: %v", flood)
+	}
+	if coded.TokensSent >= flood.TokensSent {
+		t.Fatalf("coded cost %d not below flood cost %d at k=%d",
+			coded.TokensSent, flood.TokensSent, k)
+	}
+}
+
+func TestCodedPacketsChargedOneUnit(t *testing.T) {
+	const n, k = 10, 6
+	adv := adversary.NewOneInterval(n, 0, xrand.New(7))
+	assign := token.Spread(n, k, xrand.New(8))
+	obs := &sim.Observer{Sent: func(r int, m *sim.Message) {
+		if m.Kind != sim.KindCoded {
+			t.Fatalf("non-coded message %v", m.Kind)
+		}
+		if m.Cost() != 1 {
+			t.Fatalf("coded packet charged %d", m.Cost())
+		}
+	}}
+	met := sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: 1}, assign,
+		sim.Options{MaxRounds: 30, Observer: obs})
+	if met.TokensSent != met.Messages {
+		t.Fatalf("unit accounting broken: %d tokens, %d messages", met.TokensSent, met.Messages)
+	}
+	if met.MessagesByKind[sim.KindCoded] != met.Messages {
+		t.Fatal("per-kind accounting missing coded packets")
+	}
+}
+
+func TestCodedFloodDeterministicWithSeed(t *testing.T) {
+	const n, k = 15, 5
+	run := func() *sim.Metrics {
+		adv := adversary.NewOneInterval(n, 0, xrand.New(2))
+		assign := token.Spread(n, k, xrand.New(3))
+		return sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: 11}, assign,
+			sim.Options{MaxRounds: 60, StopWhenComplete: true})
+	}
+	a, b := run(), run()
+	if a.TokensSent != b.TokensSent || a.CompletionRound != b.CompletionRound {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkBasisAdd(b *testing.B) {
+	rng := xrand.New(1)
+	const k = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bas := NewBasis(k)
+		for j := 0; j < k; j++ {
+			v := NewVec(k)
+			v[0] = rng.Uint64()
+			bas.Add(v)
+		}
+	}
+}
+
+func BenchmarkCodedFlood(b *testing.B) {
+	const n, k = 50, 16
+	for i := 0; i < b.N; i++ {
+		adv := adversary.NewOneInterval(n, 0, xrand.New(uint64(i)))
+		assign := token.Spread(n, k, xrand.New(uint64(i)+1))
+		sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: uint64(i)}, assign,
+			sim.Options{MaxRounds: 4 * (n + k), StopWhenComplete: true})
+	}
+}

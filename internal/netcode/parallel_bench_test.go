@@ -1,0 +1,27 @@
+package netcode
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// The within-round parallel engine pays off when per-node work is real:
+// GF(2) basis reduction at large k is the heaviest per-node step in the
+// repository.
+func benchCoded(b *testing.B, workers int) {
+	const n, k = 600, 256
+	adv := adversary.NewOneInterval(n, 3*n, xrand.New(1))
+	assign := token.Random(n, k, xrand.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: uint64(i)}, assign,
+			sim.Options{MaxRounds: 25, Workers: workers})
+	}
+}
+
+func BenchmarkCodedSerial(b *testing.B)   { benchCoded(b, 1) }
+func BenchmarkCodedParallel(b *testing.B) { benchCoded(b, 2) }

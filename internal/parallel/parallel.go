@@ -1,0 +1,186 @@
+// Package parallel provides the bounded worker pool used for Monte-Carlo
+// experiment sweeps: many independent, seed-deterministic simulation runs
+// fanned out across the machine's cores.
+//
+// Each simulation run is intentionally single-goroutine (deterministic
+// message ordering); parallelism lives one level up, across replications
+// and sweep points. ForEach preserves output slot order regardless of
+// scheduling, so aggregated results are reproducible.
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), using up to `workers`
+// goroutines (0 means GOMAXPROCS). It blocks until all invocations finish.
+// fn must be safe for concurrent invocation with distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ForEachBlock invokes fn(i) for every i in [0, n) using a static
+// partition into `workers` contiguous blocks, one goroutine each. Compared
+// with ForEach it has no per-index scheduling overhead, which matters when
+// each fn call is cheap (e.g. one protocol step per node inside a
+// simulation round); the cost is no load balancing, so use it for uniform
+// work.
+func ForEachBlock(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEachRange partitions [0, n) into `workers` contiguous blocks and
+// invokes fn(lo, hi) once per block, concurrently. fn can keep block-local
+// scratch state (buffers, accumulators) across its indices, which
+// ForEachBlock cannot offer.
+func ForEachRange(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) with bounded parallelism and returns the results
+// in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanInt64 returns the mean of int64 samples as a float64.
+func MeanInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := int64(0)
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MinMaxInt64 returns the extrema of xs; it panics on an empty slice.
+func MinMaxInt64(xs []int64) (min, max int64) {
+	if len(xs) == 0 {
+		panic("parallel: MinMaxInt64 of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	ForEach(n, 4, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d invoked %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(i int) { called = true })
+	ForEach(-5, 4, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}
+
+func TestForEachSingleWorkerSequential(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	ForEach(50, 0, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 50 {
+		t.Fatalf("count %d", count)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	got := Map(20, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if MeanInt64([]int64{2, 4}) != 3 {
+		t.Fatal("MeanInt64 wrong")
+	}
+	if MeanInt64(nil) != 0 {
+		t.Fatal("MeanInt64(nil)")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev(nil) != 0 || Stddev([]float64{5}) != 0 {
+		t.Fatal("degenerate stddev not 0")
+	}
+	// Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got < 2.13 || got > 2.15 {
+		t.Fatalf("Stddev = %f", got)
+	}
+	if Stddev([]float64{3, 3, 3}) != 0 {
+		t.Fatal("constant samples stddev not 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMaxInt64([]int64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("min=%d max=%d", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty slice accepted")
+		}
+	}()
+	MinMaxInt64(nil)
+}
+
+func BenchmarkForEach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, 0, func(j int) {
+			s := 0
+			for x := 0; x < 1000; x++ {
+				s += x
+			}
+			_ = s
+		})
+	}
+}
+
+func TestForEachBlockCoversAll(t *testing.T) {
+	const n = 103 // intentionally not divisible by worker counts
+	for _, w := range []int{0, 1, 2, 4, 7, 103, 200} {
+		var hits [n]int32
+		ForEachBlock(n, w, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", w, i, h)
+			}
+		}
+	}
+	called := false
+	ForEachBlock(0, 4, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

@@ -1,0 +1,126 @@
+// Package render draws geometric network snapshots as ASCII scenes for the
+// terminal: node positions on a character grid, with cluster roles encoded
+// in the glyphs (H = head, g = gateway, lowercase letter = member of the
+// cluster whose head has that letter's index). It powers the Fig. 1
+// regeneration in cmd/hinetsim.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctvg"
+	"repro/internal/geom"
+)
+
+// Scene renders positions within the field onto a grid of the given
+// character dimensions. Multiple nodes mapping to one cell show the last
+// one drawn; empty cells are dots.
+type Scene struct {
+	W, H  int
+	cells [][]byte
+}
+
+// NewScene creates an empty w x h scene. Dimensions must be positive.
+func NewScene(w, h int) *Scene {
+	if w <= 0 || h <= 0 {
+		panic("render: non-positive scene dimensions")
+	}
+	s := &Scene{W: w, H: h, cells: make([][]byte, h)}
+	for y := range s.cells {
+		s.cells[y] = []byte(strings.Repeat(".", w))
+	}
+	return s
+}
+
+// cell maps a field position to grid coordinates.
+func (s *Scene) cell(p geom.Point, f geom.Field) (x, y int) {
+	x = int(p.X / f.W * float64(s.W))
+	y = int(p.Y / f.H * float64(s.H))
+	if x >= s.W {
+		x = s.W - 1
+	}
+	if y >= s.H {
+		y = s.H - 1
+	}
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	return x, y
+}
+
+// Plot places glyph at the position (clamped into the grid).
+func (s *Scene) Plot(p geom.Point, f geom.Field, glyph byte) {
+	x, y := s.cell(p, f)
+	s.cells[y][x] = glyph
+}
+
+// String renders the grid, top row first.
+func (s *Scene) String() string {
+	var sb strings.Builder
+	for y := s.H - 1; y >= 0; y-- { // y grows upward, terminal grows down
+		sb.Write(s.cells[y])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Glyph returns the role glyph for node v under hierarchy h: 'H' for
+// heads, 'g' for gateways, a cluster-indexed lowercase letter for members,
+// '?' for unaffiliated nodes.
+func Glyph(h *ctvg.Hierarchy, headIndex map[int]int, v int) byte {
+	switch h.Role[v] {
+	case ctvg.Head:
+		return 'H'
+	case ctvg.Gateway:
+		return 'g'
+	case ctvg.Member:
+		if idx, ok := headIndex[h.HeadOf(v)]; ok {
+			return byte('a' + idx%26)
+		}
+		return 'm'
+	default:
+		return '?'
+	}
+}
+
+// HeadIndex numbers the heads of a hierarchy 0..len-1 in ascending node
+// order, for stable member glyphs.
+func HeadIndex(h *ctvg.Hierarchy) map[int]int {
+	idx := make(map[int]int)
+	for i, hd := range h.Heads() {
+		idx[hd] = i
+	}
+	return idx
+}
+
+// Network renders a full clustered snapshot: every node plotted with its
+// role glyph, followed by a legend.
+func Network(pos []geom.Point, f geom.Field, h *ctvg.Hierarchy, w, hh int) string {
+	s := NewScene(w, hh)
+	idx := HeadIndex(h)
+	// Members first so heads/gateways overwrite them on collisions.
+	for v, p := range pos {
+		if h.Role[v] == ctvg.Member || h.Role[v] == ctvg.Unaffiliated {
+			s.Plot(p, f, Glyph(h, idx, v))
+		}
+	}
+	for v, p := range pos {
+		if h.Role[v] == ctvg.Gateway {
+			s.Plot(p, f, 'g')
+		}
+	}
+	for v, p := range pos {
+		if h.Role[v] == ctvg.Head {
+			s.Plot(p, f, 'H')
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(s.String())
+	fmt.Fprintf(&sb, "H=head (%d)  g=gateway (%d)  a..z=member of %d clusters  ?=unaffiliated\n",
+		len(h.Heads()), len(h.Gateways()), len(h.Heads()))
+	return sb.String()
+}

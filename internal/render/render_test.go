@@ -1,0 +1,98 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctvg"
+	"repro/internal/geom"
+)
+
+func TestNewSceneValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewScene(0, 5)
+}
+
+func TestSceneEmpty(t *testing.T) {
+	s := NewScene(4, 2)
+	want := "....\n....\n"
+	if s.String() != want {
+		t.Fatalf("got %q", s.String())
+	}
+}
+
+func TestPlotCornersAndClamp(t *testing.T) {
+	f := geom.Field{W: 10, H: 10}
+	s := NewScene(5, 5)
+	s.Plot(geom.Point{X: 0, Y: 0}, f, 'A')       // bottom-left
+	s.Plot(geom.Point{X: 9.99, Y: 9.99}, f, 'B') // top-right
+	s.Plot(geom.Point{X: -5, Y: 50}, f, 'C')     // clamped top-left
+	out := s.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Top line printed first: contains C at column 0 and B at column 4.
+	if lines[0][0] != 'C' || lines[0][4] != 'B' {
+		t.Fatalf("top line %q", lines[0])
+	}
+	if lines[4][0] != 'A' {
+		t.Fatalf("bottom line %q", lines[4])
+	}
+}
+
+func TestGlyphs(t *testing.T) {
+	h := ctvg.NewHierarchy(5)
+	h.SetHead(0)
+	h.SetHead(2)
+	h.SetMember(1, 0)
+	h.SetMember(3, 2)
+	h.SetGateway(4, 0)
+	idx := HeadIndex(h)
+	if Glyph(h, idx, 0) != 'H' || Glyph(h, idx, 4) != 'g' {
+		t.Fatal("head/gateway glyphs wrong")
+	}
+	if Glyph(h, idx, 1) != 'a' {
+		t.Fatalf("member of first cluster glyph %c", Glyph(h, idx, 1))
+	}
+	if Glyph(h, idx, 3) != 'b' {
+		t.Fatalf("member of second cluster glyph %c", Glyph(h, idx, 3))
+	}
+	u := ctvg.NewHierarchy(1)
+	if Glyph(u, HeadIndex(u), 0) != '?' {
+		t.Fatal("unaffiliated glyph wrong")
+	}
+}
+
+func TestNetworkRender(t *testing.T) {
+	f := geom.Field{W: 10, H: 10}
+	pos := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 8, Y: 8}}
+	h := ctvg.NewHierarchy(3)
+	h.SetHead(0)
+	h.SetMember(1, 0)
+	h.SetGateway(2, 0)
+	out := Network(pos, f, h, 20, 10)
+	if !strings.Contains(out, "H") || !strings.Contains(out, "a") || !strings.Contains(out, "g") {
+		t.Fatalf("render missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "H=head (1)") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestNetworkHeadsOverwriteMembersOnCollision(t *testing.T) {
+	f := geom.Field{W: 10, H: 10}
+	// Head and member in the same cell: the head glyph must win.
+	pos := []geom.Point{{X: 5, Y: 5}, {X: 5, Y: 5}}
+	h := ctvg.NewHierarchy(2)
+	h.SetHead(0)
+	h.SetMember(1, 0)
+	out := Network(pos, f, h, 10, 10)
+	if !strings.Contains(out, "H") {
+		t.Fatalf("head hidden by member:\n%s", out)
+	}
+	if strings.Contains(strings.Split(out, "\n")[4], "a") {
+		t.Fatalf("member glyph should be overwritten:\n%s", out)
+	}
+}

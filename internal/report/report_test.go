@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Title", "model", "time", "comm")
+	tb.AddRow("a", "1", "100")
+	tb.AddRow("longer-model", "22", "3")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	// All data lines equal width (aligned columns, trailing pads).
+	if len(lines[2]) == 0 || lines[2][0] != '-' {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "a") || !strings.Contains(lines[4], "longer-model") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len=%d", tb.Len())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title emitted a blank line")
+	}
+}
+
+func TestAddRowMismatchPanics(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("t", "s", "i", "f")
+	tb.AddRowf("x", 42, 0.4567)
+	if !strings.Contains(tb.String(), "0.46") {
+		t.Fatalf("float not formatted:\n%s", tb.String())
+	}
+	if !strings.Contains(tb.String(), "42") {
+		t.Fatal("int missing")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("plain", `with,comma`)
+	tb.AddRow(`with"quote`, "line\nbreak")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",\"line\nbreak\"\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestUnicodeAlignment(t *testing.T) {
+	tb := NewTable("t", "⌈θ/α⌉", "v")
+	tb.AddRow("xxxxx", "1")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Header and row should be padded to the same visible width; compare
+	// rune counts.
+	if rl(lines[1]) == 0 {
+		t.Fatal("no header")
+	}
+	if rl(lines[3]) < 5 {
+		t.Fatalf("row too short: %q", lines[3])
+	}
+}
+
+func rl(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+func TestPctRatio(t *testing.T) {
+	if Pct(0.463) != "46.3%" {
+		t.Fatalf("Pct = %q", Pct(0.463))
+	}
+	if Ratio(100, 54) != "x0.54" {
+		t.Fatalf("Ratio = %q", Ratio(100, 54))
+	}
+	if Ratio(0, 5) != "-" {
+		t.Fatal("Ratio zero guard")
+	}
+}

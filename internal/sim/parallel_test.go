@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// Bit-identical metrics and final token sets between serial and
+	// 4-worker execution.
+	d := staticPath(40)
+	assign := token.SingleSource(40, 6, 0)
+
+	serialNodes := floodProto{}.Nodes(assign)
+	serial := Run(d, serialNodes, assign, Options{MaxRounds: 39})
+
+	parNodes := floodProto{}.Nodes(assign)
+	par := Run(d, parNodes, assign, Options{MaxRounds: 39, Workers: 4})
+
+	if serial.TokensSent != par.TokensSent || serial.Messages != par.Messages {
+		t.Fatalf("cost mismatch: serial %v vs parallel %v", serial, par)
+	}
+	if serial.CompletionRound != par.CompletionRound {
+		t.Fatalf("completion mismatch: %d vs %d", serial.CompletionRound, par.CompletionRound)
+	}
+	for v := range serialNodes {
+		if !serialNodes[v].Tokens().Equal(parNodes[v].Tokens()) {
+			t.Fatalf("node %d final state differs", v)
+		}
+	}
+}
+
+func TestParallelWithCrashFaults(t *testing.T) {
+	d := staticPath(10)
+	assign := token.SingleSource(10, 1, 0)
+	m := RunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds: 30,
+		Workers:   4,
+		Faults:    &Faults{CrashAt: map[int]int{9: 0}},
+	})
+	if !m.Complete {
+		t.Fatalf("parallel run with crash incomplete: %v", m)
+	}
+}
+
+func TestParallelRejectsObserver(t *testing.T) {
+	d := staticPath(3)
+	assign := token.SingleSource(3, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds: 2, Workers: 4, Observer: &Observer{},
+	})
+}
+
+func TestParallelRejectsDropProb(t *testing.T) {
+	d := staticPath(3)
+	assign := token.SingleSource(3, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds: 2, Workers: 4, Faults: &Faults{DropProb: 0.5},
+	})
+}
+
+// The two engine benchmarks document the parallelism granularity rule:
+// flooding on a path does ~150ns of work per node-round, far below the
+// goroutine fan-out cost, so Workers > 1 LOSES here. Protocols with heavy
+// per-node steps (GF(2) decoding — see internal/netcode's
+// BenchmarkCodedSerial/Parallel) win. Choose Workers accordingly.
+func BenchmarkEngineSerial1000(b *testing.B) {
+	d := staticPath(1000)
+	assign := token.SingleSource(1000, 8, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 50})
+	}
+}
+
+func BenchmarkEngineParallel1000(b *testing.B) {
+	d := staticPath(1000)
+	assign := token.SingleSource(1000, 8, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 50, Workers: 4})
+	}
+}

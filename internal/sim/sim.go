@@ -1,0 +1,443 @@
+// Package sim implements the synchronous round-based execution model shared
+// by every dissemination protocol in this repository.
+//
+// The model follows Kuhn–Lynch–Oshman: computation proceeds in rounds; in
+// round r an oblivious adversary fixes the communication graph G_r before
+// seeing any payload, every node hands the engine at most one message, and
+// each message is delivered to all of the sender's G_r-neighbours at the end
+// of the round (wireless local broadcast). Addressed messages are still
+// heard by every neighbour — addressing is a protocol-level filter, not a
+// transport feature — which matches the paper's ad hoc radio model.
+//
+// Communication cost is counted in token units, exactly as the paper's
+// analysis does ("communication cost is represented by the total number of
+// tokens sent"): a transmission carrying s tokens costs s. Raw message
+// counts and per-role breakdowns are tracked as well.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/token"
+	"repro/internal/tvg"
+	"repro/internal/xrand"
+)
+
+// NoAddr marks a broadcast message with no addressed recipient.
+const NoAddr = -1
+
+// MsgKind labels the protocol step that produced a message; it is used for
+// per-step accounting and for the Fig. 3 execution traces.
+type MsgKind byte
+
+const (
+	// KindBroadcast is a plain flooding broadcast (flat protocols).
+	KindBroadcast MsgKind = iota
+	// KindUpload is a member-to-head token upload.
+	KindUpload
+	// KindRelay is a head/gateway broadcast down and across the hierarchy.
+	KindRelay
+	// KindCoded is a network-coded packet (random linear combination);
+	// its Tokens field holds the GF(2) coefficient vector, not a token
+	// set, and its cost comes from Units.
+	KindCoded
+)
+
+// numKinds sizes the per-kind accounting arrays.
+const numKinds = 4
+
+// String returns a short human-readable kind name.
+func (k MsgKind) String() string {
+	switch k {
+	case KindBroadcast:
+		return "broadcast"
+	case KindUpload:
+		return "upload"
+	case KindRelay:
+		return "relay"
+	case KindCoded:
+		return "coded"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Message is one transmission. From is filled in by the engine.
+type Message struct {
+	From   int
+	To     int // NoAddr for broadcast; otherwise the intended recipient
+	Kind   MsgKind
+	Tokens *bitset.Set
+	// Units, when positive, overrides the cost accounting: the message is
+	// charged Units token-equivalents instead of the payload cardinality.
+	// Network-coded packets use it (one token-sized payload regardless of
+	// how many coefficients the combination involves).
+	Units int
+}
+
+// Cost returns the message's size in token units.
+func (m *Message) Cost() int {
+	if m.Units > 0 {
+		return m.Units
+	}
+	if m.Tokens == nil {
+		return 0
+	}
+	return m.Tokens.Len()
+}
+
+// View is what a node observes about itself at the start of a round: the
+// round number, its current cluster role and head (provided by the
+// clustering layer), and its current neighbour list — the paper's system
+// model equips every node with "the capability of probing neighbors".
+// Nodes do not see the global topology.
+type View struct {
+	Round int
+	Role  ctvg.Role
+	Head  int // current cluster head node ID, or ctvg.NoCluster
+	// Neighbors is the node's current neighbour list, ascending. It
+	// aliases engine storage and must not be modified or retained.
+	Neighbors []int
+}
+
+// Node is a per-node protocol state machine.
+type Node interface {
+	// Send returns the node's transmission for this round, or nil.
+	Send(v View) *Message
+	// Deliver hands the node every message heard this round (from its
+	// current neighbours), ordered by ascending sender ID.
+	Deliver(v View, msgs []*Message)
+	// Tokens returns the node's collected token set (the paper's TA).
+	// The engine treats the result as read-only.
+	Tokens() *bitset.Set
+}
+
+// Protocol builds fresh per-node state machines for a run.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Nodes returns one state machine per node, initialised from the
+	// assignment. Implementations must copy the initial sets.
+	Nodes(assign *token.Assignment) []Node
+}
+
+// Metrics aggregates the accounting of one run.
+type Metrics struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Messages is the number of transmissions.
+	Messages int64
+	// TokensSent is the total communication cost in token units.
+	TokensSent int64
+	// MessagesByKind / TokensByKind break the totals down per message kind.
+	MessagesByKind [numKinds]int64
+	TokensByKind   [numKinds]int64
+	// MessagesByRole / TokensByRole break the totals down by the sender's
+	// cluster role at transmission time (indexed by ctvg.Role) — the
+	// energy-budget view of the paper's motivation: who pays.
+	MessagesByRole [4]int64
+	TokensByRole   [4]int64
+	// BytesSent is the wire-level cost; it is accumulated only when
+	// Options.SizeFn is set (see internal/wire for the standard codec).
+	BytesSent int64
+	// CompletionRound is the 1-based round count after which every node
+	// held all k tokens, or -1 if dissemination did not complete within
+	// the executed rounds.
+	CompletionRound int
+	// Complete reports whether dissemination finished.
+	Complete bool
+}
+
+// String summarises the metrics on one line.
+func (m *Metrics) String() string {
+	done := "incomplete"
+	if m.Complete {
+		done = fmt.Sprintf("complete@%d", m.CompletionRound)
+	}
+	return fmt.Sprintf("rounds=%d msgs=%d tokens=%d %s", m.Rounds, m.Messages, m.TokensSent, done)
+}
+
+// Observer receives per-round events; used by trace tooling and the Fig. 3
+// scenario renderer. Either field may be nil.
+type Observer struct {
+	// RoundStart is called before messages are collected.
+	RoundStart func(r int, g *graph.Graph, h *ctvg.Hierarchy)
+	// Sent is called for every non-nil message of round r.
+	Sent func(r int, msg *Message)
+	// Progress, if set, is called after each round's deliveries with the
+	// total number of (node, token) pairs delivered so far — the raw
+	// material for convergence curves. The maximum is n·k.
+	Progress func(r int, delivered int)
+}
+
+// Faults injects failures for robustness experiments. The paper assumes
+// reliable links and live nodes; these knobs measure how far each protocol
+// degrades beyond that assumption.
+type Faults struct {
+	// DropProb is the probability that any single (message, receiver)
+	// delivery is lost, independently per receiver (radio fading).
+	// Transmission cost is still charged — the sender paid for it.
+	DropProb float64
+	// CrashAt maps node -> round index at which the node crashes: from
+	// that round on it neither sends nor receives. Crashed nodes are
+	// excluded from the completion predicate (a crashed node can never
+	// collect anything).
+	CrashAt map[int]int
+	// Seed drives the fault randomness (deterministic like everything
+	// else).
+	Seed uint64
+}
+
+func (f *Faults) active() bool {
+	return f != nil && (f.DropProb > 0 || len(f.CrashAt) > 0)
+}
+
+// Options controls a run.
+type Options struct {
+	// MaxRounds bounds the execution (required, > 0).
+	MaxRounds int
+	// StopWhenComplete ends the run as soon as every node holds all k
+	// tokens (checked at the end of each round).
+	StopWhenComplete bool
+	// Observer, if non-nil, receives per-round events.
+	Observer *Observer
+	// Faults, if non-nil, injects message loss and node crashes.
+	Faults *Faults
+	// SizeFn, if set, is evaluated on every transmission and accumulated
+	// into Metrics.BytesSent (byte-level cost accounting).
+	SizeFn func(*Message) int
+	// Workers enables within-round parallelism: Send and Deliver of
+	// distinct nodes run concurrently on up to Workers goroutines
+	// (0 or 1 = serial). Node state is per-node and messages are treated
+	// as read-only after Send, so results are bit-identical to the serial
+	// engine. Requires Observer to be nil (observers see events in round
+	// order, which parallel collection cannot promise).
+	Workers int
+}
+
+// Run executes nodes against the dynamic network d for up to
+// opts.MaxRounds rounds and returns the metrics. The assignment supplies k
+// for the completion check. Nodes must already be initialised (see
+// Protocol.Nodes).
+func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *Metrics {
+	n := d.N()
+	if len(nodes) != n {
+		panic(fmt.Sprintf("sim: %d nodes for a %d-vertex network", len(nodes), n))
+	}
+	if opts.MaxRounds <= 0 {
+		panic("sim: MaxRounds must be positive")
+	}
+	parallelRun := opts.Workers > 1
+	if parallelRun && opts.Observer != nil {
+		panic("sim: Workers > 1 cannot be combined with an Observer")
+	}
+	if parallelRun && opts.Faults != nil && opts.Faults.DropProb > 0 {
+		panic("sim: Workers > 1 cannot be combined with probabilistic message loss")
+	}
+	k := assign.K
+	met := &Metrics{CompletionRound: -1}
+	outbox := make([]*Message, n)
+	views := make([]View, n)
+	inbox := make([]*Message, 0, 16)
+
+	var faultRng *xrand.Rand
+	crashed := make([]bool, n)
+	if opts.Faults.active() {
+		faultRng = xrand.New(opts.Faults.Seed)
+	}
+
+	for r := 0; r < opts.MaxRounds; r++ {
+		if opts.Faults != nil {
+			for v, at := range opts.Faults.CrashAt {
+				if r >= at && v >= 0 && v < n {
+					crashed[v] = true
+				}
+			}
+		}
+		g := d.At(r)
+		hier := d.HierarchyAt(r)
+		if obs := opts.Observer; obs != nil && obs.RoundStart != nil {
+			obs.RoundStart(r, g, hier)
+		}
+
+		// Collect phase: every node decides its transmission from its
+		// local view only. Nodes are independent, so this fans out when
+		// Workers > 1; the accounting pass below stays serial either way
+		// so metrics accumulate in deterministic order.
+		collect := func(v int) {
+			views[v] = View{Round: r, Role: hier.Role[v], Head: hier.HeadOf(v), Neighbors: g.Neighbors(v)}
+			if crashed[v] {
+				outbox[v] = nil
+				return
+			}
+			outbox[v] = nodes[v].Send(views[v])
+		}
+		if parallelRun {
+			parallel.ForEachBlock(n, opts.Workers, collect)
+		} else {
+			for v := 0; v < n; v++ {
+				collect(v)
+			}
+		}
+		for v := 0; v < n; v++ {
+			msg := outbox[v]
+			if msg == nil {
+				continue
+			}
+			msg.From = v
+			cost := int64(msg.Cost())
+			met.Messages++
+			met.TokensSent += cost
+			if int(msg.Kind) < len(met.MessagesByKind) {
+				met.MessagesByKind[msg.Kind]++
+				met.TokensByKind[msg.Kind] += cost
+			}
+			if opts.SizeFn != nil {
+				met.BytesSent += int64(opts.SizeFn(msg))
+			}
+			if role := hier.Role[v]; int(role) < len(met.MessagesByRole) {
+				met.MessagesByRole[role]++
+				met.TokensByRole[role] += cost
+			}
+			if obs := opts.Observer; obs != nil && obs.Sent != nil {
+				obs.Sent(r, msg)
+			}
+		}
+
+		// Deliver phase: each node hears its neighbours' messages,
+		// ordered by ascending sender ID (Neighbors is sorted). Messages
+		// are read-only from here on, so delivery also fans out.
+		if parallelRun {
+			parallel.ForEachRange(n, opts.Workers, func(lo, hi int) {
+				pinbox := make([]*Message, 0, 16)
+				for v := lo; v < hi; v++ {
+					if crashed[v] {
+						continue
+					}
+					pinbox = pinbox[:0]
+					for _, u := range g.Neighbors(v) {
+						if outbox[u] != nil {
+							pinbox = append(pinbox, outbox[u])
+						}
+					}
+					nodes[v].Deliver(views[v], pinbox)
+				}
+			})
+		} else {
+			for v := 0; v < n; v++ {
+				if crashed[v] {
+					continue
+				}
+				inbox = inbox[:0]
+				for _, u := range g.Neighbors(v) {
+					if outbox[u] == nil {
+						continue
+					}
+					if faultRng != nil && opts.Faults.DropProb > 0 && faultRng.Prob(opts.Faults.DropProb) {
+						continue
+					}
+					inbox = append(inbox, outbox[u])
+				}
+				nodes[v].Deliver(views[v], inbox)
+			}
+		}
+
+		if obs := opts.Observer; obs != nil && obs.Progress != nil {
+			delivered := 0
+			for _, nd := range nodes {
+				delivered += nd.Tokens().Len()
+			}
+			obs.Progress(r, delivered)
+		}
+
+		met.Rounds = r + 1
+		if doneLive(nodes, crashed, k, workersFor(opts, n)) {
+			if !met.Complete {
+				met.Complete = true
+				met.CompletionRound = r + 1
+			}
+			if opts.StopWhenComplete {
+				break
+			}
+		}
+	}
+	return met
+}
+
+// workersFor returns the worker count for auxiliary parallel passes.
+func workersFor(opts Options, n int) int {
+	if opts.Workers > 1 {
+		return opts.Workers
+	}
+	return 1
+}
+
+// doneLive reports whether every non-crashed node holds all k tokens.
+// Tokens() may be expensive (network coding decodes), so the scan fans out
+// when the run is parallel; each node's Tokens() touches only that node's
+// state.
+func doneLive(nodes []Node, crashed []bool, k, workers int) bool {
+	if workers <= 1 {
+		for v, nd := range nodes {
+			if crashed[v] {
+				continue
+			}
+			if nd.Tokens().Len() != k {
+				return false
+			}
+		}
+		return true
+	}
+	var incomplete atomic.Bool
+	parallel.ForEachRange(len(nodes), workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if incomplete.Load() {
+				return
+			}
+			if crashed[v] {
+				continue
+			}
+			if nodes[v].Tokens().Len() != k {
+				incomplete.Store(true)
+				return
+			}
+		}
+	})
+	return !incomplete.Load()
+}
+
+// RunProtocol is the convenience entry point: build fresh nodes from the
+// protocol and run them.
+func RunProtocol(d ctvg.Dynamic, p Protocol, assign *token.Assignment, opts Options) *Metrics {
+	return Run(d, p.Nodes(assign), assign, opts)
+}
+
+// Flat adapts a flat (cluster-free) dynamic network to the ctvg.Dynamic
+// interface by reporting every node unaffiliated in every round. Flat
+// baselines run on it unchanged.
+type Flat struct {
+	D tvg.Dynamic
+
+	hier *ctvg.Hierarchy // lazily built, all-unaffiliated
+}
+
+// NewFlat wraps a flat dynamic network.
+func NewFlat(d tvg.Dynamic) *Flat {
+	return &Flat{D: d, hier: ctvg.NewHierarchy(d.N())}
+}
+
+// N implements ctvg.Dynamic.
+func (f *Flat) N() int { return f.D.N() }
+
+// At implements ctvg.Dynamic.
+func (f *Flat) At(r int) *graph.Graph { return f.D.At(r) }
+
+// HierarchyAt implements ctvg.Dynamic.
+func (f *Flat) HierarchyAt(r int) *ctvg.Hierarchy { return f.hier }
+
+var _ ctvg.Dynamic = (*Flat)(nil)

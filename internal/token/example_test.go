@@ -1,0 +1,25 @@
+package token_test
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// Example sets up a k-token dissemination instance: 4 tokens spread over
+// 10 nodes, one per owner, validated against the problem definition.
+func Example() {
+	a := token.Spread(10, 4, xrand.New(1))
+	fmt.Println("valid:", a.Validate() == nil)
+	total := 0
+	for _, s := range a.Initial {
+		total += s.Len()
+	}
+	fmt.Println("tokens assigned:", total)
+	fmt.Println("goal:", a.Full())
+	// Output:
+	// valid: true
+	// tokens assigned: 4
+	// goal: {0, 1, 2, 3}
+}

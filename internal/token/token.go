@@ -1,0 +1,152 @@
+// Package token defines the k-token dissemination problem instance: the
+// token domain, the initial assignment of tokens to nodes, and a compact
+// binary codec for token sets used by the trace format.
+//
+// Following the paper (and Kuhn–Lynch–Oshman), each node receives an
+// initial set of tokens drawn from a domain of size k such that every token
+// is held by at least one node; the goal is for every node to collect and
+// output all k tokens. Token IDs are the dense integers 0..k-1 and are
+// mutually comparable, matching the paper's requirement that "each token is
+// stamped with a unique id, and the id is comparable with others".
+package token
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/xrand"
+)
+
+// Assignment is an initial distribution of k tokens over n nodes.
+type Assignment struct {
+	// K is the size of the token domain.
+	K int
+	// Initial[v] is the token set node v starts with.
+	Initial []*bitset.Set
+}
+
+// N returns the number of nodes.
+func (a *Assignment) N() int { return len(a.Initial) }
+
+// Validate checks that every token 0..K-1 is held by at least one node and
+// that no node holds a token outside the domain.
+func (a *Assignment) Validate() error {
+	if a.K <= 0 {
+		return fmt.Errorf("token: k=%d must be positive", a.K)
+	}
+	union := bitset.New(a.K)
+	for v, s := range a.Initial {
+		if s == nil {
+			return fmt.Errorf("token: node %d has nil initial set", v)
+		}
+		if max := s.Max(); max >= a.K {
+			return fmt.Errorf("token: node %d holds out-of-domain token %d (k=%d)", v, max, a.K)
+		}
+		union.UnionWith(s)
+	}
+	if union.Len() != a.K {
+		return fmt.Errorf("token: only %d of %d tokens assigned", union.Len(), a.K)
+	}
+	return nil
+}
+
+// Full returns the complete token set {0..K-1}.
+func (a *Assignment) Full() *bitset.Set {
+	s := bitset.New(a.K)
+	for t := 0; t < a.K; t++ {
+		s.Add(t)
+	}
+	return s
+}
+
+// Clone returns a deep copy (initial sets are copied, so a run cannot
+// corrupt the assignment).
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{K: a.K, Initial: make([]*bitset.Set, len(a.Initial))}
+	for v, s := range a.Initial {
+		c.Initial[v] = s.Clone()
+	}
+	return c
+}
+
+// Spread assigns k tokens to k distinct nodes chosen uniformly (one token
+// each); remaining nodes start empty. Requires k <= n.
+func Spread(n, k int, rng *xrand.Rand) *Assignment {
+	if k > n {
+		panic(fmt.Sprintf("token: Spread needs k <= n (k=%d, n=%d)", k, n))
+	}
+	a := empty(n, k)
+	owners := rng.Perm(n)[:k]
+	for t, v := range owners {
+		a.Initial[v].Add(t)
+	}
+	return a
+}
+
+// SingleSource assigns all k tokens to one node; everyone else starts
+// empty.
+func SingleSource(n, k, src int) *Assignment {
+	a := empty(n, k)
+	for t := 0; t < k; t++ {
+		a.Initial[src].Add(t)
+	}
+	return a
+}
+
+// Random gives every token to a uniformly chosen owner (independently), so
+// a node may own several tokens and k may exceed n.
+func Random(n, k int, rng *xrand.Rand) *Assignment {
+	a := empty(n, k)
+	for t := 0; t < k; t++ {
+		a.Initial[rng.Intn(n)].Add(t)
+	}
+	return a
+}
+
+func empty(n, k int) *Assignment {
+	a := &Assignment{K: k, Initial: make([]*bitset.Set, n)}
+	for v := range a.Initial {
+		a.Initial[v] = bitset.New(k)
+	}
+	return a
+}
+
+// --- binary codec ---
+
+// EncodeSet appends a length-prefixed little-endian encoding of a token set
+// to buf and returns the extended buffer. The encoding is the packed word
+// array trimmed of trailing zero words.
+func EncodeSet(buf []byte, s *bitset.Set) []byte {
+	words := s.Words()
+	// Trim trailing zero words for compactness.
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, w := range words[:n] {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeSet reads a token set encoded by EncodeSet from buf, returning the
+// set and the remaining bytes.
+func DecodeSet(buf []byte) (*bitset.Set, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("token: truncated set header")
+	}
+	buf = buf[sz:]
+	if uint64(len(buf)) < n*8 {
+		return nil, nil, fmt.Errorf("token: truncated set body (want %d words, have %d bytes)", n, len(buf))
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	s := &bitset.Set{}
+	s.SetWords(words)
+	return s, buf[n*8:], nil
+}

@@ -1,0 +1,214 @@
+package token
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/xrand"
+)
+
+func TestSpread(t *testing.T) {
+	rng := xrand.New(1)
+	a := Spread(10, 6, rng)
+	if a.N() != 10 || a.K != 6 {
+		t.Fatalf("n=%d k=%d", a.N(), a.K)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly k singleton owners.
+	owners := 0
+	for _, s := range a.Initial {
+		switch s.Len() {
+		case 0:
+		case 1:
+			owners++
+		default:
+			t.Fatalf("Spread node holds %d tokens", s.Len())
+		}
+	}
+	if owners != 6 {
+		t.Fatalf("owners=%d", owners)
+	}
+}
+
+func TestSpreadKEqualsN(t *testing.T) {
+	a := Spread(5, 5, xrand.New(2))
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range a.Initial {
+		if s.Len() != 1 {
+			t.Fatalf("node %d holds %d tokens", v, s.Len())
+		}
+	}
+}
+
+func TestSpreadPanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spread(3, 4) did not panic")
+		}
+	}()
+	Spread(3, 4, xrand.New(1))
+}
+
+func TestSingleSource(t *testing.T) {
+	a := SingleSource(8, 5, 3)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Initial[3].Len() != 5 {
+		t.Fatalf("source holds %d", a.Initial[3].Len())
+	}
+	for v, s := range a.Initial {
+		if v != 3 && !s.Empty() {
+			t.Fatalf("node %d not empty", v)
+		}
+	}
+}
+
+func TestRandom(t *testing.T) {
+	a := Random(4, 20, xrand.New(3))
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range a.Initial {
+		total += s.Len()
+	}
+	if total != 20 {
+		t.Fatalf("total tokens %d", total)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	a := SingleSource(4, 3, 0)
+	a.K = 0
+	if a.Validate() == nil {
+		t.Fatal("k=0 accepted")
+	}
+
+	b := SingleSource(4, 3, 0)
+	b.Initial[1] = nil
+	if b.Validate() == nil {
+		t.Fatal("nil set accepted")
+	}
+
+	c := SingleSource(4, 3, 0)
+	c.Initial[1].Add(7) // out of domain
+	if c.Validate() == nil {
+		t.Fatal("out-of-domain token accepted")
+	}
+
+	d := SingleSource(4, 3, 0)
+	d.Initial[0].Remove(2) // token 2 now unassigned
+	if d.Validate() == nil {
+		t.Fatal("missing token accepted")
+	}
+}
+
+func TestFull(t *testing.T) {
+	a := SingleSource(4, 3, 0)
+	f := a.Full()
+	if f.Len() != 3 || !f.Contains(0) || !f.Contains(2) || f.Contains(3) {
+		t.Fatalf("Full = %v", f)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := SingleSource(4, 3, 0)
+	c := a.Clone()
+	c.Initial[0].Remove(1)
+	if !a.Initial[0].Contains(1) {
+		t.Fatal("Clone shares sets")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := [][]int{
+		{},
+		{0},
+		{63},
+		{64},
+		{0, 1, 2, 200},
+		{5, 70, 500},
+	}
+	for _, elems := range cases {
+		s := bitset.FromSlice(elems)
+		buf := EncodeSet(nil, s)
+		got, rest, err := DecodeSet(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", elems, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d leftover bytes", elems, len(rest))
+		}
+		if !got.Equal(s) {
+			t.Fatalf("%v: round trip mismatch: %v", elems, got)
+		}
+	}
+}
+
+func TestCodecConcatenation(t *testing.T) {
+	a := bitset.FromSlice([]int{1, 2})
+	b := bitset.FromSlice([]int{100})
+	buf := EncodeSet(EncodeSet(nil, a), b)
+	gotA, rest, err := DecodeSet(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeSet(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !gotA.Equal(a) || !gotB.Equal(b) {
+		t.Fatal("concatenated decode failed")
+	}
+}
+
+func TestCodecTrimsTrailingZeros(t *testing.T) {
+	s := bitset.New(10000) // large capacity, tiny content
+	s.Add(1)
+	buf := EncodeSet(nil, s)
+	if len(buf) > 16 {
+		t.Fatalf("encoding not trimmed: %d bytes", len(buf))
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, _, err := DecodeSet(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	s := bitset.FromSlice([]int{1, 100})
+	buf := EncodeSet(nil, s)
+	if _, _, err := DecodeSet(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := &bitset.Set{}
+		for _, b := range raw {
+			s.Add(int(b))
+		}
+		got, rest, err := DecodeSet(EncodeSet(nil, s))
+		return err == nil && len(rest) == 0 && got.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpreadAlwaysValid(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := 1 + int(nRaw%60)
+		k := 1 + int(kRaw)%n
+		return Spread(n, k, xrand.New(seed)).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/tvg"
+)
+
+// Version 2 of the trace format delta-encodes consecutive rounds. HiNet
+// traces are dominated by stable structure (the backbone and member stars
+// persist for whole phases), so storing per-round edge/role/membership
+// diffs against the previous round shrinks traces by an order of magnitude
+// on typical adversaries.
+//
+// Layout (after the shared "CTVG" magic and version byte 2):
+//
+//	n varint, rounds varint
+//	round 0: full encoding (as v1: edges, roles, clusters)
+//	round r>0:
+//	  removed-edge count varint, then pairs
+//	  added-edge count varint, then pairs
+//	  role-change count varint, then (node varint, role byte)
+//	  cluster-change count varint, then (node varint, cluster+1 varint)
+const versionDelta = 2
+
+// WriteDelta serialises a trace in the delta format.
+func WriteDelta(w io.Writer, t *ctvg.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(versionDelta); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(scratch[:], x)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	n := t.N()
+	rounds := t.Len()
+	if err := putUvarint(uint64(n)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(rounds)); err != nil {
+		return err
+	}
+
+	writeEdges := func(es []graph.Edge) error {
+		if err := putUvarint(uint64(len(es))); err != nil {
+			return err
+		}
+		for _, e := range es {
+			if err := putUvarint(uint64(e.U)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(e.V)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Round 0: full.
+	g0 := t.At(0)
+	if err := writeEdges(g0.Edges()); err != nil {
+		return err
+	}
+	h0 := t.HierarchyAt(0)
+	for v := 0; v < n; v++ {
+		if err := bw.WriteByte(byte(h0.Role[v])); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < n; v++ {
+		if err := putUvarint(uint64(h0.Cluster[v] + 1)); err != nil {
+			return err
+		}
+	}
+
+	// Rounds 1..: diffs.
+	for r := 1; r < rounds; r++ {
+		prevG, curG := t.At(r-1), t.At(r)
+		var removed, added []graph.Edge
+		for _, e := range prevG.Edges() {
+			if !curG.HasEdge(e.U, e.V) {
+				removed = append(removed, e)
+			}
+		}
+		for _, e := range curG.Edges() {
+			if !prevG.HasEdge(e.U, e.V) {
+				added = append(added, e)
+			}
+		}
+		if err := writeEdges(removed); err != nil {
+			return err
+		}
+		if err := writeEdges(added); err != nil {
+			return err
+		}
+
+		prevH, curH := t.HierarchyAt(r-1), t.HierarchyAt(r)
+		var roleChanges, clusterChanges []int
+		for v := 0; v < n; v++ {
+			if prevH.Role[v] != curH.Role[v] {
+				roleChanges = append(roleChanges, v)
+			}
+			if prevH.Cluster[v] != curH.Cluster[v] {
+				clusterChanges = append(clusterChanges, v)
+			}
+		}
+		if err := putUvarint(uint64(len(roleChanges))); err != nil {
+			return err
+		}
+		for _, v := range roleChanges {
+			if err := putUvarint(uint64(v)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(curH.Role[v])); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(len(clusterChanges))); err != nil {
+			return err
+		}
+		for _, v := range clusterChanges {
+			if err := putUvarint(uint64(v)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(curH.Cluster[v] + 1)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// readDelta decodes the body of a version-2 trace (magic and version
+// already consumed).
+func readDelta(br *bufio.Reader) (*ctvg.Trace, error) {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	n64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading n: %w", err)
+	}
+	rounds64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading rounds: %w", err)
+	}
+	const limit = 1 << 24
+	if n64 > limit || rounds64 > limit {
+		return nil, fmt.Errorf("trace: implausible sizes n=%d rounds=%d", n64, rounds64)
+	}
+	n, rounds := int(n64), int(rounds64)
+	if rounds == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+
+	readEdgeList := func(g *graph.Graph, add bool, round int) error {
+		m64, err := readUvarint()
+		if err != nil {
+			return fmt.Errorf("trace: round %d edge count: %w", round, err)
+		}
+		if m64 > uint64(n)*uint64(n) {
+			return fmt.Errorf("trace: round %d implausible edge count %d", round, m64)
+		}
+		for j := uint64(0); j < m64; j++ {
+			u64, err := readUvarint()
+			if err != nil {
+				return fmt.Errorf("trace: round %d edge %d: %w", round, j, err)
+			}
+			v64, err := readUvarint()
+			if err != nil {
+				return fmt.Errorf("trace: round %d edge %d: %w", round, j, err)
+			}
+			if u64 >= uint64(n) || v64 >= uint64(n) {
+				return fmt.Errorf("trace: round %d edge %d out of range", round, j)
+			}
+			if add {
+				g.AddEdge(int(u64), int(v64))
+			} else {
+				g.RemoveEdge(int(u64), int(v64))
+			}
+		}
+		return nil
+	}
+
+	snaps := make([]*graph.Graph, rounds)
+	hiers := make([]*ctvg.Hierarchy, rounds)
+
+	// Round 0: full.
+	g := graph.New(n)
+	if err := readEdgeList(g, true, 0); err != nil {
+		return nil, err
+	}
+	h := ctvg.NewHierarchy(n)
+	for v := 0; v < n; v++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: round 0 roles: %w", err)
+		}
+		if b > byte(ctvg.Unaffiliated) {
+			return nil, fmt.Errorf("trace: round 0 node %d invalid role %d", v, b)
+		}
+		h.Role[v] = ctvg.Role(b)
+	}
+	for v := 0; v < n; v++ {
+		c64, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: round 0 clusters: %w", err)
+		}
+		if c64 > uint64(n) {
+			return nil, fmt.Errorf("trace: round 0 node %d cluster out of range", v)
+		}
+		h.Cluster[v] = int(c64) - 1
+	}
+	snaps[0] = g
+	hiers[0] = h
+
+	for r := 1; r < rounds; r++ {
+		g = g.Clone()
+		if err := readEdgeList(g, false, r); err != nil { // removals
+			return nil, err
+		}
+		if err := readEdgeList(g, true, r); err != nil { // additions
+			return nil, err
+		}
+		h = h.Clone()
+		rc64, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: round %d role changes: %w", r, err)
+		}
+		if rc64 > uint64(n) {
+			return nil, fmt.Errorf("trace: round %d implausible role changes", r)
+		}
+		for j := uint64(0); j < rc64; j++ {
+			v64, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d role change %d: %w", r, j, err)
+			}
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d role change %d: %w", r, j, err)
+			}
+			if v64 >= uint64(n) || b > byte(ctvg.Unaffiliated) {
+				return nil, fmt.Errorf("trace: round %d role change %d out of range", r, j)
+			}
+			h.Role[v64] = ctvg.Role(b)
+		}
+		cc64, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: round %d cluster changes: %w", r, err)
+		}
+		if cc64 > uint64(n) {
+			return nil, fmt.Errorf("trace: round %d implausible cluster changes", r)
+		}
+		for j := uint64(0); j < cc64; j++ {
+			v64, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d cluster change %d: %w", r, j, err)
+			}
+			c64, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d cluster change %d: %w", r, j, err)
+			}
+			if v64 >= uint64(n) || c64 > uint64(n) {
+				return nil, fmt.Errorf("trace: round %d cluster change %d out of range", r, j)
+			}
+			h.Cluster[v64] = int(c64) - 1
+		}
+		snaps[r] = g
+		hiers[r] = h
+	}
+	return ctvg.NewTrace(tvg.NewTrace(snaps), hiers), nil
+}

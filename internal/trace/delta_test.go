@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/ctvg"
+	"repro/internal/xrand"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	orig := recordedHiNet(t, 20)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.Len() != orig.Len() {
+		t.Fatalf("shape %d/%d vs %d/%d", got.N(), got.Len(), orig.N(), orig.Len())
+	}
+	for r := 0; r < orig.Len(); r++ {
+		if !got.At(r).Equal(orig.At(r)) {
+			t.Fatalf("round %d graphs differ", r)
+		}
+		if !got.HierarchyAt(r).Equal(orig.HierarchyAt(r)) {
+			t.Fatalf("round %d hierarchies differ", r)
+		}
+	}
+}
+
+func TestDeltaSmallerOnStableTraces(t *testing.T) {
+	// A HiNet trace (stable structure + light churn) must compress well
+	// under delta encoding.
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 80, Theta: 20, L: 2, T: 10, Reaffiliations: 2, ChurnEdges: 4,
+	}, xrand.New(3))
+	tr := ctvg.Record(adv, 60)
+
+	var full, delta bytes.Buffer
+	if err := Write(&full, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDelta(&delta, tr); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(delta.Len()) / float64(full.Len())
+	if ratio > 0.5 {
+		t.Fatalf("delta encoding only reached ratio %.2f (%d vs %d bytes)",
+			ratio, delta.Len(), full.Len())
+	}
+	t.Logf("delta ratio %.2f (%d vs %d bytes)", ratio, delta.Len(), full.Len())
+}
+
+func TestDeltaSingleRound(t *testing.T) {
+	orig := recordedHiNet(t, 1)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.At(0).Equal(orig.At(0)) {
+		t.Fatal("single-round delta trace wrong")
+	}
+}
+
+func TestDeltaRejectsTruncation(t *testing.T) {
+	orig := recordedHiNet(t, 8)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 4, 5, 8, len(data) / 3, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDeltaValidatesStructure(t *testing.T) {
+	orig := recordedHiNet(t, 10)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded trace structurally invalid: %v", err)
+	}
+}
+
+func BenchmarkWriteDelta(b *testing.B) {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 100, Theta: 30, L: 2, T: 10, Reaffiliations: 3, ChurnEdges: 10,
+	}, xrand.New(1))
+	tr := ctvg.Record(adv, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteDelta(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/ctvg"
+	"repro/internal/xrand"
+)
+
+// FuzzRead drives the trace decoder with arbitrary bytes: it must never
+// panic, and any trace it does accept must be structurally sane and
+// re-encodable.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a real encoded trace plus adversarial prefixes.
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 8, Theta: 3, L: 2, T: 3, ChurnEdges: 1,
+	}, xrand.New(1))
+	var buf bytes.Buffer
+	if err := Write(&buf, ctvg.Record(adv, 4)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	var dbuf bytes.Buffer
+	if err := WriteDelta(&dbuf, ctvg.Record(adv, 4)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dbuf.Bytes())
+	f.Add([]byte("CTVG\x02"))
+	f.Add([]byte("CTVG\x01"))
+	f.Add([]byte("CTVG\x01\x05\x01"))
+	f.Add([]byte{})
+	f.Add([]byte("XXXXXXXX"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.N() < 0 || tr.Len() < 1 {
+			t.Fatalf("accepted insane trace: n=%d rounds=%d", tr.N(), tr.Len())
+		}
+		// Anything accepted must round-trip.
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.N() != tr.N() || tr2.Len() != tr.Len() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package trace implements a compact binary record/replay format for CTVG
+// traces (per-round communication graphs plus cluster hierarchies).
+//
+// Recorded traces make experiments forensically replayable: an adversary's
+// run can be frozen to disk, inspected with cmd/hinettrace, and replayed
+// bit-identically against any protocol. The format is self-contained and
+// versioned:
+//
+//	magic "CTVG"  version u8
+//	n varint, rounds varint
+//	per round:
+//	  m varint, then m edge pairs (u varint, v varint)
+//	  n role bytes
+//	  n cluster varints (value+1, so NoCluster=-1 encodes as 0)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/tvg"
+)
+
+const (
+	magic   = "CTVG"
+	version = 1
+)
+
+// Write serialises a recorded trace.
+func Write(w io.Writer, t *ctvg.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	n := t.N()
+	rounds := t.Len()
+	if err := putUvarint(uint64(n)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(rounds)); err != nil {
+		return err
+	}
+	for r := 0; r < rounds; r++ {
+		g := t.At(r)
+		edges := g.Edges()
+		if err := putUvarint(uint64(len(edges))); err != nil {
+			return err
+		}
+		for _, e := range edges {
+			if err := putUvarint(uint64(e.U)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(e.V)); err != nil {
+				return err
+			}
+		}
+		h := t.HierarchyAt(r)
+		for v := 0; v < n; v++ {
+			if err := bw.WriteByte(byte(h.Role[v])); err != nil {
+				return err
+			}
+		}
+		for v := 0; v < n; v++ {
+			if err := putUvarint(uint64(h.Cluster[v] + 1)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write (version 1) or WriteDelta
+// (version 2), dispatching on the version byte.
+func Read(r io.Reader) (*ctvg.Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(magic)])
+	}
+	switch head[len(magic)] {
+	case version:
+		return readFull(br)
+	case versionDelta:
+		return readDelta(br)
+	default:
+		return nil, fmt.Errorf("trace: unsupported version %d", head[len(magic)])
+	}
+}
+
+// readFull decodes the body of a version-1 trace.
+func readFull(br *bufio.Reader) (*ctvg.Trace, error) {
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	n64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading n: %w", err)
+	}
+	rounds64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading rounds: %w", err)
+	}
+	const limit = 1 << 24
+	if n64 > limit || rounds64 > limit {
+		return nil, fmt.Errorf("trace: implausible sizes n=%d rounds=%d", n64, rounds64)
+	}
+	n, rounds := int(n64), int(rounds64)
+	if rounds == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	snaps := make([]*graph.Graph, rounds)
+	hiers := make([]*ctvg.Hierarchy, rounds)
+	for ri := 0; ri < rounds; ri++ {
+		m64, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: round %d edge count: %w", ri, err)
+		}
+		if m64 > uint64(n)*uint64(n) {
+			return nil, fmt.Errorf("trace: round %d implausible edge count %d", ri, m64)
+		}
+		g := graph.New(n)
+		for j := uint64(0); j < m64; j++ {
+			u64, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d edge %d: %w", ri, j, err)
+			}
+			v64, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d edge %d: %w", ri, j, err)
+			}
+			if u64 >= uint64(n) || v64 >= uint64(n) {
+				return nil, fmt.Errorf("trace: round %d edge %d out of range", ri, j)
+			}
+			g.AddEdge(int(u64), int(v64))
+		}
+		h := ctvg.NewHierarchy(n)
+		for v := 0; v < n; v++ {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d roles: %w", ri, err)
+			}
+			if b > byte(ctvg.Unaffiliated) {
+				return nil, fmt.Errorf("trace: round %d node %d invalid role %d", ri, v, b)
+			}
+			h.Role[v] = ctvg.Role(b)
+		}
+		for v := 0; v < n; v++ {
+			c64, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: round %d clusters: %w", ri, err)
+			}
+			if c64 > uint64(n) {
+				return nil, fmt.Errorf("trace: round %d node %d cluster out of range", ri, v)
+			}
+			h.Cluster[v] = int(c64) - 1
+		}
+		snaps[ri] = g
+		hiers[ri] = h
+	}
+	return ctvg.NewTrace(tvg.NewTrace(snaps), hiers), nil
+}
+
+// RecordAndWrite materialises `rounds` rounds of a dynamic network and
+// writes them in one step.
+func RecordAndWrite(w io.Writer, d ctvg.Dynamic, rounds int) error {
+	return Write(w, ctvg.Record(d, rounds))
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/ctvg"
+	"repro/internal/xrand"
+)
+
+func recordedHiNet(t *testing.T, rounds int) *ctvg.Trace {
+	t.Helper()
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 20, Theta: 4, L: 2, T: 5, Reaffiliations: 2, ChurnEdges: 3,
+	}, xrand.New(5))
+	return ctvg.Record(adv, rounds)
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := recordedHiNet(t, 12)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.Len() != orig.Len() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.N(), got.Len(), orig.N(), orig.Len())
+	}
+	for r := 0; r < orig.Len(); r++ {
+		if !got.At(r).Equal(orig.At(r)) {
+			t.Fatalf("round %d graphs differ", r)
+		}
+		if !got.HierarchyAt(r).Equal(orig.HierarchyAt(r)) {
+			t.Fatalf("round %d hierarchies differ", r)
+		}
+	}
+}
+
+func TestRecordAndWrite(t *testing.T) {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 10, Theta: 3, L: 2, T: 4, ChurnEdges: 1,
+	}, xrand.New(9))
+	var buf bytes.Buffer
+	if err := RecordAndWrite(&buf, adv, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 8 || got.N() != 10 {
+		t.Fatalf("shape %d/%d", got.N(), got.Len())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX\x01"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("CTVG\x07"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	orig := recordedHiNet(t, 6)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate at a spread of offsets; every prefix must error, never
+	// panic or succeed.
+	for _, cut := range []int{0, 3, 5, 7, 10, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsCorruptRole(t *testing.T) {
+	orig := recordedHiNet(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip every byte one at a time in the first quarter and require that
+	// Read either errors or returns a structurally sane trace — never
+	// panics.
+	for i := len(magic) + 1; i < len(data)/4; i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xFF
+		got, err := Read(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		if got.N() < 0 || got.Len() < 1 {
+			t.Fatalf("byte %d: corrupt accepted with insane shape", i)
+		}
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	// Hand-craft a header with zero rounds.
+	data := append([]byte("CTVG\x01"), 5, 0) // n=5, rounds=0
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("zero-round trace accepted")
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 100, Theta: 30, L: 2, T: 10, Reaffiliations: 3, ChurnEdges: 10,
+	}, xrand.New(1))
+	tr := ctvg.Record(adv, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 100, Theta: 30, L: 2, T: 10, Reaffiliations: 3, ChurnEdges: 10,
+	}, xrand.New(1))
+	tr := ctvg.Record(adv, 50)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tvg
+
+import "repro/internal/graph"
+
+// Inf is the influence/flood time reported for unreachable pairs; it
+// aliases graph.Inf.
+const Inf = graph.Inf
+
+// This file implements causal influence and the dynamic diameter of Kuhn &
+// Oshman ("Dynamic Networks: Models and Algorithms", SIGACT News 2011), the
+// other flat dynamics notion the paper's related-work section surveys.
+//
+// Node u causally influences node v by round t (written (u, 0) -> (v, t))
+// if information present at u in round 0 can have reached v by round t via
+// a chain of adjacent-in-their-round edges. The dynamic diameter is the
+// smallest t such that within any window of t rounds every node causally
+// influences every other.
+
+// InfluenceTimes returns, for a flood started at src at the beginning of
+// round `from`, the first round count after which each node is causally
+// influenced: out[v] = smallest d such that (src, from) -> (v, from+d).
+// out[src] = 0; unreachable nodes (within horizon rounds) get Inf.
+func InfluenceTimes(d Dynamic, src, from, horizon int) []int {
+	n := d.N()
+	out := make([]int, n)
+	for v := range out {
+		out[v] = Inf
+	}
+	out[src] = 0
+	reached := make([]bool, n)
+	reached[src] = true
+	frontier := 1
+	for step := 0; step < horizon && frontier < n; step++ {
+		g := d.At(from + step)
+		// One synchronous round: everything reached so far spreads one
+		// hop along this round's edges.
+		var newly []int
+		for v := 0; v < n; v++ {
+			if reached[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if reached[u] {
+					newly = append(newly, v)
+					break
+				}
+			}
+		}
+		for _, v := range newly {
+			reached[v] = true
+			out[v] = step + 1
+			frontier++
+		}
+	}
+	return out
+}
+
+// FloodTime returns the number of rounds a flood starting at src in round
+// `from` needs to reach all nodes, or Inf if it does not finish within
+// horizon rounds.
+func FloodTime(d Dynamic, src, from, horizon int) int {
+	times := InfluenceTimes(d, src, from, horizon)
+	worst := 0
+	for _, t := range times {
+		if t == Inf {
+			return Inf
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// DynamicDiameter returns the dynamic diameter over start rounds
+// [0, starts): the maximum over those start rounds r and all sources u of
+// the flood time from (u, r), where each flood gets a budget of `limit`
+// rounds. It returns Inf if some flood cannot finish within its budget.
+//
+// This is O(starts · n · limit · m) and intended for analysis of recorded
+// traces, not inner loops.
+func DynamicDiameter(d Dynamic, starts, limit int) int {
+	if starts <= 0 || limit <= 0 {
+		panic("tvg: DynamicDiameter needs starts > 0 and limit > 0")
+	}
+	n := d.N()
+	diam := 0
+	for r := 0; r < starts; r++ {
+		for u := 0; u < n; u++ {
+			t := FloodTime(d, u, r, limit)
+			if t == Inf {
+				return Inf
+			}
+			if t > diam {
+				diam = t
+			}
+		}
+	}
+	return diam
+}

@@ -1,0 +1,183 @@
+// Package tvg implements the Time-Varying Graph model of flat dynamic
+// networks and the T-interval connectivity property of Kuhn, Lynch and
+// Oshman (STOC 2010).
+//
+// A TVG (Casteigts et al., 2012) is G = (V, E, Γ, ρ, ζ): a footprint edge
+// set E over vertex set V, a lifetime Γ divided into synchronous rounds, a
+// presence function ρ(e, t) saying whether edge e exists in round t, and a
+// latency function ζ(e, t) giving the time to cross e. This repository's
+// simulator is round-synchronous, so ζ ≡ 1 round; the paper's CTVG
+// (internal/ctvg) extends this model with cluster roles and membership.
+package tvg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Dynamic is a dynamic network: a sequence of static snapshots on a fixed
+// vertex set, one per round. Implementations may be recorded traces or
+// lazily generated adversaries.
+type Dynamic interface {
+	// N returns the number of vertices (constant over the lifetime).
+	N() int
+	// At returns the communication graph of round r (r >= 0). The result
+	// must be treated as read-only.
+	At(r int) *graph.Graph
+}
+
+// Trace is a Dynamic backed by a recorded snapshot list. Rounds beyond the
+// recorded range repeat the final snapshot, so a finite trace describes an
+// eventually-static network.
+type Trace struct {
+	n     int
+	snaps []*graph.Graph
+}
+
+// NewTrace builds a trace from snapshots, which must all share the same
+// vertex count and be non-empty.
+func NewTrace(snaps []*graph.Graph) *Trace {
+	if len(snaps) == 0 {
+		panic("tvg: empty trace")
+	}
+	n := snaps[0].N()
+	for i, s := range snaps {
+		if s.N() != n {
+			panic(fmt.Sprintf("tvg: snapshot %d has %d vertices, want %d", i, s.N(), n))
+		}
+	}
+	return &Trace{n: n, snaps: snaps}
+}
+
+// N implements Dynamic.
+func (t *Trace) N() int { return t.n }
+
+// Len returns the number of recorded rounds.
+func (t *Trace) Len() int { return len(t.snaps) }
+
+// At implements Dynamic; rounds past the end repeat the last snapshot.
+func (t *Trace) At(r int) *graph.Graph {
+	if r < 0 {
+		panic("tvg: negative round")
+	}
+	if r >= len(t.snaps) {
+		r = len(t.snaps) - 1
+	}
+	return t.snaps[r]
+}
+
+// Append adds a snapshot to the end of the trace.
+func (t *Trace) Append(g *graph.Graph) {
+	if g.N() != t.n {
+		panic("tvg: appended snapshot has wrong vertex count")
+	}
+	t.snaps = append(t.snaps, g)
+}
+
+// Record materialises rounds [0, rounds) of any Dynamic into a Trace.
+func Record(d Dynamic, rounds int) *Trace {
+	if rounds <= 0 {
+		panic("tvg: Record needs rounds > 0")
+	}
+	snaps := make([]*graph.Graph, rounds)
+	for r := 0; r < rounds; r++ {
+		snaps[r] = d.At(r).Clone()
+	}
+	return NewTrace(snaps)
+}
+
+// TVG is the explicit (V, E, Γ, ρ, ζ) presentation of a recorded dynamic
+// network, matching Definition 1 of the paper minus the cluster extensions.
+type TVG struct {
+	// N is the number of vertices.
+	N int
+	// Footprint contains every edge that exists in at least one round.
+	Footprint *graph.Graph
+	// Lifetime is the number of recorded rounds.
+	Lifetime int
+	// Rho is the presence function: Rho(e, t) reports whether edge e is
+	// available in round t.
+	Rho func(e graph.Edge, t int) bool
+	// Zeta is the latency function; in the synchronous round model every
+	// present edge is crossed in exactly one round.
+	Zeta func(e graph.Edge, t int) int
+}
+
+// FromTrace derives the explicit TVG view of a trace.
+func FromTrace(t *Trace) *TVG {
+	foot := graph.New(t.n)
+	for _, s := range t.snaps {
+		for _, e := range s.Edges() {
+			foot.AddEdge(e.U, e.V)
+		}
+	}
+	return &TVG{
+		N:         t.n,
+		Footprint: foot,
+		Lifetime:  len(t.snaps),
+		Rho: func(e graph.Edge, r int) bool {
+			return t.At(r).HasEdge(e.U, e.V)
+		},
+		Zeta: func(e graph.Edge, r int) int { return 1 },
+	}
+}
+
+// StableSubgraph returns the intersection of the snapshots of rounds
+// [from, from+T): the maximal subgraph present throughout the window.
+func StableSubgraph(d Dynamic, from, T int) *graph.Graph {
+	if T <= 0 {
+		panic("tvg: StableSubgraph needs T > 0")
+	}
+	acc := d.At(from).Clone()
+	for r := from + 1; r < from+T; r++ {
+		acc = graph.Intersect(acc, d.At(r))
+	}
+	return acc
+}
+
+// WindowConnected reports whether a stable connected spanning subgraph
+// exists across rounds [from, from+T). Because the maximal stable subgraph
+// of a window is the intersection of its snapshots, such a subgraph exists
+// iff the intersection is connected (and spans V by construction).
+func WindowConnected(d Dynamic, from, T int) bool {
+	return StableSubgraph(d, from, T).Connected()
+}
+
+// IntervalConnected reports whether the dynamic graph is T-interval
+// connected over rounds [0, horizon): every window of T consecutive rounds
+// within the horizon contains a stable connected spanning subgraph (KLO's
+// definition, checked on sliding windows).
+func IntervalConnected(d Dynamic, T, horizon int) bool {
+	if T <= 0 || horizon < T {
+		panic("tvg: IntervalConnected needs 0 < T <= horizon")
+	}
+	for from := 0; from+T <= horizon; from++ {
+		if !WindowConnected(d, from, T) {
+			return false
+		}
+	}
+	return true
+}
+
+// AlwaysConnected reports 1-interval connectivity over [0, horizon): every
+// individual snapshot is connected.
+func AlwaysConnected(d Dynamic, horizon int) bool {
+	return IntervalConnected(d, 1, horizon)
+}
+
+// Static wraps a single graph as an unchanging Dynamic.
+type Static struct {
+	G *graph.Graph
+}
+
+// N implements Dynamic.
+func (s Static) N() int { return s.G.N() }
+
+// At implements Dynamic.
+func (s Static) At(r int) *graph.Graph { return s.G }
+
+var (
+	_ Dynamic = (*Trace)(nil)
+	_ Dynamic = Static{}
+)

@@ -1,0 +1,192 @@
+package tvg
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func path(n int) *graph.Graph { return graph.Path(n) }
+
+func TestTraceBasics(t *testing.T) {
+	a := path(4)
+	b := graph.Ring(4)
+	tr := NewTrace([]*graph.Graph{a, b})
+	if tr.N() != 4 || tr.Len() != 2 {
+		t.Fatalf("n=%d len=%d", tr.N(), tr.Len())
+	}
+	if tr.At(0) != a || tr.At(1) != b {
+		t.Fatal("At returns wrong snapshot")
+	}
+	// Past the end repeats the last snapshot.
+	if tr.At(10) != b {
+		t.Fatal("At past end should repeat last snapshot")
+	}
+}
+
+func TestTraceNegativeRoundPanics(t *testing.T) {
+	tr := NewTrace([]*graph.Graph{path(3)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(-1) did not panic")
+		}
+	}()
+	tr.At(-1)
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched vertex counts did not panic")
+		}
+	}()
+	NewTrace([]*graph.Graph{path(3), path(4)})
+}
+
+func TestNewTraceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty trace did not panic")
+		}
+	}()
+	NewTrace(nil)
+}
+
+func TestAppend(t *testing.T) {
+	tr := NewTrace([]*graph.Graph{path(3)})
+	tr.Append(graph.Ring(3))
+	if tr.Len() != 2 || tr.At(1).M() != 3 {
+		t.Fatal("Append failed")
+	}
+}
+
+func TestAppendWrongSizePanics(t *testing.T) {
+	tr := NewTrace([]*graph.Graph{path(3)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append wrong size did not panic")
+		}
+	}()
+	tr.Append(path(4))
+}
+
+func TestStableSubgraphIsIntersection(t *testing.T) {
+	// Round 0: path 0-1-2-3; round 1: same path plus chord 0-2; round 2:
+	// path only again. Stable subgraph over all three rounds is the path.
+	g0 := path(4)
+	g1 := path(4)
+	g1.AddEdge(0, 2)
+	g2 := path(4)
+	tr := NewTrace([]*graph.Graph{g0, g1, g2})
+	st := StableSubgraph(tr, 0, 3)
+	if !st.Equal(path(4)) {
+		t.Fatalf("stable subgraph %v", st.Edges())
+	}
+	// Window of one round is the snapshot itself.
+	if !StableSubgraph(tr, 1, 1).Equal(g1) {
+		t.Fatal("T=1 stable subgraph wrong")
+	}
+}
+
+func TestIntervalConnected(t *testing.T) {
+	// A network alternating between two different spanning trees of K4 is
+	// 1-interval connected but not 2-interval connected when the trees
+	// share no connected spanning intersection.
+	t1 := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	t2 := graph.FromEdges(4, []graph.Edge{{U: 0, V: 2}, {U: 1, V: 3}, {U: 0, V: 3}})
+	tr := NewTrace([]*graph.Graph{t1, t2, t1, t2})
+	if !AlwaysConnected(tr, 4) {
+		t.Fatal("should be 1-interval connected")
+	}
+	if IntervalConnected(tr, 2, 4) {
+		t.Fatal("should not be 2-interval connected")
+	}
+}
+
+func TestIntervalConnectedStableBackbone(t *testing.T) {
+	// All snapshots contain a common spanning tree; extra edges churn.
+	rng := xrand.New(5)
+	backbone := graph.RandomTree(10, rng)
+	snaps := make([]*graph.Graph, 8)
+	for i := range snaps {
+		s := backbone.Clone()
+		for j := 0; j < 5; j++ {
+			s.AddEdge(rng.Intn(10), (rng.Intn(9)+1+rng.Intn(10))%10)
+		}
+		snaps[i] = s
+	}
+	tr := NewTrace(snaps)
+	if !IntervalConnected(tr, 8, 8) {
+		t.Fatal("trace with common spanning tree should be 8-interval connected")
+	}
+}
+
+func TestIntervalConnectedArgValidation(t *testing.T) {
+	tr := NewTrace([]*graph.Graph{path(3)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args did not panic")
+		}
+	}()
+	IntervalConnected(tr, 0, 1)
+}
+
+func TestDisconnectedSnapshotFailsAlwaysConnected(t *testing.T) {
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	tr := NewTrace([]*graph.Graph{path(4), disc})
+	if AlwaysConnected(tr, 2) {
+		t.Fatal("trace with disconnected snapshot is not 1-interval connected")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{G: graph.Ring(5)}
+	if s.N() != 5 || s.At(0) != s.At(99) {
+		t.Fatal("Static wrong")
+	}
+	if !IntervalConnected(s, 50, 100) {
+		t.Fatal("static connected graph should be T-interval connected for any T")
+	}
+}
+
+func TestRecord(t *testing.T) {
+	s := Static{G: graph.Ring(5)}
+	tr := Record(s, 3)
+	if tr.Len() != 3 || tr.N() != 5 {
+		t.Fatalf("record len=%d n=%d", tr.Len(), tr.N())
+	}
+	// Recorded snapshots are deep copies.
+	tr.At(0).AddEdge(0, 2)
+	if s.G.HasEdge(0, 2) {
+		t.Fatal("Record aliased source graph")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	g0 := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	g1 := graph.FromEdges(3, []graph.Edge{{U: 1, V: 2}})
+	tr := NewTrace([]*graph.Graph{g0, g1})
+	v := FromTrace(tr)
+	if v.N != 3 || v.Lifetime != 2 {
+		t.Fatalf("N=%d lifetime=%d", v.N, v.Lifetime)
+	}
+	if !v.Footprint.HasEdge(0, 1) || !v.Footprint.HasEdge(1, 2) || v.Footprint.M() != 2 {
+		t.Fatalf("footprint %v", v.Footprint.Edges())
+	}
+	e01 := graph.NormEdge(0, 1)
+	if !v.Rho(e01, 0) || v.Rho(e01, 1) {
+		t.Fatal("presence function wrong")
+	}
+	if v.Zeta(e01, 0) != 1 {
+		t.Fatal("latency must be one round")
+	}
+}
+
+func TestWindowConnectedSingleRound(t *testing.T) {
+	tr := NewTrace([]*graph.Graph{path(4)})
+	if !WindowConnected(tr, 0, 1) {
+		t.Fatal("connected snapshot should pass")
+	}
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+func msg(kind sim.MsgKind, from, to int, toks []int) *sim.Message {
+	m := &sim.Message{From: from, To: to, Kind: kind, Tokens: bitset.FromSlice(toks)}
+	if kind == sim.KindCoded {
+		m.Units = 1
+	}
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*sim.Message{
+		msg(sim.KindBroadcast, 3, sim.NoAddr, []int{0, 5, 63}),
+		msg(sim.KindUpload, 7, 2, []int{1}),
+		msg(sim.KindRelay, 0, sim.NoAddr, nil),
+		msg(sim.KindCoded, 9, sim.NoAddr, []int{0, 1, 2, 3}),
+	}
+	for _, m := range cases {
+		buf := Encode(nil, m)
+		got, rest, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d leftover bytes", m.Kind, len(rest))
+		}
+		if got.From != m.From || got.To != m.To || got.Kind != m.Kind {
+			t.Fatalf("%v: header mismatch: %+v", m.Kind, got)
+		}
+		if !got.Tokens.Equal(m.Tokens) {
+			t.Fatalf("%v: payload mismatch", m.Kind)
+		}
+		if got.Cost() != m.Cost() {
+			t.Fatalf("%v: cost changed: %d vs %d", m.Kind, got.Cost(), m.Cost())
+		}
+	}
+}
+
+func TestSizeMatchesEncoding(t *testing.T) {
+	cases := []*sim.Message{
+		msg(sim.KindBroadcast, 1, sim.NoAddr, []int{0, 1, 2}),
+		msg(sim.KindUpload, 1, 0, []int{200}),
+		msg(sim.KindRelay, 1, sim.NoAddr, nil),
+		msg(sim.KindCoded, 1, sim.NoAddr, []int{0, 7}),
+	}
+	for _, m := range cases {
+		if got, want := Size(m), len(Encode(nil, m)); got != want {
+			t.Fatalf("%v: Size=%d, encoding=%d", m.Kind, got, want)
+		}
+	}
+}
+
+func TestSizeShapes(t *testing.T) {
+	// A singleton packet costs header + tiny set + one body.
+	single := Size(msg(sim.KindRelay, 0, sim.NoAddr, []int{3}))
+	// A k=8 set packet costs header + set + eight bodies.
+	full := Size(msg(sim.KindRelay, 0, sim.NoAddr, []int{0, 1, 2, 3, 4, 5, 6, 7}))
+	// A coded packet over the same domain costs header + vector + ONE body.
+	coded := Size(msg(sim.KindCoded, 0, sim.NoAddr, []int{0, 1, 2, 3, 4, 5, 6, 7}))
+	if full <= single {
+		t.Fatalf("full set (%d) not larger than singleton (%d)", full, single)
+	}
+	if coded >= full {
+		t.Fatalf("coded (%d) not smaller than full set (%d)", coded, full)
+	}
+	if coded != single {
+		t.Fatalf("coded (%d) should equal singleton (%d): same body count, same set bytes", coded, single)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	m := msg(sim.KindBroadcast, 1, sim.NoAddr, []int{1, 2})
+	buf := Encode(nil, m)
+	for _, cut := range []int{3, Header, len(buf) - 1} {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(from, to uint16, kindRaw byte, raw []byte) bool {
+		kind := sim.MsgKind(kindRaw % 4)
+		toks := []int{}
+		for _, b := range raw {
+			toks = append(toks, int(b))
+		}
+		m := msg(kind, int(from), int(to)-1, toks)
+		got, rest, err := Decode(Encode(nil, m))
+		return err == nil && len(rest) == 0 &&
+			got.From == m.From && got.To == m.To && got.Tokens.Equal(m.Tokens)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteAccountingInEngine(t *testing.T) {
+	// The headline re-examined in bytes: Algorithm 1's singleton packets
+	// vs KLO-T's singleton packets — same shape, fewer senders, so Alg 1
+	// must also win under wire-size accounting.
+	const n, k, alpha, L = 60, 6, 2, 2
+	T := core.Theorem1T(k, alpha, L)
+	theta := 10
+	phases := core.Theorem1Phases(theta, alpha)
+
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: T, Reaffiliations: 2, ChurnEdges: 5,
+	}, xrand.New(1))
+	assign := token.Spread(n, k, xrand.New(2))
+	alg1 := sim.RunProtocol(adv, core.Alg1{T: T}, assign, sim.Options{
+		MaxRounds: phases * T, SizeFn: Size,
+	})
+	if !alg1.Complete || alg1.BytesSent == 0 {
+		t.Fatalf("alg1: %v bytes=%d", alg1, alg1.BytesSent)
+	}
+
+	flat := sim.NewFlat(adversary.NewTInterval(n, T, 5, xrand.New(1)))
+	klot := sim.RunProtocol(flat, baseline.KLOT{T: T}, assign, sim.Options{
+		MaxRounds: baseline.KLOTPhases(n, T, k) * T, SizeFn: Size,
+	})
+	if !klot.Complete {
+		t.Fatalf("klot: %v", klot)
+	}
+	if alg1.BytesSent >= klot.BytesSent {
+		t.Fatalf("Alg1 bytes %d not below KLO-T bytes %d", alg1.BytesSent, klot.BytesSent)
+	}
+}
+
+func TestByteAccountingOffByDefault(t *testing.T) {
+	adv := sim.NewFlat(adversary.NewOneInterval(5, 0, xrand.New(1)))
+	assign := token.SingleSource(5, 1, 0)
+	m := sim.RunProtocol(adv, baseline.Flood{}, assign, sim.Options{MaxRounds: 4})
+	if m.BytesSent != 0 {
+		t.Fatalf("bytes accumulated without SizeFn: %d", m.BytesSent)
+	}
+}
+
+func BenchmarkSize(b *testing.B) {
+	m := msg(sim.KindBroadcast, 1, sim.NoAddr, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Size(m)
+	}
+}
+
+func TestEncodeNilTokens(t *testing.T) {
+	m := &sim.Message{From: 1, To: sim.NoAddr, Kind: sim.KindRelay}
+	got, rest, err := Decode(Encode(nil, m))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("nil-payload encode failed: %v", err)
+	}
+	if !got.Tokens.Empty() {
+		t.Fatal("nil payload decoded non-empty")
+	}
+	if Size(m) != len(Encode(nil, m)) {
+		t.Fatal("Size mismatch for nil payload")
+	}
+}
