@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine, worker pool and observability layer are the concurrent
+# surfaces; everything else is single-goroutine.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/obs/...
+
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace

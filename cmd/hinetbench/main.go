@@ -12,12 +12,16 @@
 //	hinetbench -all                # everything
 //	hinetbench -csv                # CSV instead of aligned text
 //	hinetbench -seeds 8            # Monte-Carlo replications per row
+//	hinetbench -table 3 -metrics d # per-seed round-series JSONL into d/
+//	hinetbench -pprof :6060        # expose net/http/pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
@@ -28,16 +32,27 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "paper table to regenerate (2 or 3)")
-		sweep  = flag.String("sweep", "", "parameter sweep: n0 | k | nr | alpha | mobility")
-		all    = flag.Bool("all", false, "run every table and sweep")
-		seeds  = flag.Int("seeds", 8, "Monte-Carlo replications per row")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		curve  = flag.Bool("curve", false, "print per-round convergence sparklines")
-		claims = flag.Bool("claims", false, "print the reproduction ledger")
-		outDir = flag.String("out", "", "directory to additionally write each table as CSV")
+		table   = flag.Int("table", 0, "paper table to regenerate (2 or 3)")
+		sweep   = flag.String("sweep", "", "parameter sweep: n0 | k | nr | alpha | mobility")
+		all     = flag.Bool("all", false, "run every table and sweep")
+		seeds   = flag.Int("seeds", 8, "Monte-Carlo replications per row")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		curve   = flag.Bool("curve", false, "print per-round convergence sparklines")
+		claims  = flag.Bool("claims", false, "print the reproduction ledger")
+		outDir  = flag.String("out", "", "directory to additionally write each table as CSV")
+		metrics = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hinetbench: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "hinetbench: pprof listening on http://%s/debug/pprof/\n", *pprof)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -80,12 +95,17 @@ func main() {
 		ran = true
 	}
 	if *all || *table == 3 {
-		tb, rows, err := experiment.Table3Report(experiment.Table3Config(*seeds))
+		cfg := experiment.Table3Config(*seeds)
+		cfg.MetricsDir = *metrics
+		tb, rows, err := experiment.Table3Report(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emit(tb)
 		emitHeadline(out, rows)
+		if *metrics != "" {
+			fmt.Fprintf(out, "wrote per-seed round series to %s/\n\n", *metrics)
+		}
 		ran = true
 	}
 	if *all || *sweep == "n0" {

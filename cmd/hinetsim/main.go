@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/adversary"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/hinet"
 	"repro/internal/multihop"
 	"repro/internal/netcode"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/token"
@@ -47,34 +50,99 @@ func main() {
 		reaffil  = flag.Int("reaffil", 3, "member re-affiliations per phase boundary")
 		churn    = flag.Int("churn", 10, "random extra edges per round")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		metrics  = flag.String("metrics", "", "write one JSONL round event per round to this file")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		startPprof("hinetsim", *pprof)
+	}
+	mi := &instr{path: *metrics}
 
 	var err error
 	switch *scenario {
 	case "fig1":
+		if *metrics != "" {
+			fmt.Fprintln(os.Stderr, "hinetsim: fig1 runs no simulation; -metrics ignored")
+		}
 		err = runFig1(*seed)
 	case "fig3":
-		err = runFig3()
+		err = runFig3(mi)
 	case "hinet":
-		err = runHiNet(*n, *k, *theta, *alpha, *l, *reaffil, *churn, *seed)
+		err = runHiNet(*n, *k, *theta, *alpha, *l, *reaffil, *churn, *seed, mi)
 	case "onel":
-		err = runOneL(*n, *k, *theta, *l, *reaffil, *churn, *seed)
+		err = runOneL(*n, *k, *theta, *l, *reaffil, *churn, *seed, mi)
 	case "mobility":
-		err = runMobility(*n, *k, *seed)
+		err = runMobility(*n, *k, *seed, mi)
 	case "emdg":
-		err = runEMDG(*n, *k, *seed)
+		err = runEMDG(*n, *k, *seed, mi)
 	case "coded":
-		err = runCoded(*n, *k, *seed)
+		err = runCoded(*n, *k, *seed, mi)
 	case "multihop":
-		err = runMultiHop(*n, *k, *seed)
+		err = runMultiHop(*n, *k, *seed, mi)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err == nil {
+		err = mi.close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hinetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// startPprof serves the standard net/http/pprof handlers in the
+// background for profiling long scenario runs.
+func startPprof(tool, addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
+		}
+	}()
+}
+
+// instr wires the -metrics flag into a scenario run: attach decorates the
+// engine options with a JSONL collector, close flushes it.
+type instr struct {
+	path string
+	f    *os.File
+	col  *obs.Collector
+}
+
+// attach opens the JSONL sink (first call only) and hooks a collector into
+// opts, combining with any observer the scenario already set.
+func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, error) {
+	if in == nil || in.path == "" || in.f != nil {
+		return opts, nil
+	}
+	f, err := os.Create(in.path)
+	if err != nil {
+		return opts, err
+	}
+	in.f = f
+	in.col = obs.NewCollector(obs.Config{
+		N: n, K: k, PhaseLen: phaseLen, Sink: f, SizeFn: opts.SizeFn,
+	})
+	opts.Observer = obs.Combine(opts.Observer, in.col.Observer())
+	return opts, nil
+}
+
+// close flushes the collector and reports where the series went.
+func (in *instr) close() error {
+	if in == nil || in.f == nil {
+		return nil
+	}
+	if err := in.col.Flush(); err != nil {
+		in.f.Close()
+		return err
+	}
+	if err := in.f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote per-round metrics to %s\n", in.path)
+	return nil
 }
 
 // runFig1 reproduces Fig. 1: cluster a random geometric network and print
@@ -115,7 +183,7 @@ func runFig1(seed uint64) error {
 
 // runFig3 reproduces Fig. 3's walkthrough: token t travels member u ->
 // head v -> gateway -> head w -> members, printed round by round.
-func runFig3() error {
+func runFig3(mi *instr) error {
 	// u=1 member of head v=0; gateway 2; head w=3 with member 4.
 	g := graph.New(5)
 	g.AddEdge(0, 1)
@@ -141,9 +209,13 @@ func runFig3() error {
 			fmt.Printf("  round %d: node %d (%s) sends %v to head %d\n", r, m.From, role, m.Tokens, m.To)
 		}
 	}}
-	met := sim.RunProtocol(d, core.Alg1{T: 8}, assign, sim.Options{
+	opts, err := mi.attach(sim.Options{
 		MaxRounds: 8, StopWhenComplete: true, Observer: obs,
-	})
+	}, 5, 1, 8)
+	if err != nil {
+		return err
+	}
+	met := sim.RunProtocol(d, core.Alg1{T: 8}, assign, opts)
 	fmt.Println("result:", met)
 	if !met.Complete {
 		return fmt.Errorf("walkthrough did not complete")
@@ -151,7 +223,7 @@ func runFig3() error {
 	return nil
 }
 
-func runHiNet(n, k, theta, alpha, l, reaffil, churn int, seed uint64) error {
+func runHiNet(n, k, theta, alpha, l, reaffil, churn int, seed uint64, mi *instr) error {
 	T := core.Theorem1T(k, alpha, l)
 	phases := core.Theorem1Phases(theta, alpha)
 	adv := adversary.NewHiNet(adversary.HiNetConfig{
@@ -162,36 +234,48 @@ func runHiNet(n, k, theta, alpha, l, reaffil, churn int, seed uint64) error {
 		return fmt.Errorf("generated network violates the model: %w", err)
 	}
 	assign := token.Spread(n, k, xrand.New(seed+1))
-	met := sim.RunProtocol(adv, core.Alg1{T: T}, assign, sim.Options{
+	opts, err := mi.attach(sim.Options{
 		MaxRounds: phases * T, StopWhenComplete: true,
-	})
+	}, n, k, T)
+	if err != nil {
+		return err
+	}
+	met := sim.RunProtocol(adv, core.Alg1{T: T}, assign, opts)
 	fmt.Printf("Algorithm 1 on a (%d, %d)-HiNet (n=%d θ=%d k=%d α=%d)\n", T, l, n, theta, k, alpha)
 	fmt.Printf("theorem budget: %d phases x %d rounds = %d rounds\n", phases, T, phases*T)
 	fmt.Println("result:", met)
 	return nil
 }
 
-func runOneL(n, k, theta, l, reaffil, churn int, seed uint64) error {
+func runOneL(n, k, theta, l, reaffil, churn int, seed uint64, mi *instr) error {
 	adv := adversary.NewHiNet(adversary.HiNetConfig{
 		N: n, Theta: theta, L: l, T: 1,
 		Reaffiliations: reaffil, HeadChurn: 1, ChurnEdges: churn,
 	}, xrand.New(seed))
 	assign := token.Spread(n, k, xrand.New(seed+1))
-	met := sim.RunProtocol(adv, core.Alg2{}, assign, sim.Options{
+	opts, err := mi.attach(sim.Options{
 		MaxRounds: core.Theorem2Rounds(n), StopWhenComplete: true,
-	})
+	}, n, k, 1)
+	if err != nil {
+		return err
+	}
+	met := sim.RunProtocol(adv, core.Alg2{}, assign, opts)
 	fmt.Printf("Algorithm 2 on a (1, %d)-HiNet (n=%d θ=%d k=%d)\n", l, n, theta, k)
 	fmt.Printf("theorem budget: n-1 = %d rounds\n", core.Theorem2Rounds(n))
 	fmt.Println("result:", met)
 	return nil
 }
 
-func runEMDG(n, k int, seed uint64) error {
+func runEMDG(n, k int, seed uint64, mi *instr) error {
 	adv := adversary.NewClusteredEMDG(n, 0.02, 0.11, cluster.Config{}, xrand.New(seed))
 	assign := token.Spread(n, k, xrand.New(seed+1))
-	met := sim.RunProtocol(adv, core.Alg2{}, assign, sim.Options{
+	opts, err := mi.attach(sim.Options{
 		MaxRounds: 3 * n, StopWhenComplete: true,
-	})
+	}, n, k, 0)
+	if err != nil {
+		return err
+	}
+	met := sim.RunProtocol(adv, core.Alg2{}, assign, opts)
 	fmt.Printf("Algorithm 2 on a clustered edge-Markovian graph (n=%d k=%d, birth=0.02 death=0.11)\n", n, k)
 	fmt.Println("result:", met)
 	st := adv.Stats()
@@ -200,12 +284,16 @@ func runEMDG(n, k int, seed uint64) error {
 	return nil
 }
 
-func runCoded(n, k int, seed uint64) error {
+func runCoded(n, k int, seed uint64, mi *instr) error {
 	assign := token.Spread(n, k, xrand.New(seed+1))
 
+	// The -metrics series covers the coded run (the scenario's subject).
+	opts, err := mi.attach(sim.Options{MaxRounds: 6 * (n + k), StopWhenComplete: true}, n, k, 0)
+	if err != nil {
+		return err
+	}
 	cAdv := adversary.NewOneInterval(n, 0, xrand.New(seed))
-	coded := sim.RunProtocol(sim.NewFlat(cAdv), netcode.CodedFlood{Seed: seed}, assign,
-		sim.Options{MaxRounds: 6 * (n + k), StopWhenComplete: true})
+	coded := sim.RunProtocol(sim.NewFlat(cAdv), netcode.CodedFlood{Seed: seed}, assign, opts)
 
 	fAdv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 	flood := sim.RunProtocol(sim.NewFlat(fAdv), baseline.Flood{}, assign,
@@ -222,7 +310,7 @@ func runCoded(n, k int, seed uint64) error {
 	return nil
 }
 
-func runMultiHop(n, k int, seed uint64) error {
+func runMultiHop(n, k int, seed uint64, mi *instr) error {
 	const d = 2
 	rng := xrand.New(seed)
 	g := graph.RandomConnected(n, 2*n, rng)
@@ -233,8 +321,11 @@ func runMultiHop(n, k int, seed uint64) error {
 	T := k + (2*d + 1) + d
 	budget := (len(hier.Heads) + 2) * T
 	assign := token.Spread(n, k, xrand.New(seed+1))
-	met := sim.RunProtocol(nw, core.Alg1{T: T}, assign,
-		sim.Options{MaxRounds: budget, StopWhenComplete: true})
+	opts, err := mi.attach(sim.Options{MaxRounds: budget, StopWhenComplete: true}, n, k, T)
+	if err != nil {
+		return err
+	}
+	met := sim.RunProtocol(nw, core.Alg1{T: T}, assign, opts)
 	fmt.Printf("Algorithm 1 on %d-hop clusters (n=%d k=%d, %d heads, T=%d)\n",
 		d, n, k, len(hier.Heads), T)
 	if L, ok := hier.MaxHeadSeparation(g); ok {
@@ -244,7 +335,7 @@ func runMultiHop(n, k int, seed uint64) error {
 	return nil
 }
 
-func runMobility(n, k int, seed uint64) error {
+func runMobility(n, k int, seed uint64, mi *instr) error {
 	adv := adversary.NewMobility(adversary.MobilityConfig{
 		N: n, Field: geom.Field{W: 100, H: 100}, Radius: 22,
 		MinSpeed: 0.5, MaxSpeed: 2, PauseRounds: 1,
@@ -252,9 +343,13 @@ func runMobility(n, k int, seed uint64) error {
 		EnsureConnected: true,
 	}, xrand.New(seed))
 	assign := token.Spread(n, k, xrand.New(seed+1))
-	met := sim.RunProtocol(adv, core.Alg2{}, assign, sim.Options{
+	opts, err := mi.attach(sim.Options{
 		MaxRounds: 6 * n, StopWhenComplete: true,
-	})
+	}, n, k, 0)
+	if err != nil {
+		return err
+	}
+	met := sim.RunProtocol(adv, core.Alg2{}, assign, opts)
 	fmt.Printf("Algorithm 2 on random-waypoint mobility (n=%d k=%d)\n", n, k)
 	fmt.Println("result:", met)
 	st := adv.Stats()

@@ -7,7 +7,11 @@
 //	hinettrace info   -in net.ctvg
 //	hinettrace replay -in net.ctvg [-proto alg1|alg2] [-k -seed]
 //	hinettrace probe  -in net.ctvg   # infer which (T, L)-HiNet the trace satisfies
-//	hinettrace probe  -in net.ctvg
+//	hinettrace stats  -in net.ctvg [-proto alg1|alg2] [-k -t -seed -metrics out.jsonl]
+//
+// stats replays a recorded trace through the internal/obs layer and prints
+// a phase-by-phase breakdown (uploads, relays, progress, churn, stalls) —
+// the forensic view for diagnosing a run that misses the Theorem 1 bound.
 package main
 
 import (
@@ -19,9 +23,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctvg"
 	"repro/internal/hinet"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/token"
 	"repro/internal/trace"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -39,6 +45,8 @@ func main() {
 		err = replay(os.Args[2:])
 	case "probe":
 		err = probe(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
 	default:
 		usage()
 	}
@@ -49,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats [flags]")
 	os.Exit(2)
 }
 
@@ -170,5 +178,74 @@ func replay(args []string) error {
 		MaxRounds: tr.Len(), StopWhenComplete: true,
 	})
 	fmt.Printf("replayed %s over %s: %v\n", p.Name(), *in, met)
+	return nil
+}
+
+// stats replays a trace through the obs layer and prints the phase-by-phase
+// breakdown. With -metrics it also dumps the raw per-round JSONL series.
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "net.ctvg", "input file")
+	proto := fs.String("proto", "alg1", "protocol: alg1 | alg2")
+	k := fs.Int("k", 8, "tokens")
+	t := fs.Int("t", 12, "Algorithm 1 phase length")
+	seed := fs.Uint64("seed", 1, "token placement seed")
+	metrics := fs.String("metrics", "", "also write the per-round JSONL event stream here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := load(*in)
+	if err != nil {
+		return err
+	}
+	var p sim.Protocol
+	phaseLen := *t
+	switch *proto {
+	case "alg1":
+		p = core.Alg1{T: *t}
+	case "alg2":
+		p = core.Alg2{}
+		phaseLen = 1 // Algorithm 2 re-elects every round; phases degenerate.
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+	cfg := obs.Config{
+		N: tr.N(), K: *k, PhaseLen: phaseLen,
+		SizeFn: wire.Size, Keep: true,
+	}
+	var mf *os.File
+	if *metrics != "" {
+		mf, err = os.Create(*metrics)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		cfg.Sink = mf
+	}
+	col := obs.NewCollector(cfg)
+	assign := token.Spread(tr.N(), *k, xrand.New(*seed))
+	met := sim.RunProtocol(tr, p, assign, sim.Options{
+		MaxRounds:        tr.Len(),
+		StopWhenComplete: true,
+		Observer:         col.Observer(),
+		SizeFn:           wire.Size,
+	})
+	if err := col.Flush(); err != nil {
+		return err
+	}
+	events := col.Events()
+	tb := obs.PhaseTable(fmt.Sprintf("%s over %s (n=%d k=%d)", p.Name(), *in, tr.N(), *k), obs.Summarize(events))
+	if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("result: %v\n", met)
+	if len(events) > 0 {
+		last := events[len(events)-1]
+		fmt.Printf("final progress: %d/%d (%.1f%%)\n", last.Delivered, last.Total, 100*last.ProgressRatio())
+	}
+	if mf != nil {
+		fmt.Printf("wrote %d per-round events to %s\n", len(events), *metrics)
+		return mf.Sync()
+	}
 	return nil
 }

@@ -19,12 +19,15 @@ package experiment
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/adversary"
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/ctvg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -47,6 +50,11 @@ type PointConfig struct {
 	Workers int
 	// ChurnEdges is the per-round random edge churn of every adversary.
 	ChurnEdges int
+	// MetricsDir, when non-empty, makes every replication record its
+	// per-round event series as <row-slug>_seed<NN>.jsonl in that
+	// directory (see internal/obs for the schema). The directory is
+	// created if missing.
+	MetricsDir string
 }
 
 // Table3Config is the paper's Table 3 operating point with a default
@@ -92,16 +100,21 @@ type RowResult struct {
 
 // measured runs a protocol/adversary pairing over seeds and aggregates.
 type runSpec struct {
-	model   string
-	budget  int
-	build   func(seed uint64) (ctvg.Dynamic, sim.Protocol)
-	k       int
-	n       int
-	seeds   int
-	workers int
+	model string
+	// slug names the row's per-seed metrics files; phaseLen feeds the
+	// event stream's phase column (1 for per-round protocols).
+	slug       string
+	phaseLen   int
+	metricsDir string
+	budget     int
+	build      func(seed uint64) (ctvg.Dynamic, sim.Protocol)
+	k          int
+	n          int
+	seeds      int
+	workers    int
 }
 
-func runRow(spec runSpec, analytic analysis.Cost) RowResult {
+func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 	type sample struct {
 		time     int
 		comm     int64
@@ -109,15 +122,41 @@ func runRow(spec runSpec, analytic analysis.Cost) RowResult {
 		relay    int64
 		member   int64
 		complete bool
+		err      error
 	}
 	samples := parallel.Map(spec.seeds, spec.workers, func(i int) sample {
 		seed := uint64(i)*1_000_003 + 17
 		d, p := spec.build(seed)
 		assign := token.Spread(spec.n, spec.k, xrand.New(seed^0xabcdef))
-		met := sim.RunProtocol(d, p, assign, sim.Options{
+		opts := sim.Options{
 			MaxRounds: spec.budget,
 			SizeFn:    wire.Size,
-		})
+		}
+		var col *obs.Collector
+		var mf *os.File
+		if spec.metricsDir != "" {
+			path := filepath.Join(spec.metricsDir, fmt.Sprintf("%s_seed%02d.jsonl", spec.slug, i))
+			var err error
+			mf, err = os.Create(path)
+			if err != nil {
+				return sample{err: err}
+			}
+			col = obs.NewCollector(obs.Config{
+				N: spec.n, K: spec.k, PhaseLen: spec.phaseLen,
+				Sink: mf, SizeFn: wire.Size,
+			})
+			opts.Observer = col.Observer()
+		}
+		met := sim.RunProtocol(d, p, assign, opts)
+		if col != nil {
+			err := col.Flush()
+			if cerr := mf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return sample{err: err}
+			}
+		}
 		t := met.CompletionRound
 		if !met.Complete {
 			t = spec.budget
@@ -131,6 +170,11 @@ func runRow(spec runSpec, analytic analysis.Cost) RowResult {
 			complete: met.Complete,
 		}
 	})
+	for _, s := range samples {
+		if s.err != nil {
+			return RowResult{}, fmt.Errorf("experiment: %s: %w", spec.model, s.err)
+		}
+	}
 	res := RowResult{
 		Model:    spec.model,
 		Analytic: analytic,
@@ -157,7 +201,7 @@ func runRow(spec runSpec, analytic analysis.Cost) RowResult {
 	res.MeasuredBytes = bytesSum / float64(spec.seeds)
 	res.RelayTokens = relaySum / float64(spec.seeds)
 	res.MemberTokens = memberSum / float64(spec.seeds)
-	return res
+	return res, nil
 }
 
 // distribute spreads `total` churn events over `boundaries` phase
@@ -181,13 +225,19 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	if cfg.Seeds <= 0 {
 		return nil, fmt.Errorf("experiment: Seeds must be positive")
 	}
+	if cfg.MetricsDir != "" {
+		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	n, k, alpha, L, theta := p.N0, p.K, p.Alpha, p.L, p.Theta
 	T := p.T()
 
 	// Row 1: KLO T-interval.
 	kloTPhases := baseline.KLOTPhases(n, T, k)
-	rowKLOT := runRow(runSpec{
-		model:  "(k+α*L)-interval connected [7]",
+	rowKLOT, err := runRow(runSpec{
+		model: "(k+α*L)-interval connected [7]",
+		slug:  "klo_t", phaseLen: T, metricsDir: cfg.MetricsDir,
 		budget: kloTPhases * T,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
@@ -195,12 +245,16 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
 	}, analysis.KLOTInterval(p))
+	if err != nil {
+		return nil, err
+	}
 
 	// Row 2: Algorithm 1 on (T, L)-HiNet.
 	alg1Phases := core.Theorem1Phases(theta, alpha)
 	nrTotalT := cfg.P.NM * cfg.NRT
-	rowAlg1 := runRow(runSpec{
-		model:  "(k+α*L, L)-HiNet",
+	rowAlg1, err := runRow(runSpec{
+		model: "(k+α*L, L)-HiNet",
+		slug:  "alg1", phaseLen: T, metricsDir: cfg.MetricsDir,
 		budget: alg1Phases * T,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewHiNet(adversary.HiNetConfig{
@@ -212,10 +266,14 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
+	if err != nil {
+		return nil, err
+	}
 
 	// Row 3: KLO 1-interval flooding.
-	rowFlood := runRow(runSpec{
-		model:  "1-interval connected [7]",
+	rowFlood, err := runRow(runSpec{
+		model: "1-interval connected [7]",
+		slug:  "flood", phaseLen: 1, metricsDir: cfg.MetricsDir,
 		budget: baseline.FloodRounds(n),
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
@@ -223,12 +281,16 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
 	}, analysis.KLOOneInterval(p))
+	if err != nil {
+		return nil, err
+	}
 
 	// Row 4: Algorithm 2 on (1, L)-HiNet.
 	budget1 := core.Theorem2Rounds(n)
 	nrTotal1 := cfg.P.NM * cfg.NR1
-	rowAlg2 := runRow(runSpec{
-		model:  "(1, L)-HiNet",
+	rowAlg2, err := runRow(runSpec{
+		model: "(1, L)-HiNet",
+		slug:  "alg2", phaseLen: 1, metricsDir: cfg.MetricsDir,
 		budget: budget1,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewHiNet(adversary.HiNetConfig{
@@ -240,6 +302,9 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
+	if err != nil {
+		return nil, err
+	}
 
 	return []RowResult{rowKLOT, rowAlg1, rowFlood, rowAlg2}, nil
 }

@@ -1,10 +1,14 @@
 package experiment
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 )
 
 func TestTable3PointShape(t *testing.T) {
@@ -89,6 +93,59 @@ func TestTable3Report(t *testing.T) {
 	for _, want := range []string{"(k+α*L, L)-HiNet", "paper comm", "8000", "4320"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPointRecordsSeedSeries(t *testing.T) {
+	// With MetricsDir set, every row × seed must leave a parseable
+	// per-round JSONL series whose final delivered count reflects the
+	// row's completion.
+	dir := t.TempDir()
+	cfg := Table3Config(2)
+	cfg.MetricsDir = filepath.Join(dir, "series")
+	if _, err := RunPoint(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, slug := range []string{"klo_t", "alg1", "flood", "alg2"} {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			path := filepath.Join(cfg.MetricsDir, fmt.Sprintf("%s_seed%02d.jsonl", slug, seed))
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events, err := obs.ParseEvents(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if len(events) == 0 {
+				t.Fatalf("%s: empty series", path)
+			}
+			last := events[len(events)-1]
+			if last.Total != cfg.P.N0*cfg.P.K {
+				t.Fatalf("%s: total %d, want %d", path, last.Total, cfg.P.N0*cfg.P.K)
+			}
+			if last.Delivered != last.Total {
+				t.Fatalf("%s: series ends incomplete (%d/%d) but row completed",
+					path, last.Delivered, last.Total)
+			}
+		}
+	}
+	// The alg1 series must carry the phase structure (phase advances).
+	f, err := os.Open(filepath.Join(cfg.MetricsDir, "alg1_seed00.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ParseEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := cfg.P.T()
+	for _, e := range events {
+		if e.Phase != e.Round/T {
+			t.Fatalf("round %d labelled phase %d, want %d", e.Round, e.Phase, e.Round/T)
 		}
 	}
 }

@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Config parameterises a Collector.
+type Config struct {
+	// N and K size the convergence denominator: Total = N·K delivered
+	// (node, token) pairs.
+	N, K int
+	// PhaseLen is Algorithm 1's phase length T; events carry
+	// Phase = Round / PhaseLen. Zero or negative means no phase structure
+	// (every round reports phase 0).
+	PhaseLen int
+	// Sink, if non-nil, receives one JSON event per line per round. The
+	// Collector buffers internally; call Flush before reading the sink.
+	Sink io.Writer
+	// SizeFn, if set, mirrors the engine's byte accounting into the event
+	// stream (pass the same function as sim.Options.SizeFn).
+	SizeFn func(*sim.Message) int
+	// Registry, if non-nil, additionally maintains cumulative metrics
+	// (counters/gauges/histograms) updated once per round.
+	Registry *Registry
+	// Keep retains the per-round events in memory for Events() — the
+	// input to phase summaries and convergence analysis.
+	Keep bool
+}
+
+// regInstruments caches the registry handles so round finalisation does no
+// name lookups.
+type regInstruments struct {
+	rounds       *Counter
+	msgs         *Counter
+	tokens       *Counter
+	bytes        *Counter
+	crashes      *Counter
+	msgsKind     [sim.NumKinds]*Counter
+	tokensKind   [sim.NumKinds]*Counter
+	msgsRole     [sim.NumRoles]*Counter
+	tokensRole   [sim.NumRoles]*Counter
+	headChanges  *Counter
+	reaffil      *Counter
+	gatewayFlips *Counter
+	delivered    *Gauge
+	totalPairs   *Gauge
+	heads        *Gauge
+	stall        *Gauge
+	roundTokens  *Histogram
+}
+
+func newRegInstruments(r *Registry) *regInstruments {
+	ri := &regInstruments{
+		rounds:       r.Counter("sim_rounds_total", "rounds executed"),
+		msgs:         r.Counter("sim_messages_total", "transmissions"),
+		tokens:       r.Counter("sim_tokens_total", "communication cost in token units"),
+		bytes:        r.Counter("sim_bytes_total", "wire-level cost in bytes"),
+		crashes:      r.Counter("sim_crashes_total", "nodes felled by fault injection"),
+		headChanges:  r.Counter("sim_head_changes_total", "nodes whose head-ness flipped between rounds"),
+		reaffil:      r.Counter("sim_reaffiliations_total", "members that switched clusters between rounds"),
+		gatewayFlips: r.Counter("sim_gateway_flips_total", "nodes entering or leaving gateway duty"),
+		delivered:    r.Gauge("sim_delivered_pairs", "(node, token) pairs delivered so far"),
+		totalPairs:   r.Gauge("sim_total_pairs", "delivery ceiling n*k"),
+		heads:        r.Gauge("sim_heads", "current head-set size"),
+		stall:        r.Gauge("sim_stall_rounds", "consecutive rounds without delivery progress"),
+		roundTokens:  r.Histogram("sim_round_tokens", "tokens sent per round", RoundBuckets),
+	}
+	for i := range kindNames {
+		ri.msgsKind[i] = r.Counter(`sim_messages_kind_total{kind="`+kindNames[i]+`"}`, "transmissions by message kind")
+		ri.tokensKind[i] = r.Counter(`sim_tokens_kind_total{kind="`+kindNames[i]+`"}`, "token cost by message kind")
+	}
+	for i := range roleNames {
+		ri.msgsRole[i] = r.Counter(`sim_messages_role_total{role="`+roleNames[i]+`"}`, "transmissions by sender role")
+		ri.tokensRole[i] = r.Counter(`sim_tokens_role_total{role="`+roleNames[i]+`"}`, "token cost by sender role")
+	}
+	return ri
+}
+
+// Collector accumulates the engine's observer callbacks into RoundEvents,
+// streaming them to the configured JSONL sink and registry.
+//
+// The per-message path (the Sent callback) only increments fixed-size
+// arrays — no heap allocation — so attaching a Collector does not perturb
+// the engine's allocation profile (asserted by TestSentHotPathNoAllocs).
+// Per-round work (event encoding, churn diffing) is O(n) once per round.
+//
+// A Collector is driven from the engine goroutine (the engine serialises
+// observer callbacks even when Workers > 1) and is not otherwise
+// goroutine-safe.
+type Collector struct {
+	cfg Config
+
+	w   *bufio.Writer
+	buf []byte
+	err error
+
+	cur     RoundEvent
+	started bool
+	curHier *ctvg.Hierarchy // aliases engine storage; valid within the round
+
+	prevRole    []ctvg.Role
+	prevCluster []int
+	havePrev    bool
+
+	prevDelivered int
+	stall         int
+
+	events []RoundEvent
+	reg    *regInstruments
+}
+
+// NewCollector builds a collector for one run.
+func NewCollector(cfg Config) *Collector {
+	c := &Collector{cfg: cfg}
+	if cfg.Sink != nil {
+		c.w = bufio.NewWriter(cfg.Sink)
+	}
+	if cfg.Registry != nil {
+		c.reg = newRegInstruments(cfg.Registry)
+		c.reg.totalPairs.Set(int64(cfg.N * cfg.K))
+	}
+	return c
+}
+
+// Observer returns the sim.Observer that feeds this collector. Combine
+// with other observers via Combine if the run also needs ad-hoc hooks.
+func (c *Collector) Observer() *sim.Observer {
+	return &sim.Observer{
+		RoundStart: c.roundStart,
+		Sent:       c.sent,
+		Progress:   c.progress,
+		Crashed:    c.crashed,
+	}
+}
+
+// ensure opens the accumulator for round r, finalising the previous round
+// first. Crash events arrive before RoundStart, so any callback may be the
+// one that opens a round.
+func (c *Collector) ensure(r int) {
+	if c.started && c.cur.Round == r {
+		return
+	}
+	if c.started {
+		c.finalize()
+	}
+	c.started = true
+	crashed := c.cur.Crashed[:0] // reuse the slice across rounds
+	c.cur = RoundEvent{Round: r, Total: c.cfg.N * c.cfg.K, Crashed: crashed}
+	if c.cfg.PhaseLen > 0 {
+		c.cur.Phase = r / c.cfg.PhaseLen
+	}
+}
+
+func (c *Collector) roundStart(r int, g *graph.Graph, h *ctvg.Hierarchy) {
+	c.ensure(r)
+	c.curHier = h
+	heads := 0
+	for v := range h.Role {
+		if h.Role[v] == ctvg.Head {
+			heads++
+		}
+	}
+	c.cur.Heads = heads
+	if c.havePrev && len(c.prevRole) == len(h.Role) {
+		for v := range h.Role {
+			wasHead := c.prevRole[v] == ctvg.Head
+			isHead := h.Role[v] == ctvg.Head
+			if wasHead != isHead {
+				c.cur.HeadChanges++
+			}
+			wasGw := c.prevRole[v] == ctvg.Gateway
+			isGw := h.Role[v] == ctvg.Gateway
+			if wasGw != isGw {
+				c.cur.GatewayFlips++
+			}
+			// A re-affiliation is a node that is a member now, was
+			// affiliated before, and answers to a different head — the
+			// n_r of the paper's cost model.
+			if h.Role[v] == ctvg.Member && c.prevCluster[v] != ctvg.NoCluster &&
+				h.Cluster[v] != c.prevCluster[v] {
+				c.cur.Reaffiliations++
+			}
+		}
+	}
+	if c.prevRole == nil {
+		c.prevRole = make([]ctvg.Role, len(h.Role))
+		c.prevCluster = make([]int, len(h.Cluster))
+	}
+	copy(c.prevRole, h.Role)
+	copy(c.prevCluster, h.Cluster)
+	c.havePrev = true
+}
+
+// sent is the hot path: one call per transmission, allocation-free.
+func (c *Collector) sent(r int, m *sim.Message) {
+	c.ensure(r)
+	cost := int64(m.Cost())
+	c.cur.Messages++
+	c.cur.Tokens += cost
+	if int(m.Kind) < sim.NumKinds {
+		c.cur.MsgsByKind[m.Kind]++
+		c.cur.TokensByKind[m.Kind] += cost
+	}
+	if c.cfg.SizeFn != nil {
+		c.cur.Bytes += int64(c.cfg.SizeFn(m))
+	}
+	if h := c.curHier; h != nil && m.From >= 0 && m.From < len(h.Role) {
+		if role := h.Role[m.From]; int(role) < sim.NumRoles {
+			c.cur.MsgsByRole[role]++
+			c.cur.TokensByRole[role] += cost
+		}
+	}
+}
+
+func (c *Collector) progress(r, delivered int) {
+	c.ensure(r)
+	c.cur.Delivered = delivered
+}
+
+func (c *Collector) crashed(r, v int) {
+	c.ensure(r)
+	c.cur.Crashed = append(c.cur.Crashed, v)
+}
+
+// finalize closes the current round: derives idle/stall, emits JSONL,
+// updates the registry, and retains the event when configured.
+func (c *Collector) finalize() {
+	e := &c.cur
+	e.Idle = e.Messages == 0
+	if e.Delivered <= c.prevDelivered && (e.Total <= 0 || e.Delivered < e.Total) {
+		c.stall++
+	} else {
+		c.stall = 0
+	}
+	e.Stall = c.stall
+	c.prevDelivered = e.Delivered
+
+	if c.w != nil && c.err == nil {
+		c.buf = e.AppendJSON(c.buf[:0])
+		c.buf = append(c.buf, '\n')
+		if _, err := c.w.Write(c.buf); err != nil {
+			c.err = err
+		}
+	}
+	if c.reg != nil {
+		ri := c.reg
+		ri.rounds.Inc()
+		ri.msgs.Add(e.Messages)
+		ri.tokens.Add(e.Tokens)
+		ri.bytes.Add(e.Bytes)
+		ri.crashes.Add(int64(len(e.Crashed)))
+		for i := range ri.msgsKind {
+			ri.msgsKind[i].Add(e.MsgsByKind[i])
+			ri.tokensKind[i].Add(e.TokensByKind[i])
+		}
+		for i := range ri.msgsRole {
+			ri.msgsRole[i].Add(e.MsgsByRole[i])
+			ri.tokensRole[i].Add(e.TokensByRole[i])
+		}
+		ri.headChanges.Add(int64(e.HeadChanges))
+		ri.reaffil.Add(int64(e.Reaffiliations))
+		ri.gatewayFlips.Add(int64(e.GatewayFlips))
+		ri.delivered.Set(int64(e.Delivered))
+		ri.heads.Set(int64(e.Heads))
+		ri.stall.Set(int64(c.stall))
+		ri.roundTokens.Observe(float64(e.Tokens))
+	}
+	if c.cfg.Keep {
+		ev := *e
+		ev.Crashed = append([]int(nil), e.Crashed...)
+		c.events = append(c.events, ev)
+	}
+}
+
+// Flush finalises the in-flight round and drains the sink buffer. Call it
+// after the run returns (and before reading the sink); it is idempotent.
+func (c *Collector) Flush() error {
+	if c.started {
+		c.finalize()
+		c.started = false
+		c.curHier = nil
+	}
+	if c.w != nil {
+		if err := c.w.Flush(); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+	return c.err
+}
+
+// Err returns the first sink write error, if any.
+func (c *Collector) Err() error { return c.err }
+
+// Events returns the retained per-round series (Config.Keep must be set;
+// call Flush first so the final round is included).
+func (c *Collector) Events() []RoundEvent { return c.events }
+
+// Combine merges observers: every non-nil callback of every observer is
+// invoked in argument order. Nil observers are skipped; a single observer
+// is returned as-is.
+func Combine(list ...*sim.Observer) *sim.Observer {
+	live := list[:0:0]
+	for _, o := range list {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	out := &sim.Observer{}
+	for _, o := range live {
+		o := o
+		if o.RoundStart != nil {
+			prev := out.RoundStart
+			out.RoundStart = func(r int, g *graph.Graph, h *ctvg.Hierarchy) {
+				if prev != nil {
+					prev(r, g, h)
+				}
+				o.RoundStart(r, g, h)
+			}
+		}
+		if o.Sent != nil {
+			prev := out.Sent
+			out.Sent = func(r int, m *sim.Message) {
+				if prev != nil {
+					prev(r, m)
+				}
+				o.Sent(r, m)
+			}
+		}
+		if o.Progress != nil {
+			prev := out.Progress
+			out.Progress = func(r, delivered int) {
+				if prev != nil {
+					prev(r, delivered)
+				}
+				o.Progress(r, delivered)
+			}
+		}
+		if o.Crashed != nil {
+			prev := out.Crashed
+			out.Crashed = func(r, v int) {
+				if prev != nil {
+					prev(r, v)
+				}
+				o.Crashed(r, v)
+			}
+		}
+	}
+	return out
+}

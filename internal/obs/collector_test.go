@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// testTrace freezes a churning (T, L)-HiNet so serial and parallel runs
+// see the exact same dynamics.
+func testTrace(t testing.TB, n, rounds, T int) *ctvg.Trace {
+	t.Helper()
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: n / 4, L: 2, T: T,
+		Reaffiliations: 2, ChurnEdges: 4,
+	}, xrand.New(3))
+	return ctvg.Record(adv, rounds)
+}
+
+// runCollected runs Algorithm 1 over tr with a fresh collector and returns
+// the JSONL bytes plus the collector itself.
+func runCollected(t testing.TB, tr *ctvg.Trace, k, T, workers int, reg *Registry) ([]byte, *Collector, *sim.Metrics) {
+	t.Helper()
+	assign := token.Spread(tr.N(), k, xrand.New(9))
+	var sink bytes.Buffer
+	col := NewCollector(Config{
+		N: tr.N(), K: k, PhaseLen: T,
+		Sink: &sink, SizeFn: wire.Size, Registry: reg, Keep: true,
+	})
+	met := sim.RunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+		MaxRounds: tr.Len(),
+		Observer:  col.Observer(),
+		SizeFn:    wire.Size,
+		Workers:   workers,
+	})
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Bytes(), col, met
+}
+
+func TestCollectorRoundSeries(t *testing.T) {
+	const n, k, T, rounds = 32, 6, 12, 48
+	tr := testTrace(t, n, rounds, T)
+	reg := NewRegistry()
+	raw, col, met := runCollected(t, tr, k, T, 0, reg)
+
+	events := col.Events()
+	if len(events) != rounds {
+		t.Fatalf("%d events, want %d", len(events), rounds)
+	}
+	var totMsgs, totTokens, totBytes int64
+	prevDelivered := 0
+	for i, e := range events {
+		if e.Round != i {
+			t.Fatalf("event %d has round %d", i, e.Round)
+		}
+		if e.Phase != i/T {
+			t.Fatalf("round %d phase %d, want %d", i, e.Phase, i/T)
+		}
+		if e.Total != n*k {
+			t.Fatalf("round %d total %d, want %d", i, e.Total, n*k)
+		}
+		if e.Delivered < prevDelivered {
+			t.Fatalf("round %d delivered %d regressed below %d", i, e.Delivered, prevDelivered)
+		}
+		prevDelivered = e.Delivered
+		if e.Idle != (e.Messages == 0) {
+			t.Fatalf("round %d idle flag inconsistent", i)
+		}
+		var kindMsgs, roleMsgs int64
+		for j := 0; j < sim.NumKinds; j++ {
+			kindMsgs += e.MsgsByKind[j]
+		}
+		for j := 0; j < sim.NumRoles; j++ {
+			roleMsgs += e.MsgsByRole[j]
+		}
+		if kindMsgs != e.Messages || roleMsgs != e.Messages {
+			t.Fatalf("round %d splits don't sum: kinds=%d roles=%d msgs=%d", i, kindMsgs, roleMsgs, e.Messages)
+		}
+		totMsgs += e.Messages
+		totTokens += e.Tokens
+		totBytes += e.Bytes
+	}
+	// The event stream must reconcile exactly with the engine's metrics.
+	if totMsgs != met.Messages || totTokens != met.TokensSent || totBytes != met.BytesSent {
+		t.Fatalf("series totals (%d, %d, %d) != metrics (%d, %d, %d)",
+			totMsgs, totTokens, totBytes, met.Messages, met.TokensSent, met.BytesSent)
+	}
+	// Algorithm 1 on a clustered network must attribute uploads to members
+	// and relays to heads/gateways.
+	var uploads, relays int64
+	for _, e := range events {
+		uploads += e.MsgsByKind[sim.KindUpload]
+		relays += e.MsgsByKind[sim.KindRelay]
+	}
+	if uploads == 0 || relays == 0 {
+		t.Fatalf("expected both uploads (%d) and relays (%d)", uploads, relays)
+	}
+
+	// JSONL round-trips through ParseEvents.
+	parsed, err := ParseEvents(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(events))
+	}
+	for i := range parsed {
+		a, b := parsed[i], events[i]
+		if len(a.Crashed) != len(b.Crashed) {
+			t.Fatalf("event %d crash list changed over the wire", i)
+		}
+		a.Crashed, b.Crashed = nil, nil
+		var ab, bb bytes.Buffer
+		ab.Write(a.AppendJSON(nil))
+		bb.Write(b.AppendJSON(nil))
+		if ab.String() != bb.String() {
+			t.Fatalf("event %d changed over the wire:\n%s\n%s", i, ab.String(), bb.String())
+		}
+	}
+
+	// Registry totals agree with the engine.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"sim_messages_total " + itoa(met.Messages),
+		"sim_tokens_total " + itoa(met.TokensSent),
+		"sim_bytes_total " + itoa(met.BytesSent),
+		`sim_messages_kind_total{kind="upload"} ` + itoa(met.MessagesByKind[sim.KindUpload]),
+		`sim_tokens_role_total{role="head"} ` + itoa(met.TokensByRole[ctvg.Head]),
+		"sim_rounds_total " + itoa(int64(rounds)),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	var b []byte
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func TestParallelEventStreamByteIdentical(t *testing.T) {
+	// The acceptance criterion: Workers > 1 with a collector produces a
+	// JSONL stream byte-identical to the serial engine on the same seed.
+	const n, k, T, rounds = 48, 6, 12, 48
+	tr := testTrace(t, n, rounds, T)
+	serial, _, smet := runCollected(t, tr, k, T, 0, nil)
+	for _, workers := range []int{2, 4, 7} {
+		par, _, pmet := runCollected(t, tr, k, T, workers, nil)
+		if smet.String() != pmet.String() {
+			t.Fatalf("workers=%d: metrics diverge: %v vs %v", workers, smet, pmet)
+		}
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d: event stream diverges from serial", workers)
+		}
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty event stream")
+	}
+}
+
+func TestCollectorCrashEvents(t *testing.T) {
+	// Crashes must appear in the round event, ascending, and feed the
+	// crash counter.
+	tr := testTrace(t, 16, 10, 5)
+	assign := token.Spread(16, 3, xrand.New(1))
+	reg := NewRegistry()
+	col := NewCollector(Config{N: 16, K: 3, PhaseLen: 5, Registry: reg, Keep: true})
+	sim.RunProtocol(tr, core.Alg1{T: 5}, assign, sim.Options{
+		MaxRounds: 10,
+		Observer:  col.Observer(),
+		Faults:    &sim.Faults{CrashAt: map[int]int{5: 2, 3: 2, 9: 0}},
+	})
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	if got := events[0].Crashed; len(got) != 1 || got[0] != 9 {
+		t.Fatalf("round 0 crashes %v, want [9]", got)
+	}
+	if got := events[2].Crashed; len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("round 2 crashes %v, want [3 5]", got)
+	}
+	if c := reg.Counter("sim_crashes_total", ""); c.Value() != 3 {
+		t.Fatalf("crash counter %d, want 3", c.Value())
+	}
+}
+
+func TestSentHotPathNoAllocs(t *testing.T) {
+	// The acceptance criterion: the per-message obs path must not allocate
+	// in the serial engine.
+	h := ctvg.NewHierarchy(4)
+	h.SetHead(0)
+	h.SetMember(1, 0)
+	col := NewCollector(Config{N: 4, K: 2, PhaseLen: 3})
+	obs := col.Observer()
+	obs.RoundStart(0, nil, h)
+	msg := &sim.Message{From: 1, To: 0, Kind: sim.KindUpload, Tokens: nil, Units: 1}
+	if n := testing.AllocsPerRun(1000, func() {
+		obs.Sent(0, msg)
+	}); n != 0 {
+		t.Fatalf("Sent hot path allocates %.1f times per message", n)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	var a, b int
+	oa := &sim.Observer{Sent: func(r int, m *sim.Message) { a++ }}
+	ob := &sim.Observer{Sent: func(r int, m *sim.Message) { b++ }, Progress: func(r, d int) { b += 10 }}
+	merged := Combine(oa, nil, ob)
+	merged.Sent(0, &sim.Message{})
+	merged.Progress(0, 5)
+	if a != 1 || b != 11 {
+		t.Fatalf("combine dispatch wrong: a=%d b=%d", a, b)
+	}
+	if merged.RoundStart != nil || merged.Crashed != nil {
+		t.Fatal("combine invented callbacks")
+	}
+	if Combine(nil, nil) != nil {
+		t.Fatal("all-nil combine should be nil")
+	}
+	if Combine(oa) != oa {
+		t.Fatal("single observer should pass through")
+	}
+}
+
+func TestSummarizePhases(t *testing.T) {
+	const n, k, T, rounds = 32, 6, 12, 48
+	tr := testTrace(t, n, rounds, T)
+	_, col, _ := runCollected(t, tr, k, T, 0, nil)
+	phases := Summarize(col.Events())
+	if len(phases) != rounds/T {
+		t.Fatalf("%d phases, want %d", len(phases), rounds/T)
+	}
+	gained := 0
+	for i, p := range phases {
+		if p.Phase != i {
+			t.Fatalf("phase %d labelled %d", i, p.Phase)
+		}
+		if p.Rounds != T {
+			t.Fatalf("phase %d has %d rounds, want %d", i, p.Rounds, T)
+		}
+		gained += p.Gained
+	}
+	last := phases[len(phases)-1]
+	if gained != last.Delivered {
+		t.Fatalf("gained sum %d != final delivered %d", gained, last.Delivered)
+	}
+	tb := PhaseTable("phases", phases)
+	if tb.Len() != len(phases) {
+		t.Fatalf("table rows %d", tb.Len())
+	}
+	if !strings.Contains(tb.String(), "uploads") {
+		t.Fatal("phase table missing uploads column")
+	}
+}

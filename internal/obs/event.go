@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// RoundEvent is one round of derived observability series: the structured
+// record emitted (one JSON object per line) by the Collector's sink.
+//
+// Kind arrays are indexed by sim.MsgKind (broadcast, upload, relay,
+// coded); role arrays by ctvg.Role (member, head, gateway, unaffiliated).
+type RoundEvent struct {
+	// Round is the 0-based engine round.
+	Round int
+	// Phase is Round / PhaseLen under Algorithm 1's phase structure
+	// (0 when no phase length is configured).
+	Phase int
+	// Messages / Tokens / Bytes are this round's transmission totals.
+	Messages int64
+	Tokens   int64
+	Bytes    int64
+	// Per-kind and per-role splits of the same totals.
+	MsgsByKind   [sim.NumKinds]int64
+	TokensByKind [sim.NumKinds]int64
+	MsgsByRole   [sim.NumRoles]int64
+	TokensByRole [sim.NumRoles]int64
+	// Delivered is the number of (node, token) pairs held after this
+	// round's deliveries; Total is the n·k ceiling.
+	Delivered int
+	Total     int
+	// Idle marks a round in which no node transmitted.
+	Idle bool
+	// Stall counts consecutive rounds (including this one) without
+	// delivery progress while dissemination is still incomplete; 0 means
+	// this round made progress (or everything was already delivered).
+	Stall int
+	// Heads is the size of this round's head set V_h; HeadChanges counts
+	// nodes whose head-ness flipped since the previous round (Definition
+	// 2's stability probe), Reaffiliations counts members that switched
+	// clusters (Definition 3), and GatewayFlips counts nodes entering or
+	// leaving gateway duty.
+	Heads          int
+	HeadChanges    int
+	Reaffiliations int
+	GatewayFlips   int
+	// Crashed lists nodes felled by fault injection this round, ascending.
+	Crashed []int
+}
+
+// ProgressRatio returns Delivered/Total in [0, 1] (0 when Total is 0).
+func (e *RoundEvent) ProgressRatio() float64 {
+	if e.Total <= 0 {
+		return 0
+	}
+	return float64(e.Delivered) / float64(e.Total)
+}
+
+var kindNames = [sim.NumKinds]string{"broadcast", "upload", "relay", "coded"}
+var roleNames = [sim.NumRoles]string{"member", "head", "gateway", "unaffiliated"}
+
+// appendCounts renders {"broadcast":1,...} style objects without reflection.
+func appendCounts(b []byte, names *[4]string, counts *[4]int64) []byte {
+	b = append(b, '{')
+	for i := range names {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, names[i]...)
+		b = append(b, '"', ':')
+		b = strconv.AppendInt(b, counts[i], 10)
+	}
+	return append(b, '}')
+}
+
+// AppendJSON appends the event as one JSON object (no trailing newline) to
+// buf and returns the extended slice. Key order is fixed, so equal events
+// encode to equal bytes — the property the serial-vs-parallel determinism
+// tests assert on.
+func (e *RoundEvent) AppendJSON(buf []byte) []byte {
+	b := buf
+	b = append(b, `{"round":`...)
+	b = strconv.AppendInt(b, int64(e.Round), 10)
+	b = append(b, `,"phase":`...)
+	b = strconv.AppendInt(b, int64(e.Phase), 10)
+	b = append(b, `,"msgs":`...)
+	b = strconv.AppendInt(b, e.Messages, 10)
+	b = append(b, `,"tokens":`...)
+	b = strconv.AppendInt(b, e.Tokens, 10)
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, e.Bytes, 10)
+	b = append(b, `,"msgs_kind":`...)
+	b = appendCounts(b, &kindNames, &e.MsgsByKind)
+	b = append(b, `,"tokens_kind":`...)
+	b = appendCounts(b, &kindNames, &e.TokensByKind)
+	b = append(b, `,"msgs_role":`...)
+	b = appendCounts(b, &roleNames, &e.MsgsByRole)
+	b = append(b, `,"tokens_role":`...)
+	b = appendCounts(b, &roleNames, &e.TokensByRole)
+	b = append(b, `,"delivered":`...)
+	b = strconv.AppendInt(b, int64(e.Delivered), 10)
+	b = append(b, `,"total":`...)
+	b = strconv.AppendInt(b, int64(e.Total), 10)
+	b = append(b, `,"progress":`...)
+	b = strconv.AppendFloat(b, e.ProgressRatio(), 'f', 6, 64)
+	b = append(b, `,"idle":`...)
+	b = strconv.AppendBool(b, e.Idle)
+	b = append(b, `,"stall":`...)
+	b = strconv.AppendInt(b, int64(e.Stall), 10)
+	b = append(b, `,"heads":`...)
+	b = strconv.AppendInt(b, int64(e.Heads), 10)
+	b = append(b, `,"head_changes":`...)
+	b = strconv.AppendInt(b, int64(e.HeadChanges), 10)
+	b = append(b, `,"reaffiliations":`...)
+	b = strconv.AppendInt(b, int64(e.Reaffiliations), 10)
+	b = append(b, `,"gateway_flips":`...)
+	b = strconv.AppendInt(b, int64(e.GatewayFlips), 10)
+	b = append(b, `,"crashed":[`...)
+	for i, v := range e.Crashed {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, ']', '}')
+	return b
+}
+
+// eventJSON mirrors the wire schema for decoding.
+type eventJSON struct {
+	Round          int              `json:"round"`
+	Phase          int              `json:"phase"`
+	Msgs           int64            `json:"msgs"`
+	Tokens         int64            `json:"tokens"`
+	Bytes          int64            `json:"bytes"`
+	MsgsKind       map[string]int64 `json:"msgs_kind"`
+	TokensKind     map[string]int64 `json:"tokens_kind"`
+	MsgsRole       map[string]int64 `json:"msgs_role"`
+	TokensRole     map[string]int64 `json:"tokens_role"`
+	Delivered      int              `json:"delivered"`
+	Total          int              `json:"total"`
+	Idle           bool             `json:"idle"`
+	Stall          int              `json:"stall"`
+	Heads          int              `json:"heads"`
+	HeadChanges    int              `json:"head_changes"`
+	Reaffiliations int              `json:"reaffiliations"`
+	GatewayFlips   int              `json:"gateway_flips"`
+	Crashed        []int            `json:"crashed"`
+}
+
+func fillCounts(dst *[4]int64, names *[4]string, src map[string]int64) {
+	for i, n := range names {
+		dst[i] = src[n]
+	}
+}
+
+// ParseEvents decodes a JSONL event stream written by a Collector.
+func ParseEvents(r io.Reader) ([]RoundEvent, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []RoundEvent
+	for dec.More() {
+		var ej eventJSON
+		if err := dec.Decode(&ej); err != nil {
+			return nil, fmt.Errorf("obs: event %d: %w", len(out), err)
+		}
+		e := RoundEvent{
+			Round:          ej.Round,
+			Phase:          ej.Phase,
+			Messages:       ej.Msgs,
+			Tokens:         ej.Tokens,
+			Bytes:          ej.Bytes,
+			Delivered:      ej.Delivered,
+			Total:          ej.Total,
+			Idle:           ej.Idle,
+			Stall:          ej.Stall,
+			Heads:          ej.Heads,
+			HeadChanges:    ej.HeadChanges,
+			Reaffiliations: ej.Reaffiliations,
+			GatewayFlips:   ej.GatewayFlips,
+			Crashed:        ej.Crashed,
+		}
+		fillCounts(&e.MsgsByKind, &kindNames, ej.MsgsKind)
+		fillCounts(&e.TokensByKind, &kindNames, ej.TokensKind)
+		fillCounts(&e.MsgsByRole, &roleNames, ej.MsgsRole)
+		fillCounts(&e.TokensByRole, &roleNames, ej.TokensRole)
+		out = append(out, e)
+	}
+	return out, nil
+}

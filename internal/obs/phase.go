@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// PhaseSummary aggregates a run's RoundEvents over one Algorithm 1 phase —
+// the granularity at which Theorem 1 argues (each phase of T >= k + α·L
+// rounds advances every head by at least α tokens). Comparing the
+// per-phase upload/relay volumes and the delivered delta against that
+// argument localises *which* phase a failing run lost ground in.
+type PhaseSummary struct {
+	Phase  int
+	Rounds int
+	// Messages / Tokens are the phase's transmission totals; Uploads and
+	// Relays single out Algorithm 1's two message kinds (message counts).
+	Messages int64
+	Tokens   int64
+	Uploads  int64
+	Relays   int64
+	// UploadTokens / RelayTokens are the corresponding token costs.
+	UploadTokens int64
+	RelayTokens  int64
+	// Delivered is the (node, token) pair count at phase end, Gained the
+	// delta over the phase, Total the n·k ceiling.
+	Delivered int
+	Gained    int
+	Total     int
+	// IdleRounds and StallRounds count rounds with no transmissions and
+	// rounds with no delivery progress respectively.
+	IdleRounds  int
+	StallRounds int
+	// Hierarchy churn summed over the phase.
+	HeadChanges    int
+	Reaffiliations int
+	GatewayFlips   int
+	Crashes        int
+}
+
+// Summarize groups per-round events by their Phase field. Events must be
+// in round order (as a Collector emits them).
+func Summarize(events []RoundEvent) []PhaseSummary {
+	var out []PhaseSummary
+	prevDelivered := 0
+	for _, e := range events {
+		if len(out) == 0 || out[len(out)-1].Phase != e.Phase {
+			out = append(out, PhaseSummary{Phase: e.Phase, Total: e.Total})
+		}
+		p := &out[len(out)-1]
+		p.Rounds++
+		p.Messages += e.Messages
+		p.Tokens += e.Tokens
+		p.Uploads += e.MsgsByKind[sim.KindUpload]
+		p.Relays += e.MsgsByKind[sim.KindRelay]
+		p.UploadTokens += e.TokensByKind[sim.KindUpload]
+		p.RelayTokens += e.TokensByKind[sim.KindRelay]
+		p.Delivered = e.Delivered
+		p.Total = e.Total
+		if e.Idle {
+			p.IdleRounds++
+		}
+		if e.Stall > 0 {
+			p.StallRounds++
+		}
+		p.HeadChanges += e.HeadChanges
+		p.Reaffiliations += e.Reaffiliations
+		p.GatewayFlips += e.GatewayFlips
+		p.Crashes += len(e.Crashed)
+	}
+	for i := range out {
+		out[i].Gained = out[i].Delivered - prevDelivered
+		prevDelivered = out[i].Delivered
+	}
+	return out
+}
+
+// PhaseTable renders phase summaries as a report table: the phase-by-phase
+// breakdown printed by `hinettrace stats`.
+func PhaseTable(title string, phases []PhaseSummary) *report.Table {
+	tb := report.NewTable(title,
+		"phase", "rounds", "msgs", "tokens", "uploads", "relays",
+		"delivered", "gained", "progress", "idle", "stall",
+		"head-chg", "reaffil", "gw-flip")
+	for _, p := range phases {
+		progress := "-"
+		if p.Total > 0 {
+			progress = report.Pct(float64(p.Delivered) / float64(p.Total))
+		}
+		tb.AddRowf(p.Phase, p.Rounds, p.Messages, p.Tokens, p.Uploads, p.Relays,
+			p.Delivered, p.Gained, progress, p.IdleRounds, p.StallRounds,
+			p.HeadChanges, p.Reaffiliations, p.GatewayFlips)
+	}
+	return tb
+}

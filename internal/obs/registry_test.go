@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "things")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	if r.Counter("x_total", "ignored") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("y", "level")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge %d, want 5", g.Value())
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type conflict")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0, 1, 2, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 110 {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	// Cumulative: le=1 -> 2 (0, 1), le=5 -> 3 (+2), le=10 -> 4 (+7), +Inf -> 5.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`m_total{kind="a"}`, "a metric").Add(3)
+	r.Counter(`m_total{kind="b"}`, "a metric").Add(4)
+	r.Gauge("level", "current level").Set(-2)
+	h := r.Histogram("lat", "latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP m_total a metric",
+		"# TYPE m_total counter",
+		`m_total{kind="a"} 3`,
+		`m_total{kind="b"} 4`,
+		"# TYPE level gauge",
+		"level -2",
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="10"} 1`,
+		`lat_bucket{le="+Inf"} 2`,
+		"lat_sum 20.5",
+		"lat_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The family comment must appear exactly once despite two label sets.
+	if strings.Count(out, "# TYPE m_total counter") != 1 {
+		t.Fatalf("duplicated family comments:\n%s", out)
+	}
+}
+
+func TestInstrumentHotPathNoAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", RoundBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("instrument updates allocate %.1f times per op", n)
+	}
+}

@@ -119,6 +119,51 @@ func ForEachRange(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// Shards reports how many shards ForEachShard will use for n items under
+// the given worker bound: min(workers, n), with workers <= 0 meaning
+// GOMAXPROCS. Callers that pre-allocate one accumulator per shard size
+// their slice with this.
+func Shards(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// ForEachShard partitions [0, n) into Shards(n, workers) contiguous blocks
+// and invokes fn(shard, lo, hi) once per block, concurrently. It is
+// ForEachRange plus a stable shard index: shard s always covers the s-th
+// contiguous block, so per-shard accumulators merged in shard order yield
+// the same result as a serial left-to-right pass — the primitive behind
+// the engine's deterministic parallel observer pipeline.
+func ForEachShard(n, workers int, fn func(shard, lo, hi int)) {
+	w := Shards(n, workers)
+	if w == 0 {
+		return
+	}
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for s := 0; s < w; s++ {
+		lo := s * n / w
+		hi := (s + 1) * n / w
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
 // Map runs fn over [0, n) with bounded parallelism and returns the results
 // in index order.
 func Map[T any](n, workers int, fn func(i int) T) []T {

@@ -127,3 +127,44 @@ func TestForEachBlockCoversAll(t *testing.T) {
 		t.Fatal("fn called for n=0")
 	}
 }
+
+func TestForEachShardCoversAllInOrder(t *testing.T) {
+	const n = 103 // intentionally not divisible by worker counts
+	for _, w := range []int{0, 1, 2, 4, 7, 103, 200} {
+		shards := Shards(n, w)
+		if shards < 1 || shards > n {
+			t.Fatalf("workers=%d: Shards=%d out of range", w, shards)
+		}
+		type block struct{ lo, hi int }
+		got := make([]block, shards)
+		var hits [n]int32
+		ForEachShard(n, w, func(s, lo, hi int) {
+			got[s] = block{lo, hi}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		// Shards must tile [0, n) contiguously in shard order, so merging
+		// per-shard accumulators in index order equals a serial pass.
+		next := 0
+		for s, b := range got {
+			if b.lo != next || b.hi < b.lo {
+				t.Fatalf("workers=%d: shard %d is [%d, %d), want lo=%d", w, s, b.lo, b.hi, next)
+			}
+			next = b.hi
+		}
+		if next != n {
+			t.Fatalf("workers=%d: shards end at %d, want %d", w, next, n)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", w, i, h)
+			}
+		}
+	}
+	called := false
+	ForEachShard(0, 4, func(s, lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

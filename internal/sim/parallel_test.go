@@ -44,17 +44,88 @@ func TestParallelWithCrashFaults(t *testing.T) {
 	}
 }
 
-func TestParallelRejectsObserver(t *testing.T) {
-	d := staticPath(3)
-	assign := token.SingleSource(3, 1, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+// recordedEvent flattens one observer callback for stream comparison.
+type recordedEvent struct {
+	round, from, to int
+	kind            MsgKind
+	cost            int
+	delivered       int // -1 for Sent events
+}
+
+// recordRun executes a run with a recording observer and returns the
+// flattened event stream (Sent and Progress interleaved in arrival order).
+func recordRun(workers int) ([]recordedEvent, *Metrics) {
+	d := staticPath(40)
+	assign := token.SingleSource(40, 6, 0)
+	var events []recordedEvent
+	obs := &Observer{
+		Sent: func(r int, m *Message) {
+			events = append(events, recordedEvent{round: r, from: m.From, to: m.To, kind: m.Kind, cost: m.Cost(), delivered: -1})
+		},
+		Progress: func(r, delivered int) {
+			events = append(events, recordedEvent{round: r, from: -1, delivered: delivered})
+		},
+	}
+	met := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 39, Observer: obs, Workers: workers})
+	return events, met
+}
+
+func TestParallelObserverMatchesSerial(t *testing.T) {
+	// Workers > 1 with a non-nil observer no longer panics, and the merged
+	// event stream is identical to the serial engine's on the same seed.
+	serial, smet := recordRun(0)
+	par, pmet := recordRun(4)
+	if smet.String() != pmet.String() {
+		t.Fatalf("metrics diverge: %v vs %v", smet, pmet)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("event counts diverge: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("event %d diverges: serial %+v parallel %+v", i, serial[i], par[i])
 		}
-	}()
-	RunProtocol(d, floodProto{}, assign, Options{
-		MaxRounds: 2, Workers: 4, Observer: &Observer{},
-	})
+	}
+}
+
+func TestSentEventsAscendingRoundSender(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		events, _ := recordRun(workers)
+		lastRound, lastFrom := -1, -1
+		for _, e := range events {
+			if e.delivered >= 0 {
+				continue // Progress event
+			}
+			if e.round < lastRound || (e.round == lastRound && e.from <= lastFrom) {
+				t.Fatalf("workers=%d: Sent order violated at (round=%d, from=%d) after (%d, %d)",
+					workers, e.round, e.from, lastRound, lastFrom)
+			}
+			if e.round > lastRound {
+				lastFrom = -1
+			}
+			lastRound, lastFrom = e.round, e.from
+		}
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		events, _ := recordRun(workers)
+		prev, seen := -1, 0
+		for _, e := range events {
+			if e.delivered < 0 {
+				continue
+			}
+			if e.delivered < prev {
+				t.Fatalf("workers=%d: progress regressed from %d to %d", workers, prev, e.delivered)
+			}
+			prev = e.delivered
+			seen++
+		}
+		if seen != 39 {
+			t.Fatalf("workers=%d: %d progress events, want 39", workers, seen)
+		}
+	}
 }
 
 func TestParallelRejectsDropProb(t *testing.T) {

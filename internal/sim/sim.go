@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/bitset"
@@ -48,8 +49,11 @@ const (
 	KindCoded
 )
 
-// numKinds sizes the per-kind accounting arrays.
-const numKinds = 4
+// NumKinds sizes the per-kind accounting arrays.
+const NumKinds = 4
+
+// NumRoles sizes the per-role accounting arrays (indexed by ctvg.Role).
+const NumRoles = 4
 
 // String returns a short human-readable kind name.
 func (k MsgKind) String() string {
@@ -135,13 +139,13 @@ type Metrics struct {
 	// TokensSent is the total communication cost in token units.
 	TokensSent int64
 	// MessagesByKind / TokensByKind break the totals down per message kind.
-	MessagesByKind [numKinds]int64
-	TokensByKind   [numKinds]int64
+	MessagesByKind [NumKinds]int64
+	TokensByKind   [NumKinds]int64
 	// MessagesByRole / TokensByRole break the totals down by the sender's
 	// cluster role at transmission time (indexed by ctvg.Role) — the
 	// energy-budget view of the paper's motivation: who pays.
-	MessagesByRole [4]int64
-	TokensByRole   [4]int64
+	MessagesByRole [NumRoles]int64
+	TokensByRole   [NumRoles]int64
 	// BytesSent is the wire-level cost; it is accumulated only when
 	// Options.SizeFn is set (see internal/wire for the standard codec).
 	BytesSent int64
@@ -153,17 +157,33 @@ type Metrics struct {
 	Complete bool
 }
 
-// String summarises the metrics on one line.
+// String summarises the metrics on one line. The bytes= segment appears
+// only when byte-level accounting (Options.SizeFn) charged anything, so
+// wire-cost runs are summarised faithfully and token-unit runs stay terse.
 func (m *Metrics) String() string {
 	done := "incomplete"
 	if m.Complete {
 		done = fmt.Sprintf("complete@%d", m.CompletionRound)
 	}
+	if m.BytesSent > 0 {
+		return fmt.Sprintf("rounds=%d msgs=%d tokens=%d bytes=%d %s",
+			m.Rounds, m.Messages, m.TokensSent, m.BytesSent, done)
+	}
 	return fmt.Sprintf("rounds=%d msgs=%d tokens=%d %s", m.Rounds, m.Messages, m.TokensSent, done)
 }
 
-// Observer receives per-round events; used by trace tooling and the Fig. 3
-// scenario renderer. Either field may be nil.
+// Observer receives per-round events; used by trace tooling, the Fig. 3
+// scenario renderer and the internal/obs metrics layer. Any field may be
+// nil.
+//
+// Event ordering is deterministic regardless of Options.Workers: within a
+// round, Crashed fires first (ascending node ID), then RoundStart, then
+// one Sent per transmission in ascending sender ID, then Progress. Across
+// rounds everything is ascending in r, so the full Sent stream is sorted
+// by (round, sender). Parallel runs buffer per-shard and merge at the
+// round barrier, so the observed stream is bit-identical to a serial run
+// on the same inputs. Callbacks themselves are always invoked from the
+// engine goroutine — observers need no locking.
 type Observer struct {
 	// RoundStart is called before messages are collected.
 	RoundStart func(r int, g *graph.Graph, h *ctvg.Hierarchy)
@@ -173,6 +193,9 @@ type Observer struct {
 	// total number of (node, token) pairs delivered so far — the raw
 	// material for convergence curves. The maximum is n·k.
 	Progress func(r int, delivered int)
+	// Crashed, if set, is called once when Faults.CrashAt fells node v at
+	// the top of round r, in ascending node order within a round.
+	Crashed func(r int, v int)
 }
 
 // Faults injects failures for robustness experiments. The paper assumes
@@ -209,14 +232,18 @@ type Options struct {
 	// Faults, if non-nil, injects message loss and node crashes.
 	Faults *Faults
 	// SizeFn, if set, is evaluated on every transmission and accumulated
-	// into Metrics.BytesSent (byte-level cost accounting).
+	// into Metrics.BytesSent (byte-level cost accounting). When Workers >
+	// 1 it is called concurrently from the accounting shards and must be
+	// pure (internal/wire.Size is).
 	SizeFn func(*Message) int
-	// Workers enables within-round parallelism: Send and Deliver of
-	// distinct nodes run concurrently on up to Workers goroutines
-	// (0 or 1 = serial). Node state is per-node and messages are treated
-	// as read-only after Send, so results are bit-identical to the serial
-	// engine. Requires Observer to be nil (observers see events in round
-	// order, which parallel collection cannot promise).
+	// Workers enables within-round parallelism: Send, Deliver and the
+	// per-message accounting of distinct nodes run concurrently on up to
+	// Workers goroutines (0 or 1 = serial). Node state is per-node and
+	// messages are treated as read-only after Send, so results are
+	// bit-identical to the serial engine. Observers are supported: each
+	// shard accumulates locally and the engine merges at the round
+	// barrier, replaying events in deterministic (round, sender) order
+	// (see Observer).
 	Workers int
 }
 
@@ -233,13 +260,11 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 		panic("sim: MaxRounds must be positive")
 	}
 	parallelRun := opts.Workers > 1
-	if parallelRun && opts.Observer != nil {
-		panic("sim: Workers > 1 cannot be combined with an Observer")
-	}
 	if parallelRun && opts.Faults != nil && opts.Faults.DropProb > 0 {
 		panic("sim: Workers > 1 cannot be combined with probabilistic message loss")
 	}
 	k := assign.K
+	obs := opts.Observer
 	met := &Metrics{CompletionRound: -1}
 	outbox := make([]*Message, n)
 	views := make([]View, n)
@@ -247,28 +272,43 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 
 	var faultRng *xrand.Rand
 	crashed := make([]bool, n)
+	var crashSchedule []crashEntry
 	if opts.Faults.active() {
 		faultRng = xrand.New(opts.Faults.Seed)
+		crashSchedule = sortCrashes(opts.Faults.CrashAt, n)
+	}
+
+	// Parallel runs shard the per-message accounting: each worker owns a
+	// contiguous sender block and a private accumulator, and the engine
+	// merges the accumulators in shard order at the round barrier. Shard
+	// order equals ascending sender order, so merged metrics — and the
+	// observer event stream replayed from outbox afterwards — are
+	// bit-identical to the serial engine's.
+	var accs []shardAcc
+	if parallelRun {
+		accs = make([]shardAcc, parallel.Shards(n, opts.Workers))
 	}
 
 	for r := 0; r < opts.MaxRounds; r++ {
-		if opts.Faults != nil {
-			for v, at := range opts.Faults.CrashAt {
-				if r >= at && v >= 0 && v < n {
-					crashed[v] = true
+		for i := range crashSchedule {
+			ce := &crashSchedule[i]
+			if r >= ce.at && !crashed[ce.node] {
+				crashed[ce.node] = true
+				if obs != nil && obs.Crashed != nil {
+					obs.Crashed(r, ce.node)
 				}
 			}
 		}
 		g := d.At(r)
 		hier := d.HierarchyAt(r)
-		if obs := opts.Observer; obs != nil && obs.RoundStart != nil {
+		if obs != nil && obs.RoundStart != nil {
 			obs.RoundStart(r, g, hier)
 		}
 
 		// Collect phase: every node decides its transmission from its
-		// local view only. Nodes are independent, so this fans out when
-		// Workers > 1; the accounting pass below stays serial either way
-		// so metrics accumulate in deterministic order.
+		// local view only, then the transmission is charged to the
+		// accounting. Nodes are independent, so both steps fan out when
+		// Workers > 1 (per-shard accumulators, merged below).
 		collect := func(v int) {
 			views[v] = View{Round: r, Role: hier.Role[v], Head: hier.HeadOf(v), Neighbors: g.Neighbors(v)}
 			if crashed[v] {
@@ -277,36 +317,56 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 			}
 			outbox[v] = nodes[v].Send(views[v])
 		}
-		if parallelRun {
-			parallel.ForEachBlock(n, opts.Workers, collect)
-		} else {
-			for v := 0; v < n; v++ {
-				collect(v)
-			}
-		}
-		for v := 0; v < n; v++ {
+		account := func(acc *shardAcc, v int) {
 			msg := outbox[v]
 			if msg == nil {
-				continue
+				return
 			}
 			msg.From = v
 			cost := int64(msg.Cost())
-			met.Messages++
-			met.TokensSent += cost
-			if int(msg.Kind) < len(met.MessagesByKind) {
-				met.MessagesByKind[msg.Kind]++
-				met.TokensByKind[msg.Kind] += cost
+			acc.messages++
+			acc.tokens += cost
+			if int(msg.Kind) < NumKinds {
+				acc.msgsByKind[msg.Kind]++
+				acc.tokensByKind[msg.Kind] += cost
 			}
 			if opts.SizeFn != nil {
-				met.BytesSent += int64(opts.SizeFn(msg))
+				acc.bytes += int64(opts.SizeFn(msg))
 			}
-			if role := hier.Role[v]; int(role) < len(met.MessagesByRole) {
-				met.MessagesByRole[role]++
-				met.TokensByRole[role] += cost
+			if role := hier.Role[v]; int(role) < NumRoles {
+				acc.msgsByRole[role]++
+				acc.tokensByRole[role] += cost
 			}
-			if obs := opts.Observer; obs != nil && obs.Sent != nil {
-				obs.Sent(r, msg)
+		}
+		if parallelRun {
+			parallel.ForEachShard(n, opts.Workers, func(s, lo, hi int) {
+				acc := &accs[s]
+				acc.reset()
+				for v := lo; v < hi; v++ {
+					collect(v)
+					account(acc, v)
+				}
+			})
+			for s := range accs {
+				met.add(&accs[s])
 			}
+			if obs != nil && obs.Sent != nil {
+				for v := 0; v < n; v++ {
+					if outbox[v] != nil {
+						obs.Sent(r, outbox[v])
+					}
+				}
+			}
+		} else {
+			var acc shardAcc
+			for v := 0; v < n; v++ {
+				collect(v)
+				account(&acc, v)
+				if outbox[v] != nil && obs != nil && obs.Sent != nil {
+					obs.Sent(r, outbox[v])
+				}
+			}
+			met.add(&acc)
 		}
 
 		// Deliver phase: each node hears its neighbours' messages,
@@ -347,10 +407,26 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 			}
 		}
 
-		if obs := opts.Observer; obs != nil && obs.Progress != nil {
+		if obs != nil && obs.Progress != nil {
+			// The delivered count is a sum of per-node popcounts; integer
+			// addition commutes, so the sharded sum below matches the
+			// serial one exactly.
 			delivered := 0
-			for _, nd := range nodes {
-				delivered += nd.Tokens().Len()
+			if parallelRun {
+				parallel.ForEachShard(n, opts.Workers, func(s, lo, hi int) {
+					sum := 0
+					for v := lo; v < hi; v++ {
+						sum += nodes[v].Tokens().Len()
+					}
+					accs[s].delivered = sum
+				})
+				for s := range accs {
+					delivered += accs[s].delivered
+				}
+			} else {
+				for _, nd := range nodes {
+					delivered += nd.Tokens().Len()
+				}
 			}
 			obs.Progress(r, delivered)
 		}
@@ -367,6 +443,60 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 		}
 	}
 	return met
+}
+
+// shardAcc is one worker's private slice of the round accounting. The
+// serial engine uses a single stack-allocated instance, so the accounting
+// path allocates nothing per message in either mode.
+type shardAcc struct {
+	messages     int64
+	tokens       int64
+	bytes        int64
+	msgsByKind   [NumKinds]int64
+	tokensByKind [NumKinds]int64
+	msgsByRole   [NumRoles]int64
+	tokensByRole [NumRoles]int64
+	delivered    int
+}
+
+func (a *shardAcc) reset() { *a = shardAcc{} }
+
+// add folds one shard's accounting into the run totals.
+func (m *Metrics) add(a *shardAcc) {
+	m.Messages += a.messages
+	m.TokensSent += a.tokens
+	m.BytesSent += a.bytes
+	for i := range a.msgsByKind {
+		m.MessagesByKind[i] += a.msgsByKind[i]
+		m.TokensByKind[i] += a.tokensByKind[i]
+	}
+	for i := range a.msgsByRole {
+		m.MessagesByRole[i] += a.msgsByRole[i]
+		m.TokensByRole[i] += a.tokensByRole[i]
+	}
+}
+
+// crashEntry is one scheduled crash, pre-sorted by node ID so activation —
+// and the Crashed events it emits — happen in deterministic order (map
+// range order is not).
+type crashEntry struct {
+	node, at int
+}
+
+// sortCrashes flattens CrashAt into a node-sorted schedule, dropping
+// out-of-range nodes.
+func sortCrashes(crashAt map[int]int, n int) []crashEntry {
+	if len(crashAt) == 0 {
+		return nil
+	}
+	out := make([]crashEntry, 0, len(crashAt))
+	for v, at := range crashAt {
+		if v >= 0 && v < n {
+			out = append(out, crashEntry{node: v, at: at})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
+	return out
 }
 
 // workersFor returns the worker count for auxiliary parallel passes.

@@ -305,6 +305,36 @@ func TestMetricsString(t *testing.T) {
 	if m2.String() != "rounds=3 msgs=0 tokens=0 incomplete" {
 		t.Fatalf("got %q", m2.String())
 	}
+	// Byte-level accounting (Options.SizeFn runs) must show up.
+	m3 := &Metrics{Rounds: 2, Messages: 4, TokensSent: 6, BytesSent: 512, CompletionRound: -1}
+	if m3.String() != "rounds=2 msgs=4 tokens=6 bytes=512 incomplete" {
+		t.Fatalf("got %q", m3.String())
+	}
+}
+
+func TestCrashedEventsSortedAndDeterministic(t *testing.T) {
+	// CrashAt is a map; activation must nevertheless emit Crashed events
+	// in ascending node order within a round, every run.
+	for i := 0; i < 20; i++ {
+		d := staticPath(8)
+		assign := token.SingleSource(8, 1, 0)
+		var got [][2]int
+		obs := &Observer{Crashed: func(r, v int) { got = append(got, [2]int{r, v}) }}
+		RunProtocol(d, floodProto{}, assign, Options{
+			MaxRounds: 5,
+			Observer:  obs,
+			Faults:    &Faults{CrashAt: map[int]int{7: 2, 3: 0, 5: 0, 6: 9, -1: 0, 99: 0}},
+		})
+		want := [][2]int{{0, 3}, {0, 5}, {2, 7}} // node 6 crashes beyond MaxRounds; -1/99 out of range
+		if len(got) != len(want) {
+			t.Fatalf("crash events %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("crash events %v, want %v", got, want)
+			}
+		}
+	}
 }
 
 func BenchmarkEngineFlood(b *testing.B) {

@@ -27,6 +27,24 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(dbuf.Bytes())
+	// A longer multi-phase trace with re-affiliations and edge churn — the
+	// kind `hinettrace stats` replays — in both formats, so the fuzzer
+	// starts from inputs that exercise delta chains across phase
+	// boundaries, not just a single short phase.
+	long := adversary.NewHiNet(adversary.HiNetConfig{
+		N: 12, Theta: 4, L: 2, T: 4,
+		Reaffiliations: 2, ChurnEdges: 3,
+	}, xrand.New(7))
+	rec := ctvg.Record(long, 12)
+	var lbuf, ldbuf bytes.Buffer
+	if err := Write(&lbuf, rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(lbuf.Bytes())
+	if err := WriteDelta(&ldbuf, rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ldbuf.Bytes())
 	f.Add([]byte("CTVG\x02"))
 	f.Add([]byte("CTVG\x01"))
 	f.Add([]byte("CTVG\x01\x05\x01"))
