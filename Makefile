@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet fmt lint build test race fuzz bench
 
-check: vet build test race
+check: lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# fmt fails when any file needs gofmt (lists the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: vet fmt
 
 build:
 	$(GO) build ./...
@@ -20,3 +27,11 @@ race:
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
+
+# The engine hot-path benchmarks behind BENCH_PR2.json: a 1000-node
+# (T, L)-HiNet run, cached and uncached. Everything is seeded, so runs are
+# reproducible; -benchmem reports the allocation profile the arena and the
+# stability-window cache are accountable for.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k' -benchmem -count 3 .

@@ -23,6 +23,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/token"
 	"repro/internal/tvg"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -111,6 +112,63 @@ func BenchmarkFig3(b *testing.B) {
 		}
 	}
 }
+
+// hiNet1kDynamic records the fixed-seed 1000-node HiNet instance used by
+// the hot-path benchmarks: θ=50 heads, L=2 backbone, T=k+αL=20-round
+// phases, 20 member re-affiliations and 2 head rotations per phase
+// boundary, no per-round edge churn — so every phase is a genuine
+// T-interval stable window. Recording the trace up front keeps adversary
+// generation out of the measured loop; what remains is the engine's round
+// hot path itself.
+func hiNet1kDynamic(tb testing.TB) (ctvg.Dynamic, *token.Assignment, int, int) {
+	tb.Helper()
+	const (
+		n     = 1000
+		k     = 16
+		alpha = 2
+		l     = 2
+		theta = 50
+	)
+	T := core.Theorem1T(k, alpha, l) // 20
+	rounds := core.Theorem1Phases(theta, alpha) * T
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: l, T: T,
+		Reaffiliations: 20, HeadChurn: 2,
+	}, xrand.New(1))
+	tr := ctvg.Record(adv, rounds)
+	assign := token.Spread(n, k, xrand.New(2))
+	return tr, assign, T, rounds
+}
+
+// uncachedDynamic hides any stability knowledge of the wrapped dynamic, so
+// the engine refreshes graph, hierarchy and views every round.
+type uncachedDynamic struct{ ctvg.Dynamic }
+
+func benchHiNet1k(b *testing.B, cached bool) {
+	d, assign, T, rounds := hiNet1kDynamic(b)
+	if !cached {
+		d = uncachedDynamic{d}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		met := sim.RunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size,
+		})
+		if !met.Complete {
+			b.Fatalf("1k-node HiNet run incomplete: %v", met)
+		}
+	}
+}
+
+// BenchmarkHiNet1k is the headline engine benchmark: Algorithm 1 over the
+// full Theorem-1 budget on a 1000-node recorded (20, 2)-HiNet, byte
+// accounting on. BENCH_PR2.json tracks its allocs/op and ns/op trajectory.
+func BenchmarkHiNet1k(b *testing.B) { benchHiNet1k(b, true) }
+
+// BenchmarkHiNet1kUncached runs the identical instance with stability
+// knowledge hidden, isolating what the stability-window cache buys.
+func BenchmarkHiNet1kUncached(b *testing.B) { benchHiNet1k(b, false) }
 
 // BenchmarkSweepN0 measures one non-headline sweep point (n0=40) per
 // iteration; the full sweep is produced by `hinetbench -sweep n0`.

@@ -13,6 +13,7 @@
 //	hinetbench -csv                # CSV instead of aligned text
 //	hinetbench -seeds 8            # Monte-Carlo replications per row
 //	hinetbench -table 3 -metrics d # per-seed round-series JSONL into d/
+//	hinetbench -table 3 -nocache   # A/B check: identical results, uncached engine
 //	hinetbench -pprof :6060        # expose net/http/pprof while running
 package main
 
@@ -41,6 +42,7 @@ func main() {
 		claims  = flag.Bool("claims", false, "print the reproduction ledger")
 		outDir  = flag.String("out", "", "directory to additionally write each table as CSV")
 		metrics = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
+		noCache = flag.Bool("nocache", false, "disable the engine's stability-window cache (A/B timing check; results are identical)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -97,6 +99,7 @@ func main() {
 	if *all || *table == 3 {
 		cfg := experiment.Table3Config(*seeds)
 		cfg.MetricsDir = *metrics
+		cfg.NoCache = *noCache
 		tb, rows, err := experiment.Table3Report(cfg)
 		if err != nil {
 			fatal(err)

@@ -300,3 +300,47 @@ func BenchmarkMobilityRound(b *testing.B) {
 		a.At(i)
 	}
 }
+
+func TestHiNetStableUntil(t *testing.T) {
+	// Without per-round edge churn each aligned T-round phase is frozen, so
+	// every round's window runs to its phase boundary.
+	cfg := HiNetConfig{N: 30, Theta: 5, L: 2, T: 6, Reaffiliations: 2, HeadChurn: 1}
+	a := NewHiNet(cfg, xrand.New(3))
+	for _, c := range []struct{ r, want int }{
+		{0, 5}, {3, 5}, {5, 5}, {6, 11}, {17, 17}, {18, 23},
+	} {
+		if got := a.StableUntil(c.r); got != c.want {
+			t.Errorf("StableUntil(%d) = %d want %d", c.r, got, c.want)
+		}
+	}
+	// The promise must be true: every round of a window equals its first.
+	for r := 1; r < cfg.T; r++ {
+		if !a.At(r).Equal(a.At(0)) {
+			t.Fatalf("round %d differs from round 0 inside the promised window", r)
+		}
+		if !a.HierarchyAt(r).Equal(a.HierarchyAt(0)) {
+			t.Fatalf("hierarchy %d differs inside the promised window", r)
+		}
+	}
+	if a.At(cfg.T).Equal(a.At(0)) && a.HierarchyAt(cfg.T).Equal(a.HierarchyAt(0)) {
+		t.Fatal("phase boundary produced no change; churn config ineffective")
+	}
+
+	// With per-round edge churn no window can be promised.
+	churny := NewHiNet(HiNetConfig{N: 30, Theta: 5, L: 2, T: 6, ChurnEdges: 3}, xrand.New(3))
+	for _, r := range []int{0, 4, 7} {
+		if got := churny.StableUntil(r); got != r {
+			t.Errorf("ChurnEdges>0: StableUntil(%d) = %d want %d", r, got, r)
+		}
+	}
+}
+
+func TestHiNetStableUntilNegativePanics(t *testing.T) {
+	a := NewHiNet(HiNetConfig{N: 10, Theta: 3, L: 2, T: 4}, xrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative round")
+		}
+	}()
+	a.StableUntil(-1)
+}

@@ -147,6 +147,14 @@ func (a *HiNet) At(r int) *graph.Graph {
 	if r < 0 {
 		panic("adversary: negative round")
 	}
+	if a.cfg.ChurnEdges == 0 {
+		// No per-round churn: the round graph IS the phase's stable
+		// structure, so hand it out directly instead of cloning one
+		// snapshot per round. Snapshot generation draws no randomness on
+		// this path, so skipping rounds (as the stability cache does)
+		// cannot perturb the rng stream.
+		return a.phaseAt(r / a.cfg.T).stable
+	}
 	for len(a.snaps) <= r {
 		cur := len(a.snaps)
 		p := a.phaseAt(cur / a.cfg.T)
@@ -168,6 +176,20 @@ func (a *HiNet) HierarchyAt(r int) *ctvg.Hierarchy {
 		panic("adversary: negative round")
 	}
 	return a.phaseAt(r / a.cfg.T).hier
+}
+
+// StableUntil implements ctvg.Stability. With no per-round edge churn both
+// the graph and the hierarchy are frozen for each aligned T-round phase
+// window, so the window runs to the phase boundary; with churn edges every
+// round differs and no stability can be promised.
+func (a *HiNet) StableUntil(r int) int {
+	if r < 0 {
+		panic("adversary: negative round")
+	}
+	if a.cfg.ChurnEdges > 0 {
+		return r
+	}
+	return (r/a.cfg.T+1)*a.cfg.T - 1
 }
 
 // phaseAt returns (generating as needed) the stable structure of phase i.
@@ -388,4 +410,7 @@ func sameIntSet(a, b []int) bool {
 	return true
 }
 
-var _ ctvg.Dynamic = (*HiNet)(nil)
+var (
+	_ ctvg.Dynamic   = (*HiNet)(nil)
+	_ ctvg.Stability = (*HiNet)(nil)
+)

@@ -49,11 +49,13 @@ type floodNode struct {
 }
 
 func (n *floodNode) Send(v sim.View) *sim.Message {
-	return &sim.Message{
-		To:     sim.NoAddr,
-		Kind:   sim.KindBroadcast,
-		Tokens: n.ta.Clone(),
-	}
+	payload := v.NewSet()
+	payload.CopyFrom(n.ta)
+	m := v.NewMessage()
+	m.To = sim.NoAddr
+	m.Kind = sim.KindBroadcast
+	m.Tokens = payload
+	return m
 }
 
 func (n *floodNode) Deliver(v sim.View, msgs []*sim.Message) {
@@ -117,11 +119,13 @@ func (n *klotNode) Send(v sim.View) *sim.Message {
 		return nil
 	}
 	n.ts.Add(t)
-	return &sim.Message{
-		To:     sim.NoAddr,
-		Kind:   sim.KindBroadcast,
-		Tokens: bitset.FromSlice([]int{t}),
-	}
+	payload := v.NewSet()
+	payload.Add(t)
+	m := v.NewMessage()
+	m.To = sim.NoAddr
+	m.Kind = sim.KindBroadcast
+	m.Tokens = payload
+	return m
 }
 
 func (n *klotNode) Deliver(v sim.View, msgs []*sim.Message) {

@@ -37,10 +37,20 @@ func FromSlice(elems []int) *Set {
 	return s
 }
 
-// grow ensures the set can index bit i.
+// grow ensures the set can index bit i. Spare capacity is reused without
+// allocating; the exposed extension is zeroed because it may hold stale
+// words from before a CopyFrom/SetWords shrank the set.
 func (s *Set) grow(i int) {
 	need := i/wordBits + 1
 	if need <= len(s.words) {
+		return
+	}
+	if need <= cap(s.words) {
+		n := len(s.words)
+		s.words = s.words[:need]
+		for j := n; j < need; j++ {
+			s.words[j] = 0
+		}
 		return
 	}
 	w := make([]uint64, need)
@@ -104,6 +114,21 @@ func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
+}
+
+// CopyFrom makes s an exact copy of o, reusing s's storage when it has the
+// capacity (the allocation-free counterpart of Clone; nil o empties s).
+func (s *Set) CopyFrom(o *Set) {
+	if o == nil {
+		s.words = s.words[:0]
+		return
+	}
+	if cap(s.words) >= len(o.words) {
+		s.words = s.words[:len(o.words)]
+	} else {
+		s.words = make([]uint64, len(o.words))
+	}
+	copy(s.words, o.words)
 }
 
 // UnionWith adds every element of o to s (s ∪= o).
@@ -256,6 +281,45 @@ func (s *Set) MaxNotIn(o *Set) int {
 	return -1
 }
 
+// MinNotInUnion returns the smallest element of s that is in neither a nor
+// b — Min of s \ (a ∪ b) without materialising the union. It allocates
+// nothing; either argument may be nil.
+func (s *Set) MinNotInUnion(a, b *Set) int {
+	for i, w := range s.words {
+		var ow uint64
+		if a != nil && i < len(a.words) {
+			ow = a.words[i]
+		}
+		if b != nil && i < len(b.words) {
+			ow |= b.words[i]
+		}
+		if d := w &^ ow; d != 0 {
+			return i*wordBits + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
+// MaxNotInUnion returns the largest element of s that is in neither a nor
+// b — Max of s \ (a ∪ b) without materialising the union. It allocates
+// nothing; either argument may be nil.
+func (s *Set) MaxNotInUnion(a, b *Set) int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		w := s.words[i]
+		var ow uint64
+		if a != nil && i < len(a.words) {
+			ow = a.words[i]
+		}
+		if b != nil && i < len(b.words) {
+			ow |= b.words[i]
+		}
+		if d := w &^ ow; d != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(d)
+		}
+	}
+	return -1
+}
+
 // Elements returns the elements in ascending order.
 func (s *Set) Elements() []int {
 	out := make([]int, 0, s.Len())
@@ -307,8 +371,12 @@ func (s *Set) Words() []uint64 {
 }
 
 // SetWords replaces the packed representation (for codecs). The slice is
-// copied.
+// copied; existing storage is reused when it has the capacity.
 func (s *Set) SetWords(w []uint64) {
-	s.words = make([]uint64, len(w))
+	if cap(s.words) >= len(w) {
+		s.words = s.words[:len(w)]
+	} else {
+		s.words = make([]uint64, len(w))
+	}
 	copy(s.words, w)
 }

@@ -451,3 +451,92 @@ func BenchmarkMinNotIn(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestCopyFrom(t *testing.T) {
+	src := FromSlice([]int{2, 64, 300})
+	var dst Set
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("copy differs: %v vs %v", &dst, src)
+	}
+	// Independence: mutating the copy leaves the source alone.
+	dst.Add(7)
+	if src.Contains(7) {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+	// Shrinking reuse: copying a small set into a wide one must drop the
+	// high elements, not merge them.
+	dst.CopyFrom(FromSlice([]int{1}))
+	if dst.Contains(300) || dst.Len() != 1 {
+		t.Fatalf("shrinking copy kept stale elements: %v", &dst)
+	}
+	// Nil empties.
+	dst.CopyFrom(nil)
+	if !dst.Empty() {
+		t.Fatalf("CopyFrom(nil) left %v", &dst)
+	}
+}
+
+func TestGrowAfterShrinkZeroesStaleWords(t *testing.T) {
+	// A set that shrank via CopyFrom keeps its old words as spare capacity;
+	// growing back into that capacity must expose zeroes, not the old bits.
+	s := FromSlice([]int{200, 250})
+	s.CopyFrom(FromSlice([]int{1}))
+	s.Add(130) // regrow into spare capacity, below the stale words
+	if s.Contains(200) || s.Contains(250) {
+		t.Fatalf("stale words resurfaced: %v", s)
+	}
+	if got := s.Elements(); len(got) != 2 || got[0] != 1 || got[1] != 130 {
+		t.Fatalf("got %v want [1 130]", got)
+	}
+	// Same hazard via SetWords.
+	s2 := FromSlice([]int{500})
+	s2.SetWords([]uint64{1})
+	s2.Add(400)
+	if s2.Contains(500) {
+		t.Fatalf("stale words resurfaced after SetWords: %v", s2)
+	}
+}
+
+func TestMinMaxNotInUnion(t *testing.T) {
+	s := FromSlice([]int{1, 5, 70, 130, 260})
+	a := FromSlice([]int{5, 260})
+	b := FromSlice([]int{1, 130})
+	if got := s.MinNotInUnion(a, b); got != 70 {
+		t.Fatalf("MinNotInUnion = %d want 70", got)
+	}
+	if got := s.MaxNotInUnion(a, b); got != 70 {
+		t.Fatalf("MaxNotInUnion = %d want 70", got)
+	}
+	// Nil arguments behave as empty sets, in either position.
+	if got := s.MinNotInUnion(nil, b); got != 5 {
+		t.Fatalf("MinNotInUnion(nil, b) = %d want 5", got)
+	}
+	if got := s.MaxNotInUnion(a, nil); got != 130 {
+		t.Fatalf("MaxNotInUnion(a, nil) = %d want 130", got)
+	}
+	if got := s.MinNotInUnion(nil, nil); got != 1 {
+		t.Fatalf("MinNotInUnion(nil, nil) = %d want 1", got)
+	}
+	// Fully covered → -1.
+	if got := s.MinNotInUnion(s, nil); got != -1 {
+		t.Fatalf("MinNotInUnion(self) = %d want -1", got)
+	}
+	if got := s.MaxNotInUnion(a, s); got != -1 {
+		t.Fatalf("MaxNotInUnion(_, self) = %d want -1", got)
+	}
+}
+
+func TestQuickNotInUnionMatchesMaterialised(t *testing.T) {
+	f := func(xs, as, bs []byte) bool {
+		s, _ := mkSet(xs)
+		a, _ := mkSet(as)
+		b, _ := mkSet(bs)
+		u := Union(a, b)
+		return s.MinNotInUnion(a, b) == s.MinNotIn(u) &&
+			s.MaxNotInUnion(a, b) == s.MaxNotIn(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -227,6 +227,10 @@ type Stats struct {
 	// NewHeads and RemovedHeads count head-set churn.
 	NewHeads     int
 	RemovedHeads int
+	// Unchanged reports that maintenance reproduced prev exactly; the
+	// returned hierarchy is then prev itself (pointer-identical), which
+	// lets round caches recognise stable windows by identity.
+	Unchanged bool
 }
 
 // Maintain updates a hierarchy after a topology change with minimal churn:
@@ -304,5 +308,9 @@ func Maintain(g *graph.Graph, prev *ctvg.Hierarchy, cfg Config) (*ctvg.Hierarchy
 	}
 
 	SelectGateways(g, next, cfg.gatewayDepth())
+	if st == (Stats{}) && next.Equal(prev) {
+		st.Unchanged = true
+		return prev, st
+	}
 	return next, st
 }

@@ -154,11 +154,13 @@ func (n *alg1Node) sendRelay(v sim.View) *sim.Message {
 		return nil
 	}
 	n.ts.Add(t)
-	return &sim.Message{
-		To:     sim.NoAddr,
-		Kind:   sim.KindRelay,
-		Tokens: bitset.FromSlice([]int{t}),
-	}
+	payload := v.NewSet()
+	payload.Add(t)
+	m := v.NewMessage()
+	m.To = sim.NoAddr
+	m.Kind = sim.KindRelay
+	m.Tokens = payload
+	return m
 }
 
 // sendMember implements the member side of Fig. 4: on a head change, empty
@@ -176,22 +178,24 @@ func (n *alg1Node) sendMember(v sim.View) *sim.Message {
 	if n.proto.StableHeads && v.Round >= n.proto.T {
 		return nil // Remark 1: never upload after the first phase
 	}
-	known := bitset.Union(n.ts, n.tr)
+	// TA \ (TS ∪ TR) without materialising the union.
 	var t int
 	if n.proto.UploadLowFirst {
-		t = n.ta.MinNotIn(known)
+		t = n.ta.MinNotInUnion(n.ts, n.tr)
 	} else {
-		t = n.ta.MaxNotIn(known)
+		t = n.ta.MaxNotInUnion(n.ts, n.tr)
 	}
 	if t < 0 {
 		return nil
 	}
 	n.ts.Add(t)
-	return &sim.Message{
-		To:     v.Head,
-		Kind:   sim.KindUpload,
-		Tokens: bitset.FromSlice([]int{t}),
-	}
+	payload := v.NewSet()
+	payload.Add(t)
+	m := v.NewMessage()
+	m.To = v.Head
+	m.Kind = sim.KindUpload
+	m.Tokens = payload
+	return m
 }
 
 // Deliver implements sim.Node.

@@ -58,12 +58,17 @@ type alg2Node struct {
 // Send implements sim.Node.
 func (n *alg2Node) Send(v sim.View) *sim.Message {
 	if v.Role == ctvg.Head || v.Role == ctvg.Gateway {
-		// Relays broadcast TA in every round.
-		return &sim.Message{
-			To:     sim.NoAddr,
-			Kind:   sim.KindRelay,
-			Tokens: n.ta.Clone(),
-		}
+		// Relays broadcast TA in every round. The broadcast payload is a
+		// round-scoped arena copy of TA, not an aliased pointer: TA keeps
+		// growing as deliveries come in, while the transmitted snapshot
+		// must stay frozen.
+		payload := v.NewSet()
+		payload.CopyFrom(n.ta)
+		m := v.NewMessage()
+		m.To = sim.NoAddr
+		m.Kind = sim.KindRelay
+		m.Tokens = payload
+		return m
 	}
 	if v.Role != ctvg.Member {
 		return nil
@@ -76,11 +81,13 @@ func (n *alg2Node) Send(v sim.View) *sim.Message {
 		return nil
 	}
 	n.needSend = false
-	return &sim.Message{
-		To:     v.Head,
-		Kind:   sim.KindUpload,
-		Tokens: n.ta.Clone(),
-	}
+	payload := v.NewSet()
+	payload.CopyFrom(n.ta)
+	m := v.NewMessage()
+	m.To = v.Head
+	m.Kind = sim.KindUpload
+	m.Tokens = payload
+	return m
 }
 
 // Deliver implements sim.Node. Per Fig. 5 every role unions in what it

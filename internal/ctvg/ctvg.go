@@ -10,6 +10,7 @@ package ctvg
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 	"repro/internal/tvg"
@@ -250,11 +251,21 @@ type Dynamic interface {
 	HierarchyAt(r int) *Hierarchy
 }
 
+// Stability is the optional window-stability interface (see tvg.Stability).
+// For a clustered dynamic the contract covers both layers: within
+// [r, StableUntil(r)] the snapshot AND the hierarchy are content-identical
+// to round r's.
+type Stability = tvg.Stability
+
 // Trace is a recorded CTVG: parallel snapshot and hierarchy sequences.
 // Rounds beyond the recorded range repeat the final entries.
 type Trace struct {
 	graphs *tvg.Trace
 	hier   []*Hierarchy
+	// stable[r] bounds the hierarchy's stability window at round r,
+	// precomputed eagerly so shared traces stay read-only under concurrent
+	// runs. The graph layer keeps its own index inside graphs.
+	stable []int
 }
 
 // NewTrace pairs a graph trace with per-round hierarchies of equal length.
@@ -267,7 +278,17 @@ func NewTrace(graphs *tvg.Trace, hier []*Hierarchy) *Trace {
 			panic(fmt.Sprintf("ctvg: hierarchy %d has wrong node count", r))
 		}
 	}
-	return &Trace{graphs: graphs, hier: hier}
+	t := &Trace{graphs: graphs, hier: hier}
+	t.stable = make([]int, len(hier))
+	t.stable[len(hier)-1] = math.MaxInt // past-the-end rounds repeat it
+	for r := len(hier) - 2; r >= 0; r-- {
+		if hier[r] == hier[r+1] || hier[r].Equal(hier[r+1]) {
+			t.stable[r] = t.stable[r+1]
+		} else {
+			t.stable[r] = r
+		}
+	}
+	return t
 }
 
 // N implements Dynamic.
@@ -288,6 +309,20 @@ func (t *Trace) HierarchyAt(r int) *Hierarchy {
 		r = len(t.hier) - 1
 	}
 	return t.hier[r]
+}
+
+// StableUntil implements Stability: the window end is the tighter of the
+// graph trace's and the hierarchy sequence's stability bounds.
+func (t *Trace) StableUntil(r int) int {
+	gs := t.graphs.StableUntil(r)
+	hs := math.MaxInt
+	if r < len(t.stable) {
+		hs = t.stable[r]
+	}
+	if hs < gs {
+		return hs
+	}
+	return gs
 }
 
 // Record materialises rounds [0, rounds) of any CTVG Dynamic into a Trace.
@@ -311,4 +346,7 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-var _ Dynamic = (*Trace)(nil)
+var (
+	_ Dynamic   = (*Trace)(nil)
+	_ Stability = (*Trace)(nil)
+)

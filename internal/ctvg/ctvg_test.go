@@ -1,6 +1,7 @@
 package ctvg
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -243,5 +244,35 @@ func TestRecord(t *testing.T) {
 	rec.HierarchyAt(0).SetHead(4)
 	if h.IsHead(4) {
 		t.Fatal("Record aliased hierarchy")
+	}
+}
+
+func TestTraceStableUntilIsMinOfGraphAndHierarchy(t *testing.T) {
+	g, h := starCluster()
+	h2 := h.Clone()
+	h2.SetHead(4) // different hierarchy, same graph
+
+	// Constant graph, hierarchy changes at round 2: hierarchy limits.
+	graphs := tvg.NewTrace([]*graph.Graph{g, g.Clone(), g.Clone(), g.Clone()})
+	tr := NewTrace(graphs, []*Hierarchy{h, h.Clone(), h2, h2.Clone()})
+	for r, w := range []int{1, 1, math.MaxInt, math.MaxInt} {
+		if got := tr.StableUntil(r); got != w {
+			t.Errorf("hier-limited StableUntil(%d) = %d want %d", r, got, w)
+		}
+	}
+
+	// Constant hierarchy, graph changes at round 1: graph limits.
+	ring := graph.Ring(5)
+	graphs2 := tvg.NewTrace([]*graph.Graph{g, ring, ring.Clone()})
+	tr2 := NewTrace(graphs2, []*Hierarchy{h, h.Clone(), h.Clone()})
+	for r, w := range []int{0, math.MaxInt, math.MaxInt} {
+		if got := tr2.StableUntil(r); got != w {
+			t.Errorf("graph-limited StableUntil(%d) = %d want %d", r, got, w)
+		}
+	}
+
+	// Past the recorded range both components repeat forever.
+	if got := tr.StableUntil(50); got != math.MaxInt {
+		t.Errorf("StableUntil past end = %d want MaxInt", got)
 	}
 }

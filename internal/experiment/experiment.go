@@ -55,6 +55,10 @@ type PointConfig struct {
 	// directory (see internal/obs for the schema). The directory is
 	// created if missing.
 	MetricsDir string
+	// NoCache disables the engine's stability-window cache
+	// (sim.Options.NoStabilityCache) in every replication — the A/B switch
+	// for verifying the cache changes timings only, never results.
+	NoCache bool
 }
 
 // Table3Config is the paper's Table 3 operating point with a default
@@ -112,6 +116,7 @@ type runSpec struct {
 	n          int
 	seeds      int
 	workers    int
+	noCache    bool
 }
 
 func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
@@ -129,8 +134,9 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 		d, p := spec.build(seed)
 		assign := token.Spread(spec.n, spec.k, xrand.New(seed^0xabcdef))
 		opts := sim.Options{
-			MaxRounds: spec.budget,
-			SizeFn:    wire.Size,
+			MaxRounds:        spec.budget,
+			SizeFn:           wire.Size,
+			NoStabilityCache: spec.noCache,
 		}
 		var col *obs.Collector
 		var mf *os.File
@@ -243,7 +249,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
 	}, analysis.KLOTInterval(p))
 	if err != nil {
 		return nil, err
@@ -264,7 +270,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg1{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
 	if err != nil {
 		return nil, err
@@ -279,7 +285,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
 	}, analysis.KLOOneInterval(p))
 	if err != nil {
 		return nil, err
@@ -300,7 +306,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg2{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
 	if err != nil {
 		return nil, err

@@ -90,11 +90,13 @@ func (n *gossipNode) Send(v sim.View) *sim.Message {
 	if target < 0 {
 		return nil
 	}
-	return &sim.Message{
-		To:     target,
-		Kind:   sim.KindBroadcast,
-		Tokens: n.ta.Clone(),
-	}
+	payload := v.NewSet()
+	payload.CopyFrom(n.ta)
+	m := v.NewMessage()
+	m.To = target
+	m.Kind = sim.KindBroadcast
+	m.Tokens = payload
+	return m
 }
 
 // Deliver implements sim.Node: absorb pushes addressed to this node.

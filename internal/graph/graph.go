@@ -201,8 +201,27 @@ func (g *Graph) IsSubgraphOf(h *Graph) bool {
 }
 
 // Equal reports whether g and h have identical vertex and edge sets.
+// Adjacency lists are sorted, so a direct slice comparison runs in O(n+m)
+// with no per-edge binary searches.
 func (g *Graph) Equal(h *Graph) bool {
-	return g.n == h.n && g.m == h.m && g.IsSubgraphOf(h)
+	if g == h {
+		return true
+	}
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u, lst := range g.adj {
+		hl := h.adj[u]
+		if len(lst) != len(hl) {
+			return false
+		}
+		for i, v := range lst {
+			if v != hl[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // String renders a compact description, e.g. "G(n=4, m=3)".

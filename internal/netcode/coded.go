@@ -68,14 +68,16 @@ func (n *codedNode) Send(v sim.View) *sim.Message {
 	if comb.IsZero() {
 		return nil
 	}
-	payload := &bitset.Set{}
+	// Round-scoped arena payload; receivers clone before reducing
+	// (Basis.Add), so nothing retains it past the round.
+	payload := v.NewSet()
 	payload.SetWords(comb)
-	return &sim.Message{
-		To:     sim.NoAddr,
-		Kind:   sim.KindCoded,
-		Tokens: payload,
-		Units:  1,
-	}
+	m := v.NewMessage()
+	m.To = sim.NoAddr
+	m.Kind = sim.KindCoded
+	m.Tokens = payload
+	m.Units = 1
+	return m
 }
 
 // Deliver implements sim.Node: absorb received combinations.

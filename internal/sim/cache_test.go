@@ -1,0 +1,103 @@
+package sim_test
+
+// The stability-window cache must be a pure optimisation: under any mix of
+// reaffiliations, head churn and mid-window crashes, a cached run and a
+// NoStabilityCache run — serial or parallel — must produce identical Metrics
+// and byte-identical JSONL observer streams. This file is the adversarial
+// check behind that promise (it lives in sim_test because the obs collector
+// imports sim).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// runCollected executes Algorithm 1 on d with a JSONL collector attached and
+// returns the metrics plus the raw event stream.
+func runCollected(t *testing.T, d ctvg.Dynamic, assign *token.Assignment, T, rounds, workers int, noCache bool, crashAt map[int]int) (*sim.Metrics, []byte) {
+	t.Helper()
+	var sink bytes.Buffer
+	col := obs.NewCollector(obs.Config{
+		N: d.N(), K: assign.K, PhaseLen: T, Sink: &sink, SizeFn: wire.Size,
+	})
+	opts := sim.Options{
+		MaxRounds:        rounds,
+		Observer:         col.Observer(),
+		SizeFn:           wire.Size,
+		Workers:          workers,
+		NoStabilityCache: noCache,
+	}
+	if crashAt != nil {
+		opts.Faults = &sim.Faults{CrashAt: crashAt}
+	}
+	met := sim.RunProtocol(d, core.Alg1{T: T}, assign, opts)
+	if err := col.Flush(); err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	return met, sink.Bytes()
+}
+
+func TestStabilityCacheEquivalence(t *testing.T) {
+	const n, k, alpha, L = 80, 8, 2, 2
+	theta := 12
+	T := core.Theorem1T(k, alpha, L)
+	rounds := core.Theorem1Phases(theta, alpha) * T
+
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: T,
+		Reaffiliations: 6, HeadChurn: 2, // churn-heavy: every boundary moves nodes and replaces heads
+	}, xrand.New(1))
+	trace := ctvg.Record(adv, rounds)
+	if s := trace.StableUntil(0); s <= 0 {
+		t.Fatalf("trace advertises no stable window (StableUntil(0)=%d); the cache would never engage", s)
+	}
+	assign := token.Spread(n, k, xrand.New(2))
+
+	// Crashes land strictly inside stability windows, so the crashed-node
+	// bookkeeping must work against frozen views.
+	crashAt := map[int]int{5: 3, 33: T + 3, 61: 2*T + 7}
+
+	dynamics := []struct {
+		name string
+		d    ctvg.Dynamic
+	}{
+		{"recorded-trace", trace}, // ctvg.Trace.StableUntil (precomputed windows)
+		{"live-hinet", adv},       // adversary.HiNet.StableUntil (phase arithmetic)
+	}
+	for _, dyn := range dynamics {
+		t.Run(dyn.name, func(t *testing.T) {
+			refMet, refJSON := runCollected(t, dyn.d, assign, T, rounds, 1, false, crashAt)
+			if len(refJSON) == 0 {
+				t.Fatal("reference run produced no events")
+			}
+			for _, tc := range []struct {
+				name    string
+				workers int
+				noCache bool
+			}{
+				{"serial-uncached", 1, true},
+				{"parallel-cached", 4, false},
+				{"parallel-uncached", 4, true},
+			} {
+				met, jsonl := runCollected(t, dyn.d, assign, T, rounds, tc.workers, tc.noCache, crashAt)
+				if !reflect.DeepEqual(met, refMet) {
+					t.Errorf("%s: metrics diverge:\n  got  %+v\n  want %+v", tc.name, met, refMet)
+				}
+				if !bytes.Equal(jsonl, refJSON) {
+					t.Errorf("%s: JSONL stream diverges from serial cached run (%d vs %d bytes)",
+						tc.name, len(jsonl), len(refJSON))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "repro/internal/bitset"
+
+// msgPool is a per-shard arena of Message structs and payload bitsets. The
+// engine hands one pool to every node of a shard (through View.NewMessage /
+// View.NewSet) and recycles it at the round barrier: handed-out objects stay
+// valid for exactly the round they were produced in — long enough for
+// accounting, observers and delivery — and are reused wholesale afterwards,
+// so steady-state rounds allocate nothing.
+//
+// Each pool is owned by the shard goroutine that executes its nodes' Send
+// and Deliver calls (the collect and deliver phases use the same contiguous
+// partition), so no locking is needed.
+type msgPool struct {
+	msgs []*Message
+	sets []*bitset.Set
+	// used* mark the arena high-water of the current round.
+	usedMsgs int
+	usedSets int
+}
+
+// message returns a zeroed Message valid until the end of the round.
+func (p *msgPool) message() *Message {
+	if p.usedMsgs == len(p.msgs) {
+		p.msgs = append(p.msgs, new(Message))
+	}
+	m := p.msgs[p.usedMsgs]
+	p.usedMsgs++
+	*m = Message{}
+	return m
+}
+
+// set returns an empty bitset valid until the end of the round, retaining
+// whatever word capacity it accumulated in earlier rounds.
+func (p *msgPool) set() *bitset.Set {
+	if p.usedSets == len(p.sets) {
+		p.sets = append(p.sets, new(bitset.Set))
+	}
+	s := p.sets[p.usedSets]
+	p.usedSets++
+	s.Clear()
+	return s
+}
+
+// recycle returns every handed-out object to the arena. Called by the
+// engine at the round barrier, after delivery and observation are done.
+func (p *msgPool) recycle() {
+	p.usedMsgs, p.usedSets = 0, 0
+}
+
+// shardState bundles everything one worker shard owns across rounds: its
+// accounting accumulator, its message/set arena, and its reusable inbox
+// scratch. The serial engine uses a single shard.
+type shardState struct {
+	acc   shardAcc
+	pool  msgPool
+	inbox []*Message
+}

@@ -107,6 +107,32 @@ type View struct {
 	// Neighbors is the node's current neighbour list, ascending. It
 	// aliases engine storage and must not be modified or retained.
 	Neighbors []int
+
+	// pool is the owning shard's message arena; nil outside an engine run
+	// (hand-built Views in tests fall back to plain allocation).
+	pool *msgPool
+}
+
+// NewMessage returns a zeroed Message for this round's transmission. Inside
+// a run it comes from the shard's arena and is recycled at the round
+// barrier, so protocols that build their Send result through it allocate
+// nothing in steady state. The message (like any Send result) must not be
+// retained past the round.
+func (v View) NewMessage() *Message {
+	if v.pool == nil {
+		return new(Message)
+	}
+	return v.pool.message()
+}
+
+// NewSet returns an empty token set with the same arena lifetime as
+// NewMessage: use it for message payloads, never for state that outlives
+// the round.
+func (v View) NewSet() *bitset.Set {
+	if v.pool == nil {
+		return new(bitset.Set)
+	}
+	return v.pool.set()
 }
 
 // Node is a per-node protocol state machine.
@@ -238,13 +264,21 @@ type Options struct {
 	SizeFn func(*Message) int
 	// Workers enables within-round parallelism: Send, Deliver and the
 	// per-message accounting of distinct nodes run concurrently on up to
-	// Workers goroutines (0 or 1 = serial). Node state is per-node and
-	// messages are treated as read-only after Send, so results are
-	// bit-identical to the serial engine. Observers are supported: each
-	// shard accumulates locally and the engine merges at the round
-	// barrier, replaying events in deterministic (round, sender) order
-	// (see Observer).
+	// Workers goroutines (0 or 1 = serial; counts above the node count are
+	// clamped to it, so tiny networks never spawn idle shards). Node state
+	// is per-node and messages are treated as read-only after Send, so
+	// results are bit-identical to the serial engine. Observers are
+	// supported: each shard accumulates locally and the engine merges at
+	// the round barrier, replaying events in deterministic (round, sender)
+	// order (see Observer).
 	Workers int
+	// NoStabilityCache disables the stability-window fast path: the engine
+	// then calls At/HierarchyAt and refreshes every node's view each round
+	// even when the dynamic advertises frozen windows via ctvg.Stability.
+	// The cached and uncached paths produce identical Metrics and observer
+	// streams; the switch exists for A/B measurement and as an escape
+	// hatch.
+	NoStabilityCache bool
 }
 
 // Run executes nodes against the dynamic network d for up to
@@ -259,7 +293,8 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 	if opts.MaxRounds <= 0 {
 		panic("sim: MaxRounds must be positive")
 	}
-	parallelRun := opts.Workers > 1
+	workers := workersFor(opts, n)
+	parallelRun := workers > 1
 	if parallelRun && opts.Faults != nil && opts.Faults.DropProb > 0 {
 		panic("sim: Workers > 1 cannot be combined with probabilistic message loss")
 	}
@@ -268,7 +303,6 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 	met := &Metrics{CompletionRound: -1}
 	outbox := make([]*Message, n)
 	views := make([]View, n)
-	inbox := make([]*Message, 0, 16)
 
 	var faultRng *xrand.Rand
 	crashed := make([]bool, n)
@@ -279,16 +313,39 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 	}
 
 	// Parallel runs shard the per-message accounting: each worker owns a
-	// contiguous sender block and a private accumulator, and the engine
-	// merges the accumulators in shard order at the round barrier. Shard
-	// order equals ascending sender order, so merged metrics — and the
-	// observer event stream replayed from outbox afterwards — are
-	// bit-identical to the serial engine's.
-	var accs []shardAcc
+	// contiguous sender block and private state (accumulator, message
+	// arena, inbox scratch), and the engine merges the accumulators in
+	// shard order at the round barrier. Shard order equals ascending
+	// sender order, so merged metrics — and the observer event stream
+	// replayed from outbox afterwards — are bit-identical to the serial
+	// engine's. The shard partition is fixed for the whole run, so each
+	// view is wired to its owning shard's arena exactly once.
+	nshards := 1
 	if parallelRun {
-		accs = make([]shardAcc, parallel.Shards(n, opts.Workers))
+		nshards = parallel.Shards(n, workers)
+	}
+	shards := make([]shardState, nshards)
+	for s := range shards {
+		lo, hi := s*n/nshards, (s+1)*n/nshards
+		for v := lo; v < hi; v++ {
+			views[v].pool = &shards[s].pool
+		}
 	}
 
+	// Stability-window cache: when the dynamic advertises T-interval
+	// stable windows (ctvg.Stability), graph, hierarchy and the per-node
+	// views are frozen on the window's first round and reused until the
+	// window ends — churn or reaffiliation starts a new window, which
+	// refetches everything. Rounds inside a window skip At/HierarchyAt and
+	// all O(n) view rebuilding.
+	stab, hasStab := d.(ctvg.Stability)
+	if opts.NoStabilityCache {
+		hasStab = false
+	}
+	cachedUntil := -1
+
+	var g *graph.Graph
+	var hier *ctvg.Hierarchy
 	for r := 0; r < opts.MaxRounds; r++ {
 		for i := range crashSchedule {
 			ce := &crashSchedule[i]
@@ -299,8 +356,17 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 				}
 			}
 		}
-		g := d.At(r)
-		hier := d.HierarchyAt(r)
+		fresh := r > cachedUntil
+		if fresh {
+			g = d.At(r)
+			hier = d.HierarchyAt(r)
+			cachedUntil = r
+			if hasStab {
+				if s := stab.StableUntil(r); s > r {
+					cachedUntil = s
+				}
+			}
+		}
 		if obs != nil && obs.RoundStart != nil {
 			obs.RoundStart(r, g, hier)
 		}
@@ -308,14 +374,22 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 		// Collect phase: every node decides its transmission from its
 		// local view only, then the transmission is charged to the
 		// accounting. Nodes are independent, so both steps fan out when
-		// Workers > 1 (per-shard accumulators, merged below).
+		// Workers > 1 (per-shard accumulators, merged below). Inside a
+		// stable window only the round number changes; role, head and
+		// neighbour slice keep the frozen window values.
 		collect := func(v int) {
-			views[v] = View{Round: r, Role: hier.Role[v], Head: hier.HeadOf(v), Neighbors: g.Neighbors(v)}
+			vw := &views[v]
+			vw.Round = r
+			if fresh {
+				vw.Role = hier.Role[v]
+				vw.Head = hier.HeadOf(v)
+				vw.Neighbors = g.Neighbors(v)
+			}
 			if crashed[v] {
 				outbox[v] = nil
 				return
 			}
-			outbox[v] = nodes[v].Send(views[v])
+			outbox[v] = nodes[v].Send(*vw)
 		}
 		account := func(acc *shardAcc, v int) {
 			msg := outbox[v]
@@ -339,16 +413,16 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 			}
 		}
 		if parallelRun {
-			parallel.ForEachShard(n, opts.Workers, func(s, lo, hi int) {
-				acc := &accs[s]
+			parallel.ForEachShard(n, workers, func(s, lo, hi int) {
+				acc := &shards[s].acc
 				acc.reset()
 				for v := lo; v < hi; v++ {
 					collect(v)
 					account(acc, v)
 				}
 			})
-			for s := range accs {
-				met.add(&accs[s])
+			for s := range shards {
+				met.add(&shards[s].acc)
 			}
 			if obs != nil && obs.Sent != nil {
 				for v := 0; v < n; v++ {
@@ -358,52 +432,56 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 				}
 			}
 		} else {
-			var acc shardAcc
+			acc := &shards[0].acc
+			acc.reset()
 			for v := 0; v < n; v++ {
 				collect(v)
-				account(&acc, v)
+				account(acc, v)
 				if outbox[v] != nil && obs != nil && obs.Sent != nil {
 					obs.Sent(r, outbox[v])
 				}
 			}
-			met.add(&acc)
+			met.add(acc)
 		}
 
 		// Deliver phase: each node hears its neighbours' messages,
 		// ordered by ascending sender ID (Neighbors is sorted). Messages
-		// are read-only from here on, so delivery also fans out.
+		// are read-only from here on, so delivery also fans out — over the
+		// same shard partition as collect, so a node delivering through
+		// View.NewSet stays on its arena's owning goroutine.
 		if parallelRun {
-			parallel.ForEachRange(n, opts.Workers, func(lo, hi int) {
-				pinbox := make([]*Message, 0, 16)
+			parallel.ForEachShard(n, workers, func(s, lo, hi int) {
+				st := &shards[s]
 				for v := lo; v < hi; v++ {
 					if crashed[v] {
 						continue
 					}
-					pinbox = pinbox[:0]
-					for _, u := range g.Neighbors(v) {
+					st.inbox = st.inbox[:0]
+					for _, u := range views[v].Neighbors {
 						if outbox[u] != nil {
-							pinbox = append(pinbox, outbox[u])
+							st.inbox = append(st.inbox, outbox[u])
 						}
 					}
-					nodes[v].Deliver(views[v], pinbox)
+					nodes[v].Deliver(views[v], st.inbox)
 				}
 			})
 		} else {
+			st := &shards[0]
 			for v := 0; v < n; v++ {
 				if crashed[v] {
 					continue
 				}
-				inbox = inbox[:0]
-				for _, u := range g.Neighbors(v) {
+				st.inbox = st.inbox[:0]
+				for _, u := range views[v].Neighbors {
 					if outbox[u] == nil {
 						continue
 					}
 					if faultRng != nil && opts.Faults.DropProb > 0 && faultRng.Prob(opts.Faults.DropProb) {
 						continue
 					}
-					inbox = append(inbox, outbox[u])
+					st.inbox = append(st.inbox, outbox[u])
 				}
-				nodes[v].Deliver(views[v], inbox)
+				nodes[v].Deliver(views[v], st.inbox)
 			}
 		}
 
@@ -413,15 +491,15 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 			// serial one exactly.
 			delivered := 0
 			if parallelRun {
-				parallel.ForEachShard(n, opts.Workers, func(s, lo, hi int) {
+				parallel.ForEachShard(n, workers, func(s, lo, hi int) {
 					sum := 0
 					for v := lo; v < hi; v++ {
 						sum += nodes[v].Tokens().Len()
 					}
-					accs[s].delivered = sum
+					shards[s].acc.delivered = sum
 				})
-				for s := range accs {
-					delivered += accs[s].delivered
+				for s := range shards {
+					delivered += shards[s].acc.delivered
 				}
 			} else {
 				for _, nd := range nodes {
@@ -432,7 +510,16 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 		}
 
 		met.Rounds = r + 1
-		if doneLive(nodes, crashed, k, workersFor(opts, n)) {
+		done := doneLive(nodes, crashed, k, workers)
+
+		// Round barrier: messages and payload sets handed out this round
+		// are dead — nothing may retain them — so the arenas take them
+		// back for the next round.
+		for s := range shards {
+			shards[s].pool.recycle()
+		}
+
+		if done {
 			if !met.Complete {
 				met.Complete = true
 				met.CompletionRound = r + 1
@@ -499,12 +586,18 @@ func sortCrashes(crashAt map[int]int, n int) []crashEntry {
 	return out
 }
 
-// workersFor returns the worker count for auxiliary parallel passes.
+// workersFor resolves Options.Workers for a run over n nodes: at least 1,
+// and never more than n — a worker without nodes would be an idle shard
+// (and an empty accumulator slot) on every round barrier.
 func workersFor(opts Options, n int) int {
-	if opts.Workers > 1 {
-		return opts.Workers
+	w := opts.Workers
+	if w < 1 {
+		return 1
 	}
-	return 1
+	if w > n {
+		return n
+	}
+	return w
 }
 
 // doneLive reports whether every non-crashed node holds all k tokens.
@@ -570,4 +663,18 @@ func (f *Flat) At(r int) *graph.Graph { return f.D.At(r) }
 // HierarchyAt implements ctvg.Dynamic.
 func (f *Flat) HierarchyAt(r int) *ctvg.Hierarchy { return f.hier }
 
-var _ ctvg.Dynamic = (*Flat)(nil)
+// StableUntil implements ctvg.Stability by delegation: the all-unaffiliated
+// hierarchy never changes, so the wrapper is exactly as stable as the flat
+// network underneath (and promises nothing when that network does not
+// advertise stability).
+func (f *Flat) StableUntil(r int) int {
+	if s, ok := f.D.(tvg.Stability); ok {
+		return s.StableUntil(r)
+	}
+	return r
+}
+
+var (
+	_ ctvg.Dynamic   = (*Flat)(nil)
+	_ ctvg.Stability = (*Flat)(nil)
+)

@@ -131,6 +131,30 @@ func EncodeSet(buf []byte, s *bitset.Set) []byte {
 	return buf
 }
 
+// UvarintLen returns the number of bytes binary.AppendUvarint emits for x.
+func UvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodedSetSize returns len(EncodeSet(nil, s)) by arithmetic, without
+// producing the encoding. A nil set is treated as empty.
+func EncodedSetSize(s *bitset.Set) int {
+	var words []uint64
+	if s != nil {
+		words = s.Words()
+	}
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	return UvarintLen(uint64(n)) + 8*n
+}
+
 // DecodeSet reads a token set encoded by EncodeSet from buf, returning the
 // set and the remaining bytes.
 func DecodeSet(buf []byte) (*bitset.Set, []byte, error) {
@@ -139,7 +163,9 @@ func DecodeSet(buf []byte) (*bitset.Set, []byte, error) {
 		return nil, nil, fmt.Errorf("token: truncated set header")
 	}
 	buf = buf[sz:]
-	if uint64(len(buf)) < n*8 {
+	// Compare by division: n*8 can wrap for adversarial word counts, which
+	// would slip a huge allocation past the length check.
+	if n > uint64(len(buf))/8 {
 		return nil, nil, fmt.Errorf("token: truncated set body (want %d words, have %d bytes)", n, len(buf))
 	}
 	words := make([]uint64, n)

@@ -1,6 +1,7 @@
 package token
 
 import (
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
@@ -209,6 +210,50 @@ func TestQuickSpreadAlwaysValid(t *testing.T) {
 		return Spread(n, k, xrand.New(seed)).Validate() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	cases := []uint64{0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 1 << 20, 1<<63 - 1, ^uint64(0)}
+	for _, x := range cases {
+		if got, want := UvarintLen(x), len(binary.AppendUvarint(nil, x)); got != want {
+			t.Errorf("UvarintLen(%#x) = %d, encoding is %d bytes", x, got, want)
+		}
+	}
+}
+
+func TestEncodedSetSizeMatchesEncoding(t *testing.T) {
+	// Trailing zero words are produced by Add-then-Remove; the size
+	// arithmetic must apply the same trim the encoder does.
+	trimmed := bitset.FromSlice([]int{3, 500})
+	trimmed.Remove(500)
+	sets := []*bitset.Set{
+		{},
+		bitset.FromSlice([]int{0}),
+		bitset.FromSlice([]int{63, 64, 1000}),
+		trimmed,
+	}
+	for _, s := range sets {
+		if got, want := EncodedSetSize(s), len(EncodeSet(nil, s)); got != want {
+			t.Errorf("EncodedSetSize(%v) = %d, encoding is %d bytes", s, got, want)
+		}
+	}
+	// nil is sized like the empty set (callers encode nil payloads as empty).
+	if got, want := EncodedSetSize(nil), len(EncodeSet(nil, &bitset.Set{})); got != want {
+		t.Errorf("EncodedSetSize(nil) = %d, empty encoding is %d bytes", got, want)
+	}
+}
+
+func TestQuickEncodedSetSize(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := &bitset.Set{}
+		for _, b := range raw {
+			s.Add(int(b) * 3) // spread across several words
+		}
+		return EncodedSetSize(s) == len(EncodeSet(nil, s))
+	}
+	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
 }

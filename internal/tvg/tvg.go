@@ -12,6 +12,7 @@ package tvg
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 )
@@ -27,12 +28,29 @@ type Dynamic interface {
 	At(r int) *graph.Graph
 }
 
+// Stability is the optional interface through which a Dynamic advertises
+// its T-interval stable windows (Casteigts et al.: the maximal intervals
+// over which the presence function is constant). The simulation engine uses
+// it to freeze per-round state for the whole window instead of re-deriving
+// it every round.
+type Stability interface {
+	// StableUntil returns the largest round s >= r such that every round
+	// in [r, s] presents content-identical state to round r — the same
+	// snapshot, and for clustered dynamics the same hierarchy too.
+	// Implementations that cannot prove stability return r; math.MaxInt
+	// means "stable forever".
+	StableUntil(r int) int
+}
+
 // Trace is a Dynamic backed by a recorded snapshot list. Rounds beyond the
 // recorded range repeat the final snapshot, so a finite trace describes an
 // eventually-static network.
 type Trace struct {
 	n     int
 	snaps []*graph.Graph
+	// stable[r] is the precomputed StableUntil(r). Computed eagerly so a
+	// trace shared by concurrent runs stays read-only.
+	stable []int
 }
 
 // NewTrace builds a trace from snapshots, which must all share the same
@@ -47,7 +65,17 @@ func NewTrace(snaps []*graph.Graph) *Trace {
 			panic(fmt.Sprintf("tvg: snapshot %d has %d vertices, want %d", i, s.N(), n))
 		}
 	}
-	return &Trace{n: n, snaps: snaps}
+	t := &Trace{n: n, snaps: snaps}
+	t.stable = make([]int, len(snaps))
+	t.stable[len(snaps)-1] = math.MaxInt // past-the-end rounds repeat it
+	for r := len(snaps) - 2; r >= 0; r-- {
+		if snaps[r].Equal(snaps[r+1]) {
+			t.stable[r] = t.stable[r+1]
+		} else {
+			t.stable[r] = r
+		}
+	}
+	return t
 }
 
 // N implements Dynamic.
@@ -67,12 +95,37 @@ func (t *Trace) At(r int) *graph.Graph {
 	return t.snaps[r]
 }
 
-// Append adds a snapshot to the end of the trace.
+// StableUntil implements Stability: the precomputed end of the window of
+// rounds presenting the same snapshot as round r. Because rounds past the
+// recorded range repeat the final snapshot, windows reaching the end extend
+// to math.MaxInt.
+func (t *Trace) StableUntil(r int) int {
+	if r < 0 {
+		panic("tvg: negative round")
+	}
+	if r >= len(t.snaps) {
+		return math.MaxInt
+	}
+	return t.stable[r]
+}
+
+// Append adds a snapshot to the end of the trace. The stability index is
+// repaired in place: only the trailing window that previously extended past
+// the end can change, so the backward sweep stops at the first self-limited
+// round.
 func (t *Trace) Append(g *graph.Graph) {
 	if g.N() != t.n {
 		panic("tvg: appended snapshot has wrong vertex count")
 	}
 	t.snaps = append(t.snaps, g)
+	t.stable = append(t.stable, math.MaxInt)
+	for r := len(t.snaps) - 2; r >= 0 && t.stable[r] > r; r-- {
+		if t.snaps[r].Equal(t.snaps[r+1]) {
+			t.stable[r] = t.stable[r+1]
+		} else {
+			t.stable[r] = r
+		}
+	}
 }
 
 // Record materialises rounds [0, rounds) of any Dynamic into a Trace.
@@ -177,7 +230,12 @@ func (s Static) N() int { return s.G.N() }
 // At implements Dynamic.
 func (s Static) At(r int) *graph.Graph { return s.G }
 
+// StableUntil implements Stability: a static network never changes.
+func (s Static) StableUntil(r int) int { return math.MaxInt }
+
 var (
-	_ Dynamic = (*Trace)(nil)
-	_ Dynamic = Static{}
+	_ Dynamic   = (*Trace)(nil)
+	_ Dynamic   = Static{}
+	_ Stability = (*Trace)(nil)
+	_ Stability = Static{}
 )

@@ -1,6 +1,7 @@
 package tvg
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/graph"
@@ -188,5 +189,63 @@ func TestWindowConnectedSingleRound(t *testing.T) {
 	tr := NewTrace([]*graph.Graph{path(4)})
 	if !WindowConnected(tr, 0, 1) {
 		t.Fatal("connected snapshot should pass")
+	}
+}
+
+func TestStableUntil(t *testing.T) {
+	a := path(4)
+	b := graph.Ring(4)
+	// Rounds: [a, a, b, b, a] — two stable windows then a tail that repeats
+	// forever (At clamps to the last snapshot).
+	tr := NewTrace([]*graph.Graph{a, a.Clone(), b, b.Clone(), a})
+	want := []int{1, 1, 3, 3, math.MaxInt}
+	for r, w := range want {
+		if got := tr.StableUntil(r); got != w {
+			t.Errorf("StableUntil(%d) = %d want %d", r, got, w)
+		}
+	}
+	// Past the recorded range the snapshot never changes again.
+	if got := tr.StableUntil(100); got != math.MaxInt {
+		t.Errorf("StableUntil(100) = %d want MaxInt", got)
+	}
+}
+
+func TestStableUntilNegativePanics(t *testing.T) {
+	tr := NewTrace([]*graph.Graph{path(3)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative round")
+		}
+	}()
+	tr.StableUntil(-1)
+}
+
+func TestAppendRepairsStability(t *testing.T) {
+	a := path(4)
+	b := graph.Ring(4)
+	tr := NewTrace([]*graph.Graph{a, b, b.Clone()})
+	// The trailing window currently extends forever: [0, MaxInt, MaxInt].
+	if got := tr.StableUntil(1); got != math.MaxInt {
+		t.Fatalf("pre-append StableUntil(1) = %d want MaxInt", got)
+	}
+	// Appending a different snapshot must close rounds 1-2 at 2 and open a
+	// fresh forever-window at round 3.
+	tr.Append(a.Clone())
+	for r, w := range []int{0, 2, 2, math.MaxInt} {
+		if got := tr.StableUntil(r); got != w {
+			t.Errorf("post-append StableUntil(%d) = %d want %d", r, got, w)
+		}
+	}
+	// Appending an equal snapshot extends the trailing window.
+	tr.Append(a.Clone())
+	if got := tr.StableUntil(3); got != math.MaxInt {
+		t.Errorf("equal append broke the trailing window: StableUntil(3) = %d", got)
+	}
+}
+
+func TestStaticStableForever(t *testing.T) {
+	s := Static{G: path(3)}
+	if got := s.StableUntil(0); got != math.MaxInt {
+		t.Fatalf("Static.StableUntil(0) = %d want MaxInt", got)
 	}
 }

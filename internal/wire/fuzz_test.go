@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzDecode drives the codec with arbitrary byte strings. Whatever Decode
+// accepts must be a message the accounting can trust: in-range endpoints,
+// non-negative Units, and a lossless re-encode — Encode must accept the
+// decoded message (no silent uint16 wraparound in either direction) and
+// decoding the re-encoding must reproduce every field, Cost and Size.
+// Byte-identity is deliberately not required: Decode tolerates non-minimal
+// varints and untrimmed zero words, which Encode canonicalises.
+func FuzzDecode(f *testing.F) {
+	// The ID boundary, both sides: MaxNodeID encodes; 65535 must not decode.
+	top := msg(sim.KindUpload, MaxNodeID, MaxNodeID, []int{0, 3})
+	topBuf, err := Encode(nil, top)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(topBuf)
+	bad := append([]byte(nil), topBuf...)
+	bad[0], bad[1] = 0xFF, 0xFF // sender 65535: reserved, must be rejected
+	f.Add(bad)
+	multi := msg(sim.KindRelay, 1, sim.NoAddr, []int{7})
+	multi.Units = 300 // multi-byte Units varint on a non-coded kind
+	multiBuf, _ := Encode(nil, multi)
+	f.Add(multiBuf)
+	codedBuf, _ := Encode(nil, msg(sim.KindCoded, 2, sim.NoAddr, []int{0, 1, 2}))
+	f.Add(codedBuf)
+	// Adversarial set header: a huge word count whose byte length check
+	// would pass under multiplication overflow.
+	f.Add(append([]byte{1, 0, 1, 0, 0, 0}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x1F))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, _, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if m.From < 0 || m.From > MaxNodeID {
+			t.Fatalf("decoded out-of-range sender %d", m.From)
+		}
+		if m.To != sim.NoAddr && (m.To < 0 || m.To > MaxNodeID) {
+			t.Fatalf("decoded out-of-range addressee %d", m.To)
+		}
+		if m.Units < 0 {
+			t.Fatalf("decoded negative Units %d", m.Units)
+		}
+		re, err := Encode(nil, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		if Size(m) != len(re) {
+			t.Fatalf("Size=%d but encoding is %d bytes", Size(m), len(re))
+		}
+		m2, rest2, err := Decode(re)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-decoding failed: %v (%d leftover)", err, len(rest2))
+		}
+		if m2.From != m.From || m2.To != m.To || m2.Kind != m.Kind ||
+			m2.Units != m.Units || !m2.Tokens.Equal(m.Tokens) ||
+			m2.Cost() != m.Cost() || Size(m2) != Size(m) {
+			t.Fatalf("lossy round trip: %+v vs %+v", m2, m)
+		}
+	})
+}

@@ -20,6 +20,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/bitset"
 	"repro/internal/sim"
@@ -30,6 +31,12 @@ import (
 // addressee (2), kind (1).
 const Header = 5
 
+// MaxNodeID is the largest node ID the 2-byte header fields can carry.
+// To is stored as To+1 (so NoAddr = -1 maps to 0), which caps both fields
+// one below the uint16 maximum; 65535 stays free as an invalid sentinel so
+// silent wraparound can be rejected on both encode and decode.
+const MaxNodeID = 65534
+
 // TokenBytes is the assumed payload size of one token in bytes. Token IDs
 // are metadata; the token body (the actual information being disseminated)
 // is modelled as a fixed-size blob, as in the paper's "total size of
@@ -38,22 +45,37 @@ const TokenBytes = 32
 
 // Encode serialises a message; Decode reverses it. The format:
 //
-//	header | payload
+//	header | units | payload
 //
-// where payload is:
+// where units is the uvarint Message.Units (0 when unset, so every decoded
+// message is charged the same Cost as the one sent), and payload is:
 //
 //	kind broadcast/relay/upload: EncodeSet(token set), plus
 //	    TokenBytes per contained token (the bodies);
 //	kind coded: EncodeSet(coefficient vector) + one TokenBytes body.
-func Encode(buf []byte, m *sim.Message) []byte {
+//
+// Encode fails on node IDs outside [0, MaxNodeID] (From; To additionally
+// admits sim.NoAddr) and on negative Units — the alternative is a silent
+// uint16 wraparound that corrupts the accounting.
+func Encode(buf []byte, m *sim.Message) ([]byte, error) {
+	if m.From < 0 || m.From > MaxNodeID {
+		return nil, fmt.Errorf("wire: sender ID %d outside [0, %d]", m.From, MaxNodeID)
+	}
+	if m.To != sim.NoAddr && (m.To < 0 || m.To > MaxNodeID) {
+		return nil, fmt.Errorf("wire: addressee %d neither NoAddr nor in [0, %d]", m.To, MaxNodeID)
+	}
+	if m.Units < 0 {
+		return nil, fmt.Errorf("wire: negative Units %d", m.Units)
+	}
 	var hdr [Header]byte
 	binary.LittleEndian.PutUint16(hdr[0:], uint16(m.From))
 	binary.LittleEndian.PutUint16(hdr[2:], uint16(m.To+1)) // NoAddr=-1 -> 0
 	hdr[4] = byte(m.Kind)
 	buf = append(buf, hdr[:]...)
+	buf = binary.AppendUvarint(buf, uint64(m.Units))
 	buf = token.EncodeSet(buf, payloadSet(m))
 	buf = append(buf, make([]byte, bodyCount(m)*TokenBytes)...)
-	return buf
+	return buf, nil
 }
 
 // bodyCount is how many token bodies the message carries.
@@ -67,38 +89,59 @@ func bodyCount(m *sim.Message) int {
 	return m.Tokens.Len()
 }
 
-// Size returns the exact encoded size of a message in bytes without
-// allocating the encoding.
+// Size returns the exact encoded size of a message in bytes. It is pure
+// arithmetic over the packed payload words (token.EncodedSetSize), so the
+// per-message byte accounting never materialises an encoding.
 func Size(m *sim.Message) int {
-	setBytes := len(token.EncodeSet(nil, payloadSet(m)))
-	return Header + setBytes + bodyCount(m)*TokenBytes
+	units := m.Units
+	if units < 0 {
+		units = 0
+	}
+	return Header + token.UvarintLen(uint64(units)) +
+		token.EncodedSetSize(m.Tokens) + bodyCount(m)*TokenBytes
 }
+
+// emptySet stands in for a nil Tokens field during encoding.
+var emptySet = &bitset.Set{}
 
 func payloadSet(m *sim.Message) *bitset.Set {
 	if m.Tokens == nil {
-		return &bitset.Set{}
+		return emptySet
 	}
 	return m.Tokens
 }
 
-// Decode reverses Encode, returning the message and remaining bytes.
+// Decode reverses Encode, returning the message and remaining bytes. Every
+// field of the sent message — including Units, and hence Cost and Size —
+// survives the round trip; buffers whose header carries the invalid 65535
+// sender sentinel are rejected, so Decode only ever produces messages that
+// Encode accepts.
 func Decode(buf []byte) (*sim.Message, []byte, error) {
 	if len(buf) < Header {
 		return nil, nil, fmt.Errorf("wire: truncated header")
 	}
+	from := int(binary.LittleEndian.Uint16(buf[0:]))
+	if from > MaxNodeID {
+		return nil, nil, fmt.Errorf("wire: invalid sender ID %d", from)
+	}
 	m := &sim.Message{
-		From: int(binary.LittleEndian.Uint16(buf[0:])),
+		From: from,
 		To:   int(binary.LittleEndian.Uint16(buf[2:])) - 1,
 		Kind: sim.MsgKind(buf[4]),
 	}
-	set, rest, err := token.DecodeSet(buf[Header:])
+	units, sz := binary.Uvarint(buf[Header:])
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("wire: truncated units")
+	}
+	if units > uint64(math.MaxInt64) {
+		return nil, nil, fmt.Errorf("wire: Units %d overflows int", units)
+	}
+	m.Units = int(units)
+	set, rest, err := token.DecodeSet(buf[Header+sz:])
 	if err != nil {
 		return nil, nil, fmt.Errorf("wire: payload: %w", err)
 	}
 	m.Tokens = set
-	if m.Kind == sim.KindCoded {
-		m.Units = 1
-	}
 	bodies := bodyCount(m) * TokenBytes
 	if len(rest) < bodies {
 		return nil, nil, fmt.Errorf("wire: truncated bodies (want %d bytes, have %d)", bodies, len(rest))

@@ -21,6 +21,16 @@ func msg(kind sim.MsgKind, from, to int, toks []int) *sim.Message {
 	return m
 }
 
+// encode is the test-side Encode wrapper for messages known to be valid.
+func encode(t testing.TB, m *sim.Message) []byte {
+	t.Helper()
+	buf, err := Encode(nil, m)
+	if err != nil {
+		t.Fatalf("Encode(%+v): %v", m, err)
+	}
+	return buf
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	cases := []*sim.Message{
 		msg(sim.KindBroadcast, 3, sim.NoAddr, []int{0, 5, 63}),
@@ -28,8 +38,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		msg(sim.KindRelay, 0, sim.NoAddr, nil),
 		msg(sim.KindCoded, 9, sim.NoAddr, []int{0, 1, 2, 3}),
 	}
+	// Units is an independent field: coded packets usually carry 1, but any
+	// kind may carry any count and the decoded Cost must match the sent one.
+	multi := msg(sim.KindRelay, 4, sim.NoAddr, []int{2, 3})
+	multi.Units = 7
+	cases = append(cases, multi)
 	for _, m := range cases {
-		buf := Encode(nil, m)
+		buf := encode(t, m)
 		got, rest, err := Decode(buf)
 		if err != nil {
 			t.Fatalf("%v: %v", m.Kind, err)
@@ -37,14 +52,17 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if len(rest) != 0 {
 			t.Fatalf("%v: %d leftover bytes", m.Kind, len(rest))
 		}
-		if got.From != m.From || got.To != m.To || got.Kind != m.Kind {
-			t.Fatalf("%v: header mismatch: %+v", m.Kind, got)
+		if got.From != m.From || got.To != m.To || got.Kind != m.Kind || got.Units != m.Units {
+			t.Fatalf("%v: field mismatch: %+v vs %+v", m.Kind, got, m)
 		}
 		if !got.Tokens.Equal(m.Tokens) {
 			t.Fatalf("%v: payload mismatch", m.Kind)
 		}
 		if got.Cost() != m.Cost() {
 			t.Fatalf("%v: cost changed: %d vs %d", m.Kind, got.Cost(), m.Cost())
+		}
+		if Size(got) != Size(m) {
+			t.Fatalf("%v: size changed: %d vs %d", m.Kind, Size(got), Size(m))
 		}
 	}
 }
@@ -56,8 +74,11 @@ func TestSizeMatchesEncoding(t *testing.T) {
 		msg(sim.KindRelay, 1, sim.NoAddr, nil),
 		msg(sim.KindCoded, 1, sim.NoAddr, []int{0, 7}),
 	}
+	big := msg(sim.KindRelay, 1, sim.NoAddr, []int{9})
+	big.Units = 1 << 20 // multi-byte varint
+	cases = append(cases, big)
 	for _, m := range cases {
-		if got, want := Size(m), len(Encode(nil, m)); got != want {
+		if got, want := Size(m), len(encode(t, m)); got != want {
 			t.Fatalf("%v: Size=%d, encoding=%d", m.Kind, got, want)
 		}
 	}
@@ -68,7 +89,8 @@ func TestSizeShapes(t *testing.T) {
 	single := Size(msg(sim.KindRelay, 0, sim.NoAddr, []int{3}))
 	// A k=8 set packet costs header + set + eight bodies.
 	full := Size(msg(sim.KindRelay, 0, sim.NoAddr, []int{0, 1, 2, 3, 4, 5, 6, 7}))
-	// A coded packet over the same domain costs header + vector + ONE body.
+	// A coded packet over the same domain costs header + vector + ONE body,
+	// plus the one-byte Units=1 varint the other shapes spend on Units=0.
 	coded := Size(msg(sim.KindCoded, 0, sim.NoAddr, []int{0, 1, 2, 3, 4, 5, 6, 7}))
 	if full <= single {
 		t.Fatalf("full set (%d) not larger than singleton (%d)", full, single)
@@ -81,30 +103,65 @@ func TestSizeShapes(t *testing.T) {
 	}
 }
 
+func TestEncodeRejectsOutOfRangeIDs(t *testing.T) {
+	cases := []*sim.Message{
+		{From: MaxNodeID + 1, To: sim.NoAddr},
+		{From: -1, To: sim.NoAddr},
+		{From: 0, To: MaxNodeID + 1},
+		{From: 0, To: -2},
+		{From: 0, To: sim.NoAddr, Units: -1},
+	}
+	for _, m := range cases {
+		if _, err := Encode(nil, m); err == nil {
+			t.Fatalf("Encode accepted %+v", m)
+		}
+	}
+	// The boundary itself is legal and round-trips.
+	m := msg(sim.KindUpload, MaxNodeID, MaxNodeID, []int{0})
+	got, _, err := Decode(encode(t, m))
+	if err != nil || got.From != MaxNodeID || got.To != MaxNodeID {
+		t.Fatalf("boundary IDs did not survive: %+v, %v", got, err)
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	if _, _, err := Decode(nil); err == nil {
 		t.Fatal("empty accepted")
 	}
 	m := msg(sim.KindBroadcast, 1, sim.NoAddr, []int{1, 2})
-	buf := Encode(nil, m)
+	buf := encode(t, m)
 	for _, cut := range []int{3, Header, len(buf) - 1} {
 		if _, _, err := Decode(buf[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}
+	// A header carrying the reserved 65535 sender must be rejected, so
+	// every successfully decoded message is re-encodable.
+	bad := append([]byte(nil), buf...)
+	bad[0], bad[1] = 0xFF, 0xFF
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("sender sentinel 65535 accepted")
+	}
 }
 
+// TestQuickRoundTrip is the property test for the codec: for every kind,
+// arbitrary in-range endpoints (including To = NoAddr), arbitrary payloads
+// and arbitrary Units — including Units > 1 on non-coded kinds — every
+// field, the Cost and the Size survive Encode → Decode.
 func TestQuickRoundTrip(t *testing.T) {
-	f := func(from, to uint16, kindRaw byte, raw []byte) bool {
+	f := func(from, to uint16, kindRaw byte, raw []byte, units uint16) bool {
 		kind := sim.MsgKind(kindRaw % 4)
 		toks := []int{}
 		for _, b := range raw {
 			toks = append(toks, int(b))
 		}
-		m := msg(kind, int(from), int(to)-1, toks)
-		got, rest, err := Decode(Encode(nil, m))
+		m := msg(kind, int(from)%(MaxNodeID+1), int(to)%(MaxNodeID+2)-1, toks)
+		m.Units = int(units)
+		got, rest, err := Decode(encode(t, m))
 		return err == nil && len(rest) == 0 &&
-			got.From == m.From && got.To == m.To && got.Tokens.Equal(m.Tokens)
+			got.From == m.From && got.To == m.To && got.Kind == m.Kind &&
+			got.Units == m.Units && got.Tokens.Equal(m.Tokens) &&
+			got.Cost() == m.Cost() && Size(got) == Size(m)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -154,6 +211,7 @@ func TestByteAccountingOffByDefault(t *testing.T) {
 
 func BenchmarkSize(b *testing.B) {
 	m := msg(sim.KindBroadcast, 1, sim.NoAddr, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Size(m)
@@ -162,14 +220,14 @@ func BenchmarkSize(b *testing.B) {
 
 func TestEncodeNilTokens(t *testing.T) {
 	m := &sim.Message{From: 1, To: sim.NoAddr, Kind: sim.KindRelay}
-	got, rest, err := Decode(Encode(nil, m))
+	got, rest, err := Decode(encode(t, m))
 	if err != nil || len(rest) != 0 {
 		t.Fatalf("nil-payload encode failed: %v", err)
 	}
 	if !got.Tokens.Empty() {
 		t.Fatal("nil payload decoded non-empty")
 	}
-	if Size(m) != len(Encode(nil, m)) {
+	if Size(m) != len(encode(t, m)) {
 		t.Fatal("Size mismatch for nil payload")
 	}
 }
