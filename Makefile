@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint build test race fuzz bench
+.PHONY: check vet fmt lint build test race fuzz bench chaos
 
 check: lint build test race
 
@@ -20,10 +20,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine, worker pool and observability layer are the concurrent
-# surfaces; everything else is single-goroutine.
+# The engine, worker pool, observability layer and fault injector are the
+# concurrent surfaces; everything else is single-goroutine.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/obs/... ./internal/faults/...
+
+# Seeded randomized fault soak: hundreds of random fault plans (loss,
+# bursts, duplication, crashes, recoveries, head kills) against the
+# resilient protocols. Every run sets a stall watchdog, so the campaign
+# terminates even when a plan kills the whole network; the -timeout is a
+# hard backstop for the "must never hang" guarantee. Override CHAOS_RUNS /
+# CHAOS_SEED to steer the campaign.
+CHAOS_RUNS ?= 256
+chaos:
+	CHAOS_RUNS=$(CHAOS_RUNS) CHAOS_SEED=$(CHAOS_SEED) \
+		$(GO) test -run 'TestChaos' -count=1 -v -timeout 10m ./internal/core/
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace

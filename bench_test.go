@@ -104,7 +104,7 @@ func BenchmarkFig3(b *testing.B) {
 	assign := token.SingleSource(5, 1, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		met := sim.RunProtocol(d, core.Alg1{T: 8}, assign, sim.Options{
+		met := sim.MustRunProtocol(d, core.Alg1{T: 8}, assign, sim.Options{
 			MaxRounds: 8, StopWhenComplete: true,
 		})
 		if !met.Complete {
@@ -152,7 +152,7 @@ func benchHiNet1k(b *testing.B, cached bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		met := sim.RunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+		met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
 			MaxRounds: rounds, SizeFn: wire.Size,
 		})
 		if !met.Complete {

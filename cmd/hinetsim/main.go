@@ -12,6 +12,15 @@
 //	hinetsim -scenario emdg     [-n -k ...] # Algorithm 2 on a clustered edge-Markovian graph
 //	hinetsim -scenario coded    [-n -k ...] # Haeupler-Karger network coding vs flooding
 //	hinetsim -scenario multihop [-n -k ...] # Algorithm 1 on d-hop (multi-hop) clusters
+//
+// Fault injection applies to every simulating scenario:
+//
+//	-drop 0.05                  # i.i.d. 5% per-delivery loss
+//	-burst 0.05,0.3,0.9         # Gilbert–Elliott bursty loss (pGoodBad,pBadGood,dropBad)
+//	-crash-heads 20,50          # every live cluster head crashes at these rounds
+//	-recover-after 15           # crashed heads rejoin after 15 rounds (0 = crash-stop)
+//	-failover 3                 # run the self-healing protocol variant (head-silence window)
+//	-stall-window 50            # terminate with a diagnostic after 50 zero-progress rounds
 package main
 
 import (
@@ -20,12 +29,15 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ctvg"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/hinet"
@@ -52,15 +64,29 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		metrics  = flag.String("metrics", "", "write one JSONL round event per round to this file")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		drop         = flag.Float64("drop", 0, "i.i.d. per-delivery message loss probability")
+		burst        = flag.String("burst", "", "Gilbert–Elliott bursty loss as pGoodBad,pBadGood,dropBad")
+		crashHeads   = flag.String("crash-heads", "", "comma-separated rounds at which every live cluster head crashes")
+		recoverAfter = flag.Int("recover-after", 0, "rounds after which crashed heads recover (0 = crash-stop)")
+		failover     = flag.Int("failover", 0, "run the self-healing protocol variant with this head-silence window (0 = plain)")
+		stallWindow  = flag.Int("stall-window", 0, "terminate after this many consecutive zero-progress rounds (0 = off)")
 	)
 	flag.Parse()
 
 	if *pprof != "" {
 		startPprof("hinetsim", *pprof)
 	}
-	mi := &instr{path: *metrics}
+	plan, err := buildFaults(*drop, *burst, *crashHeads, *recoverAfter, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hinetsim:", err)
+		os.Exit(1)
+	}
+	mi := &instr{path: *metrics, faults: plan, stall: *stallWindow}
+	if *failover > 0 {
+		mi.fo = &core.Failover{Window: *failover}
+	}
 
-	var err error
 	switch *scenario {
 	case "fig1":
 		if *metrics != "" {
@@ -103,18 +129,88 @@ func startPprof(tool, addr string) {
 	}()
 }
 
-// instr wires the -metrics flag into a scenario run: attach decorates the
-// engine options with a JSONL collector, close flushes it.
+// buildFaults assembles the fault plan requested on the command line, or
+// nil when every fault flag is at its zero value.
+func buildFaults(drop float64, burst, crashHeads string, recoverAfter int, seed uint64) (*sim.Faults, error) {
+	plan := sim.Faults{Seed: seed, DropProb: drop}
+	if burst != "" {
+		parts := strings.Split(burst, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-burst wants pGoodBad,pBadGood,dropBad (got %q)", burst)
+		}
+		vals := make([]float64, 3)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-burst: %v", err)
+			}
+			vals[i] = v
+		}
+		plan.Burst = &faults.GilbertElliott{PGoodBad: vals[0], PBadGood: vals[1], DropBad: vals[2]}
+	}
+	if crashHeads != "" {
+		for _, p := range strings.Split(crashHeads, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("-crash-heads: %v", err)
+			}
+			plan.HeadCrashRounds = append(plan.HeadCrashRounds, r)
+		}
+		plan.HeadCrashDowntime = recoverAfter
+	} else if recoverAfter != 0 {
+		return nil, fmt.Errorf("-recover-after needs -crash-heads")
+	}
+	if !plan.Active() {
+		return nil, nil
+	}
+	return &plan, nil
+}
+
+// instr wires the -metrics and fault flags into a scenario run: attach
+// decorates the engine options with a JSONL collector, the fault plan and
+// the stall watchdog; close flushes the collector.
 type instr struct {
 	path string
 	f    *os.File
 	col  *obs.Collector
+
+	faults *sim.Faults
+	stall  int
+	fo     *core.Failover
+}
+
+// alg1 returns the scenario's Algorithm 1: the self-healing failover
+// variant when -failover is set, the paper's plain protocol otherwise.
+func (in *instr) alg1(T int) core.Alg1 {
+	if in != nil && in.fo != nil {
+		return core.Alg1{T: T, Failover: in.fo}
+	}
+	return core.Alg1{T: T}
+}
+
+// alg2 is the Algorithm 2 counterpart of alg1.
+func (in *instr) alg2() core.Alg2 {
+	if in != nil && in.fo != nil {
+		return core.Alg2{Failover: in.fo}
+	}
+	return core.Alg2{}
 }
 
 // attach opens the JSONL sink (first call only) and hooks a collector into
-// opts, combining with any observer the scenario already set.
+// opts, combining with any observer the scenario already set. It also
+// applies the command-line fault plan and stall window, so every scenario
+// picks them up through its one attach call.
 func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, error) {
-	if in == nil || in.path == "" || in.f != nil {
+	if in == nil {
+		return opts, nil
+	}
+	if in.faults != nil {
+		opts.Faults = in.faults
+	}
+	if in.stall > 0 {
+		opts.StallWindow = in.stall
+	}
+	if in.path == "" || in.f != nil {
 		return opts, nil
 	}
 	f, err := os.Create(in.path)
@@ -215,7 +311,10 @@ func runFig3(mi *instr) error {
 	if err != nil {
 		return err
 	}
-	met := sim.RunProtocol(d, core.Alg1{T: 8}, assign, opts)
+	met, err := sim.RunProtocol(d, mi.alg1(8), assign, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Println("result:", met)
 	if !met.Complete {
 		return fmt.Errorf("walkthrough did not complete")
@@ -240,7 +339,10 @@ func runHiNet(n, k, theta, alpha, l, reaffil, churn int, seed uint64, mi *instr)
 	if err != nil {
 		return err
 	}
-	met := sim.RunProtocol(adv, core.Alg1{T: T}, assign, opts)
+	met, err := sim.RunProtocol(adv, mi.alg1(T), assign, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Algorithm 1 on a (%d, %d)-HiNet (n=%d θ=%d k=%d α=%d)\n", T, l, n, theta, k, alpha)
 	fmt.Printf("theorem budget: %d phases x %d rounds = %d rounds\n", phases, T, phases*T)
 	fmt.Println("result:", met)
@@ -259,7 +361,10 @@ func runOneL(n, k, theta, l, reaffil, churn int, seed uint64, mi *instr) error {
 	if err != nil {
 		return err
 	}
-	met := sim.RunProtocol(adv, core.Alg2{}, assign, opts)
+	met, err := sim.RunProtocol(adv, mi.alg2(), assign, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Algorithm 2 on a (1, %d)-HiNet (n=%d θ=%d k=%d)\n", l, n, theta, k)
 	fmt.Printf("theorem budget: n-1 = %d rounds\n", core.Theorem2Rounds(n))
 	fmt.Println("result:", met)
@@ -275,7 +380,10 @@ func runEMDG(n, k int, seed uint64, mi *instr) error {
 	if err != nil {
 		return err
 	}
-	met := sim.RunProtocol(adv, core.Alg2{}, assign, opts)
+	met, err := sim.RunProtocol(adv, mi.alg2(), assign, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Algorithm 2 on a clustered edge-Markovian graph (n=%d k=%d, birth=0.02 death=0.11)\n", n, k)
 	fmt.Println("result:", met)
 	st := adv.Stats()
@@ -293,11 +401,17 @@ func runCoded(n, k int, seed uint64, mi *instr) error {
 		return err
 	}
 	cAdv := adversary.NewOneInterval(n, 0, xrand.New(seed))
-	coded := sim.RunProtocol(sim.NewFlat(cAdv), netcode.CodedFlood{Seed: seed}, assign, opts)
+	coded, err := sim.RunProtocol(sim.NewFlat(cAdv), netcode.CodedFlood{Seed: seed}, assign, opts)
+	if err != nil {
+		return err
+	}
 
 	fAdv := adversary.NewOneInterval(n, 0, xrand.New(seed))
-	flood := sim.RunProtocol(sim.NewFlat(fAdv), baseline.Flood{}, assign,
+	flood, err := sim.RunProtocol(sim.NewFlat(fAdv), baseline.Flood{}, assign,
 		sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("network coding vs flooding on 1-interval dynamics (n=%d k=%d)\n", n, k)
 	fmt.Println("  coded (HK): ", coded)
@@ -325,7 +439,10 @@ func runMultiHop(n, k int, seed uint64, mi *instr) error {
 	if err != nil {
 		return err
 	}
-	met := sim.RunProtocol(nw, core.Alg1{T: T}, assign, opts)
+	met, err := sim.RunProtocol(nw, mi.alg1(T), assign, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Algorithm 1 on %d-hop clusters (n=%d k=%d, %d heads, T=%d)\n",
 		d, n, k, len(hier.Heads), T)
 	if L, ok := hier.MaxHeadSeparation(g); ok {
@@ -349,7 +466,10 @@ func runMobility(n, k int, seed uint64, mi *instr) error {
 	if err != nil {
 		return err
 	}
-	met := sim.RunProtocol(adv, core.Alg2{}, assign, opts)
+	met, err := sim.RunProtocol(adv, mi.alg2(), assign, opts)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Algorithm 2 on random-waypoint mobility (n=%d k=%d)\n", n, k)
 	fmt.Println("result:", met)
 	st := adv.Stats()

@@ -174,7 +174,7 @@ func replay(args []string) error {
 		return fmt.Errorf("unknown protocol %q", *proto)
 	}
 	assign := token.Spread(tr.N(), *k, xrand.New(*seed))
-	met := sim.RunProtocol(tr, p, assign, sim.Options{
+	met := sim.MustRunProtocol(tr, p, assign, sim.Options{
 		MaxRounds: tr.Len(), StopWhenComplete: true,
 	})
 	fmt.Printf("replayed %s over %s: %v\n", p.Name(), *in, met)
@@ -224,7 +224,7 @@ func stats(args []string) error {
 	}
 	col := obs.NewCollector(cfg)
 	assign := token.Spread(tr.N(), *k, xrand.New(*seed))
-	met := sim.RunProtocol(tr, p, assign, sim.Options{
+	met := sim.MustRunProtocol(tr, p, assign, sim.Options{
 		MaxRounds:        tr.Len(),
 		StopWhenComplete: true,
 		Observer:         col.Observer(),

@@ -47,7 +47,7 @@ func main() {
 
 	// Step 3: execute and verify.
 	tokens := hinet.SpreadTokens(n, k, 7)
-	res := hinet.Run(net, hinet.Algorithm1(advice.T), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm1(advice.T), tokens, hinet.RunOptions{
 		MaxRounds:        advice.MaxRounds,
 		StopWhenComplete: true,
 	})

@@ -41,7 +41,7 @@ func main() {
 			}
 			adv := adversary.NewMobility(cfg, xrand.New(seed))
 			assign := token.Spread(n, k, xrand.New(seed+77))
-			m := sim.RunProtocol(adv, core.Alg2{}, assign,
+			m := sim.MustRunProtocol(adv, core.Alg2{}, assign,
 				sim.Options{MaxRounds: 6 * n, StopWhenComplete: true})
 			if !m.Complete {
 				fmt.Printf("  seed %d speed %.1f: WARNING incomplete\n", seed, speed)
@@ -52,7 +52,7 @@ func main() {
 
 			// Flooding over the identical recorded physical topology.
 			fadv := adversary.NewMobility(cfg, xrand.New(seed))
-			mf := sim.RunProtocol(fadv, baseline.Flood{}, assign,
+			mf := sim.MustRunProtocol(fadv, baseline.Flood{}, assign,
 				sim.Options{MaxRounds: 6 * n, StopWhenComplete: true})
 			floodTok += float64(mf.TokensSent)
 		}

@@ -44,7 +44,7 @@ func main() {
 			tokens := hinet.SpreadTokens(n, k, seed+500)
 
 			clustered := hinet.NewClusteredEMDGNetwork(n, p, q, seed)
-			m2 := hinet.Run(clustered, hinet.Algorithm2(), tokens, hinet.RunOptions{
+			m2 := hinet.MustRun(clustered, hinet.Algorithm2(), tokens, hinet.RunOptions{
 				MaxRounds: 3 * n, StopWhenComplete: true,
 			})
 			if !m2.Complete {
@@ -53,7 +53,7 @@ func main() {
 			alg2Tok += float64(m2.TokensSent)
 
 			flat := hinet.NewEMDGNetwork(n, p, q, true, seed)
-			mf := hinet.Run(flat, hinet.KLOFlood(), tokens, hinet.RunOptions{
+			mf := hinet.MustRun(flat, hinet.KLOFlood(), tokens, hinet.RunOptions{
 				MaxRounds: 3 * n, StopWhenComplete: true,
 			})
 			if !mf.Complete {

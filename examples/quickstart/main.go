@@ -39,7 +39,7 @@ func main() {
 
 	// k tokens at k random nodes; run Algorithm 1 for the theorem budget.
 	tokens := hinet.SpreadTokens(n, k, 43)
-	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
 		MaxRounds:        phases * T,
 		StopWhenComplete: true,
 	})

@@ -44,7 +44,7 @@ func main() {
 			Reaffiliations: 2, ChurnEdges: 8,
 		}, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+100))
-		m1 := sim.RunProtocol(clustered, core.Alg1{T: T}, assign,
+		m1 := sim.MustRunProtocol(clustered, core.Alg1{T: T}, assign,
 			sim.Options{MaxRounds: phases * T})
 		if !m1.Complete {
 			fmt.Printf("seed %d: WARNING Algorithm 1 incomplete\n", seed)
@@ -55,7 +55,7 @@ func main() {
 
 		// Flat network of the same dynamics class for KLO-T.
 		flat := sim.NewFlat(adversary.NewTInterval(n, T, 8, xrand.New(seed)))
-		mk := sim.RunProtocol(flat, baseline.KLOT{T: T}, assign,
+		mk := sim.MustRunProtocol(flat, baseline.KLOT{T: T}, assign,
 			sim.Options{MaxRounds: baseline.KLOTPhases(n, T, k) * T})
 		if !mk.Complete {
 			fmt.Printf("seed %d: WARNING KLO-T incomplete\n", seed)

@@ -60,7 +60,7 @@ func TestCustomProtocolThroughPublicAPI(t *testing.T) {
 	net := hinet.RecordNetwork(hinet.NewOneIntervalNetwork(n, 2*n, 3), 3*n)
 	tokens := hinet.SpreadTokens(n, k, 4)
 
-	res := hinet.Run(net, lazyFlood{}, tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, lazyFlood{}, tokens, hinet.RunOptions{
 		MaxRounds: 3 * n, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -73,7 +73,7 @@ func TestCustomProtocolThroughPublicAPI(t *testing.T) {
 
 	// The point of laziness: strictly fewer messages than always-on
 	// flooding over the same budget.
-	eager := hinet.Run(net, hinet.KLOFlood(), tokens, hinet.RunOptions{MaxRounds: res.Rounds})
+	eager := hinet.MustRun(net, hinet.KLOFlood(), tokens, hinet.RunOptions{MaxRounds: res.Rounds})
 	if res.Messages >= eager.Messages {
 		t.Fatalf("lazy (%d msgs) not below eager flooding (%d msgs)",
 			res.Messages, eager.Messages)

@@ -21,9 +21,12 @@
 //		N: 100, Theta: 30, L: 2, T: 18, Reaffiliations: 3, ChurnEdges: 10,
 //	}, 42)
 //	tokens := hinet.SpreadTokens(100, 8, 43)
-//	res := hinet.Run(net, hinet.Algorithm1(18), tokens, hinet.RunOptions{
+//	res, err := hinet.Run(net, hinet.Algorithm1(18), tokens, hinet.RunOptions{
 //		MaxRounds: 126, StopWhenComplete: true,
 //	})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(res)
 package hinet
 
@@ -36,6 +39,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/ctvg"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/gossip"
 	"repro/internal/graph"
@@ -126,6 +130,29 @@ func Algorithm1StableHeads(T int) Protocol { return core.Alg1{T: T, StableHeads:
 // connectivity.
 func Algorithm2() Protocol { return core.Alg2{} }
 
+// FailoverConfig tunes the self-healing protocol variants; see
+// core.Failover for the mechanism (heartbeats, head handover, flood
+// fallback, upload retransmission).
+type FailoverConfig = core.Failover
+
+// Algorithm1Resilient returns the self-healing Algorithm 1 variant: the
+// paper's protocol plus relay heartbeats, member-side head-failure
+// detection with acting-head handover, flood fallback, and phase-boundary
+// retransmission of unacknowledged uploads. window is the number of silent
+// rounds after which a member declares its head dead (must be positive).
+// Fault-free it transmits the same token payloads as Algorithm1.
+func Algorithm1Resilient(T, window int) Protocol {
+	return core.Alg1{T: T, Failover: &core.Failover{Window: window}}
+}
+
+// Algorithm2Resilient returns the self-healing Algorithm 2 variant:
+// silence-based head-failure detection with acting-head handover and
+// implicit-NACK re-uploads (a relay's full-set broadcast reveals the
+// tokens it is missing). window as in Algorithm1Resilient.
+func Algorithm2Resilient(window int) Protocol {
+	return core.Alg2{Failover: &core.Failover{Window: window}}
+}
+
 // KLOFlood returns the flat 1-interval baseline (full-set flooding) of
 // Kuhn–Lynch–Oshman.
 func KLOFlood() Protocol { return baseline.Flood{} }
@@ -207,8 +234,17 @@ func RandomTokens(n, k int, seed uint64) *Assignment {
 
 // --- running ---
 
-// Faults injects message loss and node crashes into a run; see sim.Faults.
+// Faults declares the failures injected into a run: message loss (i.i.d.
+// or Gilbert–Elliott bursty), duplication, crash-stop, crash-recovery and
+// head-targeted kills; see sim.Faults / the faults package for the model.
 type Faults = sim.Faults
+
+// BurstLoss parameterises Gilbert–Elliott bursty link loss (the
+// Faults.Burst field); see faults.GilbertElliott.
+type BurstLoss = faults.GilbertElliott
+
+// StallReport is the stall watchdog's diagnostic; see sim.StallReport.
+type StallReport = sim.StallReport
 
 // RunOptions controls a run.
 type RunOptions struct {
@@ -218,17 +254,40 @@ type RunOptions struct {
 	// tokens.
 	StopWhenComplete bool
 	// Faults, if non-nil, injects failures (the paper assumes reliable
-	// links; this knob measures degradation beyond that assumption).
+	// links and live nodes; this knob measures degradation beyond that
+	// assumption). An invalid plan is a Run error.
 	Faults *Faults
+	// Workers enables within-round parallelism (0 or 1 = serial). Results
+	// are bit-identical to serial runs, fault injection included.
+	Workers int
+	// StallWindow, when positive, arms the engine's stall watchdog: a run
+	// making no token progress for StallWindow consecutive rounds is
+	// terminated with a diagnostic in Metrics.Stall instead of spinning to
+	// MaxRounds. 0 disables it.
+	StallWindow int
 }
 
-// Run executes the protocol on the network and returns the metrics.
-func Run(net Network, p Protocol, tokens *Assignment, opts RunOptions) *Metrics {
+// Run executes the protocol on the network and returns the metrics. It
+// fails before the first round on an invalid configuration (bad fault
+// plan, non-positive MaxRounds).
+func Run(net Network, p Protocol, tokens *Assignment, opts RunOptions) (*Metrics, error) {
 	return sim.RunProtocol(net, p, tokens, sim.Options{
 		MaxRounds:        opts.MaxRounds,
 		StopWhenComplete: opts.StopWhenComplete,
 		Faults:           opts.Faults,
+		Workers:          opts.Workers,
+		StallWindow:      opts.StallWindow,
 	})
+}
+
+// MustRun is Run for call sites where a failure is a programming error: it
+// panics instead of returning one.
+func MustRun(net Network, p Protocol, tokens *Assignment, opts RunOptions) *Metrics {
+	m, err := Run(net, p, tokens, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // PushGossip returns uniform push gossip (Kempe et al.) — the classic

@@ -18,7 +18,7 @@ func TestEndToEndAlgorithm1(t *testing.T) {
 		t.Fatalf("model check: %v", err)
 	}
 	tokens := hinet.SpreadTokens(100, 8, 43)
-	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
 		MaxRounds:        phases * T,
 		StopWhenComplete: true,
 	})
@@ -34,7 +34,7 @@ func TestEndToEndAlgorithm2VsFlood(t *testing.T) {
 		N: n, Theta: 12, L: 2, T: 1, Reaffiliations: 3, HeadChurn: 1, ChurnEdges: 5,
 	}, 7)
 	tokens := hinet.SpreadTokens(n, k, 8)
-	alg2 := hinet.Run(net, hinet.Algorithm2(), tokens, hinet.RunOptions{
+	alg2 := hinet.MustRun(net, hinet.Algorithm2(), tokens, hinet.RunOptions{
 		MaxRounds: hinet.Theorem2Rounds(n),
 	})
 	if !alg2.Complete {
@@ -43,7 +43,7 @@ func TestEndToEndAlgorithm2VsFlood(t *testing.T) {
 
 	// Flooding on an equally dynamic flat network.
 	flat := hinet.NewOneIntervalNetwork(n, 0, 9)
-	flood := hinet.Run(flat, hinet.KLOFlood(), hinet.SpreadTokens(n, k, 8), hinet.RunOptions{
+	flood := hinet.MustRun(flat, hinet.KLOFlood(), hinet.SpreadTokens(n, k, 8), hinet.RunOptions{
 		MaxRounds: hinet.Theorem2Rounds(n),
 	})
 	if !flood.Complete {
@@ -71,7 +71,7 @@ func TestMobilityNetworkRuns(t *testing.T) {
 		MinSpeed: 0.5, MaxSpeed: 2, EnsureConnected: true,
 	}, 11)
 	tokens := hinet.SpreadTokens(30, 4, 12)
-	res := hinet.Run(net, hinet.Algorithm2(), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm2(), tokens, hinet.RunOptions{
 		MaxRounds: 120, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -109,7 +109,7 @@ func TestTokenAssignments(t *testing.T) {
 func TestTIntervalNetwork(t *testing.T) {
 	net := hinet.NewTIntervalNetwork(30, 11, 5, 2)
 	tokens := hinet.SpreadTokens(30, 5, 3)
-	res := hinet.Run(net, hinet.KLOTInterval(11), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.KLOTInterval(11), tokens, hinet.RunOptions{
 		MaxRounds: 10 * 11, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -123,7 +123,7 @@ func TestRemark1Variant(t *testing.T) {
 		N: 50, Theta: 8, L: 2, T: T, Reaffiliations: 4, ChurnEdges: 5,
 	}, 21)
 	tokens := hinet.SpreadTokens(50, 6, 22)
-	res := hinet.Run(net, hinet.Algorithm1StableHeads(T), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm1StableHeads(T), tokens, hinet.RunOptions{
 		MaxRounds: hinet.Theorem1Phases(8, 2) * T, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -134,7 +134,7 @@ func TestRemark1Variant(t *testing.T) {
 func TestEMDGNetworks(t *testing.T) {
 	net := hinet.NewEMDGNetwork(25, 0.1, 0.2, true, 5)
 	tokens := hinet.SpreadTokens(25, 4, 6)
-	res := hinet.Run(net, hinet.KLOFlood(), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.KLOFlood(), tokens, hinet.RunOptions{
 		MaxRounds: 24, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -142,7 +142,7 @@ func TestEMDGNetworks(t *testing.T) {
 	}
 
 	cnet := hinet.NewClusteredEMDGNetwork(25, 0.1, 0.2, 7)
-	res2 := hinet.Run(cnet, hinet.Algorithm2(), tokens, hinet.RunOptions{
+	res2 := hinet.MustRun(cnet, hinet.Algorithm2(), tokens, hinet.RunOptions{
 		MaxRounds: 3 * 25, StopWhenComplete: true,
 	})
 	if !res2.Complete {
@@ -153,7 +153,7 @@ func TestEMDGNetworks(t *testing.T) {
 func TestCodedFloodFacade(t *testing.T) {
 	net := hinet.NewOneIntervalNetwork(20, 0, 3)
 	tokens := hinet.SpreadTokens(20, 8, 4)
-	res := hinet.Run(net, hinet.CodedFlood(5), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.CodedFlood(5), tokens, hinet.RunOptions{
 		MaxRounds: 150, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -171,7 +171,7 @@ func TestMultiHopNetworkFacade(t *testing.T) {
 	}
 	tokens := hinet.SpreadTokens(40, 5, 10)
 	T := 5 + 5 + 2
-	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
 		MaxRounds: (heads + 2) * T, StopWhenComplete: true,
 	})
 	if !res.Complete {
@@ -183,7 +183,7 @@ func TestGossipFacade(t *testing.T) {
 	net := hinet.NewOneIntervalNetwork(20, 60, 2)
 	tokens := hinet.SpreadTokens(20, 3, 3)
 	for _, p := range []hinet.Protocol{hinet.PushGossip(4), hinet.PushPullGossip(4)} {
-		res := hinet.Run(net, p, tokens, hinet.RunOptions{
+		res := hinet.MustRun(net, p, tokens, hinet.RunOptions{
 			MaxRounds: 600, StopWhenComplete: true,
 		})
 		if !res.Complete {
@@ -195,7 +195,7 @@ func TestGossipFacade(t *testing.T) {
 func TestFaultsFacade(t *testing.T) {
 	net := hinet.NewOneIntervalNetwork(15, 0, 5)
 	tokens := hinet.SpreadTokens(15, 3, 6)
-	res := hinet.Run(net, hinet.KLOFlood(), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.KLOFlood(), tokens, hinet.RunOptions{
 		MaxRounds:        400,
 		StopWhenComplete: true,
 		Faults:           &hinet.Faults{DropProb: 0.3, Seed: 7},
@@ -219,7 +219,7 @@ func TestAdviseStableNetwork(t *testing.T) {
 		t.Fatalf("advice %+v", adv)
 	}
 	// The advice must actually work.
-	res := hinet.Run(net, hinet.Algorithm1(adv.T), hinet.SpreadTokens(n, k, 6),
+	res := hinet.MustRun(net, hinet.Algorithm1(adv.T), hinet.SpreadTokens(n, k, 6),
 		hinet.RunOptions{MaxRounds: adv.MaxRounds, StopWhenComplete: true})
 	if !res.Complete {
 		t.Fatalf("advised parameters failed: advice %+v result %v", adv, res)
@@ -240,7 +240,7 @@ func TestAdviseDynamicNetworkFallsBack(t *testing.T) {
 	if adv.MaxRounds != n-1 {
 		t.Fatalf("fallback budget %d, want n-1", adv.MaxRounds)
 	}
-	res := hinet.Run(net, hinet.Algorithm2(), hinet.SpreadTokens(n, k, 8),
+	res := hinet.MustRun(net, hinet.Algorithm2(), hinet.SpreadTokens(n, k, 8),
 		hinet.RunOptions{MaxRounds: adv.MaxRounds, StopWhenComplete: true})
 	if !res.Complete {
 		t.Fatalf("fallback advice failed: %v", res)
@@ -283,7 +283,7 @@ func ExampleRun() {
 		N: 30, Theta: 6, L: 2, T: T, Reaffiliations: 2, ChurnEdges: 3,
 	}, 1)
 	tokens := hinet.SpreadTokens(30, 4, 2)
-	res := hinet.Run(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
+	res := hinet.MustRun(net, hinet.Algorithm1(T), tokens, hinet.RunOptions{
 		MaxRounds:        hinet.Theorem1Phases(6, 2) * T,
 		StopWhenComplete: true,
 	})

@@ -31,7 +31,7 @@ func TestFloodCompletesOnWorstCasePath(t *testing.T) {
 	const n = 12
 	d := sim.NewFlat(tvg.Static{G: graph.Path(n)})
 	assign := token.SingleSource(n, 1, 0)
-	met := sim.RunProtocol(d, Flood{}, assign,
+	met := sim.MustRunProtocol(d, Flood{}, assign,
 		sim.Options{MaxRounds: FloodRounds(n), StopWhenComplete: true})
 	if !met.Complete || met.CompletionRound != n-1 {
 		t.Fatalf("flood on path: %v", met)
@@ -43,7 +43,7 @@ func TestFloodCompletesUnder1IntervalAdversary(t *testing.T) {
 	for seed := uint64(0); seed < 8; seed++ {
 		adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+123))
-		met := sim.RunProtocol(sim.NewFlat(adv), Flood{}, assign,
+		met := sim.MustRunProtocol(sim.NewFlat(adv), Flood{}, assign,
 			sim.Options{MaxRounds: FloodRounds(n), StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: flood incomplete within n-1 rounds: %v", seed, met)
@@ -59,7 +59,7 @@ func TestFloodCostMatchesModel(t *testing.T) {
 	const n, k = 15, 4
 	adv := adversary.NewOneInterval(n, 0, xrand.New(9))
 	assign := token.Spread(n, k, xrand.New(10))
-	met := sim.RunProtocol(sim.NewFlat(adv), Flood{}, assign,
+	met := sim.MustRunProtocol(sim.NewFlat(adv), Flood{}, assign,
 		sim.Options{MaxRounds: FloodRounds(n)})
 	upper := int64((n - 1) * n * k)
 	if met.TokensSent > upper {
@@ -104,7 +104,7 @@ func TestKLOTCompletesOnTIntervalAdversary(t *testing.T) {
 		adv := adversary.NewTInterval(n, T, 6, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+321))
 		phases := KLOTPhases(n, T, k)
-		met := sim.RunProtocol(sim.NewFlat(adv), KLOT{T: T}, assign,
+		met := sim.MustRunProtocol(sim.NewFlat(adv), KLOT{T: T}, assign,
 			sim.Options{MaxRounds: phases * T, StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: KLOT incomplete within %d phases: %v", seed, phases, met)
@@ -123,7 +123,7 @@ func TestKLOTBroadcastsAscendingPerPhase(t *testing.T) {
 	}}
 	// Phase length 4 > k: node 0 must emit 0,1,2 then go quiet, then
 	// start over in the next phase.
-	sim.RunProtocol(d, KLOT{T: 4}, assign, sim.Options{MaxRounds: 6, Observer: obs})
+	sim.MustRunProtocol(d, KLOT{T: 4}, assign, sim.Options{MaxRounds: 6, Observer: obs})
 	want := []int{0, 1, 2, 0, 1} // rounds 0-2, silence round 3, phase 2 rounds 4-5
 	if len(order) != len(want) {
 		t.Fatalf("broadcasts %v, want %v", order, want)
@@ -144,7 +144,7 @@ func TestKLOTSingleTokenPerMessage(t *testing.T) {
 			t.Fatalf("KLOT message carries %d tokens", m.Cost())
 		}
 	}}
-	sim.RunProtocol(sim.NewFlat(adv), KLOT{T: k + 3}, assign,
+	sim.MustRunProtocol(sim.NewFlat(adv), KLOT{T: k + 3}, assign,
 		sim.Options{MaxRounds: 30, Observer: obs})
 }
 
@@ -153,7 +153,7 @@ func BenchmarkFlood100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		adv := adversary.NewOneInterval(n, 0, xrand.New(uint64(i)))
 		assign := token.Spread(n, k, xrand.New(uint64(i)+1))
-		sim.RunProtocol(sim.NewFlat(adv), Flood{}, assign,
+		sim.MustRunProtocol(sim.NewFlat(adv), Flood{}, assign,
 			sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
 	}
 }
@@ -164,7 +164,7 @@ func BenchmarkKLOT100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		adv := adversary.NewTInterval(n, T, 10, xrand.New(uint64(i)))
 		assign := token.Spread(n, k, xrand.New(uint64(i)+1))
-		sim.RunProtocol(sim.NewFlat(adv), KLOT{T: T}, assign,
+		sim.MustRunProtocol(sim.NewFlat(adv), KLOT{T: T}, assign,
 			sim.Options{MaxRounds: KLOTPhases(n, T, k) * T, StopWhenComplete: true})
 	}
 }

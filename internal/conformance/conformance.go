@@ -79,10 +79,10 @@ func Check(d ctvg.Dynamic, p sim.Protocol, assign *token.Assignment, rounds int)
 			},
 		}
 	}
-	first := sim.Run(d, nodes, assign, sim.Options{MaxRounds: rounds})
+	first := sim.MustRun(d, nodes, assign, sim.Options{MaxRounds: rounds})
 
 	// Determinism: replay and compare.
-	second := sim.RunProtocol(d, p, assign, sim.Options{MaxRounds: rounds})
+	second := sim.MustRunProtocol(d, p, assign, sim.Options{MaxRounds: rounds})
 	if first.TokensSent != second.TokensSent || first.Messages != second.Messages ||
 		first.CompletionRound != second.CompletionRound {
 		out = append(out, Violation{Round: -1, Node: -1,

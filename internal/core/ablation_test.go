@@ -32,7 +32,7 @@ func TestPromiscuousAbsorbsForeignRelay(t *testing.T) {
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 	assign := token.SingleSource(3, 1, 1)
 	nodes := Alg1{T: 4, Promiscuous: true}.Nodes(assign)
-	sim.Run(d, nodes, assign, sim.Options{MaxRounds: 8})
+	sim.MustRun(d, nodes, assign, sim.Options{MaxRounds: 8})
 	if !nodes[2].Tokens().Contains(0) {
 		t.Fatal("promiscuous member did not overhear the foreign head")
 	}
@@ -54,7 +54,7 @@ func TestPromiscuousNeverSlowerNeverCostlier(t *testing.T) {
 		run := func(prom bool) *sim.Metrics {
 			adv := adversary.NewHiNet(cfg, xrand.New(seed))
 			assign := token.Spread(cfg.N, k, xrand.New(seed+1))
-			return sim.RunProtocol(adv, Alg1{T: cfg.T, Promiscuous: prom}, assign,
+			return sim.MustRunProtocol(adv, Alg1{T: cfg.T, Promiscuous: prom}, assign,
 				sim.Options{MaxRounds: phases * cfg.T})
 		}
 		strict := run(false)
@@ -105,7 +105,7 @@ func TestAlg1FailsWithoutBackbone(t *testing.T) {
 		t.Fatal("checker accepted a backbone-less network")
 	}
 	assign := token.SingleSource(4, 1, 1)
-	met := sim.RunProtocol(d, Alg1{T: 4}, assign, sim.Options{MaxRounds: 40})
+	met := sim.MustRunProtocol(d, Alg1{T: 4}, assign, sim.Options{MaxRounds: 40})
 	if met.Complete {
 		t.Fatal("dissemination completed across a permanently partitioned backbone")
 	}
@@ -123,7 +123,7 @@ func TestUploadLowFirstStillCompletes(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
 		adv := adversary.NewHiNet(cfg, xrand.New(seed))
 		assign := token.Spread(cfg.N, k, xrand.New(seed+1))
-		m := sim.RunProtocol(adv, Alg1{T: cfg.T, UploadLowFirst: true}, assign,
+		m := sim.MustRunProtocol(adv, Alg1{T: cfg.T, UploadLowFirst: true}, assign,
 			sim.Options{MaxRounds: phases * cfg.T, StopWhenComplete: true})
 		if !m.Complete {
 			t.Fatalf("seed %d: low-first upload broke completion: %v", seed, m)
@@ -154,7 +154,7 @@ func wastedUploads(t *testing.T, lowFirst bool, seed uint64) int {
 			wasted++
 		}
 	}}
-	sim.Run(adv, nodes, assign, sim.Options{MaxRounds: phases * cfg.T, Observer: obs})
+	sim.MustRun(adv, nodes, assign, sim.Options{MaxRounds: phases * cfg.T, Observer: obs})
 	return wasted
 }
 
@@ -193,7 +193,7 @@ func BenchmarkAblationUploadOrder(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				adv := adversary.NewHiNet(cfg, xrand.New(uint64(i)))
 				assign := token.Spread(cfg.N, k, xrand.New(uint64(i)+1))
-				m := sim.RunProtocol(adv, Alg1{T: cfg.T, UploadLowFirst: low}, assign,
+				m := sim.MustRunProtocol(adv, Alg1{T: cfg.T, UploadLowFirst: low}, assign,
 					sim.Options{MaxRounds: phases * cfg.T})
 				uploads += m.TokensByKind[sim.KindUpload]
 			}
@@ -221,7 +221,7 @@ func BenchmarkAblationMemberFilter(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				adv := adversary.NewHiNet(cfg, xrand.New(uint64(i)))
 				assign := token.Spread(cfg.N, k, xrand.New(uint64(i)+1))
-				m := sim.RunProtocol(adv, Alg1{T: cfg.T, Promiscuous: prom}, assign,
+				m := sim.MustRunProtocol(adv, Alg1{T: cfg.T, Promiscuous: prom}, assign,
 					sim.Options{MaxRounds: phases * cfg.T, StopWhenComplete: true})
 				rounds += int64(m.CompletionRound)
 			}
@@ -249,7 +249,7 @@ func BenchmarkAblationStableHeads(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				adv := adversary.NewHiNet(cfg, xrand.New(uint64(i)))
 				assign := token.Spread(cfg.N, k, xrand.New(uint64(i)+1))
-				m := sim.RunProtocol(adv, Alg1{T: cfg.T, StableHeads: stable}, assign,
+				m := sim.MustRunProtocol(adv, Alg1{T: cfg.T, StableHeads: stable}, assign,
 					sim.Options{MaxRounds: phases * cfg.T})
 				uploads += m.TokensByKind[sim.KindUpload]
 			}

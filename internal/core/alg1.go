@@ -15,6 +15,9 @@
 //     send their entire set only upon (re-)affiliation. Theorems 2-4 give
 //     round bounds of n-1, θ/α + 1 and θ·L + 1 under increasingly strong
 //     assumptions.
+//   - Both algorithms accept a Failover configuration that adds the
+//     self-healing paths (heartbeats, head handover, flood fallback) for
+//     networks whose heads can crash; see Failover.
 //
 // Every node is a sim.Node state machine driven purely by its local view
 // (round number, own role, current head), so the algorithms run unchanged
@@ -37,6 +40,11 @@ type Alg1 struct {
 	// StableHeads enables the Remark 1 optimisation, valid when the head
 	// set is ∞-interval stable: members upload only during phase 0.
 	StableHeads bool
+	// Failover, when non-nil, enables the self-healing variant: relay
+	// heartbeats, member-side head-failure detection with handover, flood
+	// fallback, and phase-boundary retransmission of unacknowledged
+	// uploads (loss tolerance). See Failover for the mechanism.
+	Failover *Failover
 	// UploadLowFirst is an ABLATION switch, not part of the paper's
 	// design: members upload the MIN-ID unknown token instead of the
 	// paper's max-ID rule. The paper's choice is deliberate: heads
@@ -52,16 +60,21 @@ type Alg1 struct {
 	// restriction costs (it can only speed things up, never add cost,
 	// since members transmit no more either way). TR bookkeeping still
 	// tracks only the own head's broadcasts, so upload suppression is
-	// unchanged.
+	// unchanged. Failover mode implies the same absorption rule — an
+	// orphaned member's only token source is a foreign relay.
 	Promiscuous bool
 }
 
 // Name implements sim.Protocol.
 func (p Alg1) Name() string {
-	if p.StableHeads {
-		return fmt.Sprintf("hinet-alg1-stable(T=%d)", p.T)
+	suffix := ""
+	if p.Failover != nil {
+		suffix = "-failover"
 	}
-	return fmt.Sprintf("hinet-alg1(T=%d)", p.T)
+	if p.StableHeads {
+		return fmt.Sprintf("hinet-alg1-stable%s(T=%d)", suffix, p.T)
+	}
+	return fmt.Sprintf("hinet-alg1%s(T=%d)", suffix, p.T)
 }
 
 // Nodes implements sim.Protocol.
@@ -69,11 +82,15 @@ func (p Alg1) Nodes(assign *token.Assignment) []sim.Node {
 	if p.T <= 0 {
 		panic("core: Alg1 requires T > 0")
 	}
+	if p.Failover != nil {
+		p.Failover.window() // validate up front
+	}
 	nodes := make([]sim.Node, assign.N())
 	for v := range nodes {
 		nodes[v] = &alg1Node{
 			id:       v,
 			proto:    p,
+			fo:       p.Failover,
 			ta:       assign.Initial[v].Clone(),
 			ts:       bitset.New(assign.K),
 			tr:       bitset.New(assign.K),
@@ -105,9 +122,14 @@ func ceilDiv(a, b int) int {
 // are exactly the paper's: ta — tokens ever collected (TA); ts — tokens
 // sent in the current phase (relay) or sent to the current head (member)
 // (TS); tr — tokens received from the current head (TR, members only).
+//
+// The failover fields are volatile repair state: sinceHead / sinceAnyRelay
+// count consecutive rounds of relay silence, acting marks a member serving
+// as stand-in head, flooding marks a node that has abandoned the hierarchy.
 type alg1Node struct {
 	id    int
 	proto Alg1
+	fo    *Failover
 
 	ta *bitset.Set
 	ts *bitset.Set
@@ -116,6 +138,11 @@ type alg1Node struct {
 	lastHead int
 	wasRelay bool
 	started  bool
+
+	sinceHead     int
+	sinceAnyRelay int
+	acting        bool
+	flooding      bool
 }
 
 // Send implements sim.Node.
@@ -124,34 +151,95 @@ func (n *alg1Node) Send(v sim.View) *sim.Message {
 
 	// Role transitions invalidate the bookkeeping sets: a promoted member
 	// must re-broadcast from scratch; a demoted relay starts a fresh
-	// member conversation with its head.
+	// member conversation with its head. The clustering layer outranks any
+	// acting-head stand-in.
 	if n.started && relay != n.wasRelay {
 		n.ts.Clear()
 		n.tr.Clear()
 		n.lastHead = ctvg.NoCluster
+		n.acting = false
 	}
 	n.wasRelay = relay
 	n.started = true
 
+	if n.flooding {
+		return n.sendFlood(v)
+	}
 	if relay {
 		return n.sendRelay(v)
 	}
 	if v.Role == ctvg.Member {
+		if n.fo != nil {
+			if m, handled := n.memberFailover(v); handled {
+				return m
+			}
+		}
 		return n.sendMember(v)
 	}
 	return nil // unaffiliated nodes are silent under Algorithm 1
 }
 
+// memberFailover runs the resilient member's repair state machine before
+// the normal Fig. 4 member logic. It returns handled = true when the node
+// acted as a stand-in (or escalated) this round.
+func (n *alg1Node) memberFailover(v sim.View) (msg *sim.Message, handled bool) {
+	if v.Head == ctvg.NoCluster {
+		return nil, false
+	}
+	if v.Head != n.lastHead {
+		// Re-affiliated by the clustering layer: the silence record is
+		// about the old head and means nothing for the new one.
+		n.sinceHead, n.sinceAnyRelay = 0, 0
+		n.acting = false
+		return nil, false
+	}
+	if n.sinceHead >= n.fo.floodAfter() {
+		n.flooding = true
+		v.Note(sim.NoteFloodFallback)
+		return n.sendFlood(v), true
+	}
+	if n.acting {
+		if n.sinceHead == 0 {
+			// The real head is audible again (crash-recovery): stand down
+			// and re-open a fresh member conversation with it.
+			n.acting = false
+			n.ts.Clear()
+			n.tr.Clear()
+			n.lastHead = ctvg.NoCluster
+			return nil, false
+		}
+		return n.sendRelay(v), true
+	}
+	if n.sinceHead >= n.fo.window() && n.sinceAnyRelay >= n.fo.window() {
+		// The head is gone and no other relay is audible either: there is
+		// nobody better placed, so serve the cluster ourselves. TS becomes
+		// relay bookkeeping (tokens broadcast this phase) from here on.
+		n.acting = true
+		v.Note(sim.NoteHandover)
+		n.ts.Clear()
+		return n.sendRelay(v), true
+	}
+	return nil, false
+}
+
 // sendRelay implements the head/gateway side of Fig. 4: broadcast the
 // min-ID token not yet sent this phase; TS is emptied at each phase
-// boundary.
+// boundary. In failover mode an idle relay broadcasts an empty heartbeat
+// (cost 0) so that silence always means failure.
 func (n *alg1Node) sendRelay(v sim.View) *sim.Message {
 	if v.Round%n.proto.T == 0 {
 		n.ts.Clear()
 	}
 	t := n.ta.MinNotIn(n.ts)
 	if t < 0 {
-		return nil
+		if n.fo == nil {
+			return nil
+		}
+		m := v.NewMessage()
+		m.To = sim.NoAddr
+		m.Kind = sim.KindRelay
+		m.Tokens = v.NewSet()
+		return m
 	}
 	n.ts.Add(t)
 	payload := v.NewSet()
@@ -165,12 +253,17 @@ func (n *alg1Node) sendRelay(v sim.View) *sim.Message {
 
 // sendMember implements the member side of Fig. 4: on a head change, empty
 // TS and TR; then upload the max-ID token in TA \ (TS ∪ TR), one per
-// round. Under StableHeads (Remark 1) uploads happen only in phase 0.
+// round. Under StableHeads (Remark 1) uploads happen only in phase 0. In
+// failover mode each phase boundary drops unacknowledged uploads from TS
+// (TS ∩= TR), so a token whose upload was lost is retransmitted instead of
+// being marked sent forever.
 func (n *alg1Node) sendMember(v sim.View) *sim.Message {
 	if v.Head != n.lastHead {
 		n.ts.Clear()
 		n.tr.Clear()
 		n.lastHead = v.Head
+	} else if n.fo != nil && v.Round%n.proto.T == 0 {
+		n.ts.IntersectWith(n.tr)
 	}
 	if v.Head == ctvg.NoCluster {
 		return nil
@@ -198,9 +291,22 @@ func (n *alg1Node) sendMember(v sim.View) *sim.Message {
 	return m
 }
 
+// sendFlood broadcasts the full token set: the KLO-flooding degradation a
+// resilient node falls back to when the hierarchy around it has died.
+func (n *alg1Node) sendFlood(v sim.View) *sim.Message {
+	payload := v.NewSet()
+	payload.CopyFrom(n.ta)
+	m := v.NewMessage()
+	m.To = sim.NoAddr
+	m.Kind = sim.KindBroadcast
+	m.Tokens = payload
+	return m
+}
+
 // Deliver implements sim.Node.
 func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
 	relay := v.Role == ctvg.Head || v.Role == ctvg.Gateway
+	heardHead, heardRelay, heardFlood := false, false, false
 	for _, m := range msgs {
 		switch {
 		case relay && m.Kind == sim.KindRelay:
@@ -215,10 +321,47 @@ func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
 			// ("receive t' from its cluster head").
 			n.ta.UnionWith(m.Tokens)
 			n.tr.UnionWith(m.Tokens)
-		case v.Role == ctvg.Member && m.Kind == sim.KindRelay && n.proto.Promiscuous:
-			// Ablation: overhear foreign relays too (TA only — TR keeps
-			// tracking the own head so uploads stay correct).
+		case v.Role == ctvg.Member && m.Kind == sim.KindRelay && (n.proto.Promiscuous || n.fo != nil):
+			// Ablation / failover: overhear foreign relays too (TA only —
+			// TR keeps tracking the own head so uploads stay correct).
 			n.ta.UnionWith(m.Tokens)
+		}
+		if n.fo == nil {
+			continue
+		}
+		switch m.Kind {
+		case sim.KindRelay:
+			heardRelay = true
+			if m.From == v.Head {
+				heardHead = true
+			}
+		case sim.KindBroadcast:
+			// A flood: absorb it, and join it — flooding is contagious, so
+			// one desperate region recruits everyone reachable from it.
+			heardFlood = true
+			n.ta.UnionWith(m.Tokens)
+		case sim.KindUpload:
+			// An acting head adopts uploads stranded on the dead head it
+			// stands in for.
+			if n.acting {
+				n.ta.UnionWith(m.Tokens)
+			}
+		}
+	}
+	if n.fo != nil {
+		if heardHead {
+			n.sinceHead = 0
+		} else {
+			n.sinceHead++
+		}
+		if heardRelay {
+			n.sinceAnyRelay = 0
+		} else {
+			n.sinceAnyRelay++
+		}
+		if heardFlood && !n.flooding {
+			n.flooding = true
+			v.Note(sim.NoteFloodFallback)
 		}
 	}
 }
@@ -226,4 +369,22 @@ func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
 // Tokens implements sim.Node.
 func (n *alg1Node) Tokens() *bitset.Set { return n.ta }
 
-var _ sim.Protocol = Alg1{}
+// OnRecover implements sim.Recoverer: volatile protocol state — bookkeeping
+// sets, affiliation, repair state — resets; the token set (stable storage)
+// survives the outage. The node re-affiliates and re-uploads exactly like a
+// freshly re-affiliated member (the paper's Remark 1 scenario).
+func (n *alg1Node) OnRecover(int) {
+	n.ts.Clear()
+	n.tr.Clear()
+	n.lastHead = ctvg.NoCluster
+	n.wasRelay = false
+	n.started = false
+	n.sinceHead, n.sinceAnyRelay = 0, 0
+	n.acting = false
+	n.flooding = false
+}
+
+var (
+	_ sim.Protocol  = Alg1{}
+	_ sim.Recoverer = (*alg1Node)(nil)
+)

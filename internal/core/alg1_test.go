@@ -89,7 +89,7 @@ func TestAlg1ScriptedTokenFlow(t *testing.T) {
 			relays++
 		}
 	}}
-	met := sim.RunProtocol(d, p, assign, sim.Options{MaxRounds: 10, StopWhenComplete: true, Observer: obs})
+	met := sim.MustRunProtocol(d, p, assign, sim.Options{MaxRounds: 10, StopWhenComplete: true, Observer: obs})
 	if !met.Complete {
 		t.Fatalf("scripted scenario incomplete: %v", met)
 	}
@@ -124,7 +124,7 @@ func TestAlg1MemberDoesNotReuploadKnownTokens(t *testing.T) {
 			uploads++
 		}
 	}}
-	met := sim.RunProtocol(d, Alg1{T: 6}, assign, sim.Options{MaxRounds: 18, Observer: obs})
+	met := sim.MustRunProtocol(d, Alg1{T: 6}, assign, sim.Options{MaxRounds: 18, Observer: obs})
 	if !met.Complete {
 		t.Fatalf("incomplete: %v", met)
 	}
@@ -157,7 +157,7 @@ func runTheorem1(t *testing.T, seed uint64, cfg adversary.HiNetConfig, k, alpha 
 		t.Fatalf("adversary violates model: %v", err)
 	}
 	assign := token.Spread(cfg.N, k, xrand.New(seed+1000))
-	return sim.RunProtocol(adv, Alg1{T: T, StableHeads: stable}, assign,
+	return sim.MustRunProtocol(adv, Alg1{T: T, StableHeads: stable}, assign,
 		sim.Options{MaxRounds: phases * T, StopWhenComplete: true})
 }
 
@@ -247,7 +247,7 @@ func TestRemark1ReducesMemberUploads(t *testing.T) {
 	run := func(stable bool) *sim.Metrics {
 		adv := adversary.NewHiNet(cfg, xrand.New(42))
 		assign := token.Spread(cfg.N, k, xrand.New(43))
-		return sim.RunProtocol(adv, Alg1{T: T, StableHeads: stable}, assign,
+		return sim.MustRunProtocol(adv, Alg1{T: T, StableHeads: stable}, assign,
 			sim.Options{MaxRounds: phases * T})
 	}
 	plain := run(false)
@@ -266,7 +266,7 @@ func TestAlg1UnaffiliatedNodesSilent(t *testing.T) {
 	h := ctvg.NewHierarchy(3) // everyone unaffiliated
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 	assign := token.SingleSource(3, 1, 0)
-	met := sim.RunProtocol(d, Alg1{T: 4}, assign, sim.Options{MaxRounds: 8})
+	met := sim.MustRunProtocol(d, Alg1{T: 4}, assign, sim.Options{MaxRounds: 8})
 	if met.Messages != 0 {
 		t.Fatalf("unaffiliated nodes transmitted %d messages", met.Messages)
 	}
@@ -291,7 +291,7 @@ func TestAlg1RoleTransitionResetsState(t *testing.T) {
 	// Token 0 starts at node 1.
 	assign := token.SingleSource(2, 1, 1)
 	nodes := Alg1{T: 4}.Nodes(assign)
-	met := sim.Run(d, nodes, assign, sim.Options{MaxRounds: 8})
+	met := sim.MustRun(d, nodes, assign, sim.Options{MaxRounds: 8})
 	if !met.Complete {
 		t.Fatalf("incomplete after role transition: %v", met)
 	}
@@ -318,7 +318,7 @@ func TestAlg1MemberIgnoresForeignHeads(t *testing.T) {
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 	assign := token.SingleSource(3, 1, 1)
 	nodes := Alg1{T: 4}.Nodes(assign)
-	sim.Run(d, nodes, assign, sim.Options{MaxRounds: 8})
+	sim.MustRun(d, nodes, assign, sim.Options{MaxRounds: 8})
 	if nodes[2].Tokens().Contains(0) {
 		t.Fatal("member absorbed a broadcast from a foreign head")
 	}
@@ -339,7 +339,7 @@ func TestAlg1RelayPipelineOrder(t *testing.T) {
 			order = append(order, m.Tokens.Min())
 		}
 	}}
-	sim.RunProtocol(d, Alg1{T: 5}, assign, sim.Options{MaxRounds: 3, Observer: obs})
+	sim.MustRunProtocol(d, Alg1{T: 5}, assign, sim.Options{MaxRounds: 3, Observer: obs})
 	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
 		t.Fatalf("relay order %v, want [0 1 2]", order)
 	}
@@ -359,7 +359,7 @@ func TestAlg1MemberUploadsDescendingOrder(t *testing.T) {
 			order = append(order, m.Tokens.Min())
 		}
 	}}
-	sim.RunProtocol(d, Alg1{T: 8}, assign, sim.Options{MaxRounds: 3, Observer: obs})
+	sim.MustRunProtocol(d, Alg1{T: 8}, assign, sim.Options{MaxRounds: 3, Observer: obs})
 	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
 		t.Fatalf("upload order %v, want [2 1 0]", order)
 	}
@@ -380,7 +380,7 @@ func BenchmarkAlg1Table3Point(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		adv := adversary.NewHiNet(cfg, xrand.New(uint64(i)))
 		assign := token.Spread(cfg.N, k, xrand.New(uint64(i)+1))
-		sim.RunProtocol(adv, Alg1{T: T}, assign, sim.Options{MaxRounds: phases * T})
+		sim.MustRunProtocol(adv, Alg1{T: T}, assign, sim.Options{MaxRounds: phases * T})
 	}
 }
 

@@ -55,7 +55,7 @@ func TestTheorem2CompletionWithinNMinus1(t *testing.T) {
 			t.Fatalf("seed %d: adversary not 1-interval connected", seed)
 		}
 		assign := token.Spread(n, k, xrand.New(seed+500))
-		met := sim.RunProtocol(adv, Alg2{}, assign,
+		met := sim.MustRunProtocol(adv, Alg2{}, assign,
 			sim.Options{MaxRounds: Theorem2Rounds(n), StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: incomplete within n-1 rounds: %v", seed, met)
@@ -74,7 +74,7 @@ func TestTheorem4StyleBoundWithStableHierarchy(t *testing.T) {
 			ChurnEdges:     4,
 		}, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+700))
-		met := sim.RunProtocol(adv, Alg2{}, assign,
+		met := sim.MustRunProtocol(adv, Alg2{}, assign,
 			sim.Options{MaxRounds: Theorem4Rounds(theta, L), StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: incomplete within θL+1 rounds: %v", seed, met)
@@ -101,7 +101,7 @@ func TestAlg2MemberSendsOncePerAffiliation(t *testing.T) {
 			}
 		}
 	}}
-	met := sim.RunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 6, Observer: obs})
+	met := sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 6, Observer: obs})
 	if !met.Complete {
 		t.Fatalf("incomplete: %v", met)
 	}
@@ -134,7 +134,7 @@ func TestAlg2ReuploadOnHeadChange(t *testing.T) {
 			uploadTargets = append(uploadTargets, m.To)
 		}
 	}}
-	sim.RunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 4, Observer: obs})
+	sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 4, Observer: obs})
 	if len(uploadTargets) != 2 || uploadTargets[0] != 0 || uploadTargets[1] != 1 {
 		t.Fatalf("upload targets %v, want [0 1]", uploadTargets)
 	}
@@ -157,7 +157,7 @@ func TestAlg2RelaysBroadcastFullSetEveryRound(t *testing.T) {
 			}
 		}
 	}}
-	sim.RunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 4, Observer: obs})
+	sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 4, Observer: obs})
 	if headBroadcasts != 4 {
 		t.Fatalf("head broadcast %d times in 4 rounds", headBroadcasts)
 	}
@@ -179,7 +179,7 @@ func TestAlg2MemberOverhearsAnyRelay(t *testing.T) {
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 	assign := token.SingleSource(4, 1, 1) // gateway holds the token
 	nodes := Alg2{}.Nodes(assign)
-	sim.Run(d, nodes, assign, sim.Options{MaxRounds: 1})
+	sim.MustRun(d, nodes, assign, sim.Options{MaxRounds: 1})
 	if !nodes[2].Tokens().Contains(0) {
 		t.Fatal("member did not overhear the gateway broadcast")
 	}
@@ -190,7 +190,7 @@ func TestAlg2UnaffiliatedSilent(t *testing.T) {
 	h := ctvg.NewHierarchy(3)
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 	assign := token.SingleSource(3, 1, 0)
-	met := sim.RunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 5})
+	met := sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{MaxRounds: 5})
 	if met.Messages != 0 {
 		t.Fatalf("unaffiliated nodes sent %d messages", met.Messages)
 	}
@@ -206,7 +206,7 @@ func TestAlg2OnMobilityCompletes(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
 		adv := adversary.NewMobility(cfg, xrand.New(seed))
 		assign := token.Spread(cfg.N, 5, xrand.New(seed+99))
-		met := sim.RunProtocol(adv, Alg2{}, assign,
+		met := sim.MustRunProtocol(adv, Alg2{}, assign,
 			sim.Options{MaxRounds: 4 * cfg.N, StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: incomplete on mobility: %v", seed, met)
@@ -220,6 +220,6 @@ func BenchmarkAlg2Table3Point(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		adv := oneLHiNet(uint64(i), n, 30, 2, 10)
 		assign := token.Spread(n, k, xrand.New(uint64(i)+1))
-		sim.RunProtocol(adv, Alg2{}, assign, sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
+		sim.MustRunProtocol(adv, Alg2{}, assign, sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
 	}
 }

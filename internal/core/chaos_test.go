@@ -1,0 +1,135 @@
+package core
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// The chaos soak throws randomized fault plans — i.i.d. loss, bursty loss,
+// duplication, crash-stop, crash-recovery and head-targeted crashes — at
+// the resilient protocols on churning (T, L)-HiNets. It does not demand
+// completion (a random plan may legitimately partition the network
+// forever); it demands that every run TERMINATES with a coherent verdict:
+// complete, stalled with a diagnostic, or out of budget. Every run sets a
+// StallWindow, so the soak can never hang even when the plan kills the
+// whole population.
+//
+// `make chaos` runs a larger campaign via CHAOS_RUNS / CHAOS_SEED; plain
+// `go test` keeps the default small and -short skips it entirely.
+
+func chaosEnv(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func TestChaosRandomFaultPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	runs := chaosEnv("CHAOS_RUNS", 8)
+	seed := uint64(chaosEnv("CHAOS_SEED", 0xC4405))
+	rng := xrand.New(seed)
+	t.Logf("chaos: %d runs, seed %#x", runs, seed)
+
+	for i := 0; i < runs; i++ {
+		n := 20 + rng.Intn(50)
+		k := 1 + rng.Intn(5)
+		L := 1 + rng.Intn(2)
+		maxHeads := (n/2 - 1) / L
+		if maxHeads < 2 {
+			maxHeads = 2
+		}
+		theta := 2 + rng.Intn(maxHeads)
+		alpha := 1 + rng.Intn(3)
+		T := Theorem1T(k, alpha, L)
+		budget := 6 * Theorem1Phases(theta, alpha) * T
+
+		plan := &sim.Faults{Seed: rng.Uint64()}
+		if rng.Prob(0.7) {
+			plan.DropProb = rng.Float64() * 0.2
+		}
+		if rng.Prob(0.4) {
+			plan.Burst = &faults.GilbertElliott{
+				PGoodBad: 0.01 + rng.Float64()*0.1,
+				PBadGood: 0.1 + rng.Float64()*0.5,
+				DropBad:  0.5 + rng.Float64()*0.5,
+			}
+		}
+		if rng.Prob(0.3) {
+			plan.DupProb = rng.Float64() * 0.1
+		}
+		crashes := rng.Intn(1 + n/5)
+		for c := 0; c < crashes; c++ {
+			v := rng.Intn(n)
+			if plan.CrashAt == nil {
+				plan.CrashAt = map[int]int{}
+			}
+			plan.CrashAt[v] = rng.Intn(budget / 2)
+			if rng.Bool() {
+				if plan.RecoverAfter == nil {
+					plan.RecoverAfter = map[int]int{}
+				}
+				plan.RecoverAfter[v] = 1 + rng.Intn(3*T)
+			}
+		}
+		if rng.Prob(0.5) {
+			plan.HeadCrashRounds = []int{rng.Intn(budget / 2)}
+			plan.HeadCrashDowntime = rng.Intn(4 * T)
+		}
+
+		cfg := adversary.HiNetConfig{
+			N: n, Theta: theta, L: L, T: T,
+			Reaffiliations: rng.Intn(4),
+			ChurnEdges:     rng.Intn(8),
+		}
+		advSeed := rng.Uint64()
+		assign := token.Spread(n, k, xrand.New(advSeed+1))
+		var proto sim.Protocol
+		if rng.Bool() {
+			proto = Alg1{T: T, Failover: &Failover{Window: 1 + rng.Intn(2*T)}}
+		} else {
+			cfg.T = 1
+			proto = Alg2{Failover: &Failover{Window: 1 + rng.Intn(2*T)}}
+		}
+		opts := sim.Options{
+			MaxRounds:        budget,
+			StopWhenComplete: true,
+			StallWindow:      4 * T,
+			Workers:          1 + rng.Intn(4),
+			Faults:           plan,
+		}
+
+		met, err := sim.RunProtocol(adversary.NewHiNet(cfg, xrand.New(advSeed)), proto, assign, opts)
+		if err != nil {
+			t.Fatalf("run %d (%+v, plan %+v): %v", i, cfg, plan, err)
+		}
+		// Every run must end in exactly one coherent state.
+		switch {
+		case met.Complete:
+			if met.Stall != nil {
+				t.Fatalf("run %d: complete yet stalled: %v", i, met)
+			}
+		case met.Stall != nil:
+			if met.Rounds > budget {
+				t.Fatalf("run %d: stall fired after the budget: %v", i, met)
+			}
+		case met.Rounds != budget:
+			t.Fatalf("run %d: ended at round %d with no verdict (budget %d): %v",
+				i, met.Rounds, budget, met)
+		}
+		if met.Drops < 0 || met.Dups < 0 || met.Recoveries < 0 {
+			t.Fatalf("run %d: negative fault counters: %v", i, met)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+// Failover configures the self-healing variants of Algorithms 1 and 2.
+//
+// The paper's algorithms trust the hierarchy: a member talks only to its
+// cluster head, so a crashed head silently orphans its whole cluster — the
+// cluster's tokens never reach the backbone and the backbone's tokens never
+// reach the cluster. The clustering layer cannot help: role assignment is
+// part of the (oblivious) network model, which does not observe crashes.
+//
+// Failover repairs this at the protocol level with three mechanisms, each
+// driven only by what a node can hear locally:
+//
+//   - Heartbeats (Algorithm 1 only): a resilient head or gateway with
+//     nothing to relay broadcasts an empty relay message (cost 0 in token
+//     units), so head silence means head failure, never head idleness.
+//     Algorithm 2's relays broadcast their full set every round and need no
+//     separate heartbeat.
+//
+//   - Handover: a member that has heard nothing from its head for Window
+//     rounds — and no other relay either, so there is nobody better placed
+//     to defer to — promotes itself to acting head: it starts relaying
+//     like a head and absorbs uploads stranded on the dead one. The
+//     promotion is reversible: the moment the real head is heard again
+//     (crash-recovery), the acting head stands down and re-opens a normal
+//     member conversation.
+//
+//   - Flood fallback: if head silence persists for FloodAfter rounds the
+//     node abandons the hierarchy and floods its full token set every
+//     round (the KLO baseline the paper degrades to when structure is
+//     gone). Flooding is contagious — hearing a flood switches the hearer
+//     into flooding too — so one desperate region recruits the nodes
+//     around it and completion follows from connectivity alone, at
+//     flooding cost. Algorithm 2's acting heads already broadcast full
+//     sets, so it needs no separate flood state.
+//
+// Both repair actions are reported through View.Note (NoteHandover,
+// NoteFloodFallback) so runs can be audited round by round.
+//
+// In a fault-free execution none of the triggers fire (heads are never
+// silent for Window rounds thanks to heartbeats) and the resilient
+// variants transmit the same token payloads as the originals, plus
+// zero-cost heartbeats.
+type Failover struct {
+	// Window is the number of consecutive silent rounds after which a
+	// member considers its head dead. Must be positive. Downtimes shorter
+	// than Window are absorbed without any repair action.
+	Window int
+	// FloodAfter is the number of consecutive silent rounds after which a
+	// node escalates from handover to flooding; 0 means 3×Window. Values
+	// in (0, Window) are treated as Window: flooding never precedes
+	// detection.
+	FloodAfter int
+}
+
+// window returns the validated detection window.
+func (f *Failover) window() int {
+	if f.Window <= 0 {
+		panic("core: Failover.Window must be positive")
+	}
+	return f.Window
+}
+
+// floodAfter returns the escalation threshold, defaulted and clamped.
+func (f *Failover) floodAfter() int {
+	w := f.window()
+	fa := f.FloodAfter
+	if fa <= 0 {
+		fa = 3 * w
+	}
+	if fa < w {
+		fa = w
+	}
+	return fa
+}

@@ -44,7 +44,7 @@ func TestAlg1OnFormedClusters(t *testing.T) {
 			T := Theorem1T(k, 1, 3)
 			budget := Theorem1Phases(theta, 1) * T
 			assign := token.Spread(n, k, xrand.New(seed+60))
-			met := sim.RunProtocol(d, Alg1{T: T}, assign,
+			met := sim.MustRunProtocol(d, Alg1{T: T}, assign,
 				sim.Options{MaxRounds: budget, StopWhenComplete: true})
 			if !met.Complete {
 				t.Fatalf("rule %v seed %d: incomplete (θ=%d): %v", rule, seed, theta, met)
@@ -64,11 +64,11 @@ func TestAlg1OnFormedClustersBeatsFlooding(t *testing.T) {
 	budget := Theorem1Phases(theta, 1) * T
 	assign := token.Spread(n, k, xrand.New(10))
 
-	alg1 := sim.RunProtocol(d, Alg1{T: T}, assign, sim.Options{MaxRounds: budget})
+	alg1 := sim.MustRunProtocol(d, Alg1{T: T}, assign, sim.Options{MaxRounds: budget})
 	if !alg1.Complete {
 		t.Fatalf("alg1 incomplete: %v", alg1)
 	}
-	flood := sim.RunProtocol(d, baseline.Flood{}, assign, sim.Options{MaxRounds: alg1.Rounds})
+	flood := sim.MustRunProtocol(d, baseline.Flood{}, assign, sim.Options{MaxRounds: alg1.Rounds})
 	if alg1.TokensSent >= flood.TokensSent {
 		t.Fatalf("Alg1 on formed clusters (%d) not cheaper than flooding (%d)",
 			alg1.TokensSent, flood.TokensSent)
@@ -112,7 +112,7 @@ func TestAlg2OnMaintainedClusters(t *testing.T) {
 	}
 	d := ctvg.NewTrace(tvg.NewTrace(snaps), hiers)
 	assign := token.Spread(n, k, xrand.New(22))
-	met := sim.RunProtocol(d, Alg2{}, assign,
+	met := sim.MustRunProtocol(d, Alg2{}, assign,
 		sim.Options{MaxRounds: rounds, StopWhenComplete: true})
 	if !met.Complete {
 		t.Fatalf("Alg2 on maintained clusters incomplete: %v", met)

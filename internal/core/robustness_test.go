@@ -41,7 +41,7 @@ func TestAlg2RelayTokensSurviveLoss(t *testing.T) {
 	d := staticCluster(8)
 	assign := token.SingleSource(8, 2, 0)
 	for seed := uint64(0); seed < 5; seed++ {
-		m := sim.RunProtocol(d, Alg2{}, assign, sim.Options{
+		m := sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{
 			MaxRounds:        300,
 			StopWhenComplete: true,
 			Faults:           &sim.Faults{DropProb: 0.3, Seed: seed},
@@ -62,14 +62,14 @@ func TestAlg2MemberUploadIsTheFragileStep(t *testing.T) {
 	assign := token.SingleSource(n, 1, 3) // member 3 holds the token
 	stranded := 0
 	for seed := uint64(0); seed < 6; seed++ {
-		m := sim.RunProtocol(d, Alg2{}, assign, sim.Options{
+		m := sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{
 			MaxRounds: 400,
 			Faults:    &sim.Faults{DropProb: 0.9, Seed: seed},
 		})
 		if !m.Complete {
 			stranded++
 		}
-		f := sim.RunProtocol(d, baseline.Flood{}, assign, sim.Options{
+		f := sim.MustRunProtocol(d, baseline.Flood{}, assign, sim.Options{
 			MaxRounds:        4000,
 			StopWhenComplete: true,
 			Faults:           &sim.Faults{DropProb: 0.9, Seed: seed},
@@ -92,7 +92,7 @@ func TestAlg1SurvivesModerateLossOnStableHierarchy(t *testing.T) {
 	d := staticCluster(6)
 	assign := token.SingleSource(6, 3, 0)
 	for seed := uint64(0); seed < 5; seed++ {
-		m := sim.RunProtocol(d, Alg1{T: 8}, assign, sim.Options{
+		m := sim.MustRunProtocol(d, Alg1{T: 8}, assign, sim.Options{
 			MaxRounds:        50 * 8,
 			StopWhenComplete: true,
 			Faults:           &sim.Faults{DropProb: 0.2, Seed: seed},
@@ -122,7 +122,7 @@ func TestAlg2SurvivesHeadCrashWithMaintainedClustering(t *testing.T) {
 			break
 		}
 	}
-	m := sim.RunProtocol(adv, Alg2{}, assign, sim.Options{
+	m := sim.MustRunProtocol(adv, Alg2{}, assign, sim.Options{
 		MaxRounds:        29,
 		StopWhenComplete: true,
 		Faults:           &sim.Faults{CrashAt: map[int]int{victim: 3}, Seed: 6},

@@ -47,7 +47,7 @@ func TestSoakRandomConfigurations(t *testing.T) {
 			t.Fatalf("config %d (%+v): model violated: %v", i, cfg, err)
 		}
 		assign := token.Spread(n, k, xrand.New(seed+1))
-		m1 := sim.RunProtocol(adv, Alg1{T: T}, assign,
+		m1 := sim.MustRunProtocol(adv, Alg1{T: T}, assign,
 			sim.Options{MaxRounds: phases * T, StopWhenComplete: true})
 		if !m1.Complete {
 			t.Fatalf("config %d (%+v): Theorem 1 violated: %v", i, cfg, m1)
@@ -59,7 +59,7 @@ func TestSoakRandomConfigurations(t *testing.T) {
 			Reaffiliations: rng.Intn(4),
 			ChurnEdges:     rng.Intn(8),
 		}, xrand.New(seed+2))
-		m2 := sim.RunProtocol(adv2, Alg2{}, assign,
+		m2 := sim.MustRunProtocol(adv2, Alg2{}, assign,
 			sim.Options{MaxRounds: Theorem2Rounds(n), StopWhenComplete: true})
 		if !m2.Complete {
 			t.Fatalf("config %d (%+v): Theorem 2 violated: %v", i, cfg, m2)
@@ -88,7 +88,7 @@ func TestSoakParallelEngineAgreement(t *testing.T) {
 		run := func(workers int) *sim.Metrics {
 			adv := adversary.NewHiNet(cfg, xrand.New(seed))
 			assign := token.Spread(n, k, xrand.New(seed+1))
-			return sim.RunProtocol(adv, Alg1{T: T}, assign,
+			return sim.MustRunProtocol(adv, Alg1{T: T}, assign,
 				sim.Options{MaxRounds: phases * T, Workers: workers})
 		}
 		serial, par := run(1), run(4)

@@ -70,7 +70,7 @@ func TestTheorem3BoundFailsOnChainBackbones(t *testing.T) {
 
 	// Token at the far-end member (node 3(c-1)+2 = 17's cluster).
 	assign := token.SingleSource(n, 1, 3*(c-1)+2)
-	met := sim.RunProtocol(d, Alg2{}, assign, sim.Options{
+	met := sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{
 		MaxRounds: Theorem2Rounds(n), StopWhenComplete: true,
 	})
 	if !met.Complete {
@@ -123,7 +123,7 @@ func TestTheorem3HoldsOnStarBackbones(t *testing.T) {
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 
 	assign := token.SingleSource(n, 1, n-1) // a member's token
-	met := sim.RunProtocol(d, Alg2{}, assign, sim.Options{
+	met := sim.MustRunProtocol(d, Alg2{}, assign, sim.Options{
 		MaxRounds: Theorem2Rounds(n), StopWhenComplete: true,
 	})
 	if !met.Complete {

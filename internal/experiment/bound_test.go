@@ -34,7 +34,7 @@ func TestAnalyticBoundDominatesMeasured(t *testing.T) {
 			Reaffiliations: 4, ChurnEdges: 10,
 		}, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+55))
-		met := sim.RunProtocol(adv, core.Alg1{T: T}, assign,
+		met := sim.MustRunProtocol(adv, core.Alg1{T: T}, assign,
 			sim.Options{MaxRounds: phases * T})
 		if !met.Complete {
 			t.Fatalf("seed %d: incomplete", seed)
@@ -74,14 +74,14 @@ func TestScaleN1000(t *testing.T) {
 		Reaffiliations: 30, ChurnEdges: 100,
 	}, xrand.New(1))
 	assign := token.Spread(n, k, xrand.New(2))
-	alg1 := sim.RunProtocol(adv, core.Alg1{T: T}, assign,
+	alg1 := sim.MustRunProtocol(adv, core.Alg1{T: T}, assign,
 		sim.Options{MaxRounds: phases * T})
 	if !alg1.Complete {
 		t.Fatalf("Alg1 incomplete at n=1000: %v", alg1)
 	}
 
 	flat := sim.NewFlat(adversary.NewTInterval(n, T, 100, xrand.New(1)))
-	klot := sim.RunProtocol(flat, baseline.KLOT{T: T}, assign,
+	klot := sim.MustRunProtocol(flat, baseline.KLOT{T: T}, assign,
 		sim.Options{MaxRounds: baseline.KLOTPhases(n, T, k) * T, StopWhenComplete: true})
 	if !klot.Complete {
 		t.Fatalf("KLOT incomplete at n=1000: %v", klot)

@@ -30,7 +30,7 @@ func measureCurve(name string, d ctvg.Dynamic, p sim.Protocol, assign *token.Ass
 	obs := &sim.Observer{Progress: func(r int, delivered int) {
 		pts = append(pts, float64(delivered)/total)
 	}}
-	sim.RunProtocol(d, p, assign, sim.Options{MaxRounds: rounds, Observer: obs})
+	sim.MustRunProtocol(d, p, assign, sim.Options{MaxRounds: rounds, Observer: obs})
 	return Curve{Name: name, Points: pts}
 }
 

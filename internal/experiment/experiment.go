@@ -59,6 +59,11 @@ type PointConfig struct {
 	// (sim.Options.NoStabilityCache) in every replication — the A/B switch
 	// for verifying the cache changes timings only, never results.
 	NoCache bool
+	// Faults, when non-nil, injects the same fault plan into every
+	// replication of every row, with the plan's seed mixed with the
+	// replication seed so fault randomness varies across seeds like
+	// everything else. Invalid plans fail the point before any row runs.
+	Faults *sim.Faults
 }
 
 // Table3Config is the paper's Table 3 operating point with a default
@@ -117,6 +122,7 @@ type runSpec struct {
 	seeds      int
 	workers    int
 	noCache    bool
+	faults     *sim.Faults
 }
 
 func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
@@ -138,6 +144,13 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			SizeFn:           wire.Size,
 			NoStabilityCache: spec.noCache,
 		}
+		if spec.faults != nil {
+			// Per-replication copy so each seed draws its own fault
+			// randomness; the schedule fields are shared read-only.
+			plan := *spec.faults
+			plan.Seed ^= seed
+			opts.Faults = &plan
+		}
 		var col *obs.Collector
 		var mf *os.File
 		if spec.metricsDir != "" {
@@ -153,7 +166,13 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			})
 			opts.Observer = col.Observer()
 		}
-		met := sim.RunProtocol(d, p, assign, opts)
+		met, err := sim.RunProtocol(d, p, assign, opts)
+		if err != nil {
+			if mf != nil {
+				mf.Close()
+			}
+			return sample{err: err}
+		}
 		if col != nil {
 			err := col.Flush()
 			if cerr := mf.Close(); err == nil {
@@ -231,6 +250,9 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	if cfg.Seeds <= 0 {
 		return nil, fmt.Errorf("experiment: Seeds must be positive")
 	}
+	if err := cfg.Faults.Validate(cfg.P.N0); err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 	if cfg.MetricsDir != "" {
 		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
 			return nil, err
@@ -249,7 +271,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
 	}, analysis.KLOTInterval(p))
 	if err != nil {
 		return nil, err
@@ -270,7 +292,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg1{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
 	if err != nil {
 		return nil, err
@@ -285,7 +307,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
 	}, analysis.KLOOneInterval(p))
 	if err != nil {
 		return nil, err
@@ -306,7 +328,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg2{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
 	if err != nil {
 		return nil, err

@@ -63,7 +63,7 @@ func MobilityCampaign(n, k int, speeds []float64, seeds int) ([]MobilityPoint, e
 			assign := token.Spread(n, k, xrand.New(seed+31))
 
 			adv := adversary.NewMobility(cfg, xrand.New(seed))
-			m2 := sim.RunProtocol(adv, core.Alg2{}, assign,
+			m2 := sim.MustRunProtocol(adv, core.Alg2{}, assign,
 				sim.Options{MaxRounds: horizon, StopWhenComplete: true})
 			rep := hinet.Probe(adv, m2.Rounds)
 
@@ -71,7 +71,7 @@ func MobilityCampaign(n, k int, speeds []float64, seeds int) ([]MobilityPoint, e
 			// adversary satisfies tvg.Dynamic, so NewFlat strips its
 			// hierarchy.
 			fadv := adversary.NewMobility(cfg, xrand.New(seed))
-			mf := sim.RunProtocol(sim.NewFlat(fadv), baseline.Flood{}, assign,
+			mf := sim.MustRunProtocol(sim.NewFlat(fadv), baseline.Flood{}, assign,
 				sim.Options{MaxRounds: horizon, StopWhenComplete: true})
 
 			s := sample{

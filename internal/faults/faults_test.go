@@ -1,0 +1,279 @@
+package faults
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilAndInactivePlans(t *testing.T) {
+	var p *Plan
+	if p.Active() || p.Lossy() {
+		t.Fatal("nil plan reports active")
+	}
+	if err := p.Validate(10); err != nil {
+		t.Fatalf("nil plan invalid: %v", err)
+	}
+	in, err := New(p, 10)
+	if err != nil || in != nil {
+		t.Fatalf("New(nil) = %v, %v; want nil, nil", in, err)
+	}
+	if in.Drop(3, 1, 2) || in.Duplicate(3, 1, 2) || in.Lossy() || in.Duplicating() {
+		t.Fatal("nil injector injects")
+	}
+	if cs := in.Crashes(); cs != nil {
+		t.Fatalf("nil injector has crashes: %v", cs)
+	}
+	if kill, _ := in.HeadCrash(5); kill {
+		t.Fatal("nil injector kills heads")
+	}
+
+	zero := &Plan{Seed: 7}
+	if zero.Active() {
+		t.Fatal("zero plan reports active")
+	}
+	in, err = New(zero, 10)
+	if err != nil || in != nil {
+		t.Fatalf("New(zero) = %v, %v; want nil, nil", in, err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error
+	}{
+		{"drop prob", Plan{DropProb: 1.5}, "DropProb"},
+		{"negative drop", Plan{DropProb: -0.1}, "DropProb"},
+		{"dup prob", Plan{DupProb: 2}, "DupProb"},
+		{"crash node high", Plan{CrashAt: map[int]int{10: 3}}, "node 10"},
+		{"crash node negative", Plan{CrashAt: map[int]int{-1: 3}}, "node -1"},
+		{"crash round negative", Plan{CrashAt: map[int]int{2: -4}}, "CrashAt[2]"},
+		{"recover orphan", Plan{RecoverAfter: map[int]int{5: 2}}, "no CrashAt"},
+		{"recover zero", Plan{CrashAt: map[int]int{5: 1}, RecoverAfter: map[int]int{5: 0}}, "RecoverAfter[5]"},
+		{"head round negative", Plan{HeadCrashRounds: []int{4, -1}}, "negative round"},
+		{"head round dup", Plan{HeadCrashRounds: []int{4, 4}}, "twice"},
+		{"head downtime", Plan{HeadCrashRounds: []int{4}, HeadCrashDowntime: -2}, "HeadCrashDowntime"},
+		{"burst prob", Plan{Burst: &GilbertElliott{PGoodBad: 1.2}}, "Burst.PGoodBad"},
+		{"burst black hole", Plan{Burst: &GilbertElliott{PGoodBad: 0.1, PBadGood: 0, DropBad: 1}}, "black hole"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(10)
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.plan)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := New(&tc.plan, 10); err == nil {
+				t.Fatal("New accepted invalid plan")
+			}
+		})
+	}
+}
+
+func TestCrashesSortedAndCompiled(t *testing.T) {
+	p := &Plan{
+		CrashAt:      map[int]int{7: 3, 2: 10, 5: 0},
+		RecoverAfter: map[int]int{5: 4},
+	}
+	in, err := New(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Crashes()
+	want := []Crash{
+		{Node: 2, At: 10, RecoverAt: NoRecovery},
+		{Node: 5, At: 0, RecoverAt: 4},
+		{Node: 7, At: 3, RecoverAt: NoRecovery},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Crashes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Crashes()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeadCrashSchedule(t *testing.T) {
+	in, err := New(&Plan{HeadCrashRounds: []int{5, 12}, HeadCrashDowntime: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kill, rec := in.HeadCrash(5); !kill || rec != 8 {
+		t.Fatalf("HeadCrash(5) = %v, %d; want true, 8", kill, rec)
+	}
+	if kill, _ := in.HeadCrash(6); kill {
+		t.Fatal("HeadCrash(6) fired off-schedule")
+	}
+	stop, err := New(&Plan{HeadCrashRounds: []int{5}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kill, rec := stop.HeadCrash(5); !kill || rec != NoRecovery {
+		t.Fatalf("crash-stop HeadCrash(5) = %v, %d; want true, NoRecovery", kill, rec)
+	}
+}
+
+// TestDropDeterministicAcrossInjectors is the core parallel-safety
+// property: every (round, src, dst) decision is a pure function of the
+// plan, independent of query order, of other queries, and of which
+// injector instance answers.
+func TestDropDeterministicAcrossInjectors(t *testing.T) {
+	plan := &Plan{
+		Seed:     42,
+		DropProb: 0.2,
+		DupProb:  0.1,
+		Burst:    &GilbertElliott{PGoodBad: 0.1, PBadGood: 0.4, DropBad: 0.9},
+	}
+	const n, rounds = 16, 40
+
+	// Reference: query every link every round, in order.
+	ref, err := New(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := make(map[[3]int]bool)
+	dups := make(map[[3]int]bool)
+	for r := 0; r < rounds; r++ {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				drops[[3]int{r, src, dst}] = ref.Drop(r, src, dst)
+				dups[[3]int{r, src, dst}] = ref.Duplicate(r, src, dst)
+			}
+		}
+	}
+
+	// Sparse injector: query only a scattered subset, still per-link
+	// non-decreasing rounds. Skipped queries must not shift outcomes.
+	sparse, err := New(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r += 7 {
+		for src := n - 1; src >= 0; src -= 3 {
+			for dst := 0; dst < n; dst += 2 {
+				key := [3]int{r, src, dst}
+				if got := sparse.Drop(r, src, dst); got != drops[key] {
+					t.Fatalf("sparse Drop%v = %v, reference %v", key, got, drops[key])
+				}
+				if got := sparse.Duplicate(r, src, dst); got != dups[key] {
+					t.Fatalf("sparse Duplicate%v = %v, reference %v", key, got, dups[key])
+				}
+			}
+		}
+	}
+
+	// Concurrent injector: receivers partitioned across goroutines, as the
+	// engine shards them. Run with -race to check the ownership contract.
+	conc, err := New(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for dst := 0; dst < n; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for src := 0; src < n; src++ {
+					key := [3]int{r, src, dst}
+					if got := conc.Drop(r, src, dst); got != drops[key] {
+						errs <- "concurrent Drop mismatch"
+						return
+					}
+				}
+			}
+		}(dst)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestDropRates sanity-checks the statistics: empirical i.i.d. loss near
+// DropProb, Gilbert–Elliott loss near its stationary rate, and burst
+// (consecutive-loss) runs materially longer than i.i.d. at the same rate.
+func TestDropRates(t *testing.T) {
+	const n, rounds = 32, 400
+	total := float64(n * n * rounds)
+
+	count := func(p *Plan) (lost int, maxRun int) {
+		in, err := New(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				run := 0
+				for r := 0; r < rounds; r++ {
+					if in.Drop(r, src, dst) {
+						lost++
+						run++
+						if run > maxRun {
+							maxRun = run
+						}
+					} else {
+						run = 0
+					}
+				}
+			}
+		}
+		return lost, maxRun
+	}
+
+	iid, _ := count(&Plan{Seed: 1, DropProb: 0.05})
+	if rate := float64(iid) / total; rate < 0.04 || rate > 0.06 {
+		t.Fatalf("i.i.d. loss rate %.4f, want ≈ 0.05", rate)
+	}
+
+	// Stationary loss: DropBad · PGB/(PGB+PBG) = 0.9 · 0.02/0.22 ≈ 0.0818.
+	ge := &Plan{Seed: 1, Burst: &GilbertElliott{PGoodBad: 0.02, PBadGood: 0.2, DropBad: 0.9}}
+	burstLost, burstRun := count(ge)
+	if rate := float64(burstLost) / total; rate < 0.06 || rate > 0.10 {
+		t.Fatalf("burst loss rate %.4f, want ≈ 0.082", rate)
+	}
+	// Mean bad-state dwell is 1/PBadGood = 5 rounds at DropBad = 0.9, so
+	// long loss runs must appear; i.i.d. at 8% has vanishing probability of
+	// an 8-run (0.08^8 over ~4e5 trials ≈ 7e-4 expected occurrences).
+	if burstRun < 8 {
+		t.Fatalf("longest burst run %d, want ≥ 8 (losses are not bursty)", burstRun)
+	}
+	iid8, iidRun := count(&Plan{Seed: 1, DropProb: 0.082})
+	_ = iid8
+	if iidRun >= burstRun {
+		t.Fatalf("i.i.d. max run %d ≥ burst max run %d; burst model adds no clustering", iidRun, burstRun)
+	}
+}
+
+func TestSeedDecorrelates(t *testing.T) {
+	const n, rounds = 8, 50
+	a, err := New(&Plan{Seed: 1, DropProb: 0.3}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(&Plan{Seed: 2, DropProb: 0.3}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < rounds && same; r++ {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if a.Drop(r, src, dst) != b.Drop(r, src, dst) {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical drop patterns")
+	}
+}

@@ -1,0 +1,123 @@
+// Gilbert–Elliott bursty link loss.
+//
+// Each directed link (src → dst) carries an independent two-state Markov
+// channel: in the Good state deliveries are lost with probability DropGood
+// (usually 0), in the Bad state with probability DropBad (usually near 1).
+// The chain moves Good → Bad with probability PGoodBad and Bad → Good with
+// probability PBadGood once per round, so losses cluster into bursts whose
+// mean length is 1/PBadGood rounds — the interference pattern i.i.d.
+// dropping cannot produce.
+//
+// Determinism: the chain's trajectory is a pure function of the run seed
+// and the link. Every transition at round r draws xrand.Hash(seed, r, link,
+// tag) — no draw depends on whether, when, or from which goroutine the link
+// was queried. The memo below only caches the trajectory's suffix position
+// so repeated queries don't replay history; it never influences outcomes.
+
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// GilbertElliott parameterises the two-state burst-loss channel applied
+// independently to every directed link.
+type GilbertElliott struct {
+	// PGoodBad and PBadGood are the per-round transition probabilities
+	// Good→Bad and Bad→Good. Mean burst length is 1/PBadGood rounds;
+	// stationary loss ≈ DropBad · PGoodBad / (PGoodBad + PBadGood).
+	PGoodBad, PBadGood float64
+	// DropGood and DropBad are the per-delivery loss probabilities in each
+	// state. The classic Gilbert model is DropGood = 0, DropBad = 1.
+	DropGood, DropBad float64
+}
+
+func (g *GilbertElliott) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Burst.PGoodBad", g.PGoodBad},
+		{"Burst.PBadGood", g.PBadGood},
+		{"Burst.DropGood", g.DropGood},
+		{"Burst.DropBad", g.DropBad},
+	} {
+		if err := prob(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if g.PGoodBad > 0 && g.PBadGood == 0 && g.DropBad >= 1 {
+		return fmt.Errorf("faults: Burst.PBadGood = 0 with DropBad = 1 makes every link eventually a permanent black hole; set PBadGood > 0 (or lower DropBad)")
+	}
+	return nil
+}
+
+// Draw tags for the three hash streams a link consumes each round.
+const (
+	burstInit uint64 = iota // stationary draw for the round-0 state
+	burstStep               // per-round transition draw
+	burstLoss               // per-delivery loss draw
+)
+
+// linkMemo caches where a link's trajectory has been advanced to.
+type linkMemo struct {
+	round int  // last round the state was computed for
+	bad   bool // state at that round
+}
+
+// burstState holds the per-link memos, partitioned by receiver so each
+// engine shard touches only the maps of the receivers it owns (the
+// sharding contract documented on Injector).
+type burstState struct {
+	g     GilbertElliott
+	n     uint64
+	byDst []map[int]linkMemo // indexed by dst, keyed by src
+}
+
+func newBurstState(g GilbertElliott, n int) *burstState {
+	return &burstState{g: g, n: uint64(n), byDst: make([]map[int]linkMemo, n)}
+}
+
+// drop advances link (src → dst) to round r and reports whether the
+// delivery is lost. seed already carries the burst stream tag. Queries for
+// one link must arrive at non-decreasing rounds (the engine's round loop
+// guarantees this); the result is still a pure function of (seed, r, link).
+func (b *burstState) drop(seed uint64, r, src, dst int) bool {
+	link := uint64(src)*b.n + uint64(dst)
+	m := b.byDst[dst]
+	if m == nil {
+		m = make(map[int]linkMemo)
+		b.byDst[dst] = m
+	}
+	memo, ok := m[src]
+	if !ok {
+		// Round-0 state from the chain's stationary distribution, so early
+		// rounds are statistically indistinguishable from late ones.
+		piBad := 0.0
+		if s := b.g.PGoodBad + b.g.PBadGood; s > 0 {
+			piBad = b.g.PGoodBad / s
+		}
+		memo = linkMemo{round: 0, bad: xrand.HashFloat64(seed, 0, link, burstInit) < piBad}
+	}
+	// Replay the un-queried suffix of the trajectory. Each step is a pure
+	// draw keyed by its own round, so a link queried at rounds 3 and 40
+	// lands in exactly the state it would have reached queried every round.
+	for memo.round < r {
+		memo.round++
+		p := b.g.PGoodBad
+		if memo.bad {
+			p = b.g.PBadGood
+		}
+		if xrand.HashFloat64(seed, uint64(memo.round), link, burstStep) < p {
+			memo.bad = !memo.bad
+		}
+	}
+	m[src] = memo
+	lossP := b.g.DropGood
+	if memo.bad {
+		lossP = b.g.DropBad
+	}
+	return lossP > 0 && xrand.HashFloat64(seed, uint64(r), link, burstLoss) < lossP
+}

@@ -27,7 +27,7 @@ func TestPushCompletesOnCompleteGraph(t *testing.T) {
 	d := sim.NewFlat(tvg.Static{G: graph.Complete(n)})
 	for seed := uint64(0); seed < 5; seed++ {
 		assign := token.SingleSource(n, 1, 0)
-		met := sim.RunProtocol(d, Push{Seed: seed}, assign,
+		met := sim.MustRunProtocol(d, Push{Seed: seed}, assign,
 			sim.Options{MaxRounds: 60, StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: push gossip incomplete on K_n: %v", seed, met)
@@ -45,9 +45,9 @@ func TestPushPullFasterOrEqualOnAverage(t *testing.T) {
 	var push, pushpull int
 	for seed := uint64(0); seed < seeds; seed++ {
 		assign := token.Spread(n, k, xrand.New(seed+40))
-		mp := sim.RunProtocol(d, Push{Seed: seed}, assign,
+		mp := sim.MustRunProtocol(d, Push{Seed: seed}, assign,
 			sim.Options{MaxRounds: 200, StopWhenComplete: true})
-		mpp := sim.RunProtocol(d, PushPull{Seed: seed}, assign,
+		mpp := sim.MustRunProtocol(d, PushPull{Seed: seed}, assign,
 			sim.Options{MaxRounds: 200, StopWhenComplete: true})
 		if !mp.Complete || !mpp.Complete {
 			t.Fatalf("seed %d incomplete", seed)
@@ -68,7 +68,7 @@ func TestGossipOnlyAddresseeAbsorbs(t *testing.T) {
 	d := sim.NewFlat(tvg.Static{G: g})
 	assign := token.SingleSource(3, 1, 1)
 	nodes := Push{Seed: 7}.Nodes(assign)
-	sim.Run(d, nodes, assign, sim.Options{MaxRounds: 1})
+	sim.MustRun(d, nodes, assign, sim.Options{MaxRounds: 1})
 	got0 := nodes[0].Tokens().Contains(0)
 	got2 := nodes[2].Tokens().Contains(0)
 	if got0 == got2 {
@@ -90,7 +90,7 @@ func TestPushPullRepliesToPusher(t *testing.T) {
 			round1Target = m.To
 		}
 	}}
-	sim.RunProtocol(d, PushPull{Seed: 5}, assign,
+	sim.MustRunProtocol(d, PushPull{Seed: 5}, assign,
 		sim.Options{MaxRounds: 2, Observer: obs})
 	if round1Target != 1 {
 		t.Fatalf("center replied to %d, want pusher 1", round1Target)
@@ -104,7 +104,7 @@ func TestGossipSurvivesDynamicGraphs(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
 		adv := adversary.NewOneInterval(n, 3*n, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+9))
-		met := sim.RunProtocol(sim.NewFlat(adv), PushPull{Seed: seed}, assign,
+		met := sim.MustRunProtocol(sim.NewFlat(adv), PushPull{Seed: seed}, assign,
 			sim.Options{MaxRounds: 40 * n, StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: gossip incomplete within 40n rounds: %v", seed, met)
@@ -116,7 +116,7 @@ func TestGossipIsolatedNodeSilent(t *testing.T) {
 	g := graph.New(2) // no edges
 	d := sim.NewFlat(tvg.Static{G: g})
 	assign := token.SingleSource(2, 1, 0)
-	met := sim.RunProtocol(d, Push{Seed: 1}, assign, sim.Options{MaxRounds: 5})
+	met := sim.MustRunProtocol(d, Push{Seed: 1}, assign, sim.Options{MaxRounds: 5})
 	if met.Messages != 0 {
 		t.Fatalf("isolated nodes pushed %d messages", met.Messages)
 	}
@@ -127,7 +127,7 @@ func TestGossipDeterministicWithSeed(t *testing.T) {
 	run := func() *sim.Metrics {
 		adv := adversary.NewOneInterval(n, 2*n, xrand.New(4))
 		assign := token.Spread(n, k, xrand.New(5))
-		return sim.RunProtocol(sim.NewFlat(adv), Push{Seed: 11}, assign,
+		return sim.MustRunProtocol(sim.NewFlat(adv), Push{Seed: 11}, assign,
 			sim.Options{MaxRounds: 300, StopWhenComplete: true})
 	}
 	a, b := run(), run()
@@ -141,7 +141,7 @@ func BenchmarkPushGossip(b *testing.B) {
 	d := sim.NewFlat(tvg.Static{G: graph.Complete(n)})
 	for i := 0; i < b.N; i++ {
 		assign := token.Spread(n, k, xrand.New(uint64(i)))
-		sim.RunProtocol(d, Push{Seed: uint64(i)}, assign,
+		sim.MustRunProtocol(d, Push{Seed: uint64(i)}, assign,
 			sim.Options{MaxRounds: 300, StopWhenComplete: true})
 	}
 }

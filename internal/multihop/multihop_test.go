@@ -178,7 +178,7 @@ func TestAlg1CompletesOnMultiHopClusters(t *testing.T) {
 			T := k + (2*d + 1) + d
 			budget := (len(h.Heads) + 2) * T
 			assign := token.Spread(n, k, xrand.New(seed+50))
-			met := sim.RunProtocol(nw, core.Alg1{T: T}, assign,
+			met := sim.MustRunProtocol(nw, core.Alg1{T: T}, assign,
 				sim.Options{MaxRounds: budget, StopWhenComplete: true})
 			if !met.Complete {
 				t.Fatalf("d=%d seed=%d: incomplete: %v", d, seed, met)
@@ -196,7 +196,7 @@ func TestAlg2CompletesOnMultiHopClusters(t *testing.T) {
 		t.Fatal(err)
 	}
 	assign := token.Spread(n, k, xrand.New(10))
-	met := sim.RunProtocol(nw, core.Alg2{}, assign,
+	met := sim.MustRunProtocol(nw, core.Alg2{}, assign,
 		sim.Options{MaxRounds: 2 * n, StopWhenComplete: true})
 	if !met.Complete {
 		t.Fatalf("Alg2 incomplete: %v", met)
@@ -215,12 +215,12 @@ func TestMultiHopCheaperThanFlooding(t *testing.T) {
 	}
 	assign := token.Spread(n, k, xrand.New(5))
 	T := k + (2*2 + 1) + 2
-	alg1 := sim.RunProtocol(nw, core.Alg1{T: T}, assign,
+	alg1 := sim.MustRunProtocol(nw, core.Alg1{T: T}, assign,
 		sim.Options{MaxRounds: (len(h.Heads) + 2) * T})
 	if !alg1.Complete {
 		t.Fatalf("alg1 incomplete: %v", alg1)
 	}
-	flood := sim.RunProtocol(nw, baseline.Flood{}, assign,
+	flood := sim.MustRunProtocol(nw, baseline.Flood{}, assign,
 		sim.Options{MaxRounds: alg1.Rounds})
 	if alg1.TokensSent >= flood.TokensSent {
 		t.Fatalf("multi-hop Alg1 (%d) not cheaper than flooding (%d)",

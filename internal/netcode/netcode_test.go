@@ -156,7 +156,7 @@ func TestCodedFloodCompletesOnStaticAndDynamic(t *testing.T) {
 	for seed := uint64(0); seed < 5; seed++ {
 		adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 		assign := token.Spread(n, k, xrand.New(seed+10))
-		met := sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: seed}, assign,
+		met := sim.MustRunProtocol(sim.NewFlat(adv), CodedFlood{Seed: seed}, assign,
 			sim.Options{MaxRounds: 4 * (n + k), StopWhenComplete: true})
 		if !met.Complete {
 			t.Fatalf("seed %d: coded flood incomplete: %v", seed, met)
@@ -170,13 +170,13 @@ func TestCodedFloodCostBelowFloodAtLargeK(t *testing.T) {
 	const n, k = 25, 32
 	adv1 := adversary.NewOneInterval(n, 0, xrand.New(3))
 	assign := token.Random(n, k, xrand.New(4))
-	coded := sim.RunProtocol(sim.NewFlat(adv1), CodedFlood{Seed: 9}, assign,
+	coded := sim.MustRunProtocol(sim.NewFlat(adv1), CodedFlood{Seed: 9}, assign,
 		sim.Options{MaxRounds: 6 * (n + k), StopWhenComplete: true})
 	if !coded.Complete {
 		t.Fatalf("coded incomplete: %v", coded)
 	}
 	adv2 := adversary.NewOneInterval(n, 0, xrand.New(3))
-	flood := sim.RunProtocol(sim.NewFlat(adv2), baseline.Flood{}, assign,
+	flood := sim.MustRunProtocol(sim.NewFlat(adv2), baseline.Flood{}, assign,
 		sim.Options{MaxRounds: n - 1, StopWhenComplete: true})
 	if !flood.Complete {
 		t.Fatalf("flood incomplete: %v", flood)
@@ -199,7 +199,7 @@ func TestCodedPacketsChargedOneUnit(t *testing.T) {
 			t.Fatalf("coded packet charged %d", m.Cost())
 		}
 	}}
-	met := sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: 1}, assign,
+	met := sim.MustRunProtocol(sim.NewFlat(adv), CodedFlood{Seed: 1}, assign,
 		sim.Options{MaxRounds: 30, Observer: obs})
 	if met.TokensSent != met.Messages {
 		t.Fatalf("unit accounting broken: %d tokens, %d messages", met.TokensSent, met.Messages)
@@ -214,7 +214,7 @@ func TestCodedFloodDeterministicWithSeed(t *testing.T) {
 	run := func() *sim.Metrics {
 		adv := adversary.NewOneInterval(n, 0, xrand.New(2))
 		assign := token.Spread(n, k, xrand.New(3))
-		return sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: 11}, assign,
+		return sim.MustRunProtocol(sim.NewFlat(adv), CodedFlood{Seed: 11}, assign,
 			sim.Options{MaxRounds: 60, StopWhenComplete: true})
 	}
 	a, b := run(), run()
@@ -242,7 +242,7 @@ func BenchmarkCodedFlood(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		adv := adversary.NewOneInterval(n, 0, xrand.New(uint64(i)))
 		assign := token.Spread(n, k, xrand.New(uint64(i)+1))
-		sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: uint64(i)}, assign,
+		sim.MustRunProtocol(sim.NewFlat(adv), CodedFlood{Seed: uint64(i)}, assign,
 			sim.Options{MaxRounds: 4 * (n + k), StopWhenComplete: true})
 	}
 }

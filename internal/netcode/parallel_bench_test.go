@@ -18,7 +18,7 @@ func benchCoded(b *testing.B, workers int) {
 	assign := token.Random(n, k, xrand.New(2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.RunProtocol(sim.NewFlat(adv), CodedFlood{Seed: uint64(i)}, assign,
+		sim.MustRunProtocol(sim.NewFlat(adv), CodedFlood{Seed: uint64(i)}, assign,
 			sim.Options{MaxRounds: 25, Workers: workers})
 	}
 }

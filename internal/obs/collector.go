@@ -40,6 +40,12 @@ type regInstruments struct {
 	tokens       *Counter
 	bytes        *Counter
 	crashes      *Counter
+	recoveries   *Counter
+	drops        *Counter
+	dups         *Counter
+	handovers    *Counter
+	floodFalls   *Counter
+	stalledRuns  *Counter
 	msgsKind     [sim.NumKinds]*Counter
 	tokensKind   [sim.NumKinds]*Counter
 	msgsRole     [sim.NumRoles]*Counter
@@ -61,6 +67,12 @@ func newRegInstruments(r *Registry) *regInstruments {
 		tokens:       r.Counter("sim_tokens_total", "communication cost in token units"),
 		bytes:        r.Counter("sim_bytes_total", "wire-level cost in bytes"),
 		crashes:      r.Counter("sim_crashes_total", "nodes felled by fault injection"),
+		recoveries:   r.Counter("sim_recoveries_total", "crashed nodes that rejoined"),
+		drops:        r.Counter("sim_drops_total", "deliveries suppressed by link fault injection"),
+		dups:         r.Counter("sim_dups_total", "deliveries duplicated by link fault injection"),
+		handovers:    r.Counter("sim_handovers_total", "members self-promoted to acting cluster head"),
+		floodFalls:   r.Counter("sim_flood_fallbacks_total", "nodes escalated to blind flooding"),
+		stalledRuns:  r.Counter("sim_stalled_runs_total", "runs terminated by the stall watchdog"),
 		headChanges:  r.Counter("sim_head_changes_total", "nodes whose head-ness flipped between rounds"),
 		reaffil:      r.Counter("sim_reaffiliations_total", "members that switched clusters between rounds"),
 		gatewayFlips: r.Counter("sim_gateway_flips_total", "nodes entering or leaving gateway duty"),
@@ -135,6 +147,10 @@ func (c *Collector) Observer() *sim.Observer {
 		Sent:       c.sent,
 		Progress:   c.progress,
 		Crashed:    c.crashed,
+		Recovered:  c.recovered,
+		Noted:      c.noted,
+		LinkFaults: c.linkFaults,
+		Stalled:    c.stalled,
 	}
 }
 
@@ -149,8 +165,9 @@ func (c *Collector) ensure(r int) {
 		c.finalize()
 	}
 	c.started = true
-	crashed := c.cur.Crashed[:0] // reuse the slice across rounds
-	c.cur = RoundEvent{Round: r, Total: c.cfg.N * c.cfg.K, Crashed: crashed}
+	crashed := c.cur.Crashed[:0] // reuse the slices across rounds
+	recovered := c.cur.Recovered[:0]
+	c.cur = RoundEvent{Round: r, Total: c.cfg.N * c.cfg.K, Crashed: crashed, Recovered: recovered}
 	if c.cfg.PhaseLen > 0 {
 		c.cur.Phase = r / c.cfg.PhaseLen
 	}
@@ -227,6 +244,32 @@ func (c *Collector) crashed(r, v int) {
 	c.cur.Crashed = append(c.cur.Crashed, v)
 }
 
+func (c *Collector) recovered(r, v int) {
+	c.ensure(r)
+	c.cur.Recovered = append(c.cur.Recovered, v)
+}
+
+func (c *Collector) noted(r, v int, kind sim.NoteKind) {
+	c.ensure(r)
+	switch kind {
+	case sim.NoteHandover:
+		c.cur.Handovers++
+	case sim.NoteFloodFallback:
+		c.cur.FloodFallbacks++
+	}
+}
+
+func (c *Collector) linkFaults(r, drops, dups int) {
+	c.ensure(r)
+	c.cur.Drops += int64(drops)
+	c.cur.Dups += int64(dups)
+}
+
+func (c *Collector) stalled(r int, rep *sim.StallReport) {
+	c.ensure(r)
+	c.cur.Stalled = true
+}
+
 // finalize closes the current round: derives idle/stall, emits JSONL,
 // updates the registry, and retains the event when configured.
 func (c *Collector) finalize() {
@@ -254,6 +297,14 @@ func (c *Collector) finalize() {
 		ri.tokens.Add(e.Tokens)
 		ri.bytes.Add(e.Bytes)
 		ri.crashes.Add(int64(len(e.Crashed)))
+		ri.recoveries.Add(int64(len(e.Recovered)))
+		ri.drops.Add(e.Drops)
+		ri.dups.Add(e.Dups)
+		ri.handovers.Add(int64(e.Handovers))
+		ri.floodFalls.Add(int64(e.FloodFallbacks))
+		if e.Stalled {
+			ri.stalledRuns.Inc()
+		}
 		for i := range ri.msgsKind {
 			ri.msgsKind[i].Add(e.MsgsByKind[i])
 			ri.tokensKind[i].Add(e.TokensByKind[i])
@@ -273,6 +324,7 @@ func (c *Collector) finalize() {
 	if c.cfg.Keep {
 		ev := *e
 		ev.Crashed = append([]int(nil), e.Crashed...)
+		ev.Recovered = append([]int(nil), e.Recovered...)
 		c.events = append(c.events, ev)
 	}
 }
@@ -353,6 +405,42 @@ func Combine(list ...*sim.Observer) *sim.Observer {
 					prev(r, v)
 				}
 				o.Crashed(r, v)
+			}
+		}
+		if o.Recovered != nil {
+			prev := out.Recovered
+			out.Recovered = func(r, v int) {
+				if prev != nil {
+					prev(r, v)
+				}
+				o.Recovered(r, v)
+			}
+		}
+		if o.Noted != nil {
+			prev := out.Noted
+			out.Noted = func(r, v int, kind sim.NoteKind) {
+				if prev != nil {
+					prev(r, v, kind)
+				}
+				o.Noted(r, v, kind)
+			}
+		}
+		if o.LinkFaults != nil {
+			prev := out.LinkFaults
+			out.LinkFaults = func(r, drops, dups int) {
+				if prev != nil {
+					prev(r, drops, dups)
+				}
+				o.LinkFaults(r, drops, dups)
+			}
+		}
+		if o.Stalled != nil {
+			prev := out.Stalled
+			out.Stalled = func(r int, rep *sim.StallReport) {
+				if prev != nil {
+					prev(r, rep)
+				}
+				o.Stalled(r, rep)
 			}
 		}
 	}

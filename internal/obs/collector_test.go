@@ -35,7 +35,7 @@ func runCollected(t testing.TB, tr *ctvg.Trace, k, T, workers int, reg *Registry
 		N: tr.N(), K: k, PhaseLen: T,
 		Sink: &sink, SizeFn: wire.Size, Registry: reg, Keep: true,
 	})
-	met := sim.RunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+	met := sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
 		MaxRounds: tr.Len(),
 		Observer:  col.Observer(),
 		SizeFn:    wire.Size,
@@ -194,7 +194,7 @@ func TestCollectorCrashEvents(t *testing.T) {
 	assign := token.Spread(16, 3, xrand.New(1))
 	reg := NewRegistry()
 	col := NewCollector(Config{N: 16, K: 3, PhaseLen: 5, Registry: reg, Keep: true})
-	sim.RunProtocol(tr, core.Alg1{T: 5}, assign, sim.Options{
+	sim.MustRunProtocol(tr, core.Alg1{T: 5}, assign, sim.Options{
 		MaxRounds: 10,
 		Observer:  col.Observer(),
 		Faults:    &sim.Faults{CrashAt: map[int]int{5: 2, 3: 2, 9: 0}},

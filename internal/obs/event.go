@@ -51,6 +51,22 @@ type RoundEvent struct {
 	GatewayFlips   int
 	// Crashed lists nodes felled by fault injection this round, ascending.
 	Crashed []int
+	// Recovered lists crashed nodes that rejoined this round, ascending.
+	// Rejoining nodes keep their token sets (stable storage) but restart
+	// with reset volatile protocol state.
+	Recovered []int
+	// Drops and Dups count deliveries suppressed / duplicated by link
+	// fault injection this round.
+	Drops int64
+	Dups  int64
+	// Handovers counts members that promoted themselves to acting cluster
+	// head this round (failover protocols only); FloodFallbacks counts
+	// nodes that escalated to blind flooding.
+	Handovers      int
+	FloodFallbacks int
+	// Stalled marks the round on which the engine's stall watchdog
+	// terminated the run (at most one event per run has it set).
+	Stalled bool
 }
 
 // ProgressRatio returns Delivered/Total in [0, 1] (0 when Total is 0).
@@ -128,7 +144,24 @@ func (e *RoundEvent) AppendJSON(buf []byte) []byte {
 		}
 		b = strconv.AppendInt(b, int64(v), 10)
 	}
-	b = append(b, ']', '}')
+	b = append(b, `],"recovered":[`...)
+	for i, v := range e.Recovered {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, `],"drops":`...)
+	b = strconv.AppendInt(b, e.Drops, 10)
+	b = append(b, `,"dups":`...)
+	b = strconv.AppendInt(b, e.Dups, 10)
+	b = append(b, `,"handover":`...)
+	b = strconv.AppendInt(b, int64(e.Handovers), 10)
+	b = append(b, `,"flood_fallback":`...)
+	b = strconv.AppendInt(b, int64(e.FloodFallbacks), 10)
+	b = append(b, `,"stalled":`...)
+	b = strconv.AppendBool(b, e.Stalled)
+	b = append(b, '}')
 	return b
 }
 
@@ -152,6 +185,12 @@ type eventJSON struct {
 	Reaffiliations int              `json:"reaffiliations"`
 	GatewayFlips   int              `json:"gateway_flips"`
 	Crashed        []int            `json:"crashed"`
+	Recovered      []int            `json:"recovered"`
+	Drops          int64            `json:"drops"`
+	Dups           int64            `json:"dups"`
+	Handovers      int              `json:"handover"`
+	FloodFallbacks int              `json:"flood_fallback"`
+	Stalled        bool             `json:"stalled"`
 }
 
 func fillCounts(dst *[4]int64, names *[4]string, src map[string]int64) {
@@ -184,6 +223,12 @@ func ParseEvents(r io.Reader) ([]RoundEvent, error) {
 			Reaffiliations: ej.Reaffiliations,
 			GatewayFlips:   ej.GatewayFlips,
 			Crashed:        ej.Crashed,
+			Recovered:      ej.Recovered,
+			Drops:          ej.Drops,
+			Dups:           ej.Dups,
+			Handovers:      ej.Handovers,
+			FloodFallbacks: ej.FloodFallbacks,
+			Stalled:        ej.Stalled,
 		}
 		fillCounts(&e.MsgsByKind, &kindNames, ej.MsgsKind)
 		fillCounts(&e.TokensByKind, &kindNames, ej.TokensKind)

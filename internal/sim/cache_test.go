@@ -40,7 +40,7 @@ func runCollected(t *testing.T, d ctvg.Dynamic, assign *token.Assignment, T, rou
 	if crashAt != nil {
 		opts.Faults = &sim.Faults{CrashAt: crashAt}
 	}
-	met := sim.RunProtocol(d, core.Alg1{T: T}, assign, opts)
+	met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, opts)
 	if err := col.Flush(); err != nil {
 		t.Fatalf("collector: %v", err)
 	}

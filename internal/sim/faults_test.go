@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -11,7 +12,7 @@ import (
 func TestDropProbOneBlocksEverything(t *testing.T) {
 	d := staticPath(4)
 	assign := token.SingleSource(4, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
 		MaxRounds: 20,
 		Faults:    &Faults{DropProb: 1, Seed: 1},
 	})
@@ -30,7 +31,7 @@ func TestModerateLossFloodStillCompletes(t *testing.T) {
 	d := staticPath(6)
 	assign := token.SingleSource(6, 2, 0)
 	for seed := uint64(0); seed < 5; seed++ {
-		m := RunProtocol(d, floodProto{}, assign, Options{
+		m := MustRunProtocol(d, floodProto{}, assign, Options{
 			MaxRounds:        200,
 			StopWhenComplete: true,
 			Faults:           &Faults{DropProb: 0.3, Seed: seed},
@@ -53,7 +54,7 @@ func TestLossIsPerReceiver(t *testing.T) {
 	sawPartial := false
 	for seed := uint64(0); seed < 30 && !sawPartial; seed++ {
 		nodes := floodProto{}.Nodes(assign)
-		Run(d, nodes, assign, Options{
+		MustRun(d, nodes, assign, Options{
 			MaxRounds: 1,
 			Faults:    &Faults{DropProb: 0.5, Seed: seed},
 		})
@@ -77,7 +78,7 @@ func TestCrashExcludedFromCompletion(t *testing.T) {
 	// still complete and the run counts as complete.
 	d := staticPath(4)
 	assign := token.SingleSource(4, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
 		MaxRounds:        20,
 		StopWhenComplete: true,
 		Faults:           &Faults{CrashAt: map[int]int{3: 0}, Seed: 1},
@@ -90,7 +91,7 @@ func TestCrashExcludedFromCompletion(t *testing.T) {
 func TestCrashedNodeStopsTransmitting(t *testing.T) {
 	d := staticPath(3)
 	assign := token.SingleSource(3, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
 		MaxRounds: 4,
 		Faults:    &Faults{CrashAt: map[int]int{1: 2}, Seed: 1},
 	})
@@ -106,7 +107,7 @@ func TestCrashPartitionsPath(t *testing.T) {
 	// unreachable).
 	d := staticPath(3)
 	assign := token.SingleSource(3, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
 		MaxRounds: 30,
 		Faults:    &Faults{CrashAt: map[int]int{1: 0}, Seed: 1},
 	})
@@ -121,7 +122,7 @@ func TestCrashedNodeDoesNotReceive(t *testing.T) {
 	d := staticPath(2)
 	assign := token.SingleSource(2, 1, 0)
 	nodes := floodProto{}.Nodes(assign)
-	Run(d, nodes, assign, Options{
+	MustRun(d, nodes, assign, Options{
 		MaxRounds: 5,
 		Faults:    &Faults{CrashAt: map[int]int{1: 0}, Seed: 1},
 	})
@@ -134,7 +135,7 @@ func TestFaultsDeterministic(t *testing.T) {
 	d := staticPath(6)
 	assign := token.SingleSource(6, 2, 0)
 	run := func() *Metrics {
-		return RunProtocol(d, floodProto{}, assign, Options{
+		return MustRunProtocol(d, floodProto{}, assign, Options{
 			MaxRounds:        100,
 			StopWhenComplete: true,
 			Faults:           &Faults{DropProb: 0.4, Seed: 9},
@@ -146,11 +147,63 @@ func TestFaultsDeterministic(t *testing.T) {
 	}
 }
 
+func TestStallWatchdogAllNodesCrashed(t *testing.T) {
+	// Crashing the entire population leaves zero live nodes, so the run can
+	// never complete; the watchdog must cut it short with a diagnostic
+	// instead of burning MaxRounds.
+	d := staticPath(4)
+	assign := token.SingleSource(4, 2, 0)
+	var stalledAt = -1
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds:   500,
+		StallWindow: 6,
+		Observer:    &Observer{Stalled: func(r int, rep *StallReport) { stalledAt = r }},
+		Faults:      &Faults{CrashAt: map[int]int{0: 1, 1: 1, 2: 1, 3: 1}},
+	})
+	if m.Complete {
+		t.Fatalf("completed with every node crashed: %v", m)
+	}
+	if m.Stall == nil {
+		t.Fatalf("watchdog did not fire: %v", m)
+	}
+	if m.Rounds >= 500 {
+		t.Fatalf("watchdog fired but the run still used all %d rounds", m.Rounds)
+	}
+	if m.Stall.Live != 0 || m.Stall.Down != 4 || m.Stall.PendingRecovery != 0 {
+		t.Fatalf("diagnostic miscounts the population: %+v", m.Stall)
+	}
+	if m.Stall.Window != 6 || stalledAt != m.Stall.Round {
+		t.Fatalf("observer/report disagree: event at %d, report %+v", stalledAt, m.Stall)
+	}
+	if s := m.Stall.String(); !strings.Contains(s, "no progress for 6 rounds") || !strings.Contains(s, "4 down") {
+		t.Fatalf("diagnostic string unhelpful: %q", s)
+	}
+	if s := m.String(); !strings.Contains(s, "stalled@") {
+		t.Fatalf("metrics summary hides the stall: %q", s)
+	}
+}
+
+func TestStallWatchdogSilentWhileProgressing(t *testing.T) {
+	// A slow but progressing run (heavy loss) must not trip a generous
+	// watchdog, and a completed run must never carry a stall report.
+	d := staticPath(6)
+	assign := token.SingleSource(6, 2, 0)
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds:        300,
+		StopWhenComplete: true,
+		StallWindow:      100,
+		Faults:           &Faults{DropProb: 0.3, Seed: 2},
+	})
+	if !m.Complete || m.Stall != nil {
+		t.Fatalf("watchdog interfered with a completing run: %v", m)
+	}
+}
+
 func TestNilFaultsIsNoop(t *testing.T) {
 	d := staticPath(4)
 	assign := token.SingleSource(4, 1, 0)
-	a := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 10})
-	b := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 10, Faults: &Faults{}})
+	a := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 10})
+	b := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 10, Faults: &Faults{}})
 	if a.TokensSent != b.TokensSent || a.CompletionRound != b.CompletionRound {
 		t.Fatal("empty Faults changed behaviour")
 	}

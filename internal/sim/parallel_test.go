@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/token"
@@ -13,10 +14,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 	assign := token.SingleSource(40, 6, 0)
 
 	serialNodes := floodProto{}.Nodes(assign)
-	serial := Run(d, serialNodes, assign, Options{MaxRounds: 39})
+	serial := MustRun(d, serialNodes, assign, Options{MaxRounds: 39})
 
 	parNodes := floodProto{}.Nodes(assign)
-	par := Run(d, parNodes, assign, Options{MaxRounds: 39, Workers: 4})
+	par := MustRun(d, parNodes, assign, Options{MaxRounds: 39, Workers: 4})
 
 	if serial.TokensSent != par.TokensSent || serial.Messages != par.Messages {
 		t.Fatalf("cost mismatch: serial %v vs parallel %v", serial, par)
@@ -34,7 +35,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestParallelWithCrashFaults(t *testing.T) {
 	d := staticPath(10)
 	assign := token.SingleSource(10, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{
+	m := MustRunProtocol(d, floodProto{}, assign, Options{
 		MaxRounds: 30,
 		Workers:   4,
 		Faults:    &Faults{CrashAt: map[int]int{9: 0}},
@@ -66,7 +67,7 @@ func recordRun(workers int) ([]recordedEvent, *Metrics) {
 			events = append(events, recordedEvent{round: r, from: -1, delivered: delivered})
 		},
 	}
-	met := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 39, Observer: obs, Workers: workers})
+	met := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 39, Observer: obs, Workers: workers})
 	return events, met
 }
 
@@ -128,17 +129,71 @@ func TestProgressMonotonic(t *testing.T) {
 	}
 }
 
-func TestParallelRejectsDropProb(t *testing.T) {
+// recordFaultyRun is recordRun under a lossy, crashing, recovering fault
+// plan: counter-based fault randomness is a pure function of
+// (seed, round, src, dst), so the stream must not depend on Workers.
+func recordFaultyRun(workers int) ([]recordedEvent, *Metrics) {
+	d := staticPath(40)
+	assign := token.SingleSource(40, 6, 0)
+	var events []recordedEvent
+	obs := &Observer{
+		Sent: func(r int, m *Message) {
+			events = append(events, recordedEvent{round: r, from: m.From, to: m.To, kind: m.Kind, cost: m.Cost(), delivered: -1})
+		},
+		Progress: func(r, delivered int) {
+			events = append(events, recordedEvent{round: r, from: -1, delivered: delivered})
+		},
+	}
+	met := MustRunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds: 80, Observer: obs, Workers: workers,
+		Faults: &Faults{
+			Seed:         7,
+			DropProb:     0.1,
+			CrashAt:      map[int]int{5: 3, 20: 10},
+			RecoverAfter: map[int]int{5: 8},
+		},
+	})
+	return events, met
+}
+
+func TestParallelDropsMatchSerial(t *testing.T) {
+	// DropProb > 0 no longer forces serial execution: fault randomness is
+	// drawn from a counter-based RNG, so a 4-worker run must replay the
+	// exact serial event stream, drop for drop.
+	serial, smet := recordFaultyRun(0)
+	par, pmet := recordFaultyRun(4)
+	if smet.String() != pmet.String() {
+		t.Fatalf("metrics diverge: %v vs %v", smet, pmet)
+	}
+	if smet.Drops == 0 {
+		t.Fatal("fault plan injected no drops; test is vacuous")
+	}
+	if smet.Drops != pmet.Drops || smet.Recoveries != pmet.Recoveries {
+		t.Fatalf("fault counters diverge: drops %d/%d recoveries %d/%d",
+			smet.Drops, pmet.Drops, smet.Recoveries, pmet.Recoveries)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("event counts diverge: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("event %d diverges: serial %+v parallel %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestRunRejectsInvalidPlan(t *testing.T) {
 	d := staticPath(3)
 	assign := token.SingleSource(3, 1, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	RunProtocol(d, floodProto{}, assign, Options{
-		MaxRounds: 2, Workers: 4, Faults: &Faults{DropProb: 0.5},
+	_, err := RunProtocol(d, floodProto{}, assign, Options{
+		MaxRounds: 2, Faults: &Faults{CrashAt: map[int]int{99: 0}},
 	})
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if want := "CrashAt names node 99"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
 }
 
 // The two engine benchmarks document the parallelism granularity rule:
@@ -151,7 +206,7 @@ func BenchmarkEngineSerial1000(b *testing.B) {
 	assign := token.SingleSource(1000, 8, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 50})
+		MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 50})
 	}
 }
 
@@ -160,6 +215,6 @@ func BenchmarkEngineParallel1000(b *testing.B) {
 	assign := token.SingleSource(1000, 8, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 50, Workers: 4})
+		MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 50, Workers: 4})
 	}
 }

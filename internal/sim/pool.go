@@ -50,10 +50,19 @@ func (p *msgPool) recycle() {
 }
 
 // shardState bundles everything one worker shard owns across rounds: its
-// accounting accumulator, its message/set arena, and its reusable inbox
-// scratch. The serial engine uses a single shard.
+// accounting accumulator, its message/set arena, its reusable inbox
+// scratch, its link-fault counters and its View.Note buffer. The serial
+// engine uses a single shard.
 type shardState struct {
 	acc   shardAcc
 	pool  msgPool
 	inbox []*Message
+	// drops / dups count this round's injected link faults for the
+	// receivers the shard owns; the engine folds and zeroes them at the
+	// round barrier.
+	drops int
+	dups  int
+	// notes buffers the shard's View.Note emissions for the round; the
+	// engine merges, replays and truncates it at the round barrier.
+	notes []note
 }

@@ -13,6 +13,11 @@
 // analysis does ("communication cost is represented by the total number of
 // tokens sent"): a transmission carrying s tokens costs s. Raw message
 // counts and per-role breakdowns are tracked as well.
+//
+// Failures are injected through a declarative faults.Plan (crash-stop,
+// crash-recovery, head-targeted kills, i.i.d. and bursty link loss,
+// duplication); all fault randomness is counter-based, so a faulty run is
+// bit-identical whether it executes serially or on Workers goroutines.
 package sim
 
 import (
@@ -22,11 +27,11 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/ctvg"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 	"repro/internal/token"
 	"repro/internal/tvg"
-	"repro/internal/xrand"
 )
 
 // NoAddr marks a broadcast message with no addressed recipient.
@@ -95,6 +100,36 @@ func (m *Message) Cost() int {
 	return m.Tokens.Len()
 }
 
+// NoteKind labels a protocol-level repair action surfaced through
+// View.Note: self-healing protocols report their failover decisions so the
+// observability layer can correlate repairs with the faults that caused
+// them.
+type NoteKind byte
+
+const (
+	// NoteHandover: the node promoted itself to acting cluster head after
+	// detecting its head's failure.
+	NoteHandover NoteKind = iota
+	// NoteFloodFallback: the node gave up on the hierarchy and escalated to
+	// flooding.
+	NoteFloodFallback
+)
+
+// NumNoteKinds sizes per-note accounting arrays.
+const NumNoteKinds = 2
+
+// String returns a short human-readable note name.
+func (k NoteKind) String() string {
+	switch k {
+	case NoteHandover:
+		return "handover"
+	case NoteFloodFallback:
+		return "flood_fallback"
+	default:
+		return fmt.Sprintf("note(%d)", byte(k))
+	}
+}
+
 // View is what a node observes about itself at the start of a round: the
 // round number, its current cluster role and head (provided by the
 // clustering layer), and its current neighbour list — the paper's system
@@ -108,9 +143,14 @@ type View struct {
 	// aliases engine storage and must not be modified or retained.
 	Neighbors []int
 
+	// id is the observing node's ID; Note reports it to the observer.
+	id int
 	// pool is the owning shard's message arena; nil outside an engine run
 	// (hand-built Views in tests fall back to plain allocation).
 	pool *msgPool
+	// notes is the owning shard's note buffer; nil outside an engine run
+	// (Note is then a no-op).
+	notes *[]note
 }
 
 // NewMessage returns a zeroed Message for this round's transmission. Inside
@@ -135,16 +175,46 @@ func (v View) NewSet() *bitset.Set {
 	return v.pool.set()
 }
 
+// Note reports a repair action taken by the node this round (from Send or
+// Deliver). Notes are buffered per shard and replayed to Observer.Noted at
+// the round barrier in deterministic order, so the observed stream is
+// identical under any Workers setting. Outside an engine run Note is a
+// no-op.
+func (v View) Note(kind NoteKind) {
+	if v.notes == nil {
+		return
+	}
+	*v.notes = append(*v.notes, note{node: v.id, kind: kind})
+}
+
+// note is one buffered View.Note emission.
+type note struct {
+	node int
+	kind NoteKind
+}
+
 // Node is a per-node protocol state machine.
 type Node interface {
 	// Send returns the node's transmission for this round, or nil.
 	Send(v View) *Message
 	// Deliver hands the node every message heard this round (from its
-	// current neighbours), ordered by ascending sender ID.
+	// current neighbours), ordered by ascending sender ID. Under fault
+	// injection a duplicated message appears twice, back to back.
 	Deliver(v View, msgs []*Message)
 	// Tokens returns the node's collected token set (the paper's TA).
 	// The engine treats the result as read-only.
 	Tokens() *bitset.Set
+}
+
+// Recoverer is implemented by nodes that support crash-recovery. When a
+// crashed node's downtime window ends, the engine calls OnRecover once, at
+// the top of the rejoin round and before the node's next Send. The
+// implementation must reset volatile protocol state (affiliation,
+// phase-local bookkeeping) while retaining the token set — the model's
+// stable storage. Nodes that do not implement Recoverer rejoin with their
+// state untouched.
+type Recoverer interface {
+	OnRecover(r int)
 }
 
 // Protocol builds fresh per-node state machines for a run.
@@ -175,12 +245,26 @@ type Metrics struct {
 	// BytesSent is the wire-level cost; it is accumulated only when
 	// Options.SizeFn is set (see internal/wire for the standard codec).
 	BytesSent int64
+	// Drops / Dups count deliveries lost and duplicated by fault
+	// injection. A dropped delivery still charged its sender.
+	Drops int64
+	Dups  int64
+	// Recoveries counts crash-recovery rejoins.
+	Recoveries int
+	// Handovers / FloodFallbacks count the protocol-level repair actions
+	// reported through View.Note.
+	Handovers      int
+	FloodFallbacks int
 	// CompletionRound is the 1-based round count after which every node
 	// held all k tokens, or -1 if dissemination did not complete within
 	// the executed rounds.
 	CompletionRound int
 	// Complete reports whether dissemination finished.
 	Complete bool
+	// Stall is non-nil when the stall watchdog (Options.StallWindow)
+	// terminated the run: dissemination made no progress for the whole
+	// window and the report says what the run looked like when it gave up.
+	Stall *StallReport
 }
 
 // String summarises the metrics on one line. The bytes= segment appears
@@ -190,6 +274,8 @@ func (m *Metrics) String() string {
 	done := "incomplete"
 	if m.Complete {
 		done = fmt.Sprintf("complete@%d", m.CompletionRound)
+	} else if m.Stall != nil {
+		done = fmt.Sprintf("stalled@%d", m.Stall.Round)
 	}
 	if m.BytesSent > 0 {
 		return fmt.Sprintf("rounds=%d msgs=%d tokens=%d bytes=%d %s",
@@ -198,18 +284,43 @@ func (m *Metrics) String() string {
 	return fmt.Sprintf("rounds=%d msgs=%d tokens=%d %s", m.Rounds, m.Messages, m.TokensSent, done)
 }
 
+// StallReport is the stall watchdog's diagnostic: why the run was cut
+// short, and what the population looked like at that moment.
+type StallReport struct {
+	// Round is the round index at which the watchdog fired.
+	Round int
+	// Window is the configured number of zero-progress rounds observed.
+	Window int
+	// Delivered / Total are the (node, token) pairs delivered versus the
+	// n·k needed for completion.
+	Delivered, Total int
+	// Live, Down and PendingRecovery partition the node population when
+	// the watchdog fired: up, permanently crashed, and crashed-but-
+	// scheduled-to-rejoin.
+	Live, Down, PendingRecovery int
+}
+
+// String formats the diagnostic on one line.
+func (s *StallReport) String() string {
+	return fmt.Sprintf("stalled at round %d: no progress for %d rounds, %d/%d token-pairs delivered, %d live / %d down / %d pending recovery",
+		s.Round, s.Window, s.Delivered, s.Total, s.Live, s.Down, s.PendingRecovery)
+}
+
 // Observer receives per-round events; used by trace tooling, the Fig. 3
 // scenario renderer and the internal/obs metrics layer. Any field may be
 // nil.
 //
 // Event ordering is deterministic regardless of Options.Workers: within a
-// round, Crashed fires first (ascending node ID), then RoundStart, then
-// one Sent per transmission in ascending sender ID, then Progress. Across
-// rounds everything is ascending in r, so the full Sent stream is sorted
-// by (round, sender). Parallel runs buffer per-shard and merge at the
-// round barrier, so the observed stream is bit-identical to a serial run
-// on the same inputs. Callbacks themselves are always invoked from the
-// engine goroutine — observers need no locking.
+// round, Recovered fires first (ascending node ID), then Crashed
+// (ascending node ID), then RoundStart, then one Sent per transmission in
+// ascending sender ID, then Noted in ascending node ID (per-node emission
+// order preserved), then LinkFaults, then Progress, then — at most once
+// per run, as its final event — Stalled. Across rounds everything is
+// ascending in r, so the full Sent stream is sorted by (round, sender).
+// Parallel runs buffer per-shard and merge at the round barrier, so the
+// observed stream is bit-identical to a serial run on the same inputs.
+// Callbacks themselves are always invoked from the engine goroutine —
+// observers need no locking.
 type Observer struct {
 	// RoundStart is called before messages are collected.
 	RoundStart func(r int, g *graph.Graph, h *ctvg.Hierarchy)
@@ -219,32 +330,32 @@ type Observer struct {
 	// total number of (node, token) pairs delivered so far — the raw
 	// material for convergence curves. The maximum is n·k.
 	Progress func(r int, delivered int)
-	// Crashed, if set, is called once when Faults.CrashAt fells node v at
-	// the top of round r, in ascending node order within a round.
+	// Crashed, if set, is called once per crash when fault injection fells
+	// node v at the top of round r, in ascending node order within a
+	// round. A node may crash again after recovering.
 	Crashed func(r int, v int)
+	// Recovered, if set, is called once when node v rejoins at the top of
+	// round r, in ascending node order within a round.
+	Recovered func(r int, v int)
+	// Noted, if set, receives the protocol repair actions reported through
+	// View.Note this round.
+	Noted func(r int, v int, kind NoteKind)
+	// LinkFaults, if set, is called after round r's deliveries whenever
+	// fault injection dropped or duplicated at least one delivery, with
+	// the round's counts.
+	LinkFaults func(r int, drops, dups int)
+	// Stalled, if set, is called when the stall watchdog terminates the
+	// run (see Options.StallWindow).
+	Stalled func(r int, rep *StallReport)
 }
 
-// Faults injects failures for robustness experiments. The paper assumes
+// Faults declares the failures injected into a run. It is an alias for
+// faults.Plan — see that package for the full model (crash-stop,
+// crash-recovery, head-targeted kills, i.i.d. and Gilbert–Elliott bursty
+// loss, duplication) and its determinism guarantees. The paper assumes
 // reliable links and live nodes; these knobs measure how far each protocol
 // degrades beyond that assumption.
-type Faults struct {
-	// DropProb is the probability that any single (message, receiver)
-	// delivery is lost, independently per receiver (radio fading).
-	// Transmission cost is still charged — the sender paid for it.
-	DropProb float64
-	// CrashAt maps node -> round index at which the node crashes: from
-	// that round on it neither sends nor receives. Crashed nodes are
-	// excluded from the completion predicate (a crashed node can never
-	// collect anything).
-	CrashAt map[int]int
-	// Seed drives the fault randomness (deterministic like everything
-	// else).
-	Seed uint64
-}
-
-func (f *Faults) active() bool {
-	return f != nil && (f.DropProb > 0 || len(f.CrashAt) > 0)
-}
+type Faults = faults.Plan
 
 // Options controls a run.
 type Options struct {
@@ -255,7 +366,10 @@ type Options struct {
 	StopWhenComplete bool
 	// Observer, if non-nil, receives per-round events.
 	Observer *Observer
-	// Faults, if non-nil, injects message loss and node crashes.
+	// Faults, if non-nil, injects failures; the plan is validated before
+	// the run starts and a bad plan is a Run error. Fault randomness is
+	// counter-based (pure in round, sender and receiver), so faulty runs
+	// parallelise like fault-free ones and stay bit-identical to serial.
 	Faults *Faults
 	// SizeFn, if set, is evaluated on every transmission and accumulated
 	// into Metrics.BytesSent (byte-level cost accounting). When Workers >
@@ -272,6 +386,12 @@ type Options struct {
 	// the round barrier, replaying events in deterministic (round, sender)
 	// order (see Observer).
 	Workers int
+	// StallWindow, when positive, arms the stall watchdog: if the total
+	// number of delivered (node, token) pairs does not increase for
+	// StallWindow consecutive rounds while dissemination is incomplete,
+	// the run terminates with a StallReport in Metrics.Stall instead of
+	// spinning to MaxRounds. 0 disables the watchdog.
+	StallWindow int
 	// NoStabilityCache disables the stability-window fast path: the engine
 	// then calls At/HierarchyAt and refreshes every node's view each round
 	// even when the dynamic advertises frozen windows via ctvg.Stability.
@@ -284,42 +404,57 @@ type Options struct {
 // Run executes nodes against the dynamic network d for up to
 // opts.MaxRounds rounds and returns the metrics. The assignment supplies k
 // for the completion check. Nodes must already be initialised (see
-// Protocol.Nodes).
-func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *Metrics {
+// Protocol.Nodes). Run fails up front — before any round executes — on a
+// node/network size mismatch, a non-positive MaxRounds, or an invalid
+// fault plan.
+func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (*Metrics, error) {
 	n := d.N()
 	if len(nodes) != n {
-		panic(fmt.Sprintf("sim: %d nodes for a %d-vertex network", len(nodes), n))
+		return nil, fmt.Errorf("sim: %d nodes for a %d-vertex network", len(nodes), n)
 	}
 	if opts.MaxRounds <= 0 {
-		panic("sim: MaxRounds must be positive")
+		return nil, fmt.Errorf("sim: MaxRounds must be positive (got %d)", opts.MaxRounds)
+	}
+	inj, err := faults.New(opts.Faults, n)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	workers := workersFor(opts, n)
 	parallelRun := workers > 1
-	if parallelRun && opts.Faults != nil && opts.Faults.DropProb > 0 {
-		panic("sim: Workers > 1 cannot be combined with probabilistic message loss")
-	}
 	k := assign.K
 	obs := opts.Observer
 	met := &Metrics{CompletionRound: -1}
 	outbox := make([]*Message, n)
 	views := make([]View, n)
 
-	var faultRng *xrand.Rand
+	// Fault state. crashed marks nodes currently down; recoverAt holds the
+	// rejoin round of nodes in a downtime window (faults.NoRecovery
+	// otherwise); crashSchedule is the static plan, each entry fired once.
 	crashed := make([]bool, n)
+	var recoverAt []int
+	var recovering []int // nodes in a downtime window, unordered
 	var crashSchedule []crashEntry
-	if opts.Faults.active() {
-		faultRng = xrand.New(opts.Faults.Seed)
-		crashSchedule = sortCrashes(opts.Faults.CrashAt, n)
+	lossy, duplicating := inj.Lossy(), inj.Duplicating()
+	if inj != nil {
+		recoverAt = make([]int, n)
+		for v := range recoverAt {
+			recoverAt[v] = faults.NoRecovery
+		}
+		for _, c := range inj.Crashes() {
+			crashSchedule = append(crashSchedule, crashEntry{node: c.Node, at: c.At, recoverAt: c.RecoverAt})
+		}
 	}
+	var eventScratch []int // sorted crash/recovery IDs of the current round
+	var noteScratch []note // merged View.Note buffer of the current round
 
 	// Parallel runs shard the per-message accounting: each worker owns a
 	// contiguous sender block and private state (accumulator, message
-	// arena, inbox scratch), and the engine merges the accumulators in
-	// shard order at the round barrier. Shard order equals ascending
-	// sender order, so merged metrics — and the observer event stream
-	// replayed from outbox afterwards — are bit-identical to the serial
-	// engine's. The shard partition is fixed for the whole run, so each
-	// view is wired to its owning shard's arena exactly once.
+	// arena, inbox scratch, note buffer), and the engine merges the
+	// accumulators in shard order at the round barrier. Shard order equals
+	// ascending sender order, so merged metrics — and the observer event
+	// stream replayed from outbox afterwards — are bit-identical to the
+	// serial engine's. The shard partition is fixed for the whole run, so
+	// each view is wired to its owning shard's arena exactly once.
 	nshards := 1
 	if parallelRun {
 		nshards = parallel.Shards(n, workers)
@@ -328,7 +463,9 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 	for s := range shards {
 		lo, hi := s*n/nshards, (s+1)*n/nshards
 		for v := lo; v < hi; v++ {
+			views[v].id = v
 			views[v].pool = &shards[s].pool
+			views[v].notes = &shards[s].notes
 		}
 	}
 
@@ -344,15 +481,59 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 	}
 	cachedUntil := -1
 
+	// Stall watchdog bookkeeping.
+	needDelivered := opts.StallWindow > 0 || (obs != nil && obs.Progress != nil)
+	lastDelivered := -1
+	stallRun := 0
+
 	var g *graph.Graph
 	var hier *ctvg.Hierarchy
 	for r := 0; r < opts.MaxRounds; r++ {
+		// Recoveries first: a node whose downtime window ends at r is up
+		// for the whole round. Volatile protocol state resets through the
+		// Recoverer hook; the token set (stable storage) is retained.
+		if len(recovering) > 0 {
+			eventScratch = eventScratch[:0]
+			keep := recovering[:0]
+			for _, v := range recovering {
+				if recoverAt[v] <= r {
+					crashed[v] = false
+					recoverAt[v] = faults.NoRecovery
+					eventScratch = append(eventScratch, v)
+				} else {
+					keep = append(keep, v)
+				}
+			}
+			recovering = keep
+			sort.Ints(eventScratch)
+			for _, v := range eventScratch {
+				met.Recoveries++
+				if rec, ok := nodes[v].(Recoverer); ok {
+					rec.OnRecover(r)
+				}
+				if obs != nil && obs.Recovered != nil {
+					obs.Recovered(r, v)
+				}
+			}
+		}
+
+		// Static crashes, then — once this round's hierarchy is known —
+		// head-targeted ones. Both feed one sorted Crashed event batch.
+		eventScratch = eventScratch[:0]
+		fell := func(v, recAt int) {
+			crashed[v] = true
+			if recAt != faults.NoRecovery {
+				recoverAt[v] = recAt
+				recovering = append(recovering, v)
+			}
+			eventScratch = append(eventScratch, v)
+		}
 		for i := range crashSchedule {
 			ce := &crashSchedule[i]
-			if r >= ce.at && !crashed[ce.node] {
-				crashed[ce.node] = true
-				if obs != nil && obs.Crashed != nil {
-					obs.Crashed(r, ce.node)
+			if !ce.done && r >= ce.at {
+				ce.done = true
+				if !crashed[ce.node] {
+					fell(ce.node, ce.recoverAt)
 				}
 			}
 		}
@@ -364,6 +545,21 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 			if hasStab {
 				if s := stab.StableUntil(r); s > r {
 					cachedUntil = s
+				}
+			}
+		}
+		if kill, recAt := inj.HeadCrash(r); kill {
+			for v := 0; v < n; v++ {
+				if !crashed[v] && hier.Role[v] == ctvg.Head {
+					fell(v, recAt)
+				}
+			}
+		}
+		if len(eventScratch) > 0 {
+			sort.Ints(eventScratch)
+			if obs != nil && obs.Crashed != nil {
+				for _, v := range eventScratch {
+					obs.Crashed(r, v)
 				}
 			}
 		}
@@ -445,51 +641,90 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 		}
 
 		// Deliver phase: each node hears its neighbours' messages,
-		// ordered by ascending sender ID (Neighbors is sorted). Messages
+		// ordered by ascending sender ID (Neighbors is sorted); fault
+		// injection may drop a delivery or hand it over twice. Messages
 		// are read-only from here on, so delivery also fans out — over the
 		// same shard partition as collect, so a node delivering through
-		// View.NewSet stays on its arena's owning goroutine.
-		if parallelRun {
-			parallel.ForEachShard(n, workers, func(s, lo, hi int) {
-				st := &shards[s]
-				for v := lo; v < hi; v++ {
-					if crashed[v] {
-						continue
-					}
-					st.inbox = st.inbox[:0]
-					for _, u := range views[v].Neighbors {
-						if outbox[u] != nil {
-							st.inbox = append(st.inbox, outbox[u])
-						}
-					}
-					nodes[v].Deliver(views[v], st.inbox)
-				}
-			})
-		} else {
-			st := &shards[0]
-			for v := 0; v < n; v++ {
+		// View.NewSet stays on its arena's owning goroutine, and the
+		// per-receiver fault queries (whose burst-channel state is keyed
+		// by receiver) stay on the shard that owns the receiver.
+		deliverShard := func(st *shardState, lo, hi int) {
+			for v := lo; v < hi; v++ {
 				if crashed[v] {
 					continue
 				}
 				st.inbox = st.inbox[:0]
 				for _, u := range views[v].Neighbors {
-					if outbox[u] == nil {
+					msg := outbox[u]
+					if msg == nil {
 						continue
 					}
-					if faultRng != nil && opts.Faults.DropProb > 0 && faultRng.Prob(opts.Faults.DropProb) {
+					if lossy && inj.Drop(r, u, v) {
+						st.drops++
 						continue
 					}
-					st.inbox = append(st.inbox, outbox[u])
+					st.inbox = append(st.inbox, msg)
+					if duplicating && inj.Duplicate(r, u, v) {
+						st.dups++
+						st.inbox = append(st.inbox, msg)
+					}
 				}
 				nodes[v].Deliver(views[v], st.inbox)
 			}
 		}
+		if parallelRun {
+			parallel.ForEachShard(n, workers, func(s, lo, hi int) {
+				deliverShard(&shards[s], lo, hi)
+			})
+		} else {
+			deliverShard(&shards[0], 0, n)
+		}
 
-		if obs != nil && obs.Progress != nil {
+		// Replay the round's buffered repair notes in deterministic
+		// order: ascending node ID, per-node emission order preserved
+		// (each node lives on exactly one shard, and the sort is stable).
+		noteScratch = noteScratch[:0]
+		for s := range shards {
+			noteScratch = append(noteScratch, shards[s].notes...)
+			shards[s].notes = shards[s].notes[:0]
+		}
+		if len(noteScratch) > 0 {
+			sort.SliceStable(noteScratch, func(i, j int) bool {
+				return noteScratch[i].node < noteScratch[j].node
+			})
+			for _, nt := range noteScratch {
+				switch nt.kind {
+				case NoteHandover:
+					met.Handovers++
+				case NoteFloodFallback:
+					met.FloodFallbacks++
+				}
+				if obs != nil && obs.Noted != nil {
+					obs.Noted(r, nt.node, nt.kind)
+				}
+			}
+		}
+
+		// Fold the round's link-fault counts into the run totals.
+		roundDrops, roundDups := 0, 0
+		for s := range shards {
+			roundDrops += shards[s].drops
+			roundDups += shards[s].dups
+			shards[s].drops, shards[s].dups = 0, 0
+		}
+		if roundDrops > 0 || roundDups > 0 {
+			met.Drops += int64(roundDrops)
+			met.Dups += int64(roundDups)
+			if obs != nil && obs.LinkFaults != nil {
+				obs.LinkFaults(r, roundDrops, roundDups)
+			}
+		}
+
+		delivered := 0
+		if needDelivered {
 			// The delivered count is a sum of per-node popcounts; integer
 			// addition commutes, so the sharded sum below matches the
 			// serial one exactly.
-			delivered := 0
 			if parallelRun {
 				parallel.ForEachShard(n, workers, func(s, lo, hi int) {
 					sum := 0
@@ -506,11 +741,13 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 					delivered += nd.Tokens().Len()
 				}
 			}
-			obs.Progress(r, delivered)
+			if obs != nil && obs.Progress != nil {
+				obs.Progress(r, delivered)
+			}
 		}
 
 		met.Rounds = r + 1
-		done := doneLive(nodes, crashed, k, workers)
+		done := doneLive(nodes, crashed, recoverAt, k, workers)
 
 		// Round barrier: messages and payload sets handed out this round
 		// are dead — nothing may retain them — so the arenas take them
@@ -528,8 +765,50 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *
 				break
 			}
 		}
+		if opts.StallWindow > 0 && !met.Complete {
+			if delivered == lastDelivered {
+				stallRun++
+			} else {
+				stallRun = 0
+				lastDelivered = delivered
+			}
+			if stallRun >= opts.StallWindow {
+				rep := stallReport(r, opts.StallWindow, delivered, n*k, crashed, recoverAt)
+				met.Stall = rep
+				if obs != nil && obs.Stalled != nil {
+					obs.Stalled(r, rep)
+				}
+				break
+			}
+		}
 	}
-	return met
+	return met, nil
+}
+
+// MustRun is Run for call sites where a failure is a programming error:
+// it panics instead of returning one.
+func MustRun(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) *Metrics {
+	m, err := Run(d, nodes, assign, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// stallReport snapshots the population for the watchdog diagnostic.
+func stallReport(r, window, delivered, total int, crashed []bool, recoverAt []int) *StallReport {
+	rep := &StallReport{Round: r, Window: window, Delivered: delivered, Total: total}
+	for v := range crashed {
+		switch {
+		case !crashed[v]:
+			rep.Live++
+		case recoverAt != nil && recoverAt[v] != faults.NoRecovery:
+			rep.PendingRecovery++
+		default:
+			rep.Down++
+		}
+	}
+	return rep
 }
 
 // shardAcc is one worker's private slice of the round accounting. The
@@ -563,27 +842,14 @@ func (m *Metrics) add(a *shardAcc) {
 	}
 }
 
-// crashEntry is one scheduled crash, pre-sorted by node ID so activation —
-// and the Crashed events it emits — happen in deterministic order (map
-// range order is not).
+// crashEntry is one scheduled crash from the static plan, pre-sorted by
+// node ID so activation — and the Crashed events it emits — happen in
+// deterministic order. done marks entries that already fired, so a node
+// that crashed, recovered and stayed up is not felled again by its old
+// schedule entry.
 type crashEntry struct {
-	node, at int
-}
-
-// sortCrashes flattens CrashAt into a node-sorted schedule, dropping
-// out-of-range nodes.
-func sortCrashes(crashAt map[int]int, n int) []crashEntry {
-	if len(crashAt) == 0 {
-		return nil
-	}
-	out := make([]crashEntry, 0, len(crashAt))
-	for v, at := range crashAt {
-		if v >= 0 && v < n {
-			out = append(out, crashEntry{node: v, at: at})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
-	return out
+	node, at, recoverAt int
+	done                bool
 }
 
 // workersFor resolves Options.Workers for a run over n nodes: at least 1,
@@ -600,44 +866,66 @@ func workersFor(opts Options, n int) int {
 	return w
 }
 
-// doneLive reports whether every non-crashed node holds all k tokens.
-// Tokens() may be expensive (network coding decodes), so the scan fans out
-// when the run is parallel; each node's Tokens() touches only that node's
-// state.
-func doneLive(nodes []Node, crashed []bool, k, workers int) bool {
+// doneLive reports whether dissemination is complete: every node that is
+// up — or down but scheduled to rejoin, since its token set (stable
+// storage) survives the outage — holds all k tokens. Permanently crashed
+// nodes are excluded (they can never collect anything), but if no node at
+// all is up or rejoining the run cannot be complete: there is nobody left
+// to disseminate to. Tokens() may be expensive (network coding decodes),
+// so the scan fans out when the run is parallel; each node's Tokens()
+// touches only that node's state.
+func doneLive(nodes []Node, crashed []bool, recoverAt []int, k, workers int) bool {
+	counts := func(v int) bool {
+		if !crashed[v] {
+			return true
+		}
+		return recoverAt != nil && recoverAt[v] != faults.NoRecovery
+	}
 	if workers <= 1 {
+		any := false
 		for v, nd := range nodes {
-			if crashed[v] {
+			if !counts(v) {
 				continue
 			}
+			any = true
 			if nd.Tokens().Len() != k {
 				return false
 			}
 		}
-		return true
+		return any
 	}
-	var incomplete atomic.Bool
+	var incomplete, considered atomic.Bool
 	parallel.ForEachRange(len(nodes), workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if incomplete.Load() {
 				return
 			}
-			if crashed[v] {
+			if !counts(v) {
 				continue
 			}
+			considered.Store(true)
 			if nodes[v].Tokens().Len() != k {
 				incomplete.Store(true)
 				return
 			}
 		}
 	})
-	return !incomplete.Load()
+	return considered.Load() && !incomplete.Load()
 }
 
 // RunProtocol is the convenience entry point: build fresh nodes from the
 // protocol and run them.
-func RunProtocol(d ctvg.Dynamic, p Protocol, assign *token.Assignment, opts Options) *Metrics {
+func RunProtocol(d ctvg.Dynamic, p Protocol, assign *token.Assignment, opts Options) (*Metrics, error) {
 	return Run(d, p.Nodes(assign), assign, opts)
+}
+
+// MustRunProtocol is RunProtocol with MustRun's panic-on-error contract.
+func MustRunProtocol(d ctvg.Dynamic, p Protocol, assign *token.Assignment, opts Options) *Metrics {
+	m, err := RunProtocol(d, p, assign, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Flat adapts a flat (cluster-free) dynamic network to the ctvg.Dynamic

@@ -57,7 +57,7 @@ func TestFloodCompletesOnPath(t *testing.T) {
 	// rounds to reach node 5.
 	d := staticPath(6)
 	assign := token.SingleSource(6, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 20, StopWhenComplete: true})
+	m := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 20, StopWhenComplete: true})
 	if !m.Complete {
 		t.Fatalf("did not complete: %v", m)
 	}
@@ -72,7 +72,7 @@ func TestFloodCompletesOnPath(t *testing.T) {
 func TestRunContinuesWithoutStopWhenComplete(t *testing.T) {
 	d := staticPath(3)
 	assign := token.SingleSource(3, 1, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 10})
+	m := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 10})
 	if m.Rounds != 10 {
 		t.Fatalf("rounds %d, want 10", m.Rounds)
 	}
@@ -86,7 +86,7 @@ func TestMetricsAccounting(t *testing.T) {
 	// broadcasts its TA. Costs: node0 sends 2 tokens, others send 0.
 	d := staticPath(3)
 	assign := token.SingleSource(3, 2, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 1})
+	m := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 1})
 	if m.Messages != 3 {
 		t.Fatalf("messages %d, want 3", m.Messages)
 	}
@@ -111,7 +111,7 @@ func TestPerRoleAccounting(t *testing.T) {
 	h.SetMember(2, 0)
 	d := ctvg.NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*ctvg.Hierarchy{h})
 	assign := token.SingleSource(3, 2, 0)
-	m := RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 2})
+	m := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 2})
 	if m.MessagesByRole[ctvg.Head] != 2 {
 		t.Fatalf("head messages %d, want 2", m.MessagesByRole[ctvg.Head])
 	}
@@ -135,7 +135,7 @@ func TestIncompleteRun(t *testing.T) {
 	for v := 0; v < 4; v++ {
 		nodes[v] = &silentNode{ta: assign.Initial[v].Clone()}
 	}
-	m := Run(d, nodes, assign, Options{MaxRounds: 8})
+	m := MustRun(d, nodes, assign, Options{MaxRounds: 8})
 	if m.Complete || m.CompletionRound != -1 {
 		t.Fatalf("silent protocol reported complete: %v", m)
 	}
@@ -160,7 +160,7 @@ func TestDeliverOrderAscendingSender(t *testing.T) {
 		probe,
 		&floodNode{ta: assign.Initial[2].Clone()},
 	}
-	Run(d, nodes, assign, Options{MaxRounds: 1})
+	MustRun(d, nodes, assign, Options{MaxRounds: 1})
 	if len(heard) != 2 || heard[0] != 0 || heard[1] != 2 {
 		t.Fatalf("heard %v, want [0 2]", heard)
 	}
@@ -185,7 +185,7 @@ func TestObserverCalled(t *testing.T) {
 		RoundStart: func(r int, g *graph.Graph, h *ctvg.Hierarchy) { starts++ },
 		Sent:       func(r int, msg *Message) { sends++ },
 	}
-	RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 2, Observer: obs})
+	MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 2, Observer: obs})
 	if starts != 2 {
 		t.Fatalf("RoundStart calls %d", starts)
 	}
@@ -209,7 +209,7 @@ func TestViewReflectsHierarchy(t *testing.T) {
 	for v := 0; v < 3; v++ {
 		nodes[v] = &viewProbe{ta: assign.Initial[v].Clone(), sink: &got}
 	}
-	Run(d, nodes, assign, Options{MaxRounds: 1})
+	MustRun(d, nodes, assign, Options{MaxRounds: 1})
 	if len(got) != 3 {
 		t.Fatalf("views %v", got)
 	}
@@ -242,7 +242,7 @@ func TestRunValidation(t *testing.T) {
 				t.Fatal("no panic")
 			}
 		}()
-		Run(d, []Node{&silentNode{ta: bitset.New(1)}}, assign, Options{MaxRounds: 1})
+		MustRun(d, []Node{&silentNode{ta: bitset.New(1)}}, assign, Options{MaxRounds: 1})
 	})
 	t.Run("zero rounds", func(t *testing.T) {
 		defer func() {
@@ -250,7 +250,7 @@ func TestRunValidation(t *testing.T) {
 				t.Fatal("no panic")
 			}
 		}()
-		RunProtocol(d, floodProto{}, assign, Options{})
+		MustRunProtocol(d, floodProto{}, assign, Options{})
 	})
 }
 
@@ -320,12 +320,12 @@ func TestCrashedEventsSortedAndDeterministic(t *testing.T) {
 		assign := token.SingleSource(8, 1, 0)
 		var got [][2]int
 		obs := &Observer{Crashed: func(r, v int) { got = append(got, [2]int{r, v}) }}
-		RunProtocol(d, floodProto{}, assign, Options{
+		MustRunProtocol(d, floodProto{}, assign, Options{
 			MaxRounds: 5,
 			Observer:  obs,
-			Faults:    &Faults{CrashAt: map[int]int{7: 2, 3: 0, 5: 0, 6: 9, -1: 0, 99: 0}},
+			Faults:    &Faults{CrashAt: map[int]int{7: 2, 3: 0, 5: 0, 6: 9}},
 		})
-		want := [][2]int{{0, 3}, {0, 5}, {2, 7}} // node 6 crashes beyond MaxRounds; -1/99 out of range
+		want := [][2]int{{0, 3}, {0, 5}, {2, 7}} // node 6 crashes beyond MaxRounds
 		if len(got) != len(want) {
 			t.Fatalf("crash events %v, want %v", got, want)
 		}
@@ -342,6 +342,6 @@ func BenchmarkEngineFlood(b *testing.B) {
 	assign := token.SingleSource(100, 8, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RunProtocol(d, floodProto{}, assign, Options{MaxRounds: 99, StopWhenComplete: true})
+		MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 99, StopWhenComplete: true})
 	}
 }

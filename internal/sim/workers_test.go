@@ -35,9 +35,9 @@ func TestWorkersExceedingNodes(t *testing.T) {
 	d := staticPath(3)
 	assign := token.SingleSource(3, 1, 0)
 	opts := Options{MaxRounds: 6}
-	want := RunProtocol(d, floodProto{}, assign, opts)
+	want := MustRunProtocol(d, floodProto{}, assign, opts)
 	opts.Workers = 64
-	got := RunProtocol(d, floodProto{}, assign, opts)
+	got := MustRunProtocol(d, floodProto{}, assign, opts)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Workers=64 over 3 nodes diverges from serial:\n  got  %+v\n  want %+v", got, want)
 	}
@@ -86,7 +86,7 @@ func TestRunHotPathAllocFree(t *testing.T) {
 		nodes[v] = &arenaFlood{ta: assign.Initial[v].Clone()}
 	}
 	avg := testing.AllocsPerRun(5, func() {
-		Run(d, nodes, assign, Options{MaxRounds: rounds})
+		MustRun(d, nodes, assign, Options{MaxRounds: rounds})
 	})
 	if avg > 2000 {
 		t.Fatalf("Run allocated %.0f times over %d rounds x %d nodes; the arena is not recycling", avg, rounds, n)

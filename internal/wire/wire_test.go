@@ -181,7 +181,7 @@ func TestByteAccountingInEngine(t *testing.T) {
 		N: n, Theta: theta, L: L, T: T, Reaffiliations: 2, ChurnEdges: 5,
 	}, xrand.New(1))
 	assign := token.Spread(n, k, xrand.New(2))
-	alg1 := sim.RunProtocol(adv, core.Alg1{T: T}, assign, sim.Options{
+	alg1 := sim.MustRunProtocol(adv, core.Alg1{T: T}, assign, sim.Options{
 		MaxRounds: phases * T, SizeFn: Size,
 	})
 	if !alg1.Complete || alg1.BytesSent == 0 {
@@ -189,7 +189,7 @@ func TestByteAccountingInEngine(t *testing.T) {
 	}
 
 	flat := sim.NewFlat(adversary.NewTInterval(n, T, 5, xrand.New(1)))
-	klot := sim.RunProtocol(flat, baseline.KLOT{T: T}, assign, sim.Options{
+	klot := sim.MustRunProtocol(flat, baseline.KLOT{T: T}, assign, sim.Options{
 		MaxRounds: baseline.KLOTPhases(n, T, k) * T, SizeFn: Size,
 	})
 	if !klot.Complete {
@@ -203,7 +203,7 @@ func TestByteAccountingInEngine(t *testing.T) {
 func TestByteAccountingOffByDefault(t *testing.T) {
 	adv := sim.NewFlat(adversary.NewOneInterval(5, 0, xrand.New(1)))
 	assign := token.SingleSource(5, 1, 0)
-	m := sim.RunProtocol(adv, baseline.Flood{}, assign, sim.Options{MaxRounds: 4})
+	m := sim.MustRunProtocol(adv, baseline.Flood{}, assign, sim.Options{MaxRounds: 4})
 	if m.BytesSent != 0 {
 		t.Fatalf("bytes accumulated without SizeFn: %d", m.BytesSent)
 	}

@@ -125,6 +125,38 @@ func (r *Rand) Prob(p float64) bool {
 	return r.Float64() < p
 }
 
+// Hash deterministically mixes a seed and three words into one uniform
+// 64-bit value. It is the counter-based complement to the stream generator
+// above: where a Rand carries mutable state and therefore a draw order,
+// Hash(seed, a, b, c) is a pure function — the same tuple yields the same
+// value no matter which goroutine evaluates it or in what order. Fault
+// injection keys it on (seed, round, src, dst) so per-delivery randomness
+// survives any engine parallelisation unchanged.
+//
+// Each word is folded in with a SplitMix64 finalisation round; the golden
+// ratio offsets keep an all-zero tuple from fixing the state at zero.
+func Hash(seed, a, b, c uint64) uint64 {
+	x := seed + 0x9e3779b97f4a7c15
+	x = hashMix(x ^ a)
+	x = hashMix((x + 0x9e3779b97f4a7c15) ^ b)
+	x = hashMix((x + 0x9e3779b97f4a7c15) ^ c)
+	return x
+}
+
+// HashFloat64 maps Hash's output to a uniform float64 in [0, 1) with the
+// same 53-bit construction as Rand.Float64.
+func HashFloat64(seed, a, b, c uint64) float64 {
+	return float64(Hash(seed, a, b, c)>>11) / (1 << 53)
+}
+
+// hashMix is the SplitMix64 output finalisation (Stafford variant 13): a
+// bijective avalanche over 64 bits.
+func hashMix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Perm returns a random permutation of [0, n) as a slice.
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)
