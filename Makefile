@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint build test race fuzz bench chaos
+.PHONY: check vet fmt lint build test race fuzz bench chaos cover
 
 check: lint build test race
 
@@ -20,10 +20,27 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine, worker pool, observability layer and fault injector are the
-# concurrent surfaces; everything else is single-goroutine.
+# The engine, worker pool, observability layer, fault injector and
+# provenance tracer are the concurrent surfaces; everything else is
+# single-goroutine.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/obs/... ./internal/faults/...
+	$(GO) test -race ./internal/sim/... ./internal/parallel/... ./internal/obs/... ./internal/faults/... ./internal/provenance/...
+
+# Coverage floors for the observability surfaces: the metrics/event layer
+# and the provenance tracer are pure bookkeeping, so low coverage there
+# means untested accounting. The floor is a ratchet — raise it when the
+# packages grow, never lower it.
+COVER_FLOOR_OBS ?= 85
+COVER_FLOOR_PROV ?= 85
+cover:
+	@for pkg in obs provenance; do \
+		case $$pkg in obs) floor=$(COVER_FLOOR_OBS);; *) floor=$(COVER_FLOOR_PROV);; esac; \
+		$(GO) test -coverprofile=cover.$$pkg.out ./internal/$$pkg/ >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover.$$pkg.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+		echo "internal/$$pkg coverage: $$pct% (floor $$floor%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN {print (p >= f) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "internal/$$pkg below coverage floor"; exit 1; fi; \
+	done
 
 # Seeded randomized fault soak: hundreds of random fault plans (loss,
 # bursts, duplication, crashes, recoveries, head kills) against the
@@ -40,9 +57,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
 
-# The engine hot-path benchmarks behind BENCH_PR2.json: a 1000-node
-# (T, L)-HiNet run, cached and uncached. Everything is seeded, so runs are
-# reproducible; -benchmem reports the allocation profile the arena and the
-# stability-window cache are accountable for.
+# The engine hot-path benchmarks behind BENCH_PR2.json and BENCH_PR4.json:
+# a 1000-node (T, L)-HiNet run — cached, uncached, and with the provenance
+# tracer attached (BenchmarkHiNet1kTraced records the tracing-on overhead;
+# plain BenchmarkHiNet1k must hold the PR 2 allocation-free numbers, since
+# a nil tracer takes none of the tracing paths). Everything is seeded, so
+# runs are reproducible; -benchmem reports the allocation profile the
+# arena and the stability-window cache are accountable for.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k' -benchmem -count 3 .

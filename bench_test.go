@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/adversary"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/graph"
 	hinetmodel "repro/internal/hinet"
+	"repro/internal/provenance"
 	"repro/internal/sim"
 	"repro/internal/token"
 	"repro/internal/tvg"
@@ -169,6 +171,30 @@ func BenchmarkHiNet1k(b *testing.B) { benchHiNet1k(b, true) }
 // BenchmarkHiNet1kUncached runs the identical instance with stability
 // knowledge hidden, isolating what the stability-window cache buys.
 func BenchmarkHiNet1kUncached(b *testing.B) { benchHiNet1k(b, false) }
+
+// BenchmarkHiNet1kTraced is the tracing-on counterpart of
+// BenchmarkHiNet1k: the same workload with a provenance tracer attached
+// and its JSONL stream serialised (to io.Discard, so disk speed stays out
+// of the measurement). BENCH_PR4.json records the delta against the
+// tracing-off numbers; BenchmarkHiNet1k itself must stay at the
+// BENCH_PR2.json baseline since a nil tracer takes none of these paths.
+func BenchmarkHiNet1kTraced(b *testing.B) {
+	d, assign, T, rounds := hiNet1kDynamic(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := provenance.New(provenance.Config{Sink: io.Discard})
+		met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size, Tracer: tr,
+		})
+		if !met.Complete {
+			b.Fatalf("1k-node HiNet traced run incomplete: %v", met)
+		}
+		if err := tr.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkSweepN0 measures one non-headline sweep point (n0=40) per
 // iteration; the full sweep is produced by `hinetbench -sweep n0`.

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -44,6 +45,7 @@ import (
 	"repro/internal/multihop"
 	"repro/internal/netcode"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/token"
@@ -63,6 +65,7 @@ func main() {
 		churn    = flag.Int("churn", 10, "random extra edges per round")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		metrics  = flag.String("metrics", "", "write one JSONL round event per round to this file")
+		prov     = flag.String("provenance", "", "write the provenance JSONL stream into this directory")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		drop         = flag.Float64("drop", 0, "i.i.d. per-delivery message loss probability")
@@ -82,15 +85,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hinetsim:", err)
 		os.Exit(1)
 	}
-	mi := &instr{path: *metrics, faults: plan, stall: *stallWindow}
+	mi := &instr{path: *metrics, provDir: *prov, faults: plan, stall: *stallWindow}
 	if *failover > 0 {
 		mi.fo = &core.Failover{Window: *failover}
 	}
 
 	switch *scenario {
 	case "fig1":
-		if *metrics != "" {
-			fmt.Fprintln(os.Stderr, "hinetsim: fig1 runs no simulation; -metrics ignored")
+		if *metrics != "" || *prov != "" {
+			fmt.Fprintln(os.Stderr, "hinetsim: fig1 runs no simulation; -metrics/-provenance ignored")
 		}
 		err = runFig1(*seed)
 	case "fig3":
@@ -166,13 +169,21 @@ func buildFaults(drop float64, burst, crashHeads string, recoverAfter int, seed 
 	return &plan, nil
 }
 
-// instr wires the -metrics and fault flags into a scenario run: attach
-// decorates the engine options with a JSONL collector, the fault plan and
-// the stall watchdog; close flushes the collector.
+// instr wires the -metrics, -provenance and fault flags into a scenario
+// run: attach decorates the engine options with a JSONL collector, a
+// provenance tracer, the fault plan and the stall watchdog; close flushes
+// both streams.
 type instr struct {
 	path string
 	f    *os.File
 	col  *obs.Collector
+
+	provDir string
+	pf      *os.File
+	tracer  *provenance.Tracer
+	// budget arms the tracer's online pace checker; set by scenarios that
+	// run Algorithm 1 under a Theorem 1 schedule, before attach.
+	budget *provenance.Budget
 
 	faults *sim.Faults
 	stall  int
@@ -210,6 +221,24 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 	if in.stall > 0 {
 		opts.StallWindow = in.stall
 	}
+	if in.provDir != "" && in.pf == nil {
+		if err := os.MkdirAll(in.provDir, 0o755); err != nil {
+			return opts, err
+		}
+		pf, err := os.Create(filepath.Join(in.provDir, "provenance.jsonl"))
+		if err != nil {
+			return opts, err
+		}
+		in.pf = pf
+		in.tracer = provenance.New(provenance.Config{
+			Sink:   pf,
+			Budget: in.budget,
+			OnPace: func(v provenance.PaceViolation) {
+				fmt.Fprintln(os.Stderr, "hinetsim: warning:", v)
+			},
+		})
+		opts.Tracer = in.tracer
+	}
 	if in.path == "" || in.f != nil {
 		return opts, nil
 	}
@@ -225,9 +254,26 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 	return opts, nil
 }
 
-// close flushes the collector and reports where the series went.
+// close flushes the collector and the provenance stream and reports where
+// each went.
 func (in *instr) close() error {
-	if in == nil || in.f == nil {
+	if in == nil {
+		return nil
+	}
+	if in.pf != nil {
+		err := in.tracer.Flush()
+		if cerr := in.pf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote provenance stream to %s\n", filepath.Join(in.provDir, "provenance.jsonl"))
+		if pv := in.tracer.PaceViolations(); pv > 0 {
+			fmt.Printf("pace checker: %d violation(s) — the run fell behind the Theorem 1 schedule\n", pv)
+		}
+	}
+	if in.f == nil {
 		return nil
 	}
 	if err := in.col.Flush(); err != nil {
@@ -333,6 +379,7 @@ func runHiNet(n, k, theta, alpha, l, reaffil, churn int, seed uint64, mi *instr)
 		return fmt.Errorf("generated network violates the model: %w", err)
 	}
 	assign := token.Spread(n, k, xrand.New(seed+1))
+	mi.budget = &provenance.Budget{PhaseLen: T, Phases: phases, Alpha: alpha, Theta: theta}
 	opts, err := mi.attach(sim.Options{
 		MaxRounds: phases * T, StopWhenComplete: true,
 	}, n, k, T)

@@ -8,10 +8,24 @@
 //	hinettrace replay -in net.ctvg [-proto alg1|alg2] [-k -seed]
 //	hinettrace probe  -in net.ctvg   # infer which (T, L)-HiNet the trace satisfies
 //	hinettrace stats  -in net.ctvg [-proto alg1|alg2] [-k -t -seed -metrics out.jsonl]
+//	                  [-provenance prov.jsonl] [-format text|json|csv]
+//	hinettrace lineage       -log prov.jsonl -node N -token T [-format ...]
+//	hinettrace critical-path -log prov.jsonl [-token T] [-format ...]
+//	hinettrace redundancy    -log prov.jsonl [-top N] [-format ...]
 //
 // stats replays a recorded trace through the internal/obs layer and prints
 // a phase-by-phase breakdown (uploads, relays, progress, churn, stalls) —
 // the forensic view for diagnosing a run that misses the Theorem 1 bound.
+// It also replays the run through the provenance tracer, reporting
+// first/redundant delivery totals and critical-path depth quantiles; with
+// -provenance the full dissemination DAG is written as JSONL.
+//
+// lineage, critical-path and redundancy read that provenance JSONL back:
+// lineage prints the first-delivery chain that brought one token to one
+// node; critical-path prints each token's slowest acquisition route
+// (member→head→gateway→head→member hop composition, rounds in flight vs
+// queued at heads); redundancy prints the run's wasted-delivery account and
+// its per-sender hotspots.
 package main
 
 import (
@@ -24,6 +38,8 @@ import (
 	"repro/internal/ctvg"
 	"repro/internal/hinet"
 	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/token"
 	"repro/internal/trace"
@@ -47,6 +63,12 @@ func main() {
 		err = probe(os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
+	case "lineage":
+		err = lineage(os.Args[2:])
+	case "critical-path":
+		err = criticalPath(os.Args[2:])
+	case "redundancy":
+		err = redundancy(os.Args[2:])
 	default:
 		usage()
 	}
@@ -57,8 +79,31 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats|lineage|critical-path|redundancy [flags]")
 	os.Exit(2)
+}
+
+// writeTable renders tb to stdout in the requested -format.
+func writeTable(tb *report.Table, format string) error {
+	switch format {
+	case "", "text":
+		return tb.WriteText(os.Stdout)
+	case "json":
+		return tb.WriteJSON(os.Stdout)
+	case "csv":
+		return tb.WriteCSV(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (want text, json or csv)", format)
+	}
+}
+
+// auxOut returns where prose around a table belongs: stdout for text, but
+// stderr for machine formats so the stdout stream stays parseable.
+func auxOut(format string) *os.File {
+	if format == "" || format == "text" {
+		return os.Stdout
+	}
+	return os.Stderr
 }
 
 // probe infers which (T, L)-HiNet model a recorded trace satisfies.
@@ -182,7 +227,8 @@ func replay(args []string) error {
 }
 
 // stats replays a trace through the obs layer and prints the phase-by-phase
-// breakdown. With -metrics it also dumps the raw per-round JSONL series.
+// breakdown. With -metrics it also dumps the raw per-round JSONL series;
+// with -provenance it records the full dissemination DAG.
 func stats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "net.ctvg", "input file")
@@ -191,6 +237,8 @@ func stats(args []string) error {
 	t := fs.Int("t", 12, "Algorithm 1 phase length")
 	seed := fs.Uint64("seed", 1, "token placement seed")
 	metrics := fs.String("metrics", "", "also write the per-round JSONL event stream here")
+	prov := fs.String("provenance", "", "also write the provenance JSONL stream here")
+	format := fs.String("format", "text", "table output: text | json | csv")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,29 +271,235 @@ func stats(args []string) error {
 		cfg.Sink = mf
 	}
 	col := obs.NewCollector(cfg)
+	aux := auxOut(*format)
+	pcfg := provenance.Config{
+		Keep: true,
+		OnPace: func(v provenance.PaceViolation) {
+			fmt.Fprintln(aux, "warning:", v)
+		},
+	}
+	var pf *os.File
+	if *prov != "" {
+		pf, err = os.Create(*prov)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		pcfg.Sink = pf
+	}
+	tracer := provenance.New(pcfg)
 	assign := token.Spread(tr.N(), *k, xrand.New(*seed))
 	met := sim.MustRunProtocol(tr, p, assign, sim.Options{
 		MaxRounds:        tr.Len(),
 		StopWhenComplete: true,
 		Observer:         col.Observer(),
+		Tracer:           tracer,
 		SizeFn:           wire.Size,
 	})
 	if err := col.Flush(); err != nil {
 		return err
 	}
-	events := col.Events()
-	tb := obs.PhaseTable(fmt.Sprintf("%s over %s (n=%d k=%d)", p.Name(), *in, tr.N(), *k), obs.Summarize(events))
-	if err := tb.WriteText(os.Stdout); err != nil {
+	if err := tracer.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("result: %v\n", met)
+	events := col.Events()
+	tb := obs.PhaseTable(fmt.Sprintf("%s over %s (n=%d k=%d)", p.Name(), *in, tr.N(), *k), obs.Summarize(events))
+	if err := writeTable(tb, *format); err != nil {
+		return err
+	}
+	fmt.Fprintf(aux, "result: %v\n", met)
 	if len(events) > 0 {
 		last := events[len(events)-1]
-		fmt.Printf("final progress: %d/%d (%.1f%%)\n", last.Delivered, last.Total, 100*last.ProgressRatio())
+		fmt.Fprintf(aux, "final progress: %d/%d (%.1f%%)\n", last.Delivered, last.Total, 100*last.ProgressRatio())
+	}
+	plog := tracer.Log()
+	if s := plog.Summary; s != nil {
+		fmt.Fprintf(aux, "deliveries: %d first, %d redundant messages (%d redundant token copies)\n",
+			s.First, s.Redundant, s.RedundantTokens)
+	}
+	if p50, p99, ok := depthQuantiles(plog); ok {
+		fmt.Fprintf(aux, "critical-path depth: p50=%.1f p99=%.1f hops\n", p50, p99)
 	}
 	if mf != nil {
-		fmt.Printf("wrote %d per-round events to %s\n", len(events), *metrics)
-		return mf.Sync()
+		fmt.Fprintf(aux, "wrote %d per-round events to %s\n", len(events), *metrics)
+		if err := mf.Sync(); err != nil {
+			return err
+		}
+	}
+	if pf != nil {
+		fmt.Fprintf(aux, "wrote %d provenance edges to %s\n", len(plog.Edges), *prov)
+		return pf.Sync()
 	}
 	return nil
+}
+
+// depthQuantiles folds the log's first-delivery hop depths through an obs
+// histogram with unit buckets and reads off p50/p99.
+func depthQuantiles(l *provenance.Log) (p50, p99 float64, ok bool) {
+	depths := l.Depths()
+	if len(depths) == 0 {
+		return 0, 0, false
+	}
+	maxDepth := 0
+	for _, d := range depths {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	bounds := make([]float64, maxDepth)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := obs.NewHistogram(bounds)
+	for _, d := range depths {
+		h.Observe(float64(d))
+	}
+	return h.Quantile(0.5), h.Quantile(0.99), true
+}
+
+// loadProv reads a provenance JSONL stream from disk.
+func loadProv(path string) (*provenance.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return provenance.ParseLog(f)
+}
+
+// lineage prints the first-delivery chain that brought one token to one
+// node.
+func lineage(args []string) error {
+	fs := flag.NewFlagSet("lineage", flag.ExitOnError)
+	logPath := fs.String("log", "prov.jsonl", "provenance JSONL file")
+	node := fs.Int("node", 0, "node that acquired the token")
+	tok := fs.Int("token", 0, "token to trace")
+	format := fs.String("format", "text", "table output: text | json | csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l, err := loadProv(*logPath)
+	if err != nil {
+		return err
+	}
+	chain, ok := l.Lineage(*node, *tok)
+	if !ok {
+		return fmt.Errorf("node %d never acquired token %d", *node, *tok)
+	}
+	aux := auxOut(*format)
+	if len(chain) == 0 {
+		fmt.Fprintf(aux, "node %d held token %d initially; no lineage\n", *node, *tok)
+		return nil
+	}
+	tb := edgeTable(fmt.Sprintf("lineage of token %d to node %d (%d hops)", *tok, *node, len(chain)), chain)
+	return writeTable(tb, *format)
+}
+
+// edgeTable renders provenance edges as a report table.
+func edgeTable(title string, edges []provenance.Edge) *report.Table {
+	tb := report.NewTable(title, "round", "token", "teacher", "role", "kind", "learner", "cluster")
+	for _, e := range edges {
+		teacher := "-"
+		if e.Teacher != provenance.NoTeacher {
+			teacher = fmt.Sprint(e.Teacher)
+		}
+		tb.AddRowf(e.Round, e.Token, teacher, e.TeacherRole, e.Kind, e.Learner, e.Cluster)
+	}
+	return tb
+}
+
+// criticalPath prints each token's slowest acquisition route: hop depth,
+// end-to-end rounds, rounds queued at holders, and the hop composition by
+// message kind and teacher role.
+func criticalPath(args []string) error {
+	fs := flag.NewFlagSet("critical-path", flag.ExitOnError)
+	logPath := fs.String("log", "prov.jsonl", "provenance JSONL file")
+	tok := fs.Int("token", -1, "single token to report (-1 = all)")
+	format := fs.String("format", "text", "table output: text | json | csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l, err := loadProv(*logPath)
+	if err != nil {
+		return err
+	}
+	var paths []provenance.Path
+	if *tok >= 0 {
+		p, ok := l.TokenCritical(*tok)
+		if !ok {
+			return fmt.Errorf("no first delivery of token %d in the log", *tok)
+		}
+		paths = append(paths, p)
+	} else {
+		paths = l.AllCritical()
+		if len(paths) == 0 {
+			return fmt.Errorf("log has no first deliveries")
+		}
+	}
+	tb := report.NewTable(fmt.Sprintf("critical paths (%s)", *logPath),
+		"token", "slowest-node", "depth", "rounds", "queued",
+		"uploads", "relays", "broadcasts", "coded",
+		"via-member", "via-head", "via-gateway")
+	for _, p := range paths {
+		tb.AddRowf(p.Token, p.Node, p.Depth, p.Rounds, p.Queued,
+			p.KindHops[sim.KindUpload], p.KindHops[sim.KindRelay],
+			p.KindHops[sim.KindBroadcast], p.KindHops[sim.KindCoded],
+			p.RoleHops[ctvg.Member], p.RoleHops[ctvg.Head], p.RoleHops[ctvg.Gateway])
+	}
+	if err := writeTable(tb, *format); err != nil {
+		return err
+	}
+	if p50, p99, ok := depthQuantiles(l); ok {
+		fmt.Fprintf(auxOut(*format), "first-delivery depth over all %d edges: p50=%.1f p99=%.1f hops\n",
+			len(l.Edges), p50, p99)
+	}
+	return nil
+}
+
+// redundancy prints the run's wasted-delivery account and the per-sender
+// hotspots.
+func redundancy(args []string) error {
+	fs := flag.NewFlagSet("redundancy", flag.ExitOnError)
+	logPath := fs.String("log", "prov.jsonl", "provenance JSONL file")
+	top := fs.Int("top", 10, "sender hotspots to list (0 = all)")
+	format := fs.String("format", "text", "table output: text | json | csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l, err := loadProv(*logPath)
+	if err != nil {
+		return err
+	}
+	s := l.Summary
+	if s == nil {
+		return fmt.Errorf("log %s has no summary record (run was not flushed)", *logPath)
+	}
+	aux := auxOut(*format)
+	total := s.First + s.Redundant
+	waste := 0.0
+	if total > 0 {
+		waste = float64(s.Redundant) / float64(total)
+	}
+	fmt.Fprintf(aux, "deliveries: %d first, %d redundant messages (%.1f%% of useful+redundant), %d redundant token copies\n",
+		s.First, s.Redundant, 100*waste, s.RedundantTokens)
+	fmt.Fprintf(aux, "redundant by kind: broadcast=%d upload=%d relay=%d coded=%d\n",
+		s.RedundantByKind[sim.KindBroadcast], s.RedundantByKind[sim.KindUpload],
+		s.RedundantByKind[sim.KindRelay], s.RedundantByKind[sim.KindCoded])
+	if s.PaceViolations > 0 {
+		fmt.Fprintf(aux, "pace violations: %d (run fell behind the Theorem 1 schedule)\n", s.PaceViolations)
+	}
+	rows := s.BySender
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+	tb := report.NewTable(fmt.Sprintf("redundant-message hotspots (%s)", *logPath),
+		"sender", "redundant-msgs", "share")
+	for _, r := range rows {
+		share := "-"
+		if s.Redundant > 0 {
+			share = report.Pct(float64(r.Count) / float64(s.Redundant))
+		}
+		tb.AddRowf(r.Node, r.Count, share)
+	}
+	return writeTable(tb, *format)
 }

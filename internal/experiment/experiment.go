@@ -29,6 +29,7 @@ import (
 	"repro/internal/ctvg"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/provenance"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/token"
@@ -55,6 +56,12 @@ type PointConfig struct {
 	// directory (see internal/obs for the schema). The directory is
 	// created if missing.
 	MetricsDir string
+	// ProvenanceDir, when non-empty, makes every replication record its
+	// dissemination DAG as <row-slug>_seed<NN>.prov.jsonl in that directory
+	// (see internal/provenance for the schema). The Algorithm 1 row runs
+	// with the Theorem 1 pace checker armed; its violation count is summed
+	// into the row's PaceViolations. The directory is created if missing.
+	ProvenanceDir string
 	// NoCache disables the engine's stability-window cache
 	// (sim.Options.NoStabilityCache) in every replication — the A/B switch
 	// for verifying the cache changes timings only, never results.
@@ -105,6 +112,13 @@ type RowResult struct {
 	Completed int
 	// Seeds is the replication count.
 	Seeds int
+	// FirstDeliveries and RedundantDeliveries are mean per-replication
+	// provenance totals (0 unless ProvenanceDir enabled tracing).
+	FirstDeliveries     float64
+	RedundantDeliveries float64
+	// PaceViolations sums Theorem 1 pace warnings across replications
+	// (Algorithm 1 rows with tracing only).
+	PaceViolations int
 }
 
 // measured runs a protocol/adversary pairing over seeds and aggregates.
@@ -115,6 +129,10 @@ type runSpec struct {
 	slug       string
 	phaseLen   int
 	metricsDir string
+	provDir    string
+	// paceBudget arms the provenance tracer's pace checker (Algorithm 1
+	// rows only; nil leaves the checker off).
+	paceBudget *provenance.Budget
 	budget     int
 	build      func(seed uint64) (ctvg.Dynamic, sim.Protocol)
 	k          int
@@ -127,13 +145,16 @@ type runSpec struct {
 
 func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 	type sample struct {
-		time     int
-		comm     int64
-		bytes    int64
-		relay    int64
-		member   int64
-		complete bool
-		err      error
+		time      int
+		comm      int64
+		bytes     int64
+		relay     int64
+		member    int64
+		first     int64
+		redundant int64
+		pace      int
+		complete  bool
+		err       error
 	}
 	samples := parallel.Map(spec.seeds, spec.workers, func(i int) sample {
 		seed := uint64(i)*1_000_003 + 17
@@ -166,10 +187,28 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			})
 			opts.Observer = col.Observer()
 		}
+		var tracer *provenance.Tracer
+		var pf *os.File
+		if spec.provDir != "" {
+			path := filepath.Join(spec.provDir, fmt.Sprintf("%s_seed%02d.prov.jsonl", spec.slug, i))
+			var err error
+			pf, err = os.Create(path)
+			if err != nil {
+				if mf != nil {
+					mf.Close()
+				}
+				return sample{err: err}
+			}
+			tracer = provenance.New(provenance.Config{Sink: pf, Budget: spec.paceBudget})
+			opts.Tracer = tracer
+		}
 		met, err := sim.RunProtocol(d, p, assign, opts)
 		if err != nil {
 			if mf != nil {
 				mf.Close()
+			}
+			if pf != nil {
+				pf.Close()
 			}
 			return sample{err: err}
 		}
@@ -182,18 +221,33 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 				return sample{err: err}
 			}
 		}
+		if tracer != nil {
+			err := tracer.Flush()
+			if cerr := pf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return sample{err: err}
+			}
+		}
 		t := met.CompletionRound
 		if !met.Complete {
 			t = spec.budget
 		}
-		return sample{
-			time:     t,
-			comm:     met.TokensSent,
-			bytes:    met.BytesSent,
-			relay:    met.TokensByRole[ctvg.Head] + met.TokensByRole[ctvg.Gateway],
-			member:   met.TokensByRole[ctvg.Member] + met.TokensByRole[ctvg.Unaffiliated],
-			complete: met.Complete,
+		s := sample{
+			time:      t,
+			comm:      met.TokensSent,
+			bytes:     met.BytesSent,
+			relay:     met.TokensByRole[ctvg.Head] + met.TokensByRole[ctvg.Gateway],
+			member:    met.TokensByRole[ctvg.Member] + met.TokensByRole[ctvg.Unaffiliated],
+			first:     met.FirstDeliveries,
+			redundant: met.RedundantDeliveries,
+			complete:  met.Complete,
 		}
+		if tracer != nil {
+			s.pace = tracer.PaceViolations()
+		}
+		return s
 	})
 	for _, s := range samples {
 		if s.err != nil {
@@ -208,13 +262,16 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 	}
 	times := make([]float64, 0, len(samples))
 	comms := make([]float64, 0, len(samples))
-	var bytesSum, relaySum, memberSum float64
+	var bytesSum, relaySum, memberSum, firstSum, redunSum float64
 	for _, s := range samples {
 		times = append(times, float64(s.time))
 		comms = append(comms, float64(s.comm))
 		bytesSum += float64(s.bytes)
 		relaySum += float64(s.relay)
 		memberSum += float64(s.member)
+		firstSum += float64(s.first)
+		redunSum += float64(s.redundant)
+		res.PaceViolations += s.pace
 		if s.complete {
 			res.Completed++
 		}
@@ -226,6 +283,8 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 	res.MeasuredBytes = bytesSum / float64(spec.seeds)
 	res.RelayTokens = relaySum / float64(spec.seeds)
 	res.MemberTokens = memberSum / float64(spec.seeds)
+	res.FirstDeliveries = firstSum / float64(spec.seeds)
+	res.RedundantDeliveries = redunSum / float64(spec.seeds)
 	return res, nil
 }
 
@@ -258,6 +317,11 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return nil, err
 		}
 	}
+	if cfg.ProvenanceDir != "" {
+		if err := os.MkdirAll(cfg.ProvenanceDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	n, k, alpha, L, theta := p.N0, p.K, p.Alpha, p.L, p.Theta
 	T := p.T()
 
@@ -265,7 +329,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	kloTPhases := baseline.KLOTPhases(n, T, k)
 	rowKLOT, err := runRow(runSpec{
 		model: "(k+α*L)-interval connected [7]",
-		slug:  "klo_t", phaseLen: T, metricsDir: cfg.MetricsDir,
+		slug:  "klo_t", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
 		budget: kloTPhases * T,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
@@ -282,8 +346,9 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	nrTotalT := cfg.P.NM * cfg.NRT
 	rowAlg1, err := runRow(runSpec{
 		model: "(k+α*L, L)-HiNet",
-		slug:  "alg1", phaseLen: T, metricsDir: cfg.MetricsDir,
-		budget: alg1Phases * T,
+		slug:  "alg1", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
+		paceBudget: &provenance.Budget{PhaseLen: T, Phases: alg1Phases, Alpha: alpha, Theta: theta},
+		budget:     alg1Phases * T,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewHiNet(adversary.HiNetConfig{
 				N: n, Theta: theta, L: L, T: T,
@@ -301,7 +366,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	// Row 3: KLO 1-interval flooding.
 	rowFlood, err := runRow(runSpec{
 		model: "1-interval connected [7]",
-		slug:  "flood", phaseLen: 1, metricsDir: cfg.MetricsDir,
+		slug:  "flood", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
 		budget: baseline.FloodRounds(n),
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
@@ -318,7 +383,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	nrTotal1 := cfg.P.NM * cfg.NR1
 	rowAlg2, err := runRow(runSpec{
 		model: "(1, L)-HiNet",
-		slug:  "alg2", phaseLen: 1, metricsDir: cfg.MetricsDir,
+		slug:  "alg2", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
 		budget: budget1,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewHiNet(adversary.HiNetConfig{

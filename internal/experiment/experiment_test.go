@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 func TestTable3PointShape(t *testing.T) {
@@ -98,13 +99,16 @@ func TestTable3Report(t *testing.T) {
 }
 
 func TestRunPointRecordsSeedSeries(t *testing.T) {
-	// With MetricsDir set, every row × seed must leave a parseable
-	// per-round JSONL series whose final delivered count reflects the
-	// row's completion.
+	// With MetricsDir and ProvenanceDir set, every row × seed must leave a
+	// parseable per-round JSONL series whose final delivered count reflects
+	// the row's completion, and a parseable provenance stream whose edge
+	// count reconciles with it.
 	dir := t.TempDir()
 	cfg := Table3Config(2)
 	cfg.MetricsDir = filepath.Join(dir, "series")
-	if _, err := RunPoint(cfg); err != nil {
+	cfg.ProvenanceDir = filepath.Join(dir, "prov")
+	rows, err := RunPoint(cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, slug := range []string{"klo_t", "alg1", "flood", "alg2"} {
@@ -147,6 +151,45 @@ func TestRunPointRecordsSeedSeries(t *testing.T) {
 		if e.Phase != e.Round/T {
 			t.Fatalf("round %d labelled phase %d, want %d", e.Round, e.Phase, e.Round/T)
 		}
+	}
+
+	// Every row × seed must also leave a parseable provenance stream: a
+	// completed run's edge count is exactly the n·k pairs minus the initial
+	// holders, and the obs series' first-delivery column reconciles with it.
+	for _, slug := range []string{"klo_t", "alg1", "flood", "alg2"} {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			path := filepath.Join(cfg.ProvenanceDir, fmt.Sprintf("%s_seed%02d.prov.jsonl", slug, seed))
+			pf, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plog, err := provenance.ParseLog(pf)
+			pf.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			initial := 0
+			for _, hs := range plog.Meta.Holders {
+				initial += len(hs)
+			}
+			if want := plog.Meta.N*plog.Meta.K - initial; len(plog.Edges) != want {
+				t.Fatalf("%s: %d edges, want %d (complete run)", path, len(plog.Edges), want)
+			}
+			if plog.Summary == nil || plog.Summary.First != int64(len(plog.Edges)) {
+				t.Fatalf("%s: summary does not reconcile with the edge stream", path)
+			}
+		}
+	}
+	// All four rows carry mean delivery accounting, and the fault-free
+	// Algorithm 1 row must satisfy the Theorem 1 pace (the acceptance
+	// criterion: the checker stays silent on conformant runs).
+	for _, r := range rows {
+		if r.FirstDeliveries <= 0 {
+			t.Fatalf("%s: no first-delivery accounting", r.Model)
+		}
+	}
+	if rows[1].PaceViolations != 0 {
+		t.Fatalf("alg1 row reports %d pace violations on fault-free runs", rows[1].PaceViolations)
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"io"
+	"sort"
 
 	"repro/internal/ctvg"
 	"repro/internal/graph"
@@ -46,6 +47,8 @@ type regInstruments struct {
 	handovers    *Counter
 	floodFalls   *Counter
 	stalledRuns  *Counter
+	firstDeliv   *Counter
+	redunDeliv   *Counter
 	msgsKind     [sim.NumKinds]*Counter
 	tokensKind   [sim.NumKinds]*Counter
 	msgsRole     [sim.NumRoles]*Counter
@@ -73,6 +76,8 @@ func newRegInstruments(r *Registry) *regInstruments {
 		handovers:    r.Counter("sim_handovers_total", "members self-promoted to acting cluster head"),
 		floodFalls:   r.Counter("sim_flood_fallbacks_total", "nodes escalated to blind flooding"),
 		stalledRuns:  r.Counter("sim_stalled_runs_total", "runs terminated by the stall watchdog"),
+		firstDeliv:   r.Counter("sim_first_deliveries_total", "(node, token) pairs first acquired (provenance tracer attached)"),
+		redunDeliv:   r.Counter("sim_redundant_deliveries_total", "cost-bearing messages that taught their receiver nothing (provenance tracer attached)"),
 		headChanges:  r.Counter("sim_head_changes_total", "nodes whose head-ness flipped between rounds"),
 		reaffil:      r.Counter("sim_reaffiliations_total", "members that switched clusters between rounds"),
 		gatewayFlips: r.Counter("sim_gateway_flips_total", "nodes entering or leaving gateway duty"),
@@ -149,6 +154,7 @@ func (c *Collector) Observer() *sim.Observer {
 		Crashed:    c.crashed,
 		Recovered:  c.recovered,
 		Noted:      c.noted,
+		Deliveries: c.deliveries,
 		LinkFaults: c.linkFaults,
 		Stalled:    c.stalled,
 	}
@@ -259,6 +265,12 @@ func (c *Collector) noted(r, v int, kind sim.NoteKind) {
 	}
 }
 
+func (c *Collector) deliveries(r, first, redundant int) {
+	c.ensure(r)
+	c.cur.FirstDeliveries += first
+	c.cur.RedundantDeliveries += redundant
+}
+
 func (c *Collector) linkFaults(r, drops, dups int) {
 	c.ensure(r)
 	c.cur.Drops += int64(drops)
@@ -275,6 +287,13 @@ func (c *Collector) stalled(r int, rep *sim.StallReport) {
 func (c *Collector) finalize() {
 	e := &c.cur
 	e.Idle = e.Messages == 0
+	// Defensive normalisation before anything (JSONL, registry, provenance
+	// consumers) reads the crash/recovery lists: the engine emits both
+	// sorted and without duplicates, but a combined observer chain or a
+	// replayed trace may not — and duplicate entries skew the redundancy
+	// accounting downstream.
+	e.Crashed = sortDedup(e.Crashed)
+	e.Recovered = sortDedup(e.Recovered)
 	if e.Delivered <= c.prevDelivered && (e.Total <= 0 || e.Delivered < e.Total) {
 		c.stall++
 	} else {
@@ -305,6 +324,8 @@ func (c *Collector) finalize() {
 		if e.Stalled {
 			ri.stalledRuns.Inc()
 		}
+		ri.firstDeliv.Add(int64(e.FirstDeliveries))
+		ri.redunDeliv.Add(int64(e.RedundantDeliveries))
 		for i := range ri.msgsKind {
 			ri.msgsKind[i].Add(e.MsgsByKind[i])
 			ri.tokensKind[i].Add(e.TokensByKind[i])
@@ -327,6 +348,21 @@ func (c *Collector) finalize() {
 		ev.Recovered = append([]int(nil), e.Recovered...)
 		c.events = append(c.events, ev)
 	}
+}
+
+// sortDedup sorts xs ascending and removes adjacent duplicates in place.
+func sortDedup(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // Flush finalises the in-flight round and drains the sink buffer. Call it
@@ -423,6 +459,15 @@ func Combine(list ...*sim.Observer) *sim.Observer {
 					prev(r, v, kind)
 				}
 				o.Noted(r, v, kind)
+			}
+		}
+		if o.Deliveries != nil {
+			prev := out.Deliveries
+			out.Deliveries = func(r, first, redundant int) {
+				if prev != nil {
+					prev(r, first, redundant)
+				}
+				o.Deliveries(r, first, redundant)
 			}
 		}
 		if o.LinkFaults != nil {

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bytes"
+	"slices"
 	"strings"
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/ctvg"
 	"repro/internal/sim"
@@ -211,6 +213,183 @@ func TestCollectorCrashEvents(t *testing.T) {
 	}
 	if c := reg.Counter("sim_crashes_total", ""); c.Value() != 3 {
 		t.Fatalf("crash counter %d, want 3", c.Value())
+	}
+}
+
+func TestCrashRecoveryListsSortedDeduped(t *testing.T) {
+	// Regression for the sharded-collector normalisation: the engine emits
+	// crash/recovery callbacks sorted and once each, but a combined observer
+	// chain or a replayed trace may not — and duplicated entries would skew
+	// the provenance layer's redundancy accounting and the crash counters.
+	// The collector must sort and deduplicate before the event is finalised.
+	reg := NewRegistry()
+	col := NewCollector(Config{N: 8, K: 2, Registry: reg, Keep: true})
+	o := col.Observer()
+	o.Crashed(0, 5)
+	o.Crashed(0, 3)
+	o.Crashed(0, 5) // duplicate
+	o.Crashed(0, 1)
+	o.Recovered(1, 4)
+	o.Recovered(1, 4) // duplicate
+	o.Recovered(1, 2)
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	if got := events[0].Crashed; !slices.Equal(got, []int{1, 3, 5}) {
+		t.Fatalf("round 0 crashes %v, want sorted deduped [1 3 5]", got)
+	}
+	if got := events[1].Recovered; !slices.Equal(got, []int{2, 4}) {
+		t.Fatalf("round 1 recoveries %v, want sorted deduped [2 4]", got)
+	}
+	// The counters must see the normalised lists, not the raw callbacks.
+	if c := reg.Counter("sim_crashes_total", ""); c.Value() != 3 {
+		t.Fatalf("crash counter %d, want 3", c.Value())
+	}
+	if c := reg.Counter("sim_recoveries_total", ""); c.Value() != 2 {
+		t.Fatalf("recovery counter %d, want 2", c.Value())
+	}
+}
+
+// stubTracer drives the engine's delivery accounting with fixed per-round
+// counts so the obs plumbing can be tested without importing the provenance
+// package (which depends on obs and would cycle).
+type stubTracer struct{ first, redundant int }
+
+func (s *stubTracer) RunStart(n, k, shards int, nodes []sim.Node) {}
+func (s *stubTracer) RoundStart(r int, hier *ctvg.Hierarchy)      {}
+func (s *stubTracer) Delivered(shard, v int, vw *sim.View, inbox []*sim.Message, tokens *bitset.Set) {
+}
+func (s *stubTracer) RoundEnd(r int, crashed []bool) (int, int) { return s.first, s.redundant }
+
+func TestDeliveriesFlowThroughEvents(t *testing.T) {
+	// Tracer-reported delivery counts must reach the round events, the
+	// JSONL stream (surviving a ParseEvents round trip) and the registry.
+	const n, k, T, rounds = 16, 3, 5, 10
+	tr := testTrace(t, n, rounds, T)
+	assign := token.Spread(n, k, xrand.New(2))
+	reg := NewRegistry()
+	var sink bytes.Buffer
+	col := NewCollector(Config{N: n, K: k, PhaseLen: T, Sink: &sink, Registry: reg, Keep: true})
+	met := sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+		MaxRounds: rounds,
+		Observer:  col.Observer(),
+		Tracer:    &stubTracer{first: 3, redundant: 2},
+	})
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if met.FirstDeliveries != 3*int64(met.Rounds) || met.RedundantDeliveries != 2*int64(met.Rounds) {
+		t.Fatalf("engine metrics (%d, %d) don't fold the tracer counts over %d rounds",
+			met.FirstDeliveries, met.RedundantDeliveries, met.Rounds)
+	}
+	events := col.Events()
+	if len(events) != met.Rounds {
+		t.Fatalf("%d events, want %d", len(events), met.Rounds)
+	}
+	for i, e := range events {
+		if e.FirstDeliveries != 3 || e.RedundantDeliveries != 2 {
+			t.Fatalf("event %d carries (%d, %d), want (3, 2)", i, e.FirstDeliveries, e.RedundantDeliveries)
+		}
+	}
+	raw := sink.Bytes()
+	if !bytes.Contains(raw, []byte(`"first_deliveries":3`)) ||
+		!bytes.Contains(raw, []byte(`"redundant_deliveries":2`)) {
+		t.Fatalf("JSONL missing delivery fields:\n%s", raw)
+	}
+	parsed, err := ParseEvents(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parsed {
+		if parsed[i].FirstDeliveries != events[i].FirstDeliveries ||
+			parsed[i].RedundantDeliveries != events[i].RedundantDeliveries {
+			t.Fatalf("event %d delivery fields changed over the wire", i)
+		}
+	}
+	if c := reg.Counter("sim_first_deliveries_total", ""); c.Value() != met.FirstDeliveries {
+		t.Fatalf("first-delivery counter %d, want %d", c.Value(), met.FirstDeliveries)
+	}
+	if c := reg.Counter("sim_redundant_deliveries_total", ""); c.Value() != met.RedundantDeliveries {
+		t.Fatalf("redundant-delivery counter %d, want %d", c.Value(), met.RedundantDeliveries)
+	}
+}
+
+func TestStallEventUnderParallelEngine(t *testing.T) {
+	// Crashing the whole population stalls dissemination; the watchdog's
+	// report and the collector's stalled/stall fields must agree, and the
+	// parallel engine must emit an event stream byte-identical to serial.
+	const n, k, T, window = 16, 3, 5, 4
+	tr := testTrace(t, n, 40, T)
+	assign := token.Spread(n, k, xrand.New(4))
+	crashAll := map[int]int{}
+	for v := 0; v < n; v++ {
+		crashAll[v] = 2
+	}
+	run := func(workers int) ([]byte, []RoundEvent, *sim.Metrics, *Registry) {
+		reg := NewRegistry()
+		var sink bytes.Buffer
+		col := NewCollector(Config{N: n, K: k, PhaseLen: T, Sink: &sink, Registry: reg, Keep: true})
+		met := sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds:   40,
+			StallWindow: window,
+			Workers:     workers,
+			Observer:    col.Observer(),
+			Faults:      &sim.Faults{CrashAt: crashAll},
+		})
+		if err := col.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Bytes(), col.Events(), met, reg
+	}
+	serialRaw, events, met, reg := run(0)
+	if met.Complete || met.Stall == nil {
+		t.Fatalf("run did not stall: %v", met)
+	}
+	// The report renders every population term.
+	s := met.Stall.String()
+	for _, want := range []string{
+		"stalled at round", "no progress for 4 rounds",
+		"0 live", "16 down", "0 pending recovery",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("StallReport %q missing %q", s, want)
+		}
+	}
+	// Exactly the final event is marked stalled, its round matches the
+	// report, and its Stall streak covers the watchdog window.
+	last := events[len(events)-1]
+	if !last.Stalled || last.Round != met.Stall.Round {
+		t.Fatalf("final event %+v does not record the stall at round %d", last, met.Stall.Round)
+	}
+	if last.Stall < window {
+		t.Fatalf("final event stall streak %d < window %d", last.Stall, window)
+	}
+	for _, e := range events[:len(events)-1] {
+		if e.Stalled {
+			t.Fatalf("round %d marked stalled before the watchdog fired", e.Round)
+		}
+	}
+	if c := reg.Counter("sim_stalled_runs_total", ""); c.Value() != 1 {
+		t.Fatalf("stalled-runs counter %d, want 1", c.Value())
+	}
+	if !bytes.Contains(serialRaw, []byte(`"stalled":true`)) {
+		t.Fatalf("JSONL stream does not mark the stalled round:\n%s", serialRaw)
+	}
+	for _, workers := range []int{2, 4} {
+		parRaw, _, pmet, preg := run(workers)
+		if !bytes.Equal(serialRaw, parRaw) {
+			t.Fatalf("workers=%d: stalled event stream diverges from serial", workers)
+		}
+		if pmet.Stall == nil || pmet.Stall.Round != met.Stall.Round {
+			t.Fatalf("workers=%d: stall report diverges: %+v vs %+v", workers, pmet.Stall, met.Stall)
+		}
+		if c := preg.Counter("sim_stalled_runs_total", ""); c.Value() != 1 {
+			t.Fatalf("workers=%d: stalled-runs counter %d, want 1", workers, c.Value())
+		}
 	}
 }
 

@@ -64,6 +64,12 @@ type RoundEvent struct {
 	// nodes that escalated to blind flooding.
 	Handovers      int
 	FloodFallbacks int
+	// FirstDeliveries / RedundantDeliveries carry the provenance tracer's
+	// per-round accounting: (node, token) pairs first acquired this round,
+	// and cost-bearing messages that taught their receiver nothing. Both
+	// stay 0 unless the run attached a sim.Tracer.
+	FirstDeliveries     int
+	RedundantDeliveries int
 	// Stalled marks the round on which the engine's stall watchdog
 	// terminated the run (at most one event per run has it set).
 	Stalled bool
@@ -159,6 +165,10 @@ func (e *RoundEvent) AppendJSON(buf []byte) []byte {
 	b = strconv.AppendInt(b, int64(e.Handovers), 10)
 	b = append(b, `,"flood_fallback":`...)
 	b = strconv.AppendInt(b, int64(e.FloodFallbacks), 10)
+	b = append(b, `,"first_deliveries":`...)
+	b = strconv.AppendInt(b, int64(e.FirstDeliveries), 10)
+	b = append(b, `,"redundant_deliveries":`...)
+	b = strconv.AppendInt(b, int64(e.RedundantDeliveries), 10)
 	b = append(b, `,"stalled":`...)
 	b = strconv.AppendBool(b, e.Stalled)
 	b = append(b, '}')
@@ -190,6 +200,8 @@ type eventJSON struct {
 	Dups           int64            `json:"dups"`
 	Handovers      int              `json:"handover"`
 	FloodFallbacks int              `json:"flood_fallback"`
+	FirstDeliv     int              `json:"first_deliveries"`
+	RedundantDeliv int              `json:"redundant_deliveries"`
 	Stalled        bool             `json:"stalled"`
 }
 
@@ -209,26 +221,28 @@ func ParseEvents(r io.Reader) ([]RoundEvent, error) {
 			return nil, fmt.Errorf("obs: event %d: %w", len(out), err)
 		}
 		e := RoundEvent{
-			Round:          ej.Round,
-			Phase:          ej.Phase,
-			Messages:       ej.Msgs,
-			Tokens:         ej.Tokens,
-			Bytes:          ej.Bytes,
-			Delivered:      ej.Delivered,
-			Total:          ej.Total,
-			Idle:           ej.Idle,
-			Stall:          ej.Stall,
-			Heads:          ej.Heads,
-			HeadChanges:    ej.HeadChanges,
-			Reaffiliations: ej.Reaffiliations,
-			GatewayFlips:   ej.GatewayFlips,
-			Crashed:        ej.Crashed,
-			Recovered:      ej.Recovered,
-			Drops:          ej.Drops,
-			Dups:           ej.Dups,
-			Handovers:      ej.Handovers,
-			FloodFallbacks: ej.FloodFallbacks,
-			Stalled:        ej.Stalled,
+			Round:               ej.Round,
+			Phase:               ej.Phase,
+			Messages:            ej.Msgs,
+			Tokens:              ej.Tokens,
+			Bytes:               ej.Bytes,
+			Delivered:           ej.Delivered,
+			Total:               ej.Total,
+			Idle:                ej.Idle,
+			Stall:               ej.Stall,
+			Heads:               ej.Heads,
+			HeadChanges:         ej.HeadChanges,
+			Reaffiliations:      ej.Reaffiliations,
+			GatewayFlips:        ej.GatewayFlips,
+			Crashed:             ej.Crashed,
+			Recovered:           ej.Recovered,
+			Drops:               ej.Drops,
+			Dups:                ej.Dups,
+			Handovers:           ej.Handovers,
+			FloodFallbacks:      ej.FloodFallbacks,
+			FirstDeliveries:     ej.FirstDeliv,
+			RedundantDeliveries: ej.RedundantDeliv,
+			Stalled:             ej.Stalled,
 		}
 		fillCounts(&e.MsgsByKind, &kindNames, ej.MsgsKind)
 		fillCounts(&e.TokensByKind, &kindNames, ej.TokensKind)

@@ -107,6 +107,50 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (q clamped to [0, 1]) by linear
+// interpolation within the bucket containing the target rank, in the style
+// of Prometheus' histogram_quantile: each bucket's observations are
+// assumed uniformly spread between its lower and upper edge (the first
+// bucket interpolates from 0, or collapses to its bound when that bound is
+// ≤ 0). Ranks that land in the implicit +Inf bucket clamp to the highest
+// finite bound. It returns NaN on an empty histogram, and the mean for a
+// boundless count/sum histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	count := h.count.Load()
+	if count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	if len(h.bounds) == 0 {
+		return h.Sum() / float64(count)
+	}
+	rank := q * float64(count)
+	var cum int64
+	for i, upper := range h.bounds {
+		bc := h.buckets[i].Load()
+		if float64(cum+bc) >= rank {
+			if bc == 0 {
+				// The rank lands exactly on a cumulative boundary of an
+				// empty bucket; its upper edge is the tightest claim.
+				return upper
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if upper <= 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-float64(cum))/float64(bc)
+		}
+		cum += bc
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,67 @@ func TestHistogramBuckets(t *testing.T) {
 		if got := h.buckets[i].Load(); got != w {
 			t.Fatalf("bucket %d = %d, want %d", i, got, w)
 		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// Ten observations land in (0, 10] and ten in (10, 20]; under the
+	// uniform-within-bucket assumption the distribution is effectively
+	// uniform on (0, 20], so quantiles interpolate linearly.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0},
+		{0.25, 5},
+		{0.5, 10},
+		{0.75, 15},
+		{0.9, 18},
+		{1, 20},
+		{-3, 0}, // clamps to q=0
+		{7, 20}, // clamps to q=1
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram and NaN rank both yield NaN.
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h.Observe(1.5)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+
+	// Ranks landing in the implicit +Inf bucket clamp to the highest
+	// finite bound — the tightest claim the bucket layout can make.
+	inf := NewHistogram([]float64{1, 2})
+	inf.Observe(100)
+	if got := inf.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 2", got)
+	}
+
+	// A boundless count/sum histogram falls back to the mean.
+	mean := NewHistogram(nil)
+	mean.Observe(3)
+	mean.Observe(5)
+	if got := mean.Quantile(0.9); got != 4 {
+		t.Fatalf("boundless quantile = %v, want mean 4", got)
+	}
+
+	// A first bucket with a non-positive upper edge cannot interpolate
+	// from 0 and collapses to its bound.
+	zero := NewHistogram([]float64{0, 5})
+	zero.Observe(0)
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-bound quantile = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,364 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/ctvg"
+	"repro/internal/sim"
+)
+
+// Edge is one first delivery: node Learner acquired Token in round Round
+// from the message described by the remaining fields. The edges of a run,
+// grouped by token, form that token's dissemination DAG (in fact a tree:
+// exactly one in-edge per (learner, token) pair).
+type Edge struct {
+	// Round is the engine round whose deliver phase taught the token.
+	Round int
+	// Token is the token learned.
+	Token int
+	// Learner is the node that first acquired the token.
+	Learner int
+	// Teacher is the sender of the message credited with the delivery, or
+	// NoTeacher when no single message can be credited (a network-coded
+	// decode that combined several packets).
+	Teacher int
+	// Kind is the credited message's kind.
+	Kind sim.MsgKind
+	// TeacherRole is the teacher's cluster role in the delivery round
+	// (ctvg.Unaffiliated when Teacher is NoTeacher).
+	TeacherRole ctvg.Role
+	// Cluster is the learner's cluster head at delivery time, or
+	// ctvg.NoCluster.
+	Cluster int
+}
+
+// NoTeacher marks an edge whose delivery cannot be credited to a single
+// message (multi-packet network-coded decodes).
+const NoTeacher = -1
+
+// RoundRec is the per-round provenance accounting record.
+type RoundRec struct {
+	Round int
+	// First is the number of first deliveries ((node, token) pairs newly
+	// acquired) this round; Redundant is the number of cost-bearing
+	// messages heard by a live node that taught it nothing new; and
+	// RedundantTokens counts the individual token copies those and all
+	// other non-coded deliveries carried beyond first use.
+	First           int
+	Redundant       int
+	RedundantTokens int64
+	// HeadMin is the minimum token count over live cluster heads at the
+	// round barrier (-1 when no head is live); Heads is the live head
+	// count.
+	HeadMin int
+	Heads   int
+}
+
+// PaceViolation is one structured warning from the online pace checker:
+// at the end of 1-based phase Phase (round Round), the weakest live head
+// held HeadMin tokens but Theorem 1's schedule required Required.
+type PaceViolation struct {
+	Round    int
+	Phase    int
+	HeadMin  int
+	Required int
+}
+
+// String formats the warning on one line.
+func (p PaceViolation) String() string {
+	return fmt.Sprintf("pace violation at round %d (end of phase %d): weakest live head holds %d tokens, Theorem 1 pace requires %d",
+		p.Round, p.Phase, p.HeadMin, p.Required)
+}
+
+// Meta is the run header of a provenance stream.
+type Meta struct {
+	N int
+	K int
+	// PhaseLen/Phases/Alpha/Theta mirror the Budget when pace checking was
+	// configured (all zero otherwise).
+	PhaseLen int
+	Phases   int
+	Alpha    int
+	Theta    int
+	// Holders[t] lists the nodes initially holding token t, ascending —
+	// the roots of token t's dissemination DAG.
+	Holders [][]int
+}
+
+// SenderRedundancy is one row of the redundancy hotspot account.
+type SenderRedundancy struct {
+	Node  int
+	Count int64
+}
+
+// Summary is the run-level account emitted once at Flush.
+type Summary struct {
+	First           int64
+	Redundant       int64
+	RedundantTokens int64
+	RedundantByKind [sim.NumKinds]int64
+	PaceViolations  int
+	// BySender lists per-sender redundant-message counts, descending by
+	// count (ascending node ID among ties); senders with zero redundancy
+	// are omitted.
+	BySender []SenderRedundancy
+}
+
+// Log is a fully parsed (or Keep-retained) provenance stream.
+type Log struct {
+	Meta    Meta
+	Edges   []Edge
+	Rounds  []RoundRec
+	Pace    []PaceViolation
+	Summary *Summary
+}
+
+var kindNames = [sim.NumKinds]string{"broadcast", "upload", "relay", "coded"}
+var roleNames = [ctvg.Unaffiliated + 1]string{"member", "head", "gateway", "unaffiliated"}
+
+func kindFromName(s string) (sim.MsgKind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return sim.MsgKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("provenance: unknown message kind %q", s)
+}
+
+func roleFromName(s string) (ctvg.Role, error) {
+	for i, n := range roleNames {
+		if n == s {
+			return ctvg.Role(i), nil
+		}
+	}
+	return 0, fmt.Errorf("provenance: unknown role %q", s)
+}
+
+// appendIntList renders [1,2,3].
+func appendIntList(b []byte, xs []int) []byte {
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return append(b, ']')
+}
+
+// The Append* functions below render each record type as one JSON object
+// (no trailing newline) with a fixed key order, so equal records encode to
+// equal bytes — the property the serial-vs-parallel determinism tests
+// assert on. Every record carries a "t" discriminator as its first key.
+
+// AppendMetaJSON appends the run header record.
+func AppendMetaJSON(b []byte, m *Meta) []byte {
+	b = append(b, `{"t":"meta","n":`...)
+	b = strconv.AppendInt(b, int64(m.N), 10)
+	b = append(b, `,"k":`...)
+	b = strconv.AppendInt(b, int64(m.K), 10)
+	b = append(b, `,"phase_len":`...)
+	b = strconv.AppendInt(b, int64(m.PhaseLen), 10)
+	b = append(b, `,"phases":`...)
+	b = strconv.AppendInt(b, int64(m.Phases), 10)
+	b = append(b, `,"alpha":`...)
+	b = strconv.AppendInt(b, int64(m.Alpha), 10)
+	b = append(b, `,"theta":`...)
+	b = strconv.AppendInt(b, int64(m.Theta), 10)
+	b = append(b, `,"holders":[`...)
+	for i, hs := range m.Holders {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendIntList(b, hs)
+	}
+	return append(b, ']', '}')
+}
+
+// AppendEdgeJSON appends one first-delivery edge record.
+func AppendEdgeJSON(b []byte, e *Edge) []byte {
+	b = append(b, `{"t":"edge","round":`...)
+	b = strconv.AppendInt(b, int64(e.Round), 10)
+	b = append(b, `,"token":`...)
+	b = strconv.AppendInt(b, int64(e.Token), 10)
+	b = append(b, `,"learner":`...)
+	b = strconv.AppendInt(b, int64(e.Learner), 10)
+	b = append(b, `,"teacher":`...)
+	b = strconv.AppendInt(b, int64(e.Teacher), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, kindNames[e.Kind]...)
+	b = append(b, `","role":"`...)
+	b = append(b, roleNames[e.TeacherRole]...)
+	b = append(b, `","cluster":`...)
+	b = strconv.AppendInt(b, int64(e.Cluster), 10)
+	return append(b, '}')
+}
+
+// AppendRoundJSON appends one per-round accounting record.
+func AppendRoundJSON(b []byte, r *RoundRec) []byte {
+	b = append(b, `{"t":"round","round":`...)
+	b = strconv.AppendInt(b, int64(r.Round), 10)
+	b = append(b, `,"first":`...)
+	b = strconv.AppendInt(b, int64(r.First), 10)
+	b = append(b, `,"redundant":`...)
+	b = strconv.AppendInt(b, int64(r.Redundant), 10)
+	b = append(b, `,"redundant_tokens":`...)
+	b = strconv.AppendInt(b, r.RedundantTokens, 10)
+	b = append(b, `,"head_min":`...)
+	b = strconv.AppendInt(b, int64(r.HeadMin), 10)
+	b = append(b, `,"heads":`...)
+	b = strconv.AppendInt(b, int64(r.Heads), 10)
+	return append(b, '}')
+}
+
+// AppendPaceJSON appends one pace-violation warning record.
+func AppendPaceJSON(b []byte, p *PaceViolation) []byte {
+	b = append(b, `{"t":"pace","round":`...)
+	b = strconv.AppendInt(b, int64(p.Round), 10)
+	b = append(b, `,"phase":`...)
+	b = strconv.AppendInt(b, int64(p.Phase), 10)
+	b = append(b, `,"head_min":`...)
+	b = strconv.AppendInt(b, int64(p.HeadMin), 10)
+	b = append(b, `,"required":`...)
+	b = strconv.AppendInt(b, int64(p.Required), 10)
+	return append(b, '}')
+}
+
+// AppendSummaryJSON appends the run-level summary record.
+func AppendSummaryJSON(b []byte, s *Summary) []byte {
+	b = append(b, `{"t":"summary","first":`...)
+	b = strconv.AppendInt(b, s.First, 10)
+	b = append(b, `,"redundant":`...)
+	b = strconv.AppendInt(b, s.Redundant, 10)
+	b = append(b, `,"redundant_tokens":`...)
+	b = strconv.AppendInt(b, s.RedundantTokens, 10)
+	b = append(b, `,"redundant_kind":{`...)
+	for i, n := range kindNames {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, n...)
+		b = append(b, '"', ':')
+		b = strconv.AppendInt(b, s.RedundantByKind[i], 10)
+	}
+	b = append(b, `},"pace_violations":`...)
+	b = strconv.AppendInt(b, int64(s.PaceViolations), 10)
+	b = append(b, `,"by_sender":[`...)
+	for i, sr := range s.BySender {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(sr.Node), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, sr.Count, 10)
+		b = append(b, ']')
+	}
+	return append(b, ']', '}')
+}
+
+// recordJSON is the union wire schema for decoding: one struct holds every
+// field any record type uses, discriminated by T.
+type recordJSON struct {
+	T string `json:"t"`
+
+	N        int     `json:"n"`
+	K        int     `json:"k"`
+	PhaseLen int     `json:"phase_len"`
+	Phases   int     `json:"phases"`
+	Alpha    int     `json:"alpha"`
+	Theta    int     `json:"theta"`
+	Holders  [][]int `json:"holders"`
+
+	Round   int    `json:"round"`
+	Token   int    `json:"token"`
+	Learner int    `json:"learner"`
+	Teacher int    `json:"teacher"`
+	Kind    string `json:"kind"`
+	Role    string `json:"role"`
+	Cluster int    `json:"cluster"`
+
+	First           int64 `json:"first"`
+	Redundant       int64 `json:"redundant"`
+	RedundantTokens int64 `json:"redundant_tokens"`
+	HeadMin         int   `json:"head_min"`
+	Heads           int   `json:"heads"`
+
+	Phase    int `json:"phase"`
+	Required int `json:"required"`
+
+	RedundantKind  map[string]int64 `json:"redundant_kind"`
+	PaceViolations int              `json:"pace_violations"`
+	BySender       [][2]int64       `json:"by_sender"`
+}
+
+// ParseLog decodes a provenance JSONL stream written by a Tracer.
+func ParseLog(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	log := &Log{}
+	line := 0
+	for dec.More() {
+		line++
+		var rec recordJSON
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("provenance: record %d: %w", line, err)
+		}
+		switch rec.T {
+		case "meta":
+			log.Meta = Meta{
+				N: rec.N, K: rec.K,
+				PhaseLen: rec.PhaseLen, Phases: rec.Phases,
+				Alpha: rec.Alpha, Theta: rec.Theta,
+				Holders: rec.Holders,
+			}
+		case "edge":
+			kind, err := kindFromName(rec.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("provenance: record %d: %w", line, err)
+			}
+			role, err := roleFromName(rec.Role)
+			if err != nil {
+				return nil, fmt.Errorf("provenance: record %d: %w", line, err)
+			}
+			log.Edges = append(log.Edges, Edge{
+				Round: rec.Round, Token: rec.Token,
+				Learner: rec.Learner, Teacher: rec.Teacher,
+				Kind: kind, TeacherRole: role, Cluster: rec.Cluster,
+			})
+		case "round":
+			log.Rounds = append(log.Rounds, RoundRec{
+				Round: rec.Round, First: int(rec.First),
+				Redundant:       int(rec.Redundant),
+				RedundantTokens: rec.RedundantTokens,
+				HeadMin:         rec.HeadMin, Heads: rec.Heads,
+			})
+		case "pace":
+			log.Pace = append(log.Pace, PaceViolation{
+				Round: rec.Round, Phase: rec.Phase,
+				HeadMin: rec.HeadMin, Required: rec.Required,
+			})
+		case "summary":
+			s := &Summary{
+				First:           rec.First,
+				Redundant:       rec.Redundant,
+				RedundantTokens: rec.RedundantTokens,
+				PaceViolations:  rec.PaceViolations,
+			}
+			for i, n := range kindNames {
+				s.RedundantByKind[i] = rec.RedundantKind[n]
+			}
+			for _, pair := range rec.BySender {
+				s.BySender = append(s.BySender, SenderRedundancy{Node: int(pair[0]), Count: pair[1]})
+			}
+			log.Summary = s
+		default:
+			return nil, fmt.Errorf("provenance: record %d: unknown type %q", line, rec.T)
+		}
+	}
+	return log, nil
+}

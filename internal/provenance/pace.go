@@ -1,0 +1,41 @@
+package provenance
+
+// Budget carries the Theorem 1 parameters the online pace checker needs to
+// judge a run mid-flight. Algorithm 1 runs in M = ⌈θ/α⌉ + 1 phases of
+// T = k + α·L rounds; the bound's proof paces the hierarchy by the token
+// floor it maintains at cluster heads: every full phase, member uploads and
+// gateway exchange must add at least α tokens to each live head's set
+// until the heads saturate at k.
+type Budget struct {
+	// PhaseLen is the phase length T in rounds.
+	PhaseLen int
+	// Phases is the theorem's phase budget M; pace is only checked for the
+	// first Phases phase boundaries (0 means every boundary).
+	Phases int
+	// Alpha is the progress coefficient α: tokens each head must gain per
+	// full phase to meet the bound.
+	Alpha int
+	// Theta is the cluster-size bound θ (recorded for the ledger; the pace
+	// floor itself depends only on Alpha).
+	Theta int
+}
+
+// RequiredHeadMin returns the Theorem 1 pace floor after `phase` complete
+// phases (1-based): the minimum token count every live cluster head must
+// hold for the run to still be on schedule, min(k, α·(phase−1)).
+//
+// The first phase is grace: heads begin with only their own initial tokens
+// and spend phase 1 gathering member uploads, so the floor starts binding
+// at the second phase boundary. From there each full phase must have added
+// α tokens to every live head (the proof's per-phase progress guarantee),
+// capped at k once a head can know everything.
+func (b *Budget) RequiredHeadMin(k, phase int) int {
+	if b == nil || b.Alpha <= 0 || phase <= 1 {
+		return 0
+	}
+	req := b.Alpha * (phase - 1)
+	if req > k {
+		req = k
+	}
+	return req
+}

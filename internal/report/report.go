@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -109,6 +110,47 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// WriteJSON renders the table as one JSON object with the title, the
+// column names in order, and one object per row keyed by column name.
+// Cells stay strings — the table layer never re-parses what formatting
+// already rendered.
+func (t *Table) WriteJSON(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(`{"title":`)
+	sb.WriteString(jsonString(t.title))
+	sb.WriteString(`,"columns":[`)
+	for i, h := range t.header {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(jsonString(h))
+	}
+	sb.WriteString(`],"rows":[`)
+	for i, row := range t.rows {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('{')
+		for j, c := range row {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(jsonString(t.header[j]))
+			sb.WriteByte(':')
+			sb.WriteString(jsonString(c))
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteString("]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s) // a string never fails to marshal
+	return string(b)
 }
 
 // String renders the text form.

@@ -73,6 +73,22 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+func TestJSON(t *testing.T) {
+	tb := NewTable("a title", "col a", "col b")
+	tb.AddRow("x", `quote"y`)
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `{"title":"a title","columns":["col a","col b"],` +
+		`"rows":[{"col a":"x","col b":"quote\"y"},{"col a":"1","col b":"2"}]}` + "\n"
+	if got != want {
+		t.Fatalf("json:\n%q\nwant\n%q", got, want)
+	}
+}
+
 func TestUnicodeAlignment(t *testing.T) {
 	tb := NewTable("t", "⌈θ/α⌉", "v")
 	tb.AddRow("xxxxx", "1")

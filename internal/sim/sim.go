@@ -251,6 +251,12 @@ type Metrics struct {
 	Dups  int64
 	// Recoveries counts crash-recovery rejoins.
 	Recoveries int
+	// FirstDeliveries / RedundantDeliveries are accumulated only when
+	// Options.Tracer is set: the number of (node, token) first deliveries
+	// recorded by the tracer, and the number of cost-bearing messages
+	// heard that taught their receiver nothing new.
+	FirstDeliveries     int64
+	RedundantDeliveries int64
 	// Handovers / FloodFallbacks count the protocol-level repair actions
 	// reported through View.Note.
 	Handovers      int
@@ -314,13 +320,14 @@ func (s *StallReport) String() string {
 // round, Recovered fires first (ascending node ID), then Crashed
 // (ascending node ID), then RoundStart, then one Sent per transmission in
 // ascending sender ID, then Noted in ascending node ID (per-node emission
-// order preserved), then LinkFaults, then Progress, then — at most once
-// per run, as its final event — Stalled. Across rounds everything is
-// ascending in r, so the full Sent stream is sorted by (round, sender).
-// Parallel runs buffer per-shard and merge at the round barrier, so the
-// observed stream is bit-identical to a serial run on the same inputs.
-// Callbacks themselves are always invoked from the engine goroutine —
-// observers need no locking.
+// order preserved), then Deliveries (only when Options.Tracer is set),
+// then LinkFaults, then Progress, then — at most once per run, as its
+// final event — Stalled. Across rounds everything is ascending in r, so
+// the full Sent stream is sorted by (round, sender). Parallel runs buffer
+// per-shard and merge at the round barrier, so the observed stream is
+// bit-identical to a serial run on the same inputs. Callbacks themselves
+// are always invoked from the engine goroutine — observers need no
+// locking.
 type Observer struct {
 	// RoundStart is called before messages are collected.
 	RoundStart func(r int, g *graph.Graph, h *ctvg.Hierarchy)
@@ -340,6 +347,11 @@ type Observer struct {
 	// Noted, if set, receives the protocol repair actions reported through
 	// View.Note this round.
 	Noted func(r int, v int, kind NoteKind)
+	// Deliveries, if set, receives the tracer's per-round delivery
+	// accounting (first deliveries and redundant cost-bearing messages).
+	// It fires only when Options.Tracer is set, after Noted and before
+	// LinkFaults.
+	Deliveries func(r int, first, redundant int)
 	// LinkFaults, if set, is called after round r's deliveries whenever
 	// fault injection dropped or duplicated at least one delivery, with
 	// the round's counts.
@@ -347,6 +359,34 @@ type Observer struct {
 	// Stalled, if set, is called when the stall watchdog terminates the
 	// run (see Options.StallWindow).
 	Stalled func(r int, rep *StallReport)
+}
+
+// Tracer observes individual token deliveries at per-message granularity —
+// the raw material for provenance DAGs (see internal/provenance). It is
+// deliberately lower-level than Observer: callbacks other than RunStart,
+// RoundStart and RoundEnd may run concurrently on shard goroutines.
+//
+// Contract: RunStart is called once from the engine goroutine before round
+// 0, after the shard partition is fixed; the tracer may read every node's
+// initial token set there. RoundStart is called from the engine goroutine
+// each round (after Observer.RoundStart); hier aliases engine storage and
+// is read-only, valid for the duration of the round. Delivered is called
+// after nodes[v].Deliver for every live node that heard at least one
+// message; when Workers > 1 the calls for distinct shards run concurrently,
+// but the shard→node partition is fixed for the whole run, so per-node and
+// per-shard tracer state needs no locking. inbox aliases shard scratch and
+// tokens aliases node state: both are read-only and must not be retained
+// past the call. RoundEnd is called from the engine goroutine at the round
+// barrier (after note replay, before the link-fault fold and arena
+// recycling); it merges the shard buffers in shard order — ascending node
+// order — so tracer output is bit-identical to a serial run, and returns
+// the round's first-delivery and redundant-delivery counts, which the
+// engine folds into Metrics and Observer.Deliveries.
+type Tracer interface {
+	RunStart(n, k, shards int, nodes []Node)
+	RoundStart(r int, hier *ctvg.Hierarchy)
+	Delivered(shard, v int, vw *View, inbox []*Message, tokens *bitset.Set)
+	RoundEnd(r int, crashed []bool) (first, redundant int)
 }
 
 // Faults declares the failures injected into a run. It is an alias for
@@ -366,6 +406,10 @@ type Options struct {
 	StopWhenComplete bool
 	// Observer, if non-nil, receives per-round events.
 	Observer *Observer
+	// Tracer, if non-nil, receives per-delivery events for provenance
+	// recording (see internal/provenance). The disabled (nil) path costs
+	// one pointer comparison per hook site and allocates nothing.
+	Tracer Tracer
 	// Faults, if non-nil, injects failures; the plan is validated before
 	// the run starts and a bad plan is a Run error. Fault randomness is
 	// counter-based (pure in round, sender and receiver), so faulty runs
@@ -469,6 +513,11 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		}
 	}
 
+	tracer := opts.Tracer
+	if tracer != nil {
+		tracer.RunStart(n, k, nshards, nodes)
+	}
+
 	// Stability-window cache: when the dynamic advertises T-interval
 	// stable windows (ctvg.Stability), graph, hierarchy and the per-node
 	// views are frozen on the window's first round and reused until the
@@ -486,9 +535,106 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 	lastDelivered := -1
 	stallRun := 0
 
+	// The round phases below are expressed as closures over the loop state
+	// (round number, stability freshness, the current graph and hierarchy).
+	// They are defined once here rather than inside the loop so the round
+	// hot path never allocates for them: every captured variable is boxed
+	// once per run, not once per round.
 	var g *graph.Graph
 	var hier *ctvg.Hierarchy
-	for r := 0; r < opts.MaxRounds; r++ {
+	var r int
+	var fresh bool
+	sizeFn := opts.SizeFn
+
+	// Collect phase: every node decides its transmission from its local
+	// view only, then the transmission is charged to the accounting. Nodes
+	// are independent, so both steps fan out when Workers > 1 (per-shard
+	// accumulators, merged at the barrier). Inside a stable window only the
+	// round number changes; role, head and neighbour slice keep the frozen
+	// window values.
+	collect := func(v int) {
+		vw := &views[v]
+		vw.Round = r
+		if fresh {
+			vw.Role = hier.Role[v]
+			vw.Head = hier.HeadOf(v)
+			vw.Neighbors = g.Neighbors(v)
+		}
+		if crashed[v] {
+			outbox[v] = nil
+			return
+		}
+		outbox[v] = nodes[v].Send(*vw)
+	}
+	account := func(acc *shardAcc, v int) {
+		msg := outbox[v]
+		if msg == nil {
+			return
+		}
+		msg.From = v
+		cost := int64(msg.Cost())
+		acc.messages++
+		acc.tokens += cost
+		if int(msg.Kind) < NumKinds {
+			acc.msgsByKind[msg.Kind]++
+			acc.tokensByKind[msg.Kind] += cost
+		}
+		if sizeFn != nil {
+			acc.bytes += int64(sizeFn(msg))
+		}
+		if role := hier.Role[v]; int(role) < NumRoles {
+			acc.msgsByRole[role]++
+			acc.tokensByRole[role] += cost
+		}
+	}
+	collectShard := func(s, lo, hi int) {
+		acc := &shards[s].acc
+		acc.reset()
+		for v := lo; v < hi; v++ {
+			collect(v)
+			account(acc, v)
+		}
+	}
+
+	// Deliver phase: each node hears its neighbours' messages, ordered by
+	// ascending sender ID (Neighbors is sorted); fault injection may drop a
+	// delivery or hand it over twice. Messages are read-only from here on,
+	// so delivery also fans out — over the same shard partition as collect,
+	// so a node delivering through View.NewSet stays on its arena's owning
+	// goroutine, and the per-receiver fault queries (whose burst-channel
+	// state is keyed by receiver) stay on the shard that owns the receiver.
+	deliverShard := func(s, lo, hi int) {
+		st := &shards[s]
+		for v := lo; v < hi; v++ {
+			if crashed[v] {
+				continue
+			}
+			st.inbox = st.inbox[:0]
+			for _, u := range views[v].Neighbors {
+				msg := outbox[u]
+				if msg == nil {
+					continue
+				}
+				if lossy && inj.Drop(r, u, v) {
+					st.drops++
+					continue
+				}
+				st.inbox = append(st.inbox, msg)
+				if duplicating && inj.Duplicate(r, u, v) {
+					st.dups++
+					st.inbox = append(st.inbox, msg)
+				}
+			}
+			nodes[v].Deliver(views[v], st.inbox)
+			// A node with an empty inbox cannot have learned anything
+			// this round, so the tracer only sees non-trivial deliveries.
+			if tracer != nil && len(st.inbox) > 0 {
+				tracer.Delivered(s, v, &views[v], st.inbox, nodes[v].Tokens())
+			}
+		}
+	}
+
+	for r = 0; r < opts.MaxRounds; r++ {
 		// Recoveries first: a node whose downtime window ends at r is up
 		// for the whole round. Volatile protocol state resets through the
 		// Recoverer hook; the token set (stable storage) is retained.
@@ -537,7 +683,7 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				}
 			}
 		}
-		fresh := r > cachedUntil
+		fresh = r > cachedUntil
 		if fresh {
 			g = d.At(r)
 			hier = d.HierarchyAt(r)
@@ -566,118 +712,34 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		if obs != nil && obs.RoundStart != nil {
 			obs.RoundStart(r, g, hier)
 		}
+		if tracer != nil {
+			tracer.RoundStart(r, hier)
+		}
 
-		// Collect phase: every node decides its transmission from its
-		// local view only, then the transmission is charged to the
-		// accounting. Nodes are independent, so both steps fan out when
-		// Workers > 1 (per-shard accumulators, merged below). Inside a
-		// stable window only the round number changes; role, head and
-		// neighbour slice keep the frozen window values.
-		collect := func(v int) {
-			vw := &views[v]
-			vw.Round = r
-			if fresh {
-				vw.Role = hier.Role[v]
-				vw.Head = hier.HeadOf(v)
-				vw.Neighbors = g.Neighbors(v)
-			}
-			if crashed[v] {
-				outbox[v] = nil
-				return
-			}
-			outbox[v] = nodes[v].Send(*vw)
-		}
-		account := func(acc *shardAcc, v int) {
-			msg := outbox[v]
-			if msg == nil {
-				return
-			}
-			msg.From = v
-			cost := int64(msg.Cost())
-			acc.messages++
-			acc.tokens += cost
-			if int(msg.Kind) < NumKinds {
-				acc.msgsByKind[msg.Kind]++
-				acc.tokensByKind[msg.Kind] += cost
-			}
-			if opts.SizeFn != nil {
-				acc.bytes += int64(opts.SizeFn(msg))
-			}
-			if role := hier.Role[v]; int(role) < NumRoles {
-				acc.msgsByRole[role]++
-				acc.tokensByRole[role] += cost
-			}
-		}
+		// Collect, then merge the per-shard accumulators in shard order
+		// and replay the Sent stream from outbox in ascending sender
+		// order — identical for serial and parallel runs.
 		if parallelRun {
-			parallel.ForEachShard(n, workers, func(s, lo, hi int) {
-				acc := &shards[s].acc
-				acc.reset()
-				for v := lo; v < hi; v++ {
-					collect(v)
-					account(acc, v)
-				}
-			})
-			for s := range shards {
-				met.add(&shards[s].acc)
-			}
-			if obs != nil && obs.Sent != nil {
-				for v := 0; v < n; v++ {
-					if outbox[v] != nil {
-						obs.Sent(r, outbox[v])
-					}
-				}
-			}
+			parallel.ForEachShard(n, workers, collectShard)
 		} else {
-			acc := &shards[0].acc
-			acc.reset()
+			collectShard(0, 0, n)
+		}
+		for s := range shards {
+			met.add(&shards[s].acc)
+		}
+		if obs != nil && obs.Sent != nil {
 			for v := 0; v < n; v++ {
-				collect(v)
-				account(acc, v)
-				if outbox[v] != nil && obs != nil && obs.Sent != nil {
+				if outbox[v] != nil {
 					obs.Sent(r, outbox[v])
 				}
 			}
-			met.add(acc)
 		}
 
-		// Deliver phase: each node hears its neighbours' messages,
-		// ordered by ascending sender ID (Neighbors is sorted); fault
-		// injection may drop a delivery or hand it over twice. Messages
-		// are read-only from here on, so delivery also fans out — over the
-		// same shard partition as collect, so a node delivering through
-		// View.NewSet stays on its arena's owning goroutine, and the
-		// per-receiver fault queries (whose burst-channel state is keyed
-		// by receiver) stay on the shard that owns the receiver.
-		deliverShard := func(st *shardState, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if crashed[v] {
-					continue
-				}
-				st.inbox = st.inbox[:0]
-				for _, u := range views[v].Neighbors {
-					msg := outbox[u]
-					if msg == nil {
-						continue
-					}
-					if lossy && inj.Drop(r, u, v) {
-						st.drops++
-						continue
-					}
-					st.inbox = append(st.inbox, msg)
-					if duplicating && inj.Duplicate(r, u, v) {
-						st.dups++
-						st.inbox = append(st.inbox, msg)
-					}
-				}
-				nodes[v].Deliver(views[v], st.inbox)
-			}
-		}
+		// Deliver.
 		if parallelRun {
-			parallel.ForEachShard(n, workers, func(s, lo, hi int) {
-				deliverShard(&shards[s], lo, hi)
-			})
+			parallel.ForEachShard(n, workers, deliverShard)
 		} else {
-			deliverShard(&shards[0], 0, n)
+			deliverShard(0, 0, n)
 		}
 
 		// Replay the round's buffered repair notes in deterministic
@@ -702,6 +764,18 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				if obs != nil && obs.Noted != nil {
 					obs.Noted(r, nt.node, nt.kind)
 				}
+			}
+		}
+
+		// Round barrier for the tracer: merge its shard buffers in
+		// deterministic order and fold the delivery accounting into the run
+		// totals before the arenas reclaim this round's messages.
+		if tracer != nil {
+			first, redundant := tracer.RoundEnd(r, crashed)
+			met.FirstDeliveries += int64(first)
+			met.RedundantDeliveries += int64(redundant)
+			if obs != nil && obs.Deliveries != nil {
+				obs.Deliveries(r, first, redundant)
 			}
 		}
 
