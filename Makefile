@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint build test race fuzz bench chaos cover
+.PHONY: check vet fmt lint build test race fuzz bench bench10k benchstat chaos cover
 
 check: lint build test race
 
@@ -66,3 +66,19 @@ fuzz:
 # arena and the stability-window cache are accountable for.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k' -benchmem -count 3 .
+
+# The 10x scaling suite behind BENCH_PR5.json: the full 10000-node pipeline
+# (adversary generation, CSR trace recording, run) for Alg1 at the Theorem-1
+# budget and Alg2 to completion, plus the k-scaling and delta-delivery A/B
+# variants.
+bench10k:
+	$(GO) test -run '^$$' -bench 'BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h .
+
+# benchstat re-runs the 1k and 10k suites and diffs the numbers against the
+# committed BENCH_*.json records via cmd/benchdiff: each record's "after"
+# section is a ceiling, so a perf regression fails the target. Timing gets a
+# 30% band (shared-machine noise; -count 3 keeps the best sample), the
+# deterministic bytes/allocs get 5%.
+benchstat:
+	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k|BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h . | tee bench.latest.out
+	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json

@@ -196,6 +196,80 @@ func BenchmarkHiNet1kTraced(b *testing.B) {
 	}
 }
 
+// benchHiNet10k is the order-of-magnitude scaling workload: the full
+// pipeline — adversary generation, trace recording, run — on a 10000-node
+// (20, 2)-HiNet with θ=50 heads and 200 re-affiliations per phase boundary.
+// Unlike the 1k family, recording stays inside the measured loop: at this
+// scale snapshot construction and window cloning are themselves the
+// bottleneck the CSR builder and Record dedup exist to fix, so the
+// benchmark must see them. Alg1 runs the full Theorem-1 budget; Alg2 (whose
+// full-set broadcasts dominate) runs to completion, at several k so the
+// delta-delivery A/B pairs bracket the crossover where skipping unions
+// starts to pay (see BENCH_PR5.json).
+func benchHiNet10k(b *testing.B, k int, alg2, noDelta bool) {
+	const (
+		n     = 10000
+		alpha = 2
+		l     = 2
+		theta = 50
+	)
+	T := core.Theorem1T(16, alpha, l) // 20-round phases regardless of k
+	rounds := core.Theorem1Phases(theta, alpha) * T
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := adversary.NewHiNet(adversary.HiNetConfig{
+			N: n, Theta: theta, L: l, T: T,
+			Reaffiliations: 200, HeadChurn: 2,
+		}, xrand.New(1))
+		tr := ctvg.Record(adv, rounds)
+		assign := token.Spread(n, k, xrand.New(2))
+		var met *sim.Metrics
+		if alg2 {
+			met = sim.MustRunProtocol(tr, core.Alg2{}, assign, sim.Options{
+				MaxRounds: 400, StopWhenComplete: true, SizeFn: wire.Size,
+				NoDeltaDelivery: noDelta,
+			})
+		} else {
+			met = sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+				MaxRounds: rounds, SizeFn: wire.Size,
+				NoDeltaDelivery: noDelta,
+			})
+		}
+		if !met.Complete {
+			b.Fatalf("10k run incomplete: %v", met)
+		}
+	}
+}
+
+// BenchmarkHiNet10k is the scaling headline: Algorithm 1 at 10× the 1k
+// instance. BENCH_PR5.json tracks it against the pre-CSR engine.
+func BenchmarkHiNet10k(b *testing.B) { benchHiNet10k(b, 16, false, false) }
+
+// BenchmarkHiNet10kAlg2 runs Algorithm 2 to completion on the same
+// instance: the full-set-broadcast workload where delta-aware delivery
+// pays.
+func BenchmarkHiNet10kAlg2(b *testing.B) { benchHiNet10k(b, 16, true, false) }
+
+// BenchmarkHiNet10kAlg2K256 is the k-scaling variant (k=256 tokens, 4
+// bitset words per payload) of the Alg2 workload.
+func BenchmarkHiNet10kAlg2K256(b *testing.B) { benchHiNet10k(b, 256, true, false) }
+
+// BenchmarkHiNet10kAlg2NoDelta is the A/B switch: identical to
+// BenchmarkHiNet10kAlg2 but with delta-aware delivery disabled
+// (Options.NoDeltaDelivery, `hinetbench -nodelta`). Results are identical
+// by TestDeltaDeliveryEquivalence; the ns/op gap is what the version stamps
+// buy — or cost: at k=16 a payload union is one word, cheaper than the
+// per-sender map lookup, so the naive path WINS here. The k=4096 pair below
+// shows the other side of the crossover.
+func BenchmarkHiNet10kAlg2NoDelta(b *testing.B) { benchHiNet10k(b, 16, true, true) }
+
+// BenchmarkHiNet10kAlg2K4096 / NoDelta are the wide-payload A/B pair: at
+// k=4096 every elided union saves a 64-word scan, which outweighs the skip
+// bookkeeping.
+func BenchmarkHiNet10kAlg2K4096(b *testing.B)        { benchHiNet10k(b, 4096, true, false) }
+func BenchmarkHiNet10kAlg2K4096NoDelta(b *testing.B) { benchHiNet10k(b, 4096, true, true) }
+
 // BenchmarkSweepN0 measures one non-headline sweep point (n0=40) per
 // iteration; the full sweep is produced by `hinetbench -sweep n0`.
 func BenchmarkSweepN0(b *testing.B) {

@@ -1,0 +1,169 @@
+// Command benchdiff compares `go test -bench` output against the committed
+// BENCH_*.json performance records, so a perf regression fails `make
+// benchstat` instead of slipping past review.
+//
+//	go test -run '^$' -bench 'BenchmarkHiNet' -benchmem . | \
+//	    go run ./cmd/benchdiff BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json
+//
+// Every record's "after" section is treated as a ceiling: for each benchmark
+// that appears both there and in the measured output, ns/op may exceed the
+// recorded value by at most -tol (fractional; timing is noisy on shared
+// machines), while bytes/op and allocs/op — which are deterministic for
+// these seeded workloads — get a tighter -memtol. Records are merged in
+// argument order with later files overriding earlier ones per benchmark, so
+// a PR that re-records a benchmark supersedes the stale ceiling — pass the
+// files oldest first. Benchmarks recorded but not run are reported and
+// skipped (a shrunk -bench filter is not a regression). Multiple -count
+// samples of one benchmark are reduced to their minimum before comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type metrics struct {
+	Ns     float64 `json:"ns_per_op"`
+	Bytes  float64 `json:"bytes_per_op"`
+	Allocs float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one -benchmem result line, e.g.
+// "BenchmarkHiNet1k-4   57   20487454 ns/op   355720 B/op   7913 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parseBench(r io.Reader) (map[string]metrics, error) {
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var got metrics
+		got.Ns, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			got.Bytes, _ = strconv.ParseFloat(m[3], 64)
+			got.Allocs, _ = strconv.ParseFloat(m[4], 64)
+		}
+		// -count > 1 repeats each benchmark; keep the best sample, the
+		// standard way to strip scheduling noise from a ceiling check.
+		if prev, ok := out[m[1]]; !ok || got.Ns < prev.Ns {
+			out[m[1]] = got
+		}
+	}
+	return out, sc.Err()
+}
+
+// record is the subset of a BENCH_*.json file benchdiff consumes: the
+// "after" section maps benchmark names to metrics (other keys, like
+// "commit", simply fail the per-entry unmarshal and are skipped).
+type record struct {
+	After map[string]json.RawMessage `json:"after"`
+}
+
+func loadCeilings(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]metrics)
+	for name, raw := range rec.After {
+		var m metrics
+		if err := json.Unmarshal(raw, &m); err != nil || m.Ns == 0 {
+			continue
+		}
+		out[name] = m
+	}
+	return out, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.30, "allowed fractional ns/op regression vs the recorded ceiling")
+	memtol := flag.Float64("memtol", 0.05, "allowed fractional bytes/op and allocs/op regression")
+	input := flag.String("input", "-", "bench output to check ('-' = stdin)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-memtol f] [-input file] BENCH_*.json...")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	ceilings := make(map[string]metrics)
+	source := make(map[string]string)
+	for _, path := range flag.Args() {
+		ceil, err := loadCeilings(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		for name, m := range ceil {
+			ceilings[name] = m
+			source[name] = path
+		}
+	}
+
+	names := make([]string, 0, len(ceilings))
+	for name := range ceilings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := ceilings[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("%-38s not run (skipped; record %s)\n", name, source[name])
+			continue
+		}
+		verdict := "ok"
+		switch {
+		case have.Ns > want.Ns*(1+*tol):
+			verdict = fmt.Sprintf("FAIL ns/op +%.0f%% over ceiling", 100*(have.Ns/want.Ns-1))
+		case want.Bytes > 0 && have.Bytes > want.Bytes*(1+*memtol):
+			verdict = fmt.Sprintf("FAIL B/op +%.0f%% over ceiling", 100*(have.Bytes/want.Bytes-1))
+		case want.Allocs > 0 && have.Allocs > want.Allocs*(1+*memtol):
+			verdict = fmt.Sprintf("FAIL allocs/op +%.0f%% over ceiling", 100*(have.Allocs/want.Allocs-1))
+		}
+		if verdict != "ok" {
+			failed = true
+		}
+		fmt.Printf("%-38s %12.0f ns/op (x%.2f of %s)  %s\n",
+			name, have.Ns, have.Ns/want.Ns, source[name], verdict)
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: PASS")
+}

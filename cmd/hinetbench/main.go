@@ -14,6 +14,7 @@
 //	hinetbench -seeds 8            # Monte-Carlo replications per row
 //	hinetbench -table 3 -metrics d # per-seed round-series JSONL into d/
 //	hinetbench -table 3 -nocache   # A/B check: identical results, uncached engine
+//	hinetbench -table 3 -nodelta   # A/B check: identical results, naive delivery
 //	hinetbench -pprof :6060        # expose net/http/pprof while running
 package main
 
@@ -43,6 +44,7 @@ func main() {
 		outDir  = flag.String("out", "", "directory to additionally write each table as CSV")
 		metrics = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
 		noCache = flag.Bool("nocache", false, "disable the engine's stability-window cache (A/B timing check; results are identical)")
+		noDelta = flag.Bool("nodelta", false, "disable delta-aware delivery (A/B timing check; results are identical)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -100,6 +102,7 @@ func main() {
 		cfg := experiment.Table3Config(*seeds)
 		cfg.MetricsDir = *metrics
 		cfg.NoCache = *noCache
+		cfg.NoDelta = *noDelta
 		tb, rows, err := experiment.Table3Report(cfg)
 		if err != nil {
 			fatal(err)

@@ -95,6 +95,7 @@ func (p Alg1) Nodes(assign *token.Assignment) []sim.Node {
 			ts:       bitset.New(assign.K),
 			tr:       bitset.New(assign.K),
 			lastHead: ctvg.NoCluster,
+			ver:      1,
 		}
 	}
 	return nodes
@@ -136,13 +137,56 @@ type alg1Node struct {
 	tr *bitset.Set
 
 	lastHead int
-	wasRelay bool
-	started  bool
 
-	sinceHead     int
-	sinceAnyRelay int
+	// The silence counters are int32 deliberately: together with the four
+	// flags and ver they pack the delta-delivery state into the space the
+	// pre-delta struct already occupied, keeping the 1000-node benchmark's
+	// per-run node footprint at the BENCH_PR2 size class.
+	sinceHead     int32
+	sinceAnyRelay int32
+	wasRelay      bool
+	started       bool
 	acting        bool
 	flooding      bool
+
+	// ver is the monotone content version of ta: bumped whenever ta gains
+	// an element, stamped onto full-TA payloads (floods). seen records, per
+	// sender, the highest stamp whose payload was absorbed; both survive
+	// OnRecover — ta does too, so the subset guarantee behind the delta
+	// skip keeps holding across an outage, and resetting ver would let one
+	// (sender, version) pair name two different sets. seen is allocated
+	// lazily on the first versioned delivery, so fault-free Algorithm 1
+	// runs (whose payloads are all single tokens) never pay for it.
+	ver  uint32
+	seen map[int]uint32
+}
+
+// absorb unions a payload into TA, keeping the content version stamp in
+// step. Every TA union must route through it.
+func (n *alg1Node) absorb(t *bitset.Set) {
+	if n.ta.UnionChanged(t) {
+		n.ver++
+	}
+}
+
+// skipDelta reports whether a versioned payload is provably a subset of TA
+// already: the sender's stamps are monotone in content, so once version V
+// from a sender is absorbed, anything it stamps <= V is contained in TA —
+// which never shrinks. On a fresh (sender, version) the stamp is recorded
+// and the caller unions. Skipping elides only the idempotent union; all
+// other bookkeeping a message drives must run before this check.
+func (n *alg1Node) skipDelta(v sim.View, m *sim.Message) bool {
+	if m.Version == 0 || !v.DeltaEnabled() {
+		return false
+	}
+	if n.seen == nil {
+		n.seen = make(map[int]uint32)
+	}
+	if n.seen[m.From] >= m.Version {
+		return true
+	}
+	n.seen[m.From] = m.Version
+	return false
 }
 
 // Send implements sim.Node.
@@ -193,7 +237,7 @@ func (n *alg1Node) memberFailover(v sim.View) (msg *sim.Message, handled bool) {
 		n.acting = false
 		return nil, false
 	}
-	if n.sinceHead >= n.fo.floodAfter() {
+	if int(n.sinceHead) >= n.fo.floodAfter() {
 		n.flooding = true
 		v.Note(sim.NoteFloodFallback)
 		return n.sendFlood(v), true
@@ -210,7 +254,7 @@ func (n *alg1Node) memberFailover(v sim.View) (msg *sim.Message, handled bool) {
 		}
 		return n.sendRelay(v), true
 	}
-	if n.sinceHead >= n.fo.window() && n.sinceAnyRelay >= n.fo.window() {
+	if int(n.sinceHead) >= n.fo.window() && int(n.sinceAnyRelay) >= n.fo.window() {
 		// The head is gone and no other relay is audible either: there is
 		// nobody better placed, so serve the cluster ourselves. TS becomes
 		// relay bookkeeping (tokens broadcast this phase) from here on.
@@ -300,6 +344,7 @@ func (n *alg1Node) sendFlood(v sim.View) *sim.Message {
 	m.To = sim.NoAddr
 	m.Kind = sim.KindBroadcast
 	m.Tokens = payload
+	m.Version = n.ver
 	return m
 }
 
@@ -312,19 +357,19 @@ func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
 		case relay && m.Kind == sim.KindRelay:
 			// Heads and gateways absorb every relay broadcast heard:
 			// this is the KLO pipelining over the head subgraph Υ.
-			n.ta.UnionWith(m.Tokens)
+			n.absorb(m.Tokens)
 		case relay && m.Kind == sim.KindUpload && m.To == n.id:
 			// A head accepts uploads addressed to it.
-			n.ta.UnionWith(m.Tokens)
+			n.absorb(m.Tokens)
 		case v.Role == ctvg.Member && m.Kind == sim.KindRelay && m.From == v.Head:
 			// A member receives tokens only from its own cluster head
 			// ("receive t' from its cluster head").
-			n.ta.UnionWith(m.Tokens)
+			n.absorb(m.Tokens)
 			n.tr.UnionWith(m.Tokens)
 		case v.Role == ctvg.Member && m.Kind == sim.KindRelay && (n.proto.Promiscuous || n.fo != nil):
 			// Ablation / failover: overhear foreign relays too (TA only —
 			// TR keeps tracking the own head so uploads stay correct).
-			n.ta.UnionWith(m.Tokens)
+			n.absorb(m.Tokens)
 		}
 		if n.fo == nil {
 			continue
@@ -338,13 +383,18 @@ func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
 		case sim.KindBroadcast:
 			// A flood: absorb it, and join it — flooding is contagious, so
 			// one desperate region recruits everyone reachable from it.
+			// Floods carry full-TA version stamps, so a repeat of an
+			// already-absorbed (sender, version) skips the union — the
+			// contagion bookkeeping above it never skips.
 			heardFlood = true
-			n.ta.UnionWith(m.Tokens)
+			if !n.skipDelta(v, m) {
+				n.absorb(m.Tokens)
+			}
 		case sim.KindUpload:
 			// An acting head adopts uploads stranded on the dead head it
 			// stands in for.
 			if n.acting {
-				n.ta.UnionWith(m.Tokens)
+				n.absorb(m.Tokens)
 			}
 		}
 	}

@@ -47,6 +47,7 @@ func (p Alg2) Nodes(assign *token.Assignment) []sim.Node {
 			lastHead: ctvg.NoCluster,
 			needSend: true,
 			uploadTo: ctvg.NoCluster,
+			ver:      1,
 		}
 	}
 	return nodes
@@ -77,11 +78,46 @@ type alg2Node struct {
 	lastHead int
 	needSend bool // member must (re-)send TA to its current head
 
-	sinceHead     int
-	sinceAnyRelay int
+	sinceHead     int32
+	sinceAnyRelay int32
 	acting        bool
 	lastUpload    int
 	uploadTo      int
+
+	// ver / seen implement delta-aware delivery exactly as in alg1Node:
+	// ver is the monotone content version of ta, stamped onto every
+	// full-TA payload (relay broadcasts and member uploads alike — both
+	// snapshot ta, so one counter versions both); seen records per sender
+	// the highest stamp absorbed. Both survive OnRecover, like ta itself.
+	// Algorithm 2 broadcasts whole sets every round, so this is where the
+	// PR 4 redundancy account showed most unions teach nothing.
+	ver  uint32
+	seen map[int]uint32
+}
+
+// absorb unions a payload into TA, keeping the content version in step.
+func (n *alg2Node) absorb(t *bitset.Set) {
+	if n.ta.UnionChanged(t) {
+		n.ver++
+	}
+}
+
+// skipDelta is alg1Node.skipDelta's contract verbatim: true means the
+// versioned payload is provably already contained in TA, and only the
+// union may be elided — NACK subset checks and silence bookkeeping run
+// regardless.
+func (n *alg2Node) skipDelta(v sim.View, m *sim.Message) bool {
+	if m.Version == 0 || !v.DeltaEnabled() {
+		return false
+	}
+	if n.seen == nil {
+		n.seen = make(map[int]uint32)
+	}
+	if n.seen[m.From] >= m.Version {
+		return true
+	}
+	n.seen[m.From] = m.Version
+	return false
 }
 
 // Send implements sim.Node.
@@ -108,7 +144,7 @@ func (n *alg2Node) Send(v sim.View) *sim.Message {
 				return n.relayBroadcast(v)
 			}
 		} else if v.Head != ctvg.NoCluster &&
-			n.sinceHead >= n.fo.window() && n.sinceAnyRelay >= n.fo.window() {
+			int(n.sinceHead) >= n.fo.window() && int(n.sinceAnyRelay) >= n.fo.window() {
 			// Head dead, nothing better audible: serve the cluster. An
 			// acting head's every-round full-set broadcast doubles as the
 			// flood fallback, so Algorithm 2 needs no separate flood state.
@@ -137,6 +173,7 @@ func (n *alg2Node) Send(v sim.View) *sim.Message {
 	m.To = to
 	m.Kind = sim.KindUpload
 	m.Tokens = payload
+	m.Version = n.ver
 	return m
 }
 
@@ -151,6 +188,7 @@ func (n *alg2Node) relayBroadcast(v sim.View) *sim.Message {
 	m.To = sim.NoAddr
 	m.Kind = sim.KindRelay
 	m.Tokens = payload
+	m.Version = n.ver
 	return m
 }
 
@@ -166,12 +204,18 @@ func (n *alg2Node) Deliver(v sim.View, msgs []*sim.Message) {
 	for _, m := range msgs {
 		switch {
 		case m.Kind == sim.KindRelay:
-			n.ta.UnionWith(m.Tokens)
+			if !n.skipDelta(v, m) {
+				n.absorb(m.Tokens)
+			}
 		case relay && m.Kind == sim.KindUpload && m.To == n.id:
-			n.ta.UnionWith(m.Tokens)
+			if !n.skipDelta(v, m) {
+				n.absorb(m.Tokens)
+			}
 		case m.Kind == sim.KindUpload && n.acting:
 			// An acting head adopts uploads stranded on the dead head.
-			n.ta.UnionWith(m.Tokens)
+			if !n.skipDelta(v, m) {
+				n.absorb(m.Tokens)
+			}
 		}
 		if n.fo == nil || m.Kind != sim.KindRelay {
 			continue
@@ -182,7 +226,7 @@ func (n *alg2Node) Deliver(v sim.View, msgs []*sim.Message) {
 			heardHead = true
 		}
 		if v.Role == ctvg.Member && !n.acting && !n.needSend &&
-			(fromHead || n.sinceHead >= n.fo.window()) &&
+			(fromHead || int(n.sinceHead) >= n.fo.window()) &&
 			v.Round-n.lastUpload >= n.fo.window() &&
 			!n.ta.SubsetOf(m.Tokens) {
 			n.needSend = true

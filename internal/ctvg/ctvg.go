@@ -326,12 +326,48 @@ func (t *Trace) StableUntil(r int) int {
 }
 
 // Record materialises rounds [0, rounds) of any CTVG Dynamic into a Trace.
+//
+// Stable windows are deduplicated exactly as in tvg.Record: when the source
+// advertises Stability (or hands back the identical snapshot/hierarchy
+// pointers for consecutive rounds), every round of the window shares one
+// clone of each layer. A (T, L)-stable adversary therefore records in
+// O(windows·E) memory instead of O(rounds·E), and the shared pointers let
+// the NewTrace stability precomputes hit their pointer fast-paths.
 func Record(d Dynamic, rounds int) *Trace {
+	if rounds <= 0 {
+		panic("ctvg: Record needs rounds > 0")
+	}
+	st, _ := d.(Stability)
 	snaps := make([]*graph.Graph, rounds)
 	hier := make([]*Hierarchy, rounds)
-	for r := 0; r < rounds; r++ {
-		snaps[r] = d.At(r).Clone()
-		hier[r] = d.HierarchyAt(r).Clone()
+	var prevSrcG, prevSnapG *graph.Graph
+	var prevSrcH, prevSnapH *Hierarchy
+	for r := 0; r < rounds; {
+		srcG, srcH := d.At(r), d.HierarchyAt(r)
+		snapG := prevSnapG
+		if srcG != prevSrcG || snapG == nil {
+			snapG = srcG.Clone()
+		}
+		snapH := prevSnapH
+		if srcH != prevSrcH || snapH == nil {
+			snapH = srcH.Clone()
+		}
+		end := r
+		if st != nil {
+			if s := st.StableUntil(r); s > end {
+				end = s
+				if end > rounds-1 {
+					end = rounds - 1
+				}
+			}
+		}
+		for w := r; w <= end; w++ {
+			snaps[w] = snapG
+			hier[w] = snapH
+		}
+		prevSrcG, prevSnapG = srcG, snapG
+		prevSrcH, prevSnapH = srcH, snapH
+		r = end + 1
 	}
 	return NewTrace(tvg.NewTrace(snaps), hier)
 }

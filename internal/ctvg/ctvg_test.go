@@ -276,3 +276,75 @@ func TestTraceStableUntilIsMinOfGraphAndHierarchy(t *testing.T) {
 		t.Errorf("StableUntil past end = %d want MaxInt", got)
 	}
 }
+
+// phasedDynamic presents 2-round phases alternating between two
+// (graph, hierarchy) pairs and advertises the windows through Stability.
+type phasedDynamic struct {
+	g0, g1 *graph.Graph
+	h0, h1 *Hierarchy
+}
+
+func (d phasedDynamic) N() int { return d.g0.N() }
+
+func (d phasedDynamic) At(r int) *graph.Graph {
+	if (r/2)%2 == 0 {
+		return d.g0
+	}
+	return d.g1
+}
+
+func (d phasedDynamic) HierarchyAt(r int) *Hierarchy {
+	if (r/2)%2 == 0 {
+		return d.h0
+	}
+	return d.h1
+}
+
+func (d phasedDynamic) StableUntil(r int) int { return (r/2+1)*2 - 1 }
+
+func TestRecordDedupsStableWindows(t *testing.T) {
+	g0, h0 := starCluster()
+	g1 := g0.Clone()
+	g1.AddEdge(1, 2)
+	h1 := h0.Clone()
+	h1.SetHead(4)
+	d := phasedDynamic{g0: g0, g1: g1, h0: h0, h1: h1}
+
+	tr := Record(d, 6)
+	// Windows survive recording (rounds 4-5 are the repeated tail).
+	for r, want := range []int{1, 1, 3, 3, math.MaxInt, math.MaxInt} {
+		if got := tr.StableUntil(r); got != want {
+			t.Errorf("StableUntil(%d) = %d want %d", r, got, want)
+		}
+	}
+	// One clone per window for BOTH layers.
+	if tr.At(0) != tr.At(1) || tr.HierarchyAt(0) != tr.HierarchyAt(1) {
+		t.Error("first window rounds do not share snapshot/hierarchy")
+	}
+	if tr.At(2) != tr.At(3) || tr.HierarchyAt(2) != tr.HierarchyAt(3) {
+		t.Error("second window rounds do not share snapshot/hierarchy")
+	}
+	if tr.At(1) == tr.At(2) || tr.HierarchyAt(1) == tr.HierarchyAt(2) {
+		t.Error("distinct windows share state")
+	}
+	// Still copies of the source, and content-faithful.
+	if tr.At(0) == g0 || tr.HierarchyAt(0) == h0 {
+		t.Error("Record aliased the source")
+	}
+	for r := 0; r < 6; r++ {
+		if !tr.At(r).Equal(d.At(r)) || !tr.HierarchyAt(r).Equal(d.HierarchyAt(r)) {
+			t.Fatalf("round %d content mismatch", r)
+		}
+	}
+}
+
+func TestRecordNonPositiveRoundsPanics(t *testing.T) {
+	g, h := starCluster()
+	src := NewTrace(tvg.NewTrace([]*graph.Graph{g}), []*Hierarchy{h})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record(d, 0) did not panic")
+		}
+	}()
+	Record(src, 0)
+}

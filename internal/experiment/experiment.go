@@ -66,6 +66,10 @@ type PointConfig struct {
 	// (sim.Options.NoStabilityCache) in every replication — the A/B switch
 	// for verifying the cache changes timings only, never results.
 	NoCache bool
+	// NoDelta disables delta-aware delivery (sim.Options.NoDeltaDelivery)
+	// in every replication — the A/B switch for verifying the skip changes
+	// timings only, never results.
+	NoDelta bool
 	// Faults, when non-nil, injects the same fault plan into every
 	// replication of every row, with the plan's seed mixed with the
 	// replication seed so fault randomness varies across seeds like
@@ -140,6 +144,7 @@ type runSpec struct {
 	seeds      int
 	workers    int
 	noCache    bool
+	noDelta    bool
 	faults     *sim.Faults
 }
 
@@ -164,6 +169,7 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			MaxRounds:        spec.budget,
 			SizeFn:           wire.Size,
 			NoStabilityCache: spec.noCache,
+			NoDeltaDelivery:  spec.noDelta,
 		}
 		if spec.faults != nil {
 			// Per-replication copy so each seed draws its own fault
@@ -335,7 +341,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
 	}, analysis.KLOTInterval(p))
 	if err != nil {
 		return nil, err
@@ -357,7 +363,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg1{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
 	if err != nil {
 		return nil, err
@@ -372,7 +378,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
 	}, analysis.KLOOneInterval(p))
 	if err != nil {
 		return nil, err
@@ -393,7 +399,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg2{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
 	if err != nil {
 		return nil, err

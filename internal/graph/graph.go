@@ -14,10 +14,24 @@ import (
 
 // Graph is an undirected simple graph on vertices 0..n-1, stored as sorted
 // adjacency lists. Self-loops and parallel edges are rejected.
+//
+// Graphs come in two physical layouts with one logical behaviour. A graph
+// assembled edge by edge (New + AddEdge) owns one slice per vertex and
+// mutates freely. A graph produced by Builder.Build, FromEdgeList or
+// Clone-of-frozen is frozen: its adjacency slices alias a single shared
+// CSR (compressed-sparse-row) backing array, construction is O(E log E)
+// instead of O(E·deg), and Clone is an O(n) header copy. Mutating a frozen
+// graph is still legal — the first mutation transparently copies the
+// adjacency out of the shared backing (copy-on-write), so aliased clones
+// never observe each other's edits.
 type Graph struct {
 	n   int
 	adj [][]int
 	m   int
+	// frozen marks adjacency slices that alias a shared CSR backing array
+	// (and are therefore also shared with any frozen Clone). Mutators call
+	// thaw() first; read paths never care.
+	frozen bool
 }
 
 // New returns an empty graph on n vertices. It panics if n < 0.
@@ -41,6 +55,27 @@ func (g *Graph) check(v int) {
 	}
 }
 
+// Frozen reports whether the graph currently shares a CSR backing array
+// (see Graph). Purely informational: mutators work on frozen graphs too.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// thaw gives every vertex its own adjacency slice so mutators can edit
+// without touching storage shared with frozen clones. O(n+E), paid once by
+// the first mutation after Build/Clone.
+func (g *Graph) thaw() {
+	if !g.frozen {
+		return
+	}
+	for v, lst := range g.adj {
+		if len(lst) > 0 {
+			g.adj[v] = append([]int(nil), lst...)
+		} else {
+			g.adj[v] = nil
+		}
+	}
+	g.frozen = false
+}
+
 // AddEdge inserts the undirected edge {u, v}. Adding an existing edge or a
 // self-loop is a no-op returning false; a new edge returns true.
 func (g *Graph) AddEdge(u, v int) bool {
@@ -49,6 +84,7 @@ func (g *Graph) AddEdge(u, v int) bool {
 	if u == v || g.HasEdge(u, v) {
 		return false
 	}
+	g.thaw()
 	g.insert(u, v)
 	g.insert(v, u)
 	g.m++
@@ -73,6 +109,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if !g.HasEdge(u, v) {
 		return false
 	}
+	g.thaw()
 	g.delete(u, v)
 	g.delete(v, u)
 	g.m--
@@ -107,9 +144,16 @@ func (g *Graph) Degree(u int) int {
 	return len(g.adj[u])
 }
 
-// Clone returns a deep copy of g.
+// Clone returns an independent copy of g. For a frozen graph this is an
+// O(n) header copy sharing the immutable CSR backing — copy-on-write makes
+// later mutation of either copy safe — so cloning snapshots out of a
+// recorded trace costs no per-edge work.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, m: g.m, adj: make([][]int, g.n)}
+	c := &Graph{n: g.n, m: g.m, adj: make([][]int, g.n), frozen: g.frozen}
+	if g.frozen {
+		copy(c.adj, g.adj)
+		return c
+	}
 	for v, lst := range g.adj {
 		c.adj[v] = append([]int(nil), lst...)
 	}
@@ -143,13 +187,10 @@ func (g *Graph) Edges() []Edge {
 }
 
 // FromEdges builds a graph on n vertices from an edge list. Duplicate edges
-// and self-loops are ignored.
+// and self-loops are ignored. The result is a frozen CSR graph (see
+// FromEdgeList, of which this is an alias kept for older call sites).
 func FromEdges(n int, edges []Edge) *Graph {
-	g := New(n)
-	for _, e := range edges {
-		g.AddEdge(e.U, e.V)
-	}
-	return g
+	return FromEdgeList(n, edges)
 }
 
 // Union returns the union of a and b (which must have equal vertex counts).
@@ -157,31 +198,51 @@ func Union(a, b *Graph) *Graph {
 	if a.n != b.n {
 		panic("graph: Union of graphs with different vertex counts")
 	}
-	c := a.Clone()
-	for u, lst := range b.adj {
+	bd := NewBuilder(a.n)
+	for u, lst := range a.adj {
 		for _, v := range lst {
 			if u < v {
-				c.AddEdge(u, v)
+				bd.Add(u, v)
 			}
 		}
 	}
-	return c
+	for u, lst := range b.adj {
+		for _, v := range lst {
+			if u < v {
+				bd.Add(u, v)
+			}
+		}
+	}
+	return bd.Build()
 }
 
 // Intersect returns the intersection of a and b (equal vertex counts).
+// Both adjacency lists are sorted, so each vertex's intersection is a
+// linear merge — O(n+E) overall, no per-edge binary searches.
 func Intersect(a, b *Graph) *Graph {
 	if a.n != b.n {
 		panic("graph: Intersect of graphs with different vertex counts")
 	}
-	c := New(a.n)
-	for u, lst := range a.adj {
-		for _, v := range lst {
-			if u < v && b.HasEdge(u, v) {
-				c.AddEdge(u, v)
+	bd := NewBuilder(a.n)
+	for u, la := range a.adj {
+		lb := b.adj[u]
+		i, j := 0, 0
+		for i < len(la) && j < len(lb) {
+			switch {
+			case la[i] < lb[j]:
+				i++
+			case la[i] > lb[j]:
+				j++
+			default:
+				if u < la[i] {
+					bd.Add(u, la[i])
+				}
+				i++
+				j++
 			}
 		}
 	}
-	return c
+	return bd.Build()
 }
 
 // IsSubgraphOf reports whether every edge of g is an edge of h (same vertex

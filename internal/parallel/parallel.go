@@ -164,6 +164,34 @@ func ForEachShard(n, workers int, fn func(shard, lo, hi int)) {
 	wg.Wait()
 }
 
+// ForEachBounds is ForEachShard with an explicit partition: bounds holds
+// len(bounds)-1 contiguous blocks, shard s covering [bounds[s], bounds[s+1]).
+// fn is invoked once per shard, concurrently, including for empty shards —
+// callers keep per-shard accumulators and a skipped shard would leave stale
+// state unmerged. Bounds must be non-decreasing and start/end at the range
+// edges; the engine uses this to cut shards at equal cumulative degree
+// instead of equal node count, so hub-heavy blocks no longer serialise on
+// one worker while bit-identity (ascending-block merge order) is preserved.
+func ForEachBounds(bounds []int, fn func(shard, lo, hi int)) {
+	w := len(bounds) - 1
+	if w <= 0 {
+		return
+	}
+	if w == 1 {
+		fn(0, bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for s := 0; s < w; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s, bounds[s], bounds[s+1])
+		}(s)
+	}
+	wg.Wait()
+}
+
 // Map runs fn over [0, n) with bounded parallelism and returns the results
 // in index order.
 func Map[T any](n, workers int, fn func(i int) T) []T {

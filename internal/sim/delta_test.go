@@ -1,0 +1,159 @@
+package sim_test
+
+// Delta-aware delivery must be a pure optimisation: skipping the union of a
+// (sender, version) payload the receiver has already absorbed may change
+// timings, never results. This file proves the contract end to end: for
+// protocols whose payloads actually carry version stamps (Algorithm 2's
+// every-round relay broadcasts, Algorithm 1's failover floods and acting
+// heads, the KLO flood baseline), a NoDeltaDelivery run — serial or on 4
+// workers, i.e. through the degree-aware shard partition — must produce
+// identical Metrics and byte-identical observer AND provenance JSONL
+// streams. (It lives in sim_test because obs and provenance import sim.)
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/tvg"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// runDelta executes proto on d with both a JSONL collector and a provenance
+// tracer attached, and returns the metrics plus both raw streams.
+func runDelta(t *testing.T, d ctvg.Dynamic, proto sim.Protocol, assign *token.Assignment, phaseLen, rounds, workers int, noDelta bool, crashAt map[int]int) (*sim.Metrics, []byte, []byte) {
+	t.Helper()
+	var obsSink, provSink bytes.Buffer
+	col := obs.NewCollector(obs.Config{
+		N: d.N(), K: assign.K, PhaseLen: phaseLen, Sink: &obsSink, SizeFn: wire.Size,
+	})
+	tr := provenance.New(provenance.Config{Sink: &provSink})
+	opts := sim.Options{
+		MaxRounds:       rounds,
+		Observer:        col.Observer(),
+		Tracer:          tr,
+		SizeFn:          wire.Size,
+		Workers:         workers,
+		NoDeltaDelivery: noDelta,
+	}
+	if crashAt != nil {
+		opts.Faults = &sim.Faults{CrashAt: crashAt}
+	}
+	met := sim.MustRunProtocol(d, proto, assign, opts)
+	if err := col.Flush(); err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("tracer: %v", err)
+	}
+	return met, obsSink.Bytes(), provSink.Bytes()
+}
+
+func TestDeltaDeliveryEquivalence(t *testing.T) {
+	const n, k, alpha, L = 80, 8, 2, 2
+	theta := 12
+	T := core.Theorem1T(k, alpha, L)
+	rounds := core.Theorem1Phases(theta, alpha) * T
+
+	adv := adversary.NewHiNet(adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: T,
+		Reaffiliations: 6, HeadChurn: 2,
+	}, xrand.New(1))
+	trace := ctvg.Record(adv, rounds)
+	assign := token.Spread(n, k, xrand.New(2))
+
+	// Crashes force the failover machinery (acting heads, floods, NACK
+	// re-uploads) to run, which is where most versioned payloads and the
+	// subtlest skip decisions live.
+	crashAt := map[int]int{5: 3, 33: T + 3, 61: 2*T + 7}
+
+	scenarios := []struct {
+		name    string
+		proto   sim.Protocol
+		rounds  int
+		crashAt map[int]int
+	}{
+		// Alg2 relays broadcast full versioned sets every round: the
+		// highest-skip-rate protocol, fault-free.
+		{"alg2", core.Alg2{}, rounds, nil},
+		// Alg2 + failover + crashes: acting heads, implicit-NACK subset
+		// checks against payloads whose union was elided.
+		{"alg2-failover", core.Alg2{Failover: &core.Failover{Window: 2}}, rounds, crashAt},
+		// Alg1 + failover + crashes: versioned flood fallback and
+		// phase-boundary retransmission alongside unversioned single-token
+		// traffic.
+		{"alg1-failover", core.Alg1{T: T, Failover: &core.Failover{Window: 2}}, rounds, crashAt},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			refMet, refObs, refProv := runDelta(t, trace, sc.proto, assign, T, sc.rounds, 1, false, sc.crashAt)
+			if len(refObs) == 0 || len(refProv) == 0 {
+				t.Fatal("reference run produced empty streams")
+			}
+			for _, tc := range []struct {
+				name    string
+				workers int
+				noDelta bool
+			}{
+				{"serial-nodelta", 1, true},
+				{"parallel-delta", 4, false},
+				{"parallel-nodelta", 4, true},
+			} {
+				met, obsJSON, provJSON := runDelta(t, trace, sc.proto, assign, T, sc.rounds, tc.workers, tc.noDelta, sc.crashAt)
+				if !reflect.DeepEqual(met, refMet) {
+					t.Errorf("%s: metrics diverge:\n  got  %+v\n  want %+v", tc.name, met, refMet)
+				}
+				if !bytes.Equal(obsJSON, refObs) {
+					t.Errorf("%s: observer JSONL diverges from serial delta run (%d vs %d bytes)",
+						tc.name, len(obsJSON), len(refObs))
+				}
+				if !bytes.Equal(provJSON, refProv) {
+					t.Errorf("%s: provenance JSONL diverges from serial delta run (%d vs %d bytes)",
+						tc.name, len(provJSON), len(refProv))
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaDeliveryFloodBaseline pins the same contract on the flat flood
+// baseline over a star graph — the topology that most stresses the
+// degree-aware shard partition (one hub holds half of all edge endpoints).
+func TestDeltaDeliveryFloodBaseline(t *testing.T) {
+	const n, k = 60, 6
+	d := sim.NewFlat(tvg.Static{G: graph.Star(n, 0)})
+	assign := token.Spread(n, k, xrand.New(3))
+	rounds := baseline.FloodRounds(n)
+
+	refMet, refObs, refProv := runDelta(t, d, baseline.Flood{}, assign, 1, rounds, 1, false, nil)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		noDelta bool
+	}{
+		{"serial-nodelta", 1, true},
+		{"parallel-delta", 4, false},
+		{"parallel-nodelta", 4, true},
+	} {
+		met, obsJSON, provJSON := runDelta(t, d, baseline.Flood{}, assign, 1, rounds, tc.workers, tc.noDelta, nil)
+		if !reflect.DeepEqual(met, refMet) {
+			t.Errorf("%s: metrics diverge:\n  got  %+v\n  want %+v", tc.name, met, refMet)
+		}
+		if !bytes.Equal(obsJSON, refObs) {
+			t.Errorf("%s: observer JSONL diverges (%d vs %d bytes)", tc.name, len(obsJSON), len(refObs))
+		}
+		if !bytes.Equal(provJSON, refProv) {
+			t.Errorf("%s: provenance JSONL diverges (%d vs %d bytes)", tc.name, len(provJSON), len(refProv))
+		}
+	}
+}

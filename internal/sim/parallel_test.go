@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/token"
+	"repro/internal/tvg"
 )
 
 func TestParallelMatchesSerial(t *testing.T) {
@@ -127,6 +129,81 @@ func TestProgressMonotonic(t *testing.T) {
 			t.Fatalf("workers=%d: %d progress events, want 39", workers, seen)
 		}
 	}
+}
+
+// recordStarRun is recordRun on a hub-and-spokes star: the degenerate input
+// for the degree-aware shard partition. Node 0 touches every edge, so
+// cutting by cumulative degree puts the hub (nearly) alone in shard 0 and
+// may leave trailing shards empty — the merged event stream must still be
+// the serial one bit for bit.
+func recordStarRun(workers int) ([]recordedEvent, *Metrics) {
+	d := NewFlat(tvg.Static{G: graph.Star(41, 0)})
+	assign := token.SingleSource(41, 6, 3) // source on a leaf: traffic crosses the hub
+	var events []recordedEvent
+	obs := &Observer{
+		Sent: func(r int, m *Message) {
+			events = append(events, recordedEvent{round: r, from: m.From, to: m.To, kind: m.Kind, cost: m.Cost(), delivered: -1})
+		},
+		Progress: func(r, delivered int) {
+			events = append(events, recordedEvent{round: r, from: -1, delivered: delivered})
+		},
+	}
+	met := MustRunProtocol(d, floodProto{}, assign, Options{MaxRounds: 6, Observer: obs, Workers: workers})
+	return events, met
+}
+
+func TestParallelStarMatchesSerial(t *testing.T) {
+	serial, smet := recordStarRun(0)
+	par, pmet := recordStarRun(4)
+	if smet.String() != pmet.String() {
+		t.Fatalf("metrics diverge: %v vs %v", smet, pmet)
+	}
+	if !smet.Complete {
+		t.Fatal("star flood incomplete; test is vacuous")
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("event counts diverge: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("event %d diverges: serial %+v parallel %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestShardBoundsDegreeAware(t *testing.T) {
+	check := func(name string, g *graph.Graph, nshards int) []int {
+		t.Helper()
+		b := shardBounds(g, nshards)
+		if len(b) != nshards+1 || b[0] != 0 || b[nshards] != g.N() {
+			t.Fatalf("%s: malformed bounds %v", name, b)
+		}
+		for s := 0; s < nshards; s++ {
+			if b[s] > b[s+1] {
+				t.Fatalf("%s: bounds not non-decreasing: %v", name, b)
+			}
+		}
+		return b
+	}
+
+	// Star: the hub carries weight ~n of a total ~2n, so shard 0 must stop
+	// right after it instead of taking the first n/4 nodes.
+	star := check("star", graph.Star(100, 0), 4)
+	if star[1] != 1 {
+		t.Errorf("star: shard 0 covers [0, %d), want the hub alone", star[1])
+	}
+
+	// Ring: uniform degree, so degree-aware cuts collapse to (near-)equal
+	// node counts.
+	ring := check("ring", graph.Ring(100), 4)
+	for s := 0; s < 4; s++ {
+		if sz := ring[s+1] - ring[s]; sz < 24 || sz > 26 {
+			t.Errorf("ring: shard %d has %d nodes, want ~25 (bounds %v)", s, sz, ring)
+		}
+	}
+
+	// One shard: trivially the whole range.
+	check("one-shard", graph.Path(10), 1)
 }
 
 // recordFaultyRun is recordRun under a lossy, crashing, recovering fault

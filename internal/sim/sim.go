@@ -78,10 +78,21 @@ func (k MsgKind) String() string {
 
 // Message is one transmission. From is filled in by the engine.
 type Message struct {
-	From   int
-	To     int // NoAddr for broadcast; otherwise the intended recipient
-	Kind   MsgKind
-	Tokens *bitset.Set
+	From int
+	To   int // NoAddr for broadcast; otherwise the intended recipient
+	Kind MsgKind
+	// Version, when non-zero, is the sender's monotone content stamp for
+	// the payload: the sender guarantees that within one run its Tokens
+	// sets are non-decreasing in Version (equal Version ⇒ identical set,
+	// higher Version ⇒ superset). A receiver that has already absorbed
+	// (From, Version) may therefore skip the payload union — delta-aware
+	// delivery; see View.DeltaEnabled. 0 means unversioned: never skipped.
+	// The stamp is engine metadata, contributing to neither Cost nor the
+	// wire encoding, so versioned and naive runs account identically. (It
+	// sits next to Kind to fit that word's padding: pooled messages are
+	// zeroed on every reuse, so struct size is hot-path cost.)
+	Version uint32
+	Tokens  *bitset.Set
 	// Units, when positive, overrides the cost accounting: the message is
 	// charged Units token-equivalents instead of the payload cardinality.
 	// Network-coded packets use it (one token-sized payload regardless of
@@ -138,7 +149,11 @@ func (k NoteKind) String() string {
 type View struct {
 	Round int
 	Role  ctvg.Role
-	Head  int // current cluster head node ID, or ctvg.NoCluster
+	// noDelta mirrors Options.NoDeltaDelivery into every view (see
+	// DeltaEnabled). It shares Role's padding: views live in one n-sized
+	// slice per run, so View growth is charged n-fold.
+	noDelta bool
+	Head    int // current cluster head node ID, or ctvg.NoCluster
 	// Neighbors is the node's current neighbour list, ascending. It
 	// aliases engine storage and must not be modified or retained.
 	Neighbors []int
@@ -152,6 +167,13 @@ type View struct {
 	// (Note is then a no-op).
 	notes *[]note
 }
+
+// DeltaEnabled reports whether receivers may honour Message.Version and
+// skip payload unions they have provably already absorbed. False only when
+// the run sets Options.NoDeltaDelivery (the naive A/B reference path);
+// senders stamp versions either way, so the transmitted messages — and all
+// accounting derived from them — are identical in both modes.
+func (v View) DeltaEnabled() bool { return !v.noDelta }
 
 // NewMessage returns a zeroed Message for this round's transmission. Inside
 // a run it comes from the shard's arena and is recycled at the round
@@ -436,6 +458,14 @@ type Options struct {
 	// the run terminates with a StallReport in Metrics.Stall instead of
 	// spinning to MaxRounds. 0 disables the watchdog.
 	StallWindow int
+	// NoDeltaDelivery disables delta-aware delivery: receivers then union
+	// every payload they hear, even ones whose (sender, version) stamp
+	// proves they were already absorbed. Senders stamp versions either
+	// way, so both paths transmit identical messages and produce identical
+	// Metrics, observer streams and provenance; the switch exists for A/B
+	// measurement of the skip's value (mirrored as PointConfig.NoDelta and
+	// hinetbench -nodelta).
+	NoDeltaDelivery bool
 	// NoStabilityCache disables the stability-window fast path: the engine
 	// then calls At/HierarchyAt and refreshes every node's view each round
 	// even when the dynamic advertises frozen windows via ctvg.Stability.
@@ -499,18 +529,38 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 	// stream replayed from outbox afterwards — are bit-identical to the
 	// serial engine's. The shard partition is fixed for the whole run, so
 	// each view is wired to its owning shard's arena exactly once.
+	//
+	// Shards are cut at equal cumulative round-0 degree rather than equal
+	// node count: per-node round work is dominated by neighbour scans, so
+	// on hub-heavy topologies (a star, a clustered HiNet) an equal-count
+	// partition leaves one worker with nearly all edges. Blocks stay
+	// contiguous and ascending, so every bit-identity guarantee above is
+	// untouched — only the cut points move.
 	nshards := 1
 	if parallelRun {
 		nshards = parallel.Shards(n, workers)
 	}
+	// bounds stays nil on serial runs: the slice leaks into ForEachBounds'
+	// goroutine closures, so even a stack [2]int{0, n} would be charged to
+	// the heap — and the serial paths below never consult it.
+	var bounds []int
+	if nshards > 1 {
+		bounds = shardBounds(d.At(0), nshards)
+	}
 	shards := make([]shardState, nshards)
 	for s := range shards {
-		lo, hi := s*n/nshards, (s+1)*n/nshards
+		lo, hi := 0, n
+		if bounds != nil {
+			lo, hi = bounds[s], bounds[s+1]
+		}
 		for v := lo; v < hi; v++ {
 			views[v].id = v
 			views[v].pool = &shards[s].pool
 			views[v].notes = &shards[s].notes
 		}
+	}
+	for v := range views {
+		views[v].noDelta = opts.NoDeltaDelivery
 	}
 
 	tracer := opts.Tracer
@@ -720,7 +770,7 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		// and replay the Sent stream from outbox in ascending sender
 		// order — identical for serial and parallel runs.
 		if parallelRun {
-			parallel.ForEachShard(n, workers, collectShard)
+			parallel.ForEachBounds(bounds, collectShard)
 		} else {
 			collectShard(0, 0, n)
 		}
@@ -737,7 +787,7 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 
 		// Deliver.
 		if parallelRun {
-			parallel.ForEachShard(n, workers, deliverShard)
+			parallel.ForEachBounds(bounds, deliverShard)
 		} else {
 			deliverShard(0, 0, n)
 		}
@@ -800,7 +850,7 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 			// addition commutes, so the sharded sum below matches the
 			// serial one exactly.
 			if parallelRun {
-				parallel.ForEachShard(n, workers, func(s, lo, hi int) {
+				parallel.ForEachBounds(bounds, func(s, lo, hi int) {
 					sum := 0
 					for v := lo; v < hi; v++ {
 						sum += nodes[v].Tokens().Len()
@@ -924,6 +974,41 @@ func (m *Metrics) add(a *shardAcc) {
 type crashEntry struct {
 	node, at, recoverAt int
 	done                bool
+}
+
+// shardBounds cuts [0, n) into nshards contiguous blocks of roughly equal
+// cumulative weight, where node v weighs deg(v)+1 in the round-0 graph (the
+// +1 keeps isolated nodes from collapsing into one giant block and bounds
+// every cut even on an empty graph). The s-th cut is placed at the first
+// node where the running weight reaches s/nshards of the total, so heavily
+// connected prefixes (a star centre, a dense cluster) get correspondingly
+// fewer nodes. Blocks may be empty on extreme skew; callers must still
+// visit empty shards (parallel.ForEachBounds does).
+//
+// The round-0 snapshot is a heuristic for the whole run — recomputing cuts
+// per round would move nodes between shards and break the fixed node→arena
+// wiring the delivery path relies on.
+func shardBounds(g *graph.Graph, nshards int) []int {
+	n := g.N()
+	bounds := make([]int, nshards+1)
+	bounds[nshards] = n
+	if nshards <= 1 {
+		return bounds
+	}
+	total := int64(2*g.M() + n)
+	var cum int64
+	s := 1
+	for v := 0; v < n && s < nshards; v++ {
+		cum += int64(g.Degree(v) + 1)
+		for s < nshards && cum*int64(nshards) >= int64(s)*total {
+			bounds[s] = v + 1
+			s++
+		}
+	}
+	for ; s < nshards; s++ {
+		bounds[s] = n
+	}
+	return bounds
 }
 
 // workersFor resolves Options.Workers for a run over n nodes: at least 1,

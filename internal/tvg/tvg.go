@@ -129,13 +129,40 @@ func (t *Trace) Append(g *graph.Graph) {
 }
 
 // Record materialises rounds [0, rounds) of any Dynamic into a Trace.
+//
+// Stable windows are deduplicated: when the source advertises Stability (or
+// returns the identical *graph.Graph pointer for consecutive rounds), the
+// whole window shares one clone instead of storing a copy per round, so a
+// T-stable trace costs O(windows·E) memory rather than O(rounds·E). The
+// shared pointers also let NewTrace's stability precompute hit the Equal
+// pointer fast-path.
 func Record(d Dynamic, rounds int) *Trace {
 	if rounds <= 0 {
 		panic("tvg: Record needs rounds > 0")
 	}
+	st, _ := d.(Stability)
 	snaps := make([]*graph.Graph, rounds)
-	for r := 0; r < rounds; r++ {
-		snaps[r] = d.At(r).Clone()
+	var prevSrc, prevSnap *graph.Graph
+	for r := 0; r < rounds; {
+		src := d.At(r)
+		snap := prevSnap
+		if src != prevSrc || snap == nil {
+			snap = src.Clone()
+		}
+		end := r
+		if st != nil {
+			if s := st.StableUntil(r); s > end {
+				end = s
+				if end > rounds-1 {
+					end = rounds - 1
+				}
+			}
+		}
+		for w := r; w <= end; w++ {
+			snaps[w] = snap
+		}
+		prevSrc, prevSnap = src, snap
+		r = end + 1
 	}
 	return NewTrace(snaps)
 }

@@ -249,3 +249,78 @@ func TestStaticStableForever(t *testing.T) {
 		t.Fatalf("Static.StableUntil(0) = %d want MaxInt", got)
 	}
 }
+
+// windowedDynamic alternates between two snapshots in 3-round stable
+// windows, advertising exactly those windows through Stability.
+type windowedDynamic struct {
+	a, b *graph.Graph
+}
+
+func (d windowedDynamic) N() int { return d.a.N() }
+
+func (d windowedDynamic) At(r int) *graph.Graph {
+	if (r/3)%2 == 0 {
+		return d.a
+	}
+	return d.b
+}
+
+func (d windowedDynamic) StableUntil(r int) int { return (r/3+1)*3 - 1 }
+
+func TestRecordDedupsStableWindows(t *testing.T) {
+	d := windowedDynamic{a: path(5), b: graph.Ring(5)}
+	tr := Record(d, 8)
+
+	// The satellite contract: stability windows survive recording…
+	for r, want := range []int{2, 2, 2, 5, 5, 5, math.MaxInt, math.MaxInt} {
+		if got := tr.StableUntil(r); got != want {
+			t.Errorf("StableUntil(%d) = %d want %d", r, got, want)
+		}
+	}
+	// …and a window stores ONE snapshot, not one clone per round.
+	if tr.At(0) != tr.At(1) || tr.At(1) != tr.At(2) {
+		t.Error("rounds of the first stable window do not share a snapshot")
+	}
+	if tr.At(3) != tr.At(4) || tr.At(4) != tr.At(5) {
+		t.Error("rounds of the second stable window do not share a snapshot")
+	}
+	if tr.At(2) == tr.At(3) {
+		t.Error("distinct windows share a snapshot")
+	}
+	// Recorded snapshots are still copies, not aliases of the source.
+	if tr.At(0) == d.a || tr.At(3) == d.b {
+		t.Error("Record aliased the source graphs")
+	}
+	for r := 0; r < 8; r++ {
+		if !tr.At(r).Equal(d.At(r)) {
+			t.Fatalf("round %d content mismatch", r)
+		}
+	}
+}
+
+// TestRecordPointerDedupWithoutStability checks the fallback: a source that
+// hands back the same *graph.Graph for consecutive rounds without
+// implementing Stability still records one shared clone per run.
+func TestRecordPointerDedupWithoutStability(t *testing.T) {
+	type bare struct{ windowedDynamic } // embeds At/N, hides StableUntil
+	d := bare{windowedDynamic{a: path(4), b: graph.Ring(4)}}
+	var dyn Dynamic = struct {
+		Dynamic
+	}{d}
+	if _, ok := dyn.(Stability); ok {
+		t.Fatal("test setup: wrapper must not advertise Stability")
+	}
+	tr := Record(dyn, 6)
+	if tr.At(0) != tr.At(2) {
+		t.Error("same-pointer rounds were cloned separately")
+	}
+	if tr.At(2) == tr.At(3) {
+		t.Error("different-pointer rounds share a clone")
+	}
+	// Rounds 3-5 are the trace tail, which repeats forever.
+	for r, want := range []int{2, 2, 2, math.MaxInt, math.MaxInt, math.MaxInt} {
+		if got := tr.StableUntil(r); got != want {
+			t.Errorf("StableUntil(%d) = %d want %d", r, got, want)
+		}
+	}
+}
