@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint build test race fuzz bench bench10k benchstat chaos cover
+.PHONY: check vet fmt lint build test race fuzz bench bench10k benchstat chaos cover timing-smoke
 
 check: lint build test race
 
@@ -61,9 +61,11 @@ fuzz:
 # a 1000-node (T, L)-HiNet run — cached, uncached, and with the provenance
 # tracer attached (BenchmarkHiNet1kTraced records the tracing-on overhead;
 # plain BenchmarkHiNet1k must hold the PR 2 allocation-free numbers, since
-# a nil tracer takes none of the tracing paths). Everything is seeded, so
-# runs are reproducible; -benchmem reports the allocation profile the
-# arena and the stability-window cache are accountable for.
+# a nil tracer takes none of the tracing paths; BenchmarkHiNet1kTimed does
+# the same for the timing layer and emits per-stage <stage>-ns/op metrics).
+# Everything is seeded, so runs are reproducible; -benchmem reports the
+# allocation profile the arena and the stability-window cache are
+# accountable for.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k' -benchmem -count 3 .
 
@@ -78,7 +80,23 @@ bench10k:
 # committed BENCH_*.json records via cmd/benchdiff: each record's "after"
 # section is a ceiling, so a perf regression fails the target. Timing gets a
 # 30% band (shared-machine noise; -count 3 keeps the best sample), the
-# deterministic bytes/allocs get 5%.
+# deterministic bytes/allocs get 5%. BENCH_PR6.json adds per-stage ceilings
+# for the Timed variants, so a regression inside one engine stage fails even
+# when the total hides it.
 benchstat:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k|BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h . | tee bench.latest.out
-	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json
+
+# timing-smoke is CI's end-to-end determinism check for the self-profiling
+# layer: the same 1k-node scenario serial and with -workers 4, both with
+# normalized timing streams, must produce byte-identical JSONL (the in-repo
+# unit version is TestTimingSerialParallelByteIdentical; this one goes
+# through the hinetsim binary).
+timing-smoke:
+	$(GO) run ./cmd/hinetsim -scenario hinet -n 1000 -k 8 -seed 3 \
+		-timing timing.serial.jsonl -timing-normalize > /dev/null
+	$(GO) run ./cmd/hinetsim -scenario hinet -n 1000 -k 8 -seed 3 \
+		-timing timing.par.jsonl -timing-normalize -workers 4 > /dev/null
+	cmp timing.serial.jsonl timing.par.jsonl
+	@echo "timing streams byte-identical (serial vs -workers 4)"
+	@rm -f timing.serial.jsonl timing.par.jsonl

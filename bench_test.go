@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/graph"
 	hinetmodel "repro/internal/hinet"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/sim"
 	"repro/internal/token"
@@ -196,6 +197,67 @@ func BenchmarkHiNet1kTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkHiNet1kTimed is the self-profiling-on counterpart of
+// BenchmarkHiNet1k: the same workload with a timing sink attached (JSONL to
+// io.Discard, resource samples every 32 rounds) and the per-stage wall
+// totals reported as <stage>-ns/op metrics — the numbers BENCH_PR6.json
+// records as stage ceilings and benchdiff enforces. BenchmarkHiNet1k itself
+// must stay at the BENCH_PR2.json baseline since a nil sink takes none of
+// these paths (TestTimingOffAllocParity pins that).
+func BenchmarkHiNet1kTimed(b *testing.B) {
+	d, assign, T, rounds := hiNet1kDynamic(b)
+	var wall [sim.NumStages]int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := obs.NewTiming(obs.TimingConfig{Sink: io.Discard})
+		met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size, Timing: tm,
+		})
+		if !met.Complete {
+			b.Fatalf("1k-node HiNet timed run incomplete: %v", met)
+		}
+		if err := tm.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for st, br := range tm.Breakdown() {
+			wall[st] += br.WallNs
+		}
+	}
+	b.StopTimer()
+	for st := sim.Stage(0); st < sim.NumStages; st++ {
+		b.ReportMetric(float64(wall[st])/float64(b.N), st.String()+"-ns/op")
+	}
+}
+
+// hiNet1kAllocBudget is the timing-off allocation budget of the 1k hot-path
+// benchmark, unchanged since BENCH_PR2.json. Growing it means the timing
+// layer (or anything else) leaked allocations into the disabled path.
+const hiNet1kAllocBudget = 7913
+
+// TestTimingOffAllocParity pins the zero-cost contract of Options.Timing:
+// the exact BenchmarkHiNet1k workload, timing off, must stay at the PR 2
+// allocation baseline. The timing state hangs off one pointer allocated
+// only when a sink is attached, so this holds to the allocation.
+func TestTimingOffAllocParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second 1k runs")
+	}
+	d, assign, T, rounds := hiNet1kDynamic(t)
+	avg := testing.AllocsPerRun(2, func() {
+		met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size,
+		})
+		if !met.Complete {
+			t.Fatalf("1k-node HiNet run incomplete: %v", met)
+		}
+	})
+	if avg > hiNet1kAllocBudget {
+		t.Fatalf("timing-off 1k run allocates %.0f times, budget %d: the disabled path is no longer free",
+			avg, hiNet1kAllocBudget)
+	}
+}
+
 // benchHiNet10k is the order-of-magnitude scaling workload: the full
 // pipeline — adversary generation, trace recording, run — on a 10000-node
 // (20, 2)-HiNet with θ=50 heads and 200 re-affiliations per phase boundary.
@@ -269,6 +331,52 @@ func BenchmarkHiNet10kAlg2NoDelta(b *testing.B) { benchHiNet10k(b, 16, true, tru
 // bookkeeping.
 func BenchmarkHiNet10kAlg2K4096(b *testing.B)        { benchHiNet10k(b, 4096, true, false) }
 func BenchmarkHiNet10kAlg2K4096NoDelta(b *testing.B) { benchHiNet10k(b, 4096, true, true) }
+
+// BenchmarkHiNet10kTimed is the timing-on variant of BenchmarkHiNet10k —
+// the scale where per-stage attribution starts to matter (snapshot
+// construction and delivery dominate differently than at 1k). Per-stage
+// wall totals are reported as <stage>-ns/op; note the measured loop
+// includes adversary generation and trace recording, which the engine's
+// stages do not cover, so the stage metrics sum below ns/op.
+func BenchmarkHiNet10kTimed(b *testing.B) {
+	const (
+		n     = 10000
+		k     = 16
+		alpha = 2
+		l     = 2
+		theta = 50
+	)
+	T := core.Theorem1T(k, alpha, l)
+	rounds := core.Theorem1Phases(theta, alpha) * T
+	var wall [sim.NumStages]int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := adversary.NewHiNet(adversary.HiNetConfig{
+			N: n, Theta: theta, L: l, T: T,
+			Reaffiliations: 200, HeadChurn: 2,
+		}, xrand.New(1))
+		tr := ctvg.Record(adv, rounds)
+		assign := token.Spread(n, k, xrand.New(2))
+		tm := obs.NewTiming(obs.TimingConfig{Sink: io.Discard})
+		met := sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size, Timing: tm,
+		})
+		if !met.Complete {
+			b.Fatalf("10k timed run incomplete: %v", met)
+		}
+		if err := tm.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for st, br := range tm.Breakdown() {
+			wall[st] += br.WallNs
+		}
+	}
+	b.StopTimer()
+	for st := sim.Stage(0); st < sim.NumStages; st++ {
+		b.ReportMetric(float64(wall[st])/float64(b.N), st.String()+"-ns/op")
+	}
+}
 
 // BenchmarkSweepN0 measures one non-headline sweep point (n0=40) per
 // iteration; the full sweep is produced by `hinetbench -sweep n0`.

@@ -15,6 +15,13 @@
 // files oldest first. Benchmarks recorded but not run are reported and
 // skipped (a shrunk -bench filter is not a regression). Multiple -count
 // samples of one benchmark are reduced to their minimum before comparison.
+//
+// Records may carry a "stages" map of per-engine-stage ns/op ceilings (the
+// timed benchmarks emit them as `<stage>-ns/op` custom metrics). Each stage
+// is checked against -tol like ns/op; the verdict line also names the worst
+// stage regression and the best stage improvement, so a PR that shifts time
+// between stages shows where. Records without "stages" (BENCH_PR2–PR5) and
+// runs without timed benchmarks are both fine: absent data is skipped.
 package main
 
 import (
@@ -27,17 +34,23 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type metrics struct {
-	Ns     float64 `json:"ns_per_op"`
-	Bytes  float64 `json:"bytes_per_op"`
-	Allocs float64 `json:"allocs_per_op"`
+	Ns     float64            `json:"ns_per_op"`
+	Bytes  float64            `json:"bytes_per_op"`
+	Allocs float64            `json:"allocs_per_op"`
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
-// benchLine matches one -benchmem result line, e.g.
-// "BenchmarkHiNet1k-4   57   20487454 ns/op   355720 B/op   7913 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+// benchLine matches one benchmark result line up through ns/op; custom
+// metrics (stage spans) and -benchmem columns follow in the tail, e.g.
+// "BenchmarkHiNet1kTimed-4  39  29623629 ns/op  12580243 collect-ns/op  ...  363696 B/op  7967 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+// metricPair matches one "value unit" column of the tail.
+var metricPair = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) (\S+)`)
 
 func parseBench(r io.Reader) (map[string]metrics, error) {
 	out := make(map[string]metrics)
@@ -49,9 +62,22 @@ func parseBench(r io.Reader) (map[string]metrics, error) {
 		}
 		var got metrics
 		got.Ns, _ = strconv.ParseFloat(m[2], 64)
-		if m[3] != "" {
-			got.Bytes, _ = strconv.ParseFloat(m[3], 64)
-			got.Allocs, _ = strconv.ParseFloat(m[4], 64)
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := pair[2]; {
+			case unit == "B/op":
+				got.Bytes = v
+			case unit == "allocs/op":
+				got.Allocs = v
+			case strings.HasSuffix(unit, "-ns/op"):
+				if got.Stages == nil {
+					got.Stages = make(map[string]float64)
+				}
+				got.Stages[strings.TrimSuffix(unit, "-ns/op")] = v
+			}
 		}
 		// -count > 1 repeats each benchmark; keep the best sample, the
 		// standard way to strip scheduling noise from a ceiling check.
@@ -155,15 +181,60 @@ func main() {
 		case want.Allocs > 0 && have.Allocs > want.Allocs*(1+*memtol):
 			verdict = fmt.Sprintf("FAIL allocs/op +%.0f%% over ceiling", 100*(have.Allocs/want.Allocs-1))
 		}
+		stageNote, stageFail := diffStages(want.Stages, have.Stages, *tol)
+		if verdict == "ok" && stageFail != "" {
+			verdict = stageFail
+		}
 		if verdict != "ok" {
 			failed = true
 		}
 		fmt.Printf("%-38s %12.0f ns/op (x%.2f of %s)  %s\n",
 			name, have.Ns, have.Ns/want.Ns, source[name], verdict)
+		if stageNote != "" {
+			fmt.Printf("%-38s %s\n", "", stageNote)
+		}
 	}
 	if failed {
 		fmt.Println("benchdiff: FAIL")
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: PASS")
+}
+
+// diffStages compares per-stage ns/op against the recorded stage ceilings.
+// It returns a note naming the worst-regressing and best-improving stages
+// (empty when either side has no stage data — pre-PR6 records and untimed
+// runs are not an error), and a FAIL verdict when any stage breaches tol.
+func diffStages(want, have map[string]float64, tol float64) (note, fail string) {
+	if len(want) == 0 || len(have) == 0 {
+		return "", ""
+	}
+	type delta struct {
+		stage string
+		ratio float64
+	}
+	var ds []delta
+	for stage, w := range want {
+		h, ok := have[stage]
+		if !ok || w <= 0 {
+			continue
+		}
+		ds = append(ds, delta{stage, h / w})
+	}
+	if len(ds) == 0 {
+		return "", ""
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].ratio != ds[j].ratio {
+			return ds[i].ratio > ds[j].ratio
+		}
+		return ds[i].stage < ds[j].stage
+	})
+	worst, best := ds[0], ds[len(ds)-1]
+	note = fmt.Sprintf("stages: worst %s x%.2f, best %s x%.2f (%d compared)",
+		worst.stage, worst.ratio, best.stage, best.ratio, len(ds))
+	if worst.ratio > 1+tol {
+		fail = fmt.Sprintf("FAIL %s-ns/op +%.0f%% over ceiling", worst.stage, 100*(worst.ratio-1))
+	}
+	return note, fail
 }

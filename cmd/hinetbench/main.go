@@ -15,6 +15,8 @@
 //	hinetbench -table 3 -metrics d # per-seed round-series JSONL into d/
 //	hinetbench -table 3 -nocache   # A/B check: identical results, uncached engine
 //	hinetbench -table 3 -nodelta   # A/B check: identical results, naive delivery
+//	hinetbench -table 3 -timing d  # per-seed engine stage spans into d/, plus a
+//	                               # per-stage breakdown table over all Table 3 runs
 //	hinetbench -pprof :6060        # expose net/http/pprof while running
 package main
 
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -45,6 +48,7 @@ func main() {
 		metrics = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
 		noCache = flag.Bool("nocache", false, "disable the engine's stability-window cache (A/B timing check; results are identical)")
 		noDelta = flag.Bool("nodelta", false, "disable delta-aware delivery (A/B timing check; results are identical)")
+		timing  = flag.String("timing", "", "directory for per-seed engine stage-span JSONL (Table 3 rows); prints a per-stage breakdown")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -103,6 +107,7 @@ func main() {
 		cfg.MetricsDir = *metrics
 		cfg.NoCache = *noCache
 		cfg.NoDelta = *noDelta
+		cfg.TimingDir = *timing
 		tb, rows, err := experiment.Table3Report(cfg)
 		if err != nil {
 			fatal(err)
@@ -111,6 +116,10 @@ func main() {
 		emitHeadline(out, rows)
 		if *metrics != "" {
 			fmt.Fprintf(out, "wrote per-seed round series to %s/\n\n", *metrics)
+		}
+		if *timing != "" {
+			emit(timingBreakdown(rows))
+			fmt.Fprintf(out, "wrote per-seed timing series to %s/\n\n", *timing)
 		}
 		ran = true
 	}
@@ -201,6 +210,29 @@ func emitHeadline(w io.Writer, rows []experiment.RowResult) {
 	fmt.Fprintf(w, "headline: Alg2 vs KLO-1 comm saving: formula %s, simulated %s\n\n",
 		report.Pct(1-float64(alg2.Analytic.Comm)/float64(klo1.Analytic.Comm)),
 		report.Pct(1-alg2.MeasuredComm/klo1.MeasuredComm))
+}
+
+// timingBreakdown folds the per-row stage totals collected under -timing
+// into one per-stage table covering every Table 3 simulation run.
+func timingBreakdown(rows []experiment.RowResult) *report.Table {
+	var wall, cpu []int64
+	rounds := 0
+	for _, r := range rows {
+		if r.StageWallNs == nil {
+			continue
+		}
+		if wall == nil {
+			wall = make([]int64, len(r.StageWallNs))
+			cpu = make([]int64, len(r.StageCPUNs))
+		}
+		for i := range r.StageWallNs {
+			wall[i] += r.StageWallNs[i]
+			cpu[i] += r.StageCPUNs[i]
+		}
+		rounds += r.TimedRounds
+	}
+	return obs.TimingTable("Engine per-stage timing — all Table 3 simulation runs",
+		obs.WallBreakdown(wall, cpu), rounds)
 }
 
 func fatal(err error) {

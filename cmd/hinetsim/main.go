@@ -21,15 +21,28 @@
 //	-recover-after 15           # crashed heads rejoin after 15 rounds (0 = crash-stop)
 //	-failover 3                 # run the self-healing protocol variant (head-silence window)
 //	-stall-window 50            # terminate with a diagnostic after 50 zero-progress rounds
+//
+// Self-profiling and parallelism apply to every simulating scenario too:
+//
+//	-timing run.timing.jsonl    # per-round stage spans (JSONL) + breakdown table
+//	-timing-sample 32           # resource-sample (heap/arena/goroutines) interval
+//	-timing-normalize           # zero durations in the JSONL (determinism checks)
+//	-workers 4                  # within-round parallelism (sim.Options.Workers)
+//
+// Every scenario runs under runtime/pprof labels (scenario=, plus the
+// engine's stage=/shard= labels when -timing is on), so CPU profiles taken
+// through -pprof attribute samples by round stage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -67,6 +80,10 @@ func main() {
 		metrics  = flag.String("metrics", "", "write one JSONL round event per round to this file")
 		prov     = flag.String("provenance", "", "write the provenance JSONL stream into this directory")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		timing   = flag.String("timing", "", "write per-round engine stage spans (JSONL) to this file and print a breakdown")
+		tsample  = flag.Int("timing-sample", 0, "rounds between timing resource samples (0 = default 32)")
+		tnorm    = flag.Bool("timing-normalize", false, "zero durations/resources in the timing JSONL, keeping structure (determinism checks)")
+		workers  = flag.Int("workers", 0, "within-round parallelism (0 or 1 = serial)")
 
 		drop         = flag.Float64("drop", 0, "i.i.d. per-delivery message loss probability")
 		burst        = flag.String("burst", "", "Gilbert–Elliott bursty loss as pGoodBad,pBadGood,dropBad")
@@ -85,34 +102,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hinetsim:", err)
 		os.Exit(1)
 	}
-	mi := &instr{path: *metrics, provDir: *prov, faults: plan, stall: *stallWindow}
+	mi := &instr{
+		path: *metrics, provDir: *prov, faults: plan, stall: *stallWindow,
+		timingPath: *timing, tsample: *tsample, tnorm: *tnorm, workers: *workers,
+	}
 	if *failover > 0 {
 		mi.fo = &core.Failover{Window: *failover}
 	}
 
-	switch *scenario {
-	case "fig1":
-		if *metrics != "" || *prov != "" {
-			fmt.Fprintln(os.Stderr, "hinetsim: fig1 runs no simulation; -metrics/-provenance ignored")
+	// Run the whole scenario under a scenario= pprof label so CPU profiles
+	// taken through -pprof attribute samples to it; the engine layers its
+	// stage=/shard= labels on top when timing is on.
+	rpprof.Do(context.Background(), rpprof.Labels("scenario", *scenario), func(ctx context.Context) {
+		mi.labelCtx = ctx
+		switch *scenario {
+		case "fig1":
+			if *metrics != "" || *prov != "" {
+				fmt.Fprintln(os.Stderr, "hinetsim: fig1 runs no simulation; -metrics/-provenance ignored")
+			}
+			err = runFig1(*seed)
+		case "fig3":
+			err = runFig3(mi)
+		case "hinet":
+			err = runHiNet(*n, *k, *theta, *alpha, *l, *reaffil, *churn, *seed, mi)
+		case "onel":
+			err = runOneL(*n, *k, *theta, *l, *reaffil, *churn, *seed, mi)
+		case "mobility":
+			err = runMobility(*n, *k, *seed, mi)
+		case "emdg":
+			err = runEMDG(*n, *k, *seed, mi)
+		case "coded":
+			err = runCoded(*n, *k, *seed, mi)
+		case "multihop":
+			err = runMultiHop(*n, *k, *seed, mi)
+		default:
+			err = fmt.Errorf("unknown scenario %q", *scenario)
 		}
-		err = runFig1(*seed)
-	case "fig3":
-		err = runFig3(mi)
-	case "hinet":
-		err = runHiNet(*n, *k, *theta, *alpha, *l, *reaffil, *churn, *seed, mi)
-	case "onel":
-		err = runOneL(*n, *k, *theta, *l, *reaffil, *churn, *seed, mi)
-	case "mobility":
-		err = runMobility(*n, *k, *seed, mi)
-	case "emdg":
-		err = runEMDG(*n, *k, *seed, mi)
-	case "coded":
-		err = runCoded(*n, *k, *seed, mi)
-	case "multihop":
-		err = runMultiHop(*n, *k, *seed, mi)
-	default:
-		err = fmt.Errorf("unknown scenario %q", *scenario)
-	}
+	})
 	if err == nil {
 		err = mi.close()
 	}
@@ -188,6 +214,17 @@ type instr struct {
 	faults *sim.Faults
 	stall  int
 	fo     *core.Failover
+
+	// -timing / -workers wiring: the engine self-instruments each round
+	// stage into tm's JSONL sink; labelCtx carries the scenario= pprof
+	// label into the engine so stage=/shard= labels nest under it.
+	timingPath string
+	tsample    int
+	tnorm      bool
+	workers    int
+	tf         *os.File
+	tm         *obs.Timing
+	labelCtx   context.Context
 }
 
 // alg1 returns the scenario's Algorithm 1: the self-healing failover
@@ -220,6 +257,23 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 	}
 	if in.stall > 0 {
 		opts.StallWindow = in.stall
+	}
+	if in.workers != 0 {
+		opts.Workers = in.workers
+	}
+	if in.timingPath != "" && in.tf == nil {
+		tf, err := os.Create(in.timingPath)
+		if err != nil {
+			return opts, err
+		}
+		in.tf = tf
+		in.tm = obs.NewTiming(obs.TimingConfig{
+			Sink: tf, Normalize: in.tnorm, SampleEvery: in.tsample,
+		})
+	}
+	if in.tm != nil && opts.Timing == nil {
+		opts.Timing = in.tm
+		opts.LabelCtx = in.labelCtx
 	}
 	if in.provDir != "" && in.pf == nil {
 		if err := os.MkdirAll(in.provDir, 0o755); err != nil {
@@ -271,6 +325,22 @@ func (in *instr) close() error {
 		fmt.Printf("wrote provenance stream to %s\n", filepath.Join(in.provDir, "provenance.jsonl"))
 		if pv := in.tracer.PaceViolations(); pv > 0 {
 			fmt.Printf("pace checker: %d violation(s) — the run fell behind the Theorem 1 schedule\n", pv)
+		}
+	}
+	if in.tf != nil {
+		err := in.tm.Flush()
+		if cerr := in.tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote timing series to %s\n", in.timingPath)
+		if r := in.tm.Rounds(); r > 0 {
+			tbl := obs.TimingTable("per-stage timing", in.tm.Breakdown(), r)
+			if err := tbl.WriteText(os.Stdout); err != nil {
+				return err
+			}
 		}
 	}
 	if in.f == nil {

@@ -12,6 +12,7 @@
 //	hinettrace lineage       -log prov.jsonl -node N -token T [-format ...]
 //	hinettrace critical-path -log prov.jsonl [-token T] [-format ...]
 //	hinettrace redundancy    -log prov.jsonl [-top N] [-format ...]
+//	hinettrace timing        -in run.timing.jsonl [-format ...]
 //
 // stats replays a recorded trace through the internal/obs layer and prints
 // a phase-by-phase breakdown (uploads, relays, progress, churn, stalls) —
@@ -26,6 +27,10 @@
 // (member→head→gateway→head→member hop composition, rounds in flight vs
 // queued at heads); redundancy prints the run's wasted-delivery account and
 // its per-sender hotspots.
+//
+// timing reads back a per-round engine stage-span JSONL stream (written by
+// hinetsim -timing, hinetbench -timing or experiment TimingDir) and prints
+// the per-stage wall/CPU breakdown plus the last resource sample.
 package main
 
 import (
@@ -69,6 +74,8 @@ func main() {
 		err = criticalPath(os.Args[2:])
 	case "redundancy":
 		err = redundancy(os.Args[2:])
+	case "timing":
+		err = timing(os.Args[2:])
 	default:
 		usage()
 	}
@@ -79,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats|lineage|critical-path|redundancy [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats|lineage|critical-path|redundancy|timing [flags]")
 	os.Exit(2)
 }
 
@@ -147,18 +154,25 @@ func record(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	rec := ctvg.Record(adv, *rounds)
 	if *full {
 		err = trace.Write(f, rec)
 	} else {
 		err = trace.WriteDelta(f, rec)
 	}
+	if err == nil {
+		err = f.Sync()
+	}
+	// Close errors are the last place a full disk can surface; losing them
+	// here would report a truncated trace as recorded.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("recorded %d rounds of a (%d, %d)-HiNet on %d nodes to %s\n", *rounds, *t, *l, *n, *out)
-	return f.Sync()
+	return nil
 }
 
 func load(path string) (*ctvg.Trace, error) {
@@ -229,7 +243,7 @@ func replay(args []string) error {
 // stats replays a trace through the obs layer and prints the phase-by-phase
 // breakdown. With -metrics it also dumps the raw per-round JSONL series;
 // with -provenance it records the full dissemination DAG.
-func stats(args []string) error {
+func stats(args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "net.ctvg", "input file")
 	proto := fs.String("proto", "alg1", "protocol: alg1 | alg2")
@@ -267,7 +281,14 @@ func stats(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer mf.Close()
+		// Propagate the Close error into the subcommand's result: with a
+		// buffered sink a full disk can surface only at Close, and a
+		// dropped error would pass a truncated JSONL off as complete.
+		defer func() {
+			if cerr := mf.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		cfg.Sink = mf
 	}
 	col := obs.NewCollector(cfg)
@@ -284,7 +305,11 @@ func stats(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer pf.Close()
+		defer func() {
+			if cerr := pf.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		pcfg.Sink = pf
 	}
 	tracer := provenance.New(pcfg)
@@ -329,6 +354,46 @@ func stats(args []string) error {
 	if pf != nil {
 		fmt.Fprintf(aux, "wrote %d provenance edges to %s\n", len(plog.Edges), *prov)
 		return pf.Sync()
+	}
+	return nil
+}
+
+// timing summarizes a per-round engine stage-span JSONL stream into the
+// per-stage wall/CPU breakdown, with the last resource sample appended.
+func timing(args []string) error {
+	fs := flag.NewFlagSet("timing", flag.ExitOnError)
+	in := fs.String("in", "run.timing.jsonl", "timing JSONL file (from hinetsim/hinetbench -timing)")
+	format := fs.String("format", "text", "table output: text | json | csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	rows, err := obs.ParseTiming(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s holds no timing rows", *in)
+	}
+	tb := obs.TimingTable(fmt.Sprintf("per-stage timing (%s, %d rounds)", *in, len(rows)),
+		obs.SummarizeTiming(rows), len(rows))
+	if err := writeTable(tb, *format); err != nil {
+		return err
+	}
+	aux := auxOut(*format)
+	for i := len(rows) - 1; i >= 0; i-- {
+		if r := rows[i].Res; r != nil {
+			fmt.Fprintf(aux, "last resource sample (round %d): heap=%dB objects=%d goroutines=%d arena=%d msgs / %d sets / %dB\n",
+				rows[i].Round, r.HeapInuse, r.HeapObjects, r.Goroutines,
+				r.ArenaMsgs, r.ArenaSets, r.ArenaSetBytes)
+			break
+		}
 	}
 	return nil
 }

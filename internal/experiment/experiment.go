@@ -18,9 +18,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"repro/internal/adversary"
 	"repro/internal/analysis"
@@ -62,6 +64,15 @@ type PointConfig struct {
 	// with the Theorem 1 pace checker armed; its violation count is summed
 	// into the row's PaceViolations. The directory is created if missing.
 	ProvenanceDir string
+	// TimingDir, when non-empty, attaches the engine's self-profiling
+	// layer to every replication and records the per-round stage spans as
+	// <row-slug>_seed<NN>.timing.jsonl in that directory (see
+	// internal/obs.Timing for the schema). Each replication also runs
+	// under an alg=<row-slug> pprof label, so CPU profiles taken over a
+	// grid run attribute samples by row and stage. The per-stage wall/CPU
+	// totals are summed into the row's StageWallNs / StageCPUNs. The
+	// directory is created if missing.
+	TimingDir string
 	// NoCache disables the engine's stability-window cache
 	// (sim.Options.NoStabilityCache) in every replication — the A/B switch
 	// for verifying the cache changes timings only, never results.
@@ -123,6 +134,12 @@ type RowResult struct {
 	// PaceViolations sums Theorem 1 pace warnings across replications
 	// (Algorithm 1 rows with tracing only).
 	PaceViolations int
+	// StageWallNs / StageCPUNs sum the engine's per-stage self-profiling
+	// spans across replications, indexed by sim.Stage; TimedRounds sums
+	// the instrumented rounds. All nil/0 unless TimingDir armed timing.
+	StageWallNs []int64
+	StageCPUNs  []int64
+	TimedRounds int
 }
 
 // measured runs a protocol/adversary pairing over seeds and aggregates.
@@ -134,6 +151,7 @@ type runSpec struct {
 	phaseLen   int
 	metricsDir string
 	provDir    string
+	timingDir  string
 	// paceBudget arms the provenance tracer's pace checker (Algorithm 1
 	// rows only; nil leaves the checker off).
 	paceBudget *provenance.Budget
@@ -159,6 +177,9 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 		redundant int64
 		pace      int
 		complete  bool
+		wall      []int64 // per-sim.Stage span totals (timing runs only)
+		cpu       []int64
+		rounds    int
 		err       error
 	}
 	samples := parallel.Map(spec.seeds, spec.workers, func(i int) sample {
@@ -208,6 +229,26 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			tracer = provenance.New(provenance.Config{Sink: pf, Budget: spec.paceBudget})
 			opts.Tracer = tracer
 		}
+		var tm *obs.Timing
+		var tf *os.File
+		if spec.timingDir != "" {
+			path := filepath.Join(spec.timingDir, fmt.Sprintf("%s_seed%02d.timing.jsonl", spec.slug, i))
+			var err error
+			tf, err = os.Create(path)
+			if err != nil {
+				if mf != nil {
+					mf.Close()
+				}
+				if pf != nil {
+					pf.Close()
+				}
+				return sample{err: err}
+			}
+			tm = obs.NewTiming(obs.TimingConfig{Sink: tf})
+			opts.Timing = tm
+			opts.LabelCtx = pprof.WithLabels(context.Background(),
+				pprof.Labels("alg", spec.slug))
+		}
 		met, err := sim.RunProtocol(d, p, assign, opts)
 		if err != nil {
 			if mf != nil {
@@ -215,6 +256,9 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			}
 			if pf != nil {
 				pf.Close()
+			}
+			if tf != nil {
+				tf.Close()
 			}
 			return sample{err: err}
 		}
@@ -240,6 +284,24 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 		if !met.Complete {
 			t = spec.budget
 		}
+		var wall, cpu []int64
+		rounds := 0
+		if tm != nil {
+			err := tm.Flush()
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return sample{err: err}
+			}
+			wall = make([]int64, sim.NumStages)
+			cpu = make([]int64, sim.NumStages)
+			for st, br := range tm.Breakdown() {
+				wall[st] = br.WallNs
+				cpu[st] = br.CPUNs
+			}
+			rounds = tm.Rounds()
+		}
 		s := sample{
 			time:      t,
 			comm:      met.TokensSent,
@@ -249,6 +311,9 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			first:     met.FirstDeliveries,
 			redundant: met.RedundantDeliveries,
 			complete:  met.Complete,
+			wall:      wall,
+			cpu:       cpu,
+			rounds:    rounds,
 		}
 		if tracer != nil {
 			s.pace = tracer.PaceViolations()
@@ -280,6 +345,17 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 		res.PaceViolations += s.pace
 		if s.complete {
 			res.Completed++
+		}
+		if s.wall != nil {
+			if res.StageWallNs == nil {
+				res.StageWallNs = make([]int64, sim.NumStages)
+				res.StageCPUNs = make([]int64, sim.NumStages)
+			}
+			for st := range s.wall {
+				res.StageWallNs[st] += s.wall[st]
+				res.StageCPUNs[st] += s.cpu[st]
+			}
+			res.TimedRounds += s.rounds
 		}
 	}
 	res.MeasuredTime = parallel.Mean(times)
@@ -328,6 +404,11 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return nil, err
 		}
 	}
+	if cfg.TimingDir != "" {
+		if err := os.MkdirAll(cfg.TimingDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	n, k, alpha, L, theta := p.N0, p.K, p.Alpha, p.L, p.Theta
 	T := p.T()
 
@@ -335,7 +416,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	kloTPhases := baseline.KLOTPhases(n, T, k)
 	rowKLOT, err := runRow(runSpec{
 		model: "(k+α*L)-interval connected [7]",
-		slug:  "klo_t", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
+		slug:  "klo_t", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		budget: kloTPhases * T,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
@@ -352,7 +433,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	nrTotalT := cfg.P.NM * cfg.NRT
 	rowAlg1, err := runRow(runSpec{
 		model: "(k+α*L, L)-HiNet",
-		slug:  "alg1", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
+		slug:  "alg1", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		paceBudget: &provenance.Budget{PhaseLen: T, Phases: alg1Phases, Alpha: alpha, Theta: theta},
 		budget:     alg1Phases * T,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
@@ -372,7 +453,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	// Row 3: KLO 1-interval flooding.
 	rowFlood, err := runRow(runSpec{
 		model: "1-interval connected [7]",
-		slug:  "flood", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
+		slug:  "flood", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		budget: baseline.FloodRounds(n),
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
@@ -389,7 +470,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	nrTotal1 := cfg.P.NM * cfg.NR1
 	rowAlg2, err := runRow(runSpec{
 		model: "(1, L)-HiNet",
-		slug:  "alg2", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir,
+		slug:  "alg2", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		budget: budget1,
 		build: func(seed uint64) (ctvg.Dynamic, sim.Protocol) {
 			adv := adversary.NewHiNet(adversary.HiNetConfig{

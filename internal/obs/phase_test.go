@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ev builds a RoundEvent with just the fields Summarize folds.
+func ev(round, phase int, msgs, uploads, relays int64, delivered, total int, idle bool, stall int) RoundEvent {
+	e := RoundEvent{
+		Round: round, Phase: phase,
+		Messages: msgs, Tokens: 2 * msgs,
+		Delivered: delivered, Total: total,
+		Idle: idle, Stall: stall,
+	}
+	e.MsgsByKind[sim.KindUpload] = uploads
+	e.MsgsByKind[sim.KindRelay] = relays
+	e.TokensByKind[sim.KindUpload] = 2 * uploads
+	e.TokensByKind[sim.KindRelay] = 2 * relays
+	return e
+}
+
+func TestSummarizePhaseTransitions(t *testing.T) {
+	// Three rounds in phase 0, two in phase 1, one in phase 2: the group
+	// boundaries must fall exactly where the Phase field changes, and the
+	// per-phase Gained deltas must chain through the transitions.
+	events := []RoundEvent{
+		ev(0, 0, 10, 4, 2, 5, 40, false, 0),
+		ev(1, 0, 8, 3, 1, 9, 40, false, 0),
+		ev(2, 0, 0, 0, 0, 9, 40, true, 1),
+		ev(3, 1, 6, 2, 2, 20, 40, false, 0),
+		ev(4, 1, 4, 1, 1, 28, 40, false, 0),
+		ev(5, 2, 2, 1, 0, 40, 40, false, 0),
+	}
+	phases := Summarize(events)
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(phases))
+	}
+	wantRounds := []int{3, 2, 1}
+	wantMsgs := []int64{18, 10, 2}
+	wantUploads := []int64{7, 3, 1}
+	wantRelays := []int64{3, 3, 0}
+	wantDelivered := []int{9, 28, 40}
+	wantGained := []int{9, 19, 12}
+	for i, p := range phases {
+		if p.Phase != i {
+			t.Fatalf("phase %d has Phase=%d", i, p.Phase)
+		}
+		if p.Rounds != wantRounds[i] || p.Messages != wantMsgs[i] {
+			t.Fatalf("phase %d: rounds=%d msgs=%d, want %d/%d",
+				i, p.Rounds, p.Messages, wantRounds[i], wantMsgs[i])
+		}
+		if p.Uploads != wantUploads[i] || p.Relays != wantRelays[i] {
+			t.Fatalf("phase %d: uploads=%d relays=%d, want %d/%d",
+				i, p.Uploads, p.Relays, wantUploads[i], wantRelays[i])
+		}
+		if p.UploadTokens != 2*wantUploads[i] || p.RelayTokens != 2*wantRelays[i] {
+			t.Fatalf("phase %d: upload/relay token costs %d/%d, want %d/%d",
+				i, p.UploadTokens, p.RelayTokens, 2*wantUploads[i], 2*wantRelays[i])
+		}
+		// Delivered is a snapshot (phase end), Gained a delta over the phase.
+		if p.Delivered != wantDelivered[i] || p.Gained != wantGained[i] {
+			t.Fatalf("phase %d: delivered=%d gained=%d, want %d/%d",
+				i, p.Delivered, p.Gained, wantDelivered[i], wantGained[i])
+		}
+		if p.Total != 40 {
+			t.Fatalf("phase %d: total=%d, want 40", i, p.Total)
+		}
+	}
+	if phases[0].IdleRounds != 1 || phases[0].StallRounds != 1 {
+		t.Fatalf("phase 0 idle/stall = %d/%d, want 1/1", phases[0].IdleRounds, phases[0].StallRounds)
+	}
+	if phases[1].IdleRounds != 0 || phases[1].StallRounds != 0 {
+		t.Fatalf("phase 1 idle/stall = %d/%d, want 0/0", phases[1].IdleRounds, phases[1].StallRounds)
+	}
+}
+
+func TestSummarizeNonContiguousPhases(t *testing.T) {
+	// Phases need not be consecutive integers (Alg 2 degenerates to phase
+	// == round under PhaseLen 1, and a truncated event stream can open on
+	// any phase): every Phase-field change starts a new group, and the
+	// first group's Gained baseline is zero delivered pairs.
+	events := []RoundEvent{
+		ev(7, 3, 5, 0, 0, 12, 40, false, 0),
+		ev(8, 5, 5, 0, 0, 15, 40, false, 0),
+		ev(9, 5, 5, 0, 0, 16, 40, false, 0),
+	}
+	phases := Summarize(events)
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(phases))
+	}
+	if phases[0].Phase != 3 || phases[1].Phase != 5 {
+		t.Fatalf("phase ids %d,%d, want 3,5", phases[0].Phase, phases[1].Phase)
+	}
+	if phases[0].Gained != 12 || phases[1].Gained != 4 {
+		t.Fatalf("gained %d,%d, want 12,4", phases[0].Gained, phases[1].Gained)
+	}
+}
+
+func TestSummarizeChurnAndCrashes(t *testing.T) {
+	a := ev(0, 0, 1, 0, 0, 1, 8, false, 0)
+	a.HeadChanges, a.Reaffiliations, a.GatewayFlips = 2, 3, 1
+	a.Crashed = []int{4, 5}
+	b := ev(1, 0, 1, 0, 0, 2, 8, false, 0)
+	b.HeadChanges, b.Crashed = 1, []int{6}
+	phases := Summarize([]RoundEvent{a, b})
+	if len(phases) != 1 {
+		t.Fatalf("got %d phases, want 1", len(phases))
+	}
+	p := phases[0]
+	if p.HeadChanges != 3 || p.Reaffiliations != 3 || p.GatewayFlips != 1 || p.Crashes != 3 {
+		t.Fatalf("churn sums %+v, want head-chg=3 reaffil=3 gw-flip=1 crashes=3", p)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Fatalf("Summarize(nil) = %v, want empty", got)
+	}
+}
+
+func TestPhaseTableRendersProgress(t *testing.T) {
+	phases := Summarize([]RoundEvent{
+		ev(0, 0, 10, 4, 2, 20, 40, false, 0),
+		ev(1, 1, 2, 1, 0, 40, 40, false, 0),
+	})
+	var sb strings.Builder
+	if err := PhaseTable("t", phases).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"50.0%", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing progress %q:\n%s", want, out)
+		}
+	}
+	// A zero-Total phase renders "-" rather than dividing by zero.
+	var empty strings.Builder
+	if err := PhaseTable("t", []PhaseSummary{{Phase: 0, Rounds: 1}}).WriteText(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "-") {
+		t.Fatalf("zero-total phase should render '-':\n%s", empty.String())
+	}
+}

@@ -115,6 +115,43 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	if got := zero.Quantile(0.5); got != 0 {
 		t.Fatalf("zero-bound quantile = %v, want 0", got)
 	}
+
+	// The extreme ranks on an empty histogram are still NaN — clamping
+	// must not manufacture a value from zero observations.
+	for _, q := range []float64{0, 1} {
+		if got := h2empty().Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+}
+
+func h2empty() *Histogram { return NewHistogram([]float64{1, 2}) }
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// One finite bound, every observation inside it: q=0 pins the lower
+	// edge, q=1 the bound, and interior ranks interpolate linearly across
+	// the single bucket regardless of where the observations actually sat.
+	h := NewHistogram([]float64{8})
+	for i := 0; i < 4; i++ {
+		h.Observe(3)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.25, 2}, {0.5, 4}, {1, 8},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("single-bucket Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// A single observation behaves the same way: the histogram only knows
+	// the bucket, not the point.
+	one := NewHistogram([]float64{8})
+	one.Observe(5)
+	if got := one.Quantile(0); got != 0 {
+		t.Fatalf("single-obs Quantile(0) = %v, want 0", got)
+	}
+	if got := one.Quantile(1); got != 8 {
+		t.Fatalf("single-obs Quantile(1) = %v, want 8", got)
+	}
 }
 
 func TestWriteTextExposition(t *testing.T) {

@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// DurationBuckets is the default bucket layout for per-round stage
+// durations, in nanoseconds: 1µs to 1s in 1–3–10 steps. One engine round at
+// the 1k scale is tens of microseconds per stage; at the 10k scale single
+// stages reach milliseconds, and a full snapshot rebuild can touch tens of
+// milliseconds.
+var DurationBuckets = []float64{
+	1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9,
+}
+
+// TimingConfig parameterises a Timing sink.
+type TimingConfig struct {
+	// Sink, if non-nil, receives one JSON object per line per round: the
+	// per-stage wall durations on the engine goroutine, the shard-summed
+	// per-stage CPU durations, and — on sampled rounds — a resource
+	// snapshot. The Timing buffers internally; call Flush before reading.
+	Sink io.Writer
+	// Registry, if non-nil, additionally maintains per-stage duration
+	// histograms (per round, and per shard for the fan-out stages),
+	// cumulative wall counters, and resource gauges.
+	Registry *Registry
+	// SampleEvery is the round interval of the resource sample (heap,
+	// goroutines, arena occupancy); it costs a runtime.ReadMemStats, so it
+	// is taken every SampleEvery-th round rather than every round. Zero or
+	// negative means every 32 rounds.
+	SampleEvery int
+	// Normalize zeroes every duration and resource value in the JSONL
+	// output while keeping the record structure — rounds, stage keys, key
+	// order, sample placement — intact. A serial and a Workers>1 run over
+	// the same inputs then emit byte-identical streams (durations are the
+	// only nondeterministic content), which is what the determinism tests
+	// and the CI smoke check compare.
+	Normalize bool
+}
+
+// timingInstruments caches the registry handles for the timing series.
+type timingInstruments struct {
+	roundNs   [sim.NumStages]*Histogram
+	wallTotal [sim.NumStages]*Counter
+	// Per-shard histograms for the fan-out stages, sized at RunStart.
+	collectShard []*Histogram
+	deliverShard []*Histogram
+
+	heapInuse  *Gauge
+	heapObjs   *Gauge
+	goroutines *Gauge
+	arenaMsgs  *Gauge
+	arenaSets  *Gauge
+	arenaBytes *Gauge
+}
+
+func newTimingInstruments(r *Registry) *timingInstruments {
+	ti := &timingInstruments{
+		heapInuse:  r.Gauge("sim_heap_inuse_bytes", "heap bytes in use at the last resource sample"),
+		heapObjs:   r.Gauge("sim_heap_objects", "live heap objects at the last resource sample"),
+		goroutines: r.Gauge("sim_goroutines", "goroutines at the last resource sample"),
+		arenaMsgs:  r.Gauge("sim_arena_msgs", "pooled messages retained by the per-shard arenas"),
+		arenaSets:  r.Gauge("sim_arena_sets", "pooled payload sets retained by the per-shard arenas"),
+		arenaBytes: r.Gauge("sim_arena_set_bytes", "bitset word storage retained by pooled payload sets"),
+	}
+	for st := sim.Stage(0); st < sim.NumStages; st++ {
+		name := st.String()
+		ti.roundNs[st] = r.Histogram(`sim_stage_round_ns{stage="`+name+`"}`,
+			"per-round stage wall time on the engine goroutine (ns)", DurationBuckets)
+		ti.wallTotal[st] = r.Counter(`sim_stage_wall_ns_total{stage="`+name+`"}`,
+			"cumulative stage wall time on the engine goroutine (ns)")
+	}
+	return ti
+}
+
+// shardHists registers the per-(stage, shard) histograms once the shard
+// count is known.
+func (ti *timingInstruments) shardHists(r *Registry, nshards int) {
+	ti.collectShard = make([]*Histogram, nshards)
+	ti.deliverShard = make([]*Histogram, nshards)
+	for s := 0; s < nshards; s++ {
+		sh := strconv.Itoa(s)
+		ti.collectShard[s] = r.Histogram(
+			`sim_stage_shard_ns{stage="`+sim.StageCollect.String()+`",shard="`+sh+`"}`,
+			"per-round stage time on one shard goroutine (ns)", DurationBuckets)
+		ti.deliverShard[s] = r.Histogram(
+			`sim_stage_shard_ns{stage="`+sim.StageDeliver.String()+`",shard="`+sh+`"}`,
+			"per-round stage time on one shard goroutine (ns)", DurationBuckets)
+	}
+}
+
+// Timing is the standard sim.TimingSink: it turns the engine's per-round
+// stage spans into a JSONL series, registry histograms/gauges, and an
+// end-of-run breakdown. Like the Collector, it is driven from the engine
+// goroutine (the engine flushes timing at the round barrier) and is not
+// otherwise goroutine-safe.
+type Timing struct {
+	cfg   TimingConfig
+	every int
+
+	w   *bufio.Writer
+	buf []byte
+	err error
+
+	nshards   int
+	rounds    int
+	wallTotal [sim.NumStages]int64
+	cpuTotal  [sim.NumStages]int64
+
+	res        TimingResources
+	resPending bool
+
+	reg *timingInstruments
+}
+
+// NewTiming builds a timing sink for one run.
+func NewTiming(cfg TimingConfig) *Timing {
+	t := &Timing{cfg: cfg, every: cfg.SampleEvery, nshards: 1}
+	if t.every <= 0 {
+		t.every = 32
+	}
+	if cfg.Sink != nil {
+		t.w = bufio.NewWriter(cfg.Sink)
+	}
+	if cfg.Registry != nil {
+		t.reg = newTimingInstruments(cfg.Registry)
+	}
+	return t
+}
+
+// RunStart implements sim.TimingSink.
+func (t *Timing) RunStart(nshards int) {
+	t.nshards = nshards
+	if t.reg != nil {
+		t.reg.shardHists(t.cfg.Registry, nshards)
+	}
+}
+
+// SampleArena implements sim.TimingSink: the engine takes the arena /
+// resource sample on every SampleEvery-th round (round 0 included, so every
+// run has at least one sample).
+func (t *Timing) SampleArena(r int) bool { return r%t.every == 0 }
+
+// Arena implements sim.TimingSink. The runtime side of the resource sample
+// (heap, goroutines) is taken here, on the engine goroutine, so one sampled
+// round yields one coherent snapshot; runtime.ReadMemStats is the expensive
+// part and the reason sampling is interval-based.
+func (t *Timing) Arena(r int, msgs, sets int, setBytes int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.res = TimingResources{
+		HeapInuse:     ms.HeapInuse,
+		HeapObjects:   ms.HeapObjects,
+		Goroutines:    runtime.NumGoroutine(),
+		ArenaMsgs:     msgs,
+		ArenaSets:     sets,
+		ArenaSetBytes: setBytes,
+	}
+	t.resPending = true
+	if t.reg != nil {
+		t.reg.heapInuse.Set(int64(ms.HeapInuse))
+		t.reg.heapObjs.Set(int64(ms.HeapObjects))
+		t.reg.goroutines.Set(int64(t.res.Goroutines))
+		t.reg.arenaMsgs.Set(int64(msgs))
+		t.reg.arenaSets.Set(int64(sets))
+		t.reg.arenaBytes.Set(setBytes)
+	}
+}
+
+// RoundEnd implements sim.TimingSink: fold the round's spans into the run
+// totals and the registry, and emit the round's JSONL record.
+func (t *Timing) RoundEnd(r int, wall *[sim.NumStages]int64, shard [][sim.NumStages]int64) {
+	t.rounds++
+	var cpu [sim.NumStages]int64
+	for s := range shard {
+		for st, v := range shard[s] {
+			cpu[st] += v
+		}
+	}
+	for st := 0; st < int(sim.NumStages); st++ {
+		// The engine goroutine's wall clock covers every stage; the
+		// fan-out stages additionally report shard-goroutine time, which
+		// is the CPU view (≈ wall when serial, > wall when shards overlap).
+		// Non-fan-out stages run on the engine goroutine only, so their
+		// CPU time is their wall time.
+		if cpu[st] == 0 {
+			cpu[st] = wall[st]
+		}
+		t.wallTotal[st] += wall[st]
+		t.cpuTotal[st] += cpu[st]
+	}
+	if t.reg != nil {
+		for st := 0; st < int(sim.NumStages); st++ {
+			t.reg.roundNs[st].Observe(float64(wall[st]))
+			t.reg.wallTotal[st].Add(wall[st])
+		}
+		if len(shard) == len(t.reg.collectShard) {
+			for s := range shard {
+				t.reg.collectShard[s].Observe(float64(shard[s][sim.StageCollect]))
+				t.reg.deliverShard[s].Observe(float64(shard[s][sim.StageDeliver]))
+			}
+		}
+	}
+	if t.w != nil && t.err == nil {
+		t.buf = t.appendRound(t.buf[:0], r, wall, &cpu)
+		t.buf = append(t.buf, '\n')
+		if _, err := t.w.Write(t.buf); err != nil {
+			t.err = err
+		}
+	}
+	t.resPending = false
+}
+
+// appendStages renders {"faults":0,...} with the stages in enum order —
+// fixed keys and order, so equal records encode to equal bytes.
+func (t *Timing) appendStages(b []byte, vals *[sim.NumStages]int64) []byte {
+	b = append(b, '{')
+	for st := sim.Stage(0); st < sim.NumStages; st++ {
+		if st > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, st.String()...)
+		b = append(b, '"', ':')
+		v := vals[st]
+		if t.cfg.Normalize {
+			v = 0
+		}
+		b = strconv.AppendInt(b, v, 10)
+	}
+	return append(b, '}')
+}
+
+func (t *Timing) appendRound(b []byte, r int, wall, cpu *[sim.NumStages]int64) []byte {
+	b = append(b, `{"round":`...)
+	b = strconv.AppendInt(b, int64(r), 10)
+	b = append(b, `,"wall":`...)
+	b = t.appendStages(b, wall)
+	b = append(b, `,"cpu":`...)
+	b = t.appendStages(b, cpu)
+	if t.resPending {
+		norm := func(v int64) int64 {
+			if t.cfg.Normalize {
+				return 0
+			}
+			return v
+		}
+		b = append(b, `,"res":{"heap_inuse":`...)
+		b = strconv.AppendInt(b, norm(int64(t.res.HeapInuse)), 10)
+		b = append(b, `,"heap_objects":`...)
+		b = strconv.AppendInt(b, norm(int64(t.res.HeapObjects)), 10)
+		b = append(b, `,"goroutines":`...)
+		b = strconv.AppendInt(b, norm(int64(t.res.Goroutines)), 10)
+		b = append(b, `,"arena_msgs":`...)
+		b = strconv.AppendInt(b, norm(int64(t.res.ArenaMsgs)), 10)
+		b = append(b, `,"arena_sets":`...)
+		b = strconv.AppendInt(b, norm(int64(t.res.ArenaSets)), 10)
+		b = append(b, `,"arena_set_bytes":`...)
+		b = strconv.AppendInt(b, norm(t.res.ArenaSetBytes), 10)
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
+// Flush drains the sink buffer; call it after the run returns and before
+// reading the sink. It is idempotent and returns the first write error.
+func (t *Timing) Flush() error {
+	if t.w != nil {
+		if err := t.w.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// Err returns the first sink write error, if any.
+func (t *Timing) Err() error { return t.err }
+
+// Rounds returns the number of rounds recorded.
+func (t *Timing) Rounds() int { return t.rounds }
+
+// Resources returns the most recent resource sample (the zero value before
+// the first sampled round).
+func (t *Timing) Resources() TimingResources { return t.res }
+
+// StageBreak is one stage's share of a run (or of an aggregated series):
+// wall time on the engine goroutine, CPU time summed over shard goroutines,
+// and the stage's fraction of the total wall time.
+type StageBreak struct {
+	Stage  string
+	WallNs int64
+	CPUNs  int64
+	Share  float64
+}
+
+// Breakdown returns the run's per-stage totals in stage order, shares
+// computed against the summed wall time.
+func (t *Timing) Breakdown() []StageBreak {
+	return WallBreakdown(t.wallTotal[:], t.cpuTotal[:])
+}
+
+// WallBreakdown builds a per-stage breakdown from totals indexed by
+// sim.Stage (cpu may be nil when only wall time was aggregated).
+func WallBreakdown(wall, cpu []int64) []StageBreak {
+	var total int64
+	for _, v := range wall {
+		total += v
+	}
+	out := make([]StageBreak, 0, sim.NumStages)
+	for st := sim.Stage(0); st < sim.NumStages && int(st) < len(wall); st++ {
+		b := StageBreak{Stage: st.String(), WallNs: wall[st]}
+		if cpu != nil {
+			b.CPUNs = cpu[st]
+		}
+		if total > 0 {
+			b.Share = float64(wall[st]) / float64(total)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TimingTable renders a breakdown as a report table: per stage, the wall
+// total, its share, the shard-CPU total, and the mean wall time per round
+// (rounds <= 0 omits the mean column's denominator and renders "-").
+func TimingTable(title string, breaks []StageBreak, rounds int) *report.Table {
+	tb := report.NewTable(title, "stage", "wall_ms", "share", "cpu_ms", "us_per_round")
+	for _, b := range breaks {
+		perRound := "-"
+		if rounds > 0 {
+			perRound = fmt.Sprintf("%.1f", float64(b.WallNs)/float64(rounds)/1e3)
+		}
+		tb.AddRow(
+			b.Stage,
+			fmt.Sprintf("%.3f", float64(b.WallNs)/1e6),
+			fmt.Sprintf("%.1f%%", 100*b.Share),
+			fmt.Sprintf("%.3f", float64(b.CPUNs)/1e6),
+			perRound,
+		)
+	}
+	return tb
+}
+
+// TimingResources is one sampled resource snapshot from the timing stream.
+type TimingResources struct {
+	HeapInuse     uint64 `json:"heap_inuse"`
+	HeapObjects   uint64 `json:"heap_objects"`
+	Goroutines    int    `json:"goroutines"`
+	ArenaMsgs     int    `json:"arena_msgs"`
+	ArenaSets     int    `json:"arena_sets"`
+	ArenaSetBytes int64  `json:"arena_set_bytes"`
+}
+
+// TimingRow is one decoded line of a timing JSONL series.
+type TimingRow struct {
+	Round int              `json:"round"`
+	Wall  map[string]int64 `json:"wall"`
+	CPU   map[string]int64 `json:"cpu"`
+	Res   *TimingResources `json:"res"`
+}
+
+// ParseTiming decodes a timing JSONL series written by a Timing sink.
+func ParseTiming(r io.Reader) ([]TimingRow, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []TimingRow
+	for dec.More() {
+		var row TimingRow
+		if err := dec.Decode(&row); err != nil {
+			return nil, fmt.Errorf("obs: timing row %d: %w", len(out), err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SummarizeTiming folds a decoded timing series into a per-stage breakdown
+// (stages in canonical order; unknown keys are ignored).
+func SummarizeTiming(rows []TimingRow) []StageBreak {
+	var wall, cpu [sim.NumStages]int64
+	for _, row := range rows {
+		for st := sim.Stage(0); st < sim.NumStages; st++ {
+			name := st.String()
+			wall[st] += row.Wall[name]
+			cpu[st] += row.CPU[name]
+		}
+	}
+	return WallBreakdown(wall[:], cpu[:])
+}

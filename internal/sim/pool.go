@@ -49,6 +49,19 @@ func (p *msgPool) recycle() {
 	p.usedMsgs, p.usedSets = 0, 0
 }
 
+// stats reports the arena's retained footprint — pooled messages, pooled
+// payload sets, and the bitset word storage (in bytes) those sets hold on
+// to across rounds — for the timing layer's resource gauges. The engine
+// samples it at the round barrier, after recycle, so it measures the
+// high-water capacity the arena keeps, not the current round's usage.
+func (p *msgPool) stats() (msgs, sets int, setBytes int64) {
+	msgs, sets = len(p.msgs), len(p.sets)
+	for _, s := range p.sets {
+		setBytes += 8 * int64(cap(s.Words()))
+	}
+	return msgs, sets, setBytes
+}
+
 // shardState bundles everything one worker shard owns across rounds: its
 // accounting accumulator, its message/set arena, its reusable inbox
 // scratch, its link-fault counters and its View.Note buffer. The serial

@@ -21,9 +21,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/ctvg"
@@ -466,6 +469,23 @@ type Options struct {
 	// measurement of the skip's value (mirrored as PointConfig.NoDelta and
 	// hinetbench -nodelta).
 	NoDeltaDelivery bool
+	// Timing, if non-nil, turns on engine self-profiling: every round
+	// stage (crash bookkeeping, snapshot/thaw, hierarchy refresh, collect
+	// fan-out, observer emit, delivery fan-out, barrier merges, tracer
+	// emit, progress scan, arena recycle — see Stage) is measured on the
+	// monotonic clock, wall time on the engine goroutine plus per-shard
+	// time inside the fan-outs, and handed to the sink once per round at
+	// the barrier, merged in shard order exactly like observer events.
+	// The per-round record therefore has the same stage structure and
+	// count under any Workers setting; only the measured durations differ.
+	// The disabled (nil) path costs one nil check per stage edge and
+	// allocates nothing (guarded by the repo's alloc-parity tests).
+	Timing TimingSink
+	// LabelCtx, when set together with Timing, is the base context whose
+	// pprof label set the engine's per-stage stage=/shard= labels extend —
+	// CLIs put an alg= label there (via runtime/pprof.Do) so CPU profiles
+	// attribute samples by both protocol and stage. nil means Background.
+	LabelCtx context.Context
 	// NoStabilityCache disables the stability-window fast path: the engine
 	// then calls At/HierarchyAt and refreshes every node's view each round
 	// even when the dynamic advertises frozen windows via ctvg.Stability.
@@ -566,6 +586,17 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 	tracer := opts.Tracer
 	if tracer != nil {
 		tracer.RunStart(n, k, nshards, nodes)
+	}
+
+	// Timing: all self-profiling state hangs off one pointer, allocated
+	// only when a sink is attached, so the disabled path stays strictly
+	// allocation-free. segT is the running segment's start time.
+	timer := opts.Timing
+	var tst *timingState
+	var segT time.Time
+	if timer != nil {
+		tst = newTimingState(opts.LabelCtx, nshards)
+		timer.RunStart(nshards)
 	}
 
 	// Stability-window cache: when the dynamic advertises T-interval
@@ -684,10 +715,22 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		}
 	}
 
+	// The fan-out entry points are the raw shard closures when timing is
+	// off and timed wrappers (per-shard clock, stage=/shard= pprof labels)
+	// when it is on. Wrapping conditionally — instead of capturing a flag
+	// inside the hot closures — keeps the timing-off round loop exactly
+	// what it was, in both instructions and allocations.
+	runCollect, runDeliver := collectShard, deliverShard
+	if tst != nil {
+		runCollect = tst.wrapShard(StageCollect, tst.collectCtx, collectShard)
+		runDeliver = tst.wrapShard(StageDeliver, tst.deliverCtx, deliverShard)
+	}
+
 	for r = 0; r < opts.MaxRounds; r++ {
 		// Recoveries first: a node whose downtime window ends at r is up
 		// for the whole round. Volatile protocol state resets through the
 		// Recoverer hook; the token set (stable storage) is retained.
+		segT = tst.seg(StageFaults)
 		if len(recovering) > 0 {
 			eventScratch = eventScratch[:0]
 			keep := recovering[:0]
@@ -733,9 +776,13 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				}
 			}
 		}
+		tst.end(StageFaults, segT)
 		fresh = r > cachedUntil
 		if fresh {
+			segT = tst.seg(StageSnapshot)
 			g = d.At(r)
+			tst.end(StageSnapshot, segT)
+			segT = tst.seg(StageHierarchy)
 			hier = d.HierarchyAt(r)
 			cachedUntil = r
 			if hasStab {
@@ -743,7 +790,9 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 					cachedUntil = s
 				}
 			}
+			tst.end(StageHierarchy, segT)
 		}
+		segT = tst.seg(StageFaults)
 		if kill, recAt := inj.HeadCrash(r); kill {
 			for v := 0; v < n; v++ {
 				if !crashed[v] && hier.Role[v] == ctvg.Head {
@@ -759,24 +808,34 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				}
 			}
 		}
+		tst.end(StageFaults, segT)
+		segT = tst.seg(StageObserve)
 		if obs != nil && obs.RoundStart != nil {
 			obs.RoundStart(r, g, hier)
 		}
+		tst.end(StageObserve, segT)
+		segT = tst.seg(StageTracer)
 		if tracer != nil {
 			tracer.RoundStart(r, hier)
 		}
+		tst.end(StageTracer, segT)
 
 		// Collect, then merge the per-shard accumulators in shard order
 		// and replay the Sent stream from outbox in ascending sender
 		// order — identical for serial and parallel runs.
+		segT = tst.seg(StageCollect)
 		if parallelRun {
-			parallel.ForEachBounds(bounds, collectShard)
+			parallel.ForEachBounds(bounds, runCollect)
 		} else {
-			collectShard(0, 0, n)
+			runCollect(0, 0, n)
 		}
+		tst.end(StageCollect, segT)
+		segT = tst.seg(StageMerge)
 		for s := range shards {
 			met.add(&shards[s].acc)
 		}
+		tst.end(StageMerge, segT)
+		segT = tst.seg(StageObserve)
 		if obs != nil && obs.Sent != nil {
 			for v := 0; v < n; v++ {
 				if outbox[v] != nil {
@@ -784,17 +843,21 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				}
 			}
 		}
+		tst.end(StageObserve, segT)
 
 		// Deliver.
+		segT = tst.seg(StageDeliver)
 		if parallelRun {
-			parallel.ForEachBounds(bounds, deliverShard)
+			parallel.ForEachBounds(bounds, runDeliver)
 		} else {
-			deliverShard(0, 0, n)
+			runDeliver(0, 0, n)
 		}
+		tst.end(StageDeliver, segT)
 
 		// Replay the round's buffered repair notes in deterministic
 		// order: ascending node ID, per-node emission order preserved
 		// (each node lives on exactly one shard, and the sort is stable).
+		segT = tst.seg(StageMerge)
 		noteScratch = noteScratch[:0]
 		for s := range shards {
 			noteScratch = append(noteScratch, shards[s].notes...)
@@ -816,10 +879,12 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				}
 			}
 		}
+		tst.end(StageMerge, segT)
 
 		// Round barrier for the tracer: merge its shard buffers in
 		// deterministic order and fold the delivery accounting into the run
 		// totals before the arenas reclaim this round's messages.
+		segT = tst.seg(StageTracer)
 		if tracer != nil {
 			first, redundant := tracer.RoundEnd(r, crashed)
 			met.FirstDeliveries += int64(first)
@@ -828,8 +893,10 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				obs.Deliveries(r, first, redundant)
 			}
 		}
+		tst.end(StageTracer, segT)
 
 		// Fold the round's link-fault counts into the run totals.
+		segT = tst.seg(StageMerge)
 		roundDrops, roundDups := 0, 0
 		for s := range shards {
 			roundDrops += shards[s].drops
@@ -843,7 +910,9 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				obs.LinkFaults(r, roundDrops, roundDups)
 			}
 		}
+		tst.end(StageMerge, segT)
 
+		segT = tst.seg(StageProgress)
 		delivered := 0
 		if needDelivered {
 			// The delivered count is a sum of per-node popcounts; integer
@@ -872,12 +941,34 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 
 		met.Rounds = r + 1
 		done := doneLive(nodes, crashed, recoverAt, k, workers)
+		tst.end(StageProgress, segT)
 
 		// Round barrier: messages and payload sets handed out this round
 		// are dead — nothing may retain them — so the arenas take them
 		// back for the next round.
+		segT = tst.seg(StageRecycle)
 		for s := range shards {
 			shards[s].pool.recycle()
+		}
+		tst.end(StageRecycle, segT)
+
+		// Timing barrier: flush exactly one record per executed round —
+		// before the done/stall breaks, so truncated runs report their
+		// final round too — then restore the caller's pprof labels.
+		if tst != nil {
+			if timer.SampleArena(r) {
+				msgs, sets, setBytes := 0, 0, int64(0)
+				for s := range shards {
+					m, sc, b := shards[s].pool.stats()
+					msgs += m
+					sets += sc
+					setBytes += b
+				}
+				timer.Arena(r, msgs, sets, setBytes)
+			}
+			timer.RoundEnd(r, &tst.wall, tst.shard)
+			tst.reset()
+			pprof.SetGoroutineLabels(tst.baseCtx)
 		}
 
 		if done {
