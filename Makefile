@@ -44,10 +44,12 @@ cover:
 
 # Seeded randomized fault soak: hundreds of random fault plans (loss,
 # bursts, duplication, crashes, recoveries, head kills) against the
-# resilient protocols. Every run sets a stall watchdog, so the campaign
-# terminates even when a plan kills the whole network; the -timeout is a
-# hard backstop for the "must never hang" guarantee. Override CHAOS_RUNS /
-# CHAOS_SEED to steer the campaign.
+# resilient protocols, plus the arrival-mode soak (TestChaosArrivals):
+# random steady/bursty/hotspot/capped traffic processes layered on random
+# fault plans, with token-conservation checks. Every run sets a stall
+# watchdog, so the campaign terminates even when a plan kills the whole
+# network; the -timeout is a hard backstop for the "must never hang"
+# guarantee. Override CHAOS_RUNS / CHAOS_SEED to steer the campaign.
 CHAOS_RUNS ?= 256
 chaos:
 	CHAOS_RUNS=$(CHAOS_RUNS) CHAOS_SEED=$(CHAOS_SEED) \
@@ -85,7 +87,7 @@ bench10k:
 # when the total hides it.
 benchstat:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k|BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h . | tee bench.latest.out
-	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json
+	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
 
 # timing-smoke is CI's end-to-end determinism check for the self-profiling
 # layer: the same 1k-node scenario serial and with -workers 4, both with

@@ -230,6 +230,35 @@ func BenchmarkHiNet1kTimed(b *testing.B) {
 	}
 }
 
+// BenchmarkHiNet1kArrivals is the steady-state counterpart of
+// BenchmarkHiNet1k: the same 1000-node workload with a Poisson arrival
+// process injecting 0.5 tokens/round over the first half of the budget and
+// garbage collection reclaiming slots throughout. BENCH_PR7.json records
+// its ceilings; plain BenchmarkHiNet1k must stay at the BENCH_PR2.json
+// baseline since a nil Arrivals takes none of these paths.
+func BenchmarkHiNet1kArrivals(b *testing.B) {
+	d, assign, T, rounds := hiNet1kDynamic(b)
+	var collected, peak int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr := sim.Arrivals{Rate: 0.5, Seed: 3, Stop: rounds / 2}
+		met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size, Arrivals: &arr,
+		})
+		if met.TokensInjected == 0 || met.TokensCollected == 0 {
+			b.Fatalf("arrival run moved no tokens: %v", met)
+		}
+		collected += met.TokensCollected
+		if p := int64(met.PeakOutstanding); p > peak {
+			peak = p
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(collected)/float64(b.N), "tokens-collected")
+	b.ReportMetric(float64(peak), "peak-queue")
+}
+
 // hiNet1kAllocBudget is the timing-off allocation budget of the 1k hot-path
 // benchmark, unchanged since BENCH_PR2.json. Growing it means the timing
 // layer (or anything else) leaked allocations into the disabled path.

@@ -18,6 +18,13 @@
 //	hinetbench -table 3 -timing d  # per-seed engine stage spans into d/, plus a
 //	                               # per-stage breakdown table over all Table 3 runs
 //	hinetbench -pprof :6060        # expose net/http/pprof while running
+//
+// Steady-state load testing (continuous token arrivals with GC):
+//
+//	hinetbench -arrival 0.5                  # 1k-node Poisson load at 0.5 tokens/round
+//	hinetbench -arrival 0.25,0.5,1,2         # sweep several offered rates
+//	hinetbench -arrival 1 -arrival-n 200 -arrival-proto flood -workers 4
+//	hinetbench -arrival 1 -arrival-on 3 -arrival-off 9 -arrival-sla 40
 package main
 
 import (
@@ -28,11 +35,15 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -50,6 +61,18 @@ func main() {
 		noDelta = flag.Bool("nodelta", false, "disable delta-aware delivery (A/B timing check; results are identical)")
 		timing  = flag.String("timing", "", "directory for per-seed engine stage-span JSONL (Table 3 rows); prints a per-stage breakdown")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		arrival   = flag.String("arrival", "", "steady-state load test: offered rate(s) in tokens per round, comma-separated")
+		arrN      = flag.Int("arrival-n", 1000, "load test network size")
+		arrK      = flag.Int("arrival-k", 8, "load test initial batch size")
+		arrRounds = flag.Int("arrival-rounds", 200, "load test measurement window in rounds")
+		arrProto  = flag.String("arrival-proto", "alg2", "load test protocol: alg2 | alg1 | flood")
+		arrOn     = flag.Int("arrival-on", 0, "bursty traffic: rounds on per cycle (with -arrival-off)")
+		arrOff    = flag.Int("arrival-off", 0, "bursty traffic: rounds off per cycle")
+		arrHot    = flag.Int("arrival-hotspot", -1, "concentrate arrivals on this node's cluster (-1 = uniform)")
+		arrSLA    = flag.Int("arrival-sla", 0, "per-token latency deadline in rounds (0 = off)")
+		arrSeed   = flag.Uint64("arrival-seed", 1, "load test seed (topology and traffic)")
+		workers   = flag.Int("workers", 0, "engine shards for the load test (0 = serial)")
 	)
 	flag.Parse()
 
@@ -98,6 +121,43 @@ func main() {
 	}
 
 	ran := false
+	if *arrival != "" {
+		rates, err := parseRates(*arrival)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := experiment.ArrivalPoint(*arrN, *arrK)
+		cfg.Proto = *arrProto
+		cfg.SLA = *arrSLA
+		cfg.Seed = *arrSeed
+		cfg.Workers = *workers
+		cfg.Arrivals = sim.Arrivals{
+			Seed: *arrSeed, Stop: *arrRounds,
+			OnRounds: *arrOn, OffRounds: *arrOff,
+		}
+		if *arrHot >= 0 {
+			cfg.Arrivals.Hotspot = true
+			cfg.Arrivals.HotspotNode = *arrHot
+		}
+		start := time.Now()
+		results, err := experiment.ArrivalSweep(cfg, rates)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		emit(experiment.ArrivalTable(fmt.Sprintf(
+			"Steady-state load — %s on n0=%d over a %d-round window (Theorem 1 pace %.3f tokens/round)",
+			results[0].Proto, *arrN, *arrRounds, results[0].PaceThroughput), results))
+		var collected, rounds int64
+		for _, r := range results {
+			collected += r.Collected
+			rounds += int64(r.Rounds)
+		}
+		fmt.Fprintf(out, "wall clock: %d tokens through %d simulated rounds in %v (%.0f tokens/sec)\n\n",
+			collected, rounds, elapsed.Round(time.Millisecond),
+			float64(collected)/elapsed.Seconds())
+		ran = true
+	}
 	if *all || *table == 2 {
 		emit(table2())
 		ran = true
@@ -233,6 +293,19 @@ func timingBreakdown(rows []experiment.RowResult) *report.Table {
 	}
 	return obs.TimingTable("Engine per-stage timing — all Table 3 simulation runs",
 		obs.WallBreakdown(wall, cpu), rounds)
+}
+
+// parseRates splits the -arrival flag's comma-separated offered rates.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-arrival: %v", err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -29,6 +29,15 @@
 //	-timing-normalize           # zero durations in the JSONL (determinism checks)
 //	-workers 4                  # within-round parallelism (sim.Options.Workers)
 //
+// Steady-state traffic (sim.Options.Arrivals) applies to every simulating
+// scenario whose protocol supports injection (Algorithms 1/2, flooding):
+//
+//	-arrival 0.5                # Poisson token arrivals per round (0 = off)
+//	-arrival-stop 200           # arrival window end; extends the round budget
+//	-arrival-on 3 -arrival-off 9 # bursty on/off traffic windows
+//	-arrival-hotspot 4          # concentrate arrivals on node 4's cluster
+//	-arrival-max 100            # cap total injected tokens
+//
 // Every scenario runs under runtime/pprof labels (scenario=, plus the
 // engine's stage=/shard= labels when -timing is on), so CPU profiles taken
 // through -pprof attribute samples by round stage.
@@ -91,6 +100,13 @@ func main() {
 		recoverAfter = flag.Int("recover-after", 0, "rounds after which crashed heads recover (0 = crash-stop)")
 		failover     = flag.Int("failover", 0, "run the self-healing protocol variant with this head-silence window (0 = plain)")
 		stallWindow  = flag.Int("stall-window", 0, "terminate after this many consecutive zero-progress rounds (0 = off)")
+
+		arrival = flag.Float64("arrival", 0, "steady-state mode: expected token arrivals per round (0 = off)")
+		arrStop = flag.Int("arrival-stop", 0, "arrival window end round (0 = arrivals never stop)")
+		arrOn   = flag.Int("arrival-on", 0, "bursty traffic: rounds on per cycle (with -arrival-off)")
+		arrOff  = flag.Int("arrival-off", 0, "bursty traffic: rounds off per cycle")
+		arrHot  = flag.Int("arrival-hotspot", -1, "concentrate arrivals on this node's cluster (-1 = uniform)")
+		arrMax  = flag.Int("arrival-max", 0, "cap on total injected tokens (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -102,9 +118,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hinetsim:", err)
 		os.Exit(1)
 	}
+	arr, err := buildArrivals(*arrival, *arrStop, *arrOn, *arrOff, *arrHot, *arrMax, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hinetsim:", err)
+		os.Exit(1)
+	}
 	mi := &instr{
 		path: *metrics, provDir: *prov, faults: plan, stall: *stallWindow,
 		timingPath: *timing, tsample: *tsample, tnorm: *tnorm, workers: *workers,
+		arr: arr,
 	}
 	if *failover > 0 {
 		mi.fo = &core.Failover{Window: *failover}
@@ -195,6 +217,26 @@ func buildFaults(drop float64, burst, crashHeads string, recoverAfter int, seed 
 	return &plan, nil
 }
 
+// buildArrivals assembles the steady-state traffic process requested on the
+// command line, or nil when -arrival is off.
+func buildArrivals(rate float64, stop, on, off, hotspot, max int, seed uint64) (*sim.Arrivals, error) {
+	if rate == 0 {
+		if stop != 0 || on != 0 || off != 0 || hotspot >= 0 || max != 0 {
+			return nil, fmt.Errorf("the -arrival-* flags need -arrival")
+		}
+		return nil, nil
+	}
+	arr := &sim.Arrivals{
+		Rate: rate, Seed: seed, Stop: stop,
+		OnRounds: on, OffRounds: off, MaxTokens: max,
+	}
+	if hotspot >= 0 {
+		arr.Hotspot = true
+		arr.HotspotNode = hotspot
+	}
+	return arr, nil
+}
+
 // instr wires the -metrics, -provenance and fault flags into a scenario
 // run: attach decorates the engine options with a JSONL collector, a
 // provenance tracer, the fault plan and the stall watchdog; close flushes
@@ -214,6 +256,10 @@ type instr struct {
 	faults *sim.Faults
 	stall  int
 	fo     *core.Failover
+	// arr is the -arrival traffic process; attach copies it into each
+	// scenario's options and stretches short round budgets to cover the
+	// arrival window plus a drain allowance.
+	arr *sim.Arrivals
 
 	// -timing / -workers wiring: the engine self-instruments each round
 	// stage into tm's JSONL sink; labelCtx carries the scenario= pprof
@@ -254,6 +300,15 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 	}
 	if in.faults != nil {
 		opts.Faults = in.faults
+	}
+	if in.arr != nil {
+		a := *in.arr
+		opts.Arrivals = &a
+		if a.Stop > 0 {
+			if min := a.Stop + 4*n; opts.MaxRounds < min {
+				opts.MaxRounds = min
+			}
+		}
 	}
 	if in.stall > 0 {
 		opts.StallWindow = in.stall
@@ -303,6 +358,7 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 	in.f = f
 	in.col = obs.NewCollector(obs.Config{
 		N: n, K: k, PhaseLen: phaseLen, Sink: f, SizeFn: opts.SizeFn,
+		Arrivals: in.arr != nil,
 	})
 	opts.Observer = obs.Combine(opts.Observer, in.col.Observer())
 	return opts, nil

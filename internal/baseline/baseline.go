@@ -86,6 +86,22 @@ func (n *floodNode) Deliver(v sim.View, msgs []*sim.Message) {
 
 func (n *floodNode) Tokens() *bitset.Set { return n.ta }
 
+// Inject implements sim.Injector: an arriving token is a gain, so the
+// content stamp advances and the next broadcast carries it.
+func (n *floodNode) Inject(r, tok int) {
+	if !n.ta.Contains(tok) {
+		n.ta.Add(tok)
+		n.ver++
+	}
+}
+
+// Collect implements sim.Collectible. No version bump: the engine removes
+// gc from every node at the same barrier, so receivers' absorbed-version
+// claims shrink in lockstep with the payloads they stand for.
+func (n *floodNode) Collect(gc *bitset.Set) {
+	n.ta.DifferenceWith(gc)
+}
+
 // KLOT is the KLO T-interval connected protocol (token pipelining).
 type KLOT struct {
 	// T is the phase length in rounds; correctness under T-interval
@@ -155,6 +171,19 @@ func (n *klotNode) Deliver(v sim.View, msgs []*sim.Message) {
 }
 
 func (n *klotNode) Tokens() *bitset.Set { return n.ta }
+
+// Inject implements sim.Injector.
+func (n *klotNode) Inject(r, tok int) {
+	n.ta.Add(tok)
+}
+
+// Collect implements sim.Collectible. The sent-set is purged too: a stale
+// ts bit on a reused slot would make MinNotIn skip the new token for the
+// rest of the phase.
+func (n *klotNode) Collect(gc *bitset.Set) {
+	n.ta.DifferenceWith(gc)
+	n.ts.DifferenceWith(gc)
+}
 
 var (
 	_ sim.Protocol = Flood{}

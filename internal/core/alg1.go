@@ -419,6 +419,27 @@ func (n *alg1Node) Deliver(v sim.View, msgs []*sim.Message) {
 // Tokens implements sim.Node.
 func (n *alg1Node) Tokens() *bitset.Set { return n.ta }
 
+// Inject implements sim.Injector: the arrival lands in TA like an
+// originally assigned token — a member will upload it (it is in neither TS
+// nor TR), a relay will pipeline it — and the content stamp advances so
+// versioned floods of the grown set are never skipped.
+func (n *alg1Node) Inject(r, tok int) {
+	if !n.ta.Contains(tok) {
+		n.ta.Add(tok)
+		n.ver++
+	}
+}
+
+// Collect implements sim.Collectible: all three of the paper's sets are
+// purged. TS/TR must not keep bits for collected slots — a stale TS or TR
+// bit on a reused slot would suppress the member upload of the slot's next
+// token forever.
+func (n *alg1Node) Collect(gc *bitset.Set) {
+	n.ta.DifferenceWith(gc)
+	n.ts.DifferenceWith(gc)
+	n.tr.DifferenceWith(gc)
+}
+
 // OnRecover implements sim.Recoverer: volatile protocol state — bookkeeping
 // sets, affiliation, repair state — resets; the token set (stable storage)
 // survives the outage. The node re-affiliates and re-uploads exactly like a

@@ -252,6 +252,23 @@ func (n *alg2Node) Deliver(v sim.View, msgs []*sim.Message) {
 // Tokens implements sim.Node.
 func (n *alg2Node) Tokens() *bitset.Set { return n.ta }
 
+// Inject implements sim.Injector. needSend is re-armed: an Algorithm 2
+// member transmits nothing after its one per-affiliation upload, so without
+// a fresh upload a token injected at an already-uploaded member would never
+// reach the hierarchy.
+func (n *alg2Node) Inject(r, tok int) {
+	if !n.ta.Contains(tok) {
+		n.ta.Add(tok)
+		n.ver++
+		n.needSend = true
+	}
+}
+
+// Collect implements sim.Collectible.
+func (n *alg2Node) Collect(gc *bitset.Set) {
+	n.ta.DifferenceWith(gc)
+}
+
 // OnRecover implements sim.Recoverer: volatile state resets, the token set
 // survives, and the rejoining member re-uploads to its head — exactly the
 // re-affiliation upload path of Fig. 5.

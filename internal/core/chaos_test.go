@@ -133,3 +133,124 @@ func TestChaosRandomFaultPlans(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosArrivals soaks steady-state mode: randomized arrival processes
+// (steady, bursty, hotspot, token-capped) layered on randomized fault plans.
+// Like the fault soak it does not demand completion, only termination with a
+// coherent verdict — and on top of that, token conservation: batch plus
+// injected equals collected plus outstanding, with the queue bounded by its
+// own recorded peak.
+func TestChaosArrivals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	runs := chaosEnv("CHAOS_RUNS", 8)
+	seed := uint64(chaosEnv("CHAOS_SEED", 0xC4406))
+	rng := xrand.New(seed)
+	t.Logf("chaos arrivals: %d runs, seed %#x", runs, seed)
+
+	for i := 0; i < runs; i++ {
+		n := 20 + rng.Intn(50)
+		k := 1 + rng.Intn(5)
+		L := 1 + rng.Intn(2)
+		maxHeads := (n/2 - 1) / L
+		if maxHeads < 2 {
+			maxHeads = 2
+		}
+		theta := 2 + rng.Intn(maxHeads)
+		alpha := 1 + rng.Intn(3)
+		T := Theorem1T(k, alpha, L)
+		budget := 8 * Theorem1Phases(theta, alpha) * T
+
+		arr := &sim.Arrivals{
+			Rate: 0.1 + rng.Float64()*2,
+			Seed: rng.Uint64(),
+			Stop: 1 + rng.Intn(budget/2),
+		}
+		if rng.Prob(0.3) {
+			arr.OnRounds = 1 + rng.Intn(4)
+			arr.OffRounds = 1 + rng.Intn(8)
+		}
+		if rng.Prob(0.3) {
+			arr.Hotspot = true
+			arr.HotspotNode = rng.Intn(n)
+		}
+		if rng.Prob(0.3) {
+			arr.MaxTokens = 1 + rng.Intn(3*k)
+		}
+
+		plan := &sim.Faults{Seed: rng.Uint64()}
+		if rng.Prob(0.5) {
+			plan.DropProb = rng.Float64() * 0.15
+		}
+		crashes := rng.Intn(1 + n/8)
+		for c := 0; c < crashes; c++ {
+			v := rng.Intn(n)
+			if plan.CrashAt == nil {
+				plan.CrashAt = map[int]int{}
+			}
+			plan.CrashAt[v] = rng.Intn(budget / 2)
+			if rng.Bool() {
+				if plan.RecoverAfter == nil {
+					plan.RecoverAfter = map[int]int{}
+				}
+				plan.RecoverAfter[v] = 1 + rng.Intn(3*T)
+			}
+		}
+
+		cfg := adversary.HiNetConfig{
+			N: n, Theta: theta, L: L, T: T,
+			Reaffiliations: rng.Intn(4),
+			ChurnEdges:     rng.Intn(8),
+		}
+		advSeed := rng.Uint64()
+		assign := token.Spread(n, k, xrand.New(advSeed+1))
+		var proto sim.Protocol
+		if rng.Bool() {
+			proto = Alg1{T: T, Failover: &Failover{Window: 1 + rng.Intn(2*T)}}
+		} else {
+			cfg.T = 1
+			proto = Alg2{Failover: &Failover{Window: 1 + rng.Intn(2*T)}}
+		}
+		opts := sim.Options{
+			MaxRounds:        budget,
+			StopWhenComplete: true,
+			StallWindow:      4 * T,
+			Workers:          1 + rng.Intn(4),
+			Faults:           plan,
+			Arrivals:         arr,
+		}
+
+		met, err := sim.RunProtocol(adversary.NewHiNet(cfg, xrand.New(advSeed)), proto, assign, opts)
+		if err != nil {
+			t.Fatalf("run %d (%+v, arr %+v): %v", i, cfg, arr, err)
+		}
+		switch {
+		case met.Complete:
+			if met.Stall != nil {
+				t.Fatalf("run %d: complete yet stalled: %v", i, met)
+			}
+			if met.OutstandingTokens != 0 {
+				t.Fatalf("run %d: complete with %d outstanding: %v", i, met.OutstandingTokens, met)
+			}
+		case met.Stall != nil:
+			if met.Rounds > budget {
+				t.Fatalf("run %d: stall fired after the budget: %v", i, met)
+			}
+		case met.Rounds != budget:
+			t.Fatalf("run %d: ended at round %d with no verdict (budget %d): %v",
+				i, met.Rounds, budget, met)
+		}
+		// Token conservation under GC and slot reuse.
+		if int64(k)+met.TokensInjected != met.TokensCollected+int64(met.OutstandingTokens) {
+			t.Fatalf("run %d: token accounting leaks: batch %d + injected %d != collected %d + outstanding %d",
+				i, k, met.TokensInjected, met.TokensCollected, met.OutstandingTokens)
+		}
+		if met.OutstandingTokens > met.PeakOutstanding || met.PeakOutstanding < k {
+			t.Fatalf("run %d: queue outside its peak: %v", i, met)
+		}
+		if arr.MaxTokens > 0 && met.TokensInjected > int64(arr.MaxTokens) {
+			t.Fatalf("run %d: injected %d past cap %d", i, met.TokensInjected, arr.MaxTokens)
+		}
+	}
+}

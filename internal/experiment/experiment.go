@@ -86,6 +86,13 @@ type PointConfig struct {
 	// replication seed so fault randomness varies across seeds like
 	// everything else. Invalid plans fail the point before any row runs.
 	Faults *sim.Faults
+	// Arrivals, when non-nil, switches every replication of every row into
+	// steady-state mode (sim.Options.Arrivals): tokens keep arriving per
+	// the configured process on top of the initial batch and garbage
+	// collection keeps state bounded. The process seed is mixed with the
+	// replication seed so each seed draws its own traffic. Invalid
+	// processes fail the point before any row runs.
+	Arrivals *sim.Arrivals
 }
 
 // Table3Config is the paper's Table 3 operating point with a default
@@ -164,6 +171,7 @@ type runSpec struct {
 	noCache    bool
 	noDelta    bool
 	faults     *sim.Faults
+	arrivals   *sim.Arrivals
 }
 
 func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
@@ -199,6 +207,12 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			plan.Seed ^= seed
 			opts.Faults = &plan
 		}
+		if spec.arrivals != nil {
+			// Same idiom: each seed draws its own traffic.
+			arr := *spec.arrivals
+			arr.Seed ^= seed
+			opts.Arrivals = &arr
+		}
 		var col *obs.Collector
 		var mf *os.File
 		if spec.metricsDir != "" {
@@ -211,6 +225,7 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			col = obs.NewCollector(obs.Config{
 				N: spec.n, K: spec.k, PhaseLen: spec.phaseLen,
 				Sink: mf, SizeFn: wire.Size,
+				Arrivals: spec.arrivals != nil,
 			})
 			opts.Observer = col.Observer()
 		}
@@ -394,6 +409,11 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 	if err := cfg.Faults.Validate(cfg.P.N0); err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
+	if cfg.Arrivals != nil {
+		if err := cfg.Arrivals.Validate(cfg.P.N0); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+	}
 	if cfg.MetricsDir != "" {
 		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
 			return nil, err
@@ -422,7 +442,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
 	}, analysis.KLOTInterval(p))
 	if err != nil {
 		return nil, err
@@ -444,7 +464,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg1{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
 	if err != nil {
 		return nil, err
@@ -459,7 +479,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
 	}, analysis.KLOOneInterval(p))
 	if err != nil {
 		return nil, err
@@ -480,7 +500,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg2{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
 	if err != nil {
 		return nil, err

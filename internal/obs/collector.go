@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/ctvg"
@@ -28,6 +29,12 @@ type Config struct {
 	// Registry, if non-nil, additionally maintains cumulative metrics
 	// (counters/gauges/histograms) updated once per round.
 	Registry *Registry
+	// Arrivals marks an arrival-mode run (sim.Options.Arrivals set). The
+	// collector then tracks the live token universe — Total becomes
+	// N · outstanding rather than the static N·K — and derives the stall
+	// series from outstanding work, so quiet arrival gaps do not read as
+	// stalls.
+	Arrivals bool
 	// Keep retains the per-round events in memory for Events() — the
 	// input to phase summaries and convergence analysis.
 	Keep bool
@@ -56,11 +63,15 @@ type regInstruments struct {
 	headChanges  *Counter
 	reaffil      *Counter
 	gatewayFlips *Counter
+	arrivals     *Counter
+	collectedTok *Counter
 	delivered    *Gauge
 	totalPairs   *Gauge
 	heads        *Gauge
 	stall        *Gauge
+	outstanding  *Gauge
 	roundTokens  *Histogram
+	latency      *Histogram
 }
 
 func newRegInstruments(r *Registry) *regInstruments {
@@ -81,11 +92,15 @@ func newRegInstruments(r *Registry) *regInstruments {
 		headChanges:  r.Counter("sim_head_changes_total", "nodes whose head-ness flipped between rounds"),
 		reaffil:      r.Counter("sim_reaffiliations_total", "members that switched clusters between rounds"),
 		gatewayFlips: r.Counter("sim_gateway_flips_total", "nodes entering or leaving gateway duty"),
+		arrivals:     r.Counter("sim_token_arrivals_total", "tokens injected by the arrival process"),
+		collectedTok: r.Counter("sim_tokens_collected_total", "fully disseminated tokens garbage-collected"),
 		delivered:    r.Gauge("sim_delivered_pairs", "(node, token) pairs delivered so far"),
 		totalPairs:   r.Gauge("sim_total_pairs", "delivery ceiling n*k"),
 		heads:        r.Gauge("sim_heads", "current head-set size"),
 		stall:        r.Gauge("sim_stall_rounds", "consecutive rounds without delivery progress"),
+		outstanding:  r.Gauge("sim_outstanding_tokens", "live (injected, not yet collected) tokens"),
 		roundTokens:  r.Histogram("sim_round_tokens", "tokens sent per round", RoundBuckets),
+		latency:      r.Histogram("sim_token_latency_rounds", "rounds from token arrival to garbage collection", LatencyBuckets),
 	}
 	for i := range kindNames {
 		ri.msgsKind[i] = r.Counter(`sim_messages_kind_total{kind="`+kindNames[i]+`"}`, "transmissions by message kind")
@@ -127,6 +142,10 @@ type Collector struct {
 	prevDelivered int
 	stall         int
 
+	// liveTok tracks the live token universe in arrival mode: the initial
+	// batch plus injected-minus-collected.
+	liveTok int
+
 	events []RoundEvent
 	reg    *regInstruments
 }
@@ -141,6 +160,7 @@ func NewCollector(cfg Config) *Collector {
 		c.reg = newRegInstruments(cfg.Registry)
 		c.reg.totalPairs.Set(int64(cfg.N * cfg.K))
 	}
+	c.liveTok = cfg.K
 	return c
 }
 
@@ -156,6 +176,8 @@ func (c *Collector) Observer() *sim.Observer {
 		Noted:      c.noted,
 		Deliveries: c.deliveries,
 		LinkFaults: c.linkFaults,
+		Arrived:    c.arrived,
+		Collected:  c.collected,
 		Stalled:    c.stalled,
 	}
 }
@@ -277,6 +299,21 @@ func (c *Collector) linkFaults(r, drops, dups int) {
 	c.cur.Dups += int64(dups)
 }
 
+func (c *Collector) arrived(r, v, tok int, seq int64) {
+	c.ensure(r)
+	c.cur.Arrivals++
+	c.liveTok++
+}
+
+func (c *Collector) collected(r, tok int, seq int64, born int) {
+	c.ensure(r)
+	c.cur.Collected++
+	c.liveTok--
+	if c.reg != nil {
+		c.reg.latency.Observe(float64(r - born))
+	}
+}
+
 func (c *Collector) stalled(r int, rep *sim.StallReport) {
 	c.ensure(r)
 	c.cur.Stalled = true
@@ -294,7 +331,20 @@ func (c *Collector) finalize() {
 	// accounting downstream.
 	e.Crashed = sortDedup(e.Crashed)
 	e.Recovered = sortDedup(e.Recovered)
-	if e.Delivered <= c.prevDelivered && (e.Total <= 0 || e.Delivered < e.Total) {
+	if c.cfg.Arrivals {
+		// Arrival mode: the delivery ceiling tracks the live token universe
+		// (it shrinks on GC and grows on injection), and a flat delivered
+		// count only counts toward the stall series while tokens are
+		// actually outstanding — a drained queue waiting for the next burst
+		// is healthy idleness, not a stall (mirrors the engine's watchdog).
+		e.Outstanding = c.liveTok
+		e.Total = c.cfg.N * c.liveTok
+		if e.Delivered == c.prevDelivered && e.Outstanding > 0 {
+			c.stall++
+		} else {
+			c.stall = 0
+		}
+	} else if e.Delivered <= c.prevDelivered && (e.Total <= 0 || e.Delivered < e.Total) {
 		c.stall++
 	} else {
 		c.stall = 0
@@ -337,7 +387,13 @@ func (c *Collector) finalize() {
 		ri.headChanges.Add(int64(e.HeadChanges))
 		ri.reaffil.Add(int64(e.Reaffiliations))
 		ri.gatewayFlips.Add(int64(e.GatewayFlips))
+		ri.arrivals.Add(int64(e.Arrivals))
+		ri.collectedTok.Add(int64(e.Collected))
 		ri.delivered.Set(int64(e.Delivered))
+		if c.cfg.Arrivals {
+			ri.totalPairs.Set(int64(e.Total))
+			ri.outstanding.Set(int64(e.Outstanding))
+		}
 		ri.heads.Set(int64(e.Heads))
 		ri.stall.Set(int64(c.stall))
 		ri.roundTokens.Observe(float64(e.Tokens))
@@ -387,6 +443,17 @@ func (c *Collector) Err() error { return c.err }
 // Events returns the retained per-round series (Config.Keep must be set;
 // call Flush first so the final round is included).
 func (c *Collector) Events() []RoundEvent { return c.events }
+
+// LatencyQuantile returns the q-quantile of token delivery latency in
+// rounds (arrival to garbage collection), from the registry-backed
+// sim_token_latency_rounds histogram. It returns NaN when no registry is
+// attached or nothing has been collected yet.
+func (c *Collector) LatencyQuantile(q float64) float64 {
+	if c.reg == nil {
+		return math.NaN()
+	}
+	return c.reg.latency.Quantile(q)
+}
 
 // Combine merges observers: every non-nil callback of every observer is
 // invoked in argument order. Nil observers are skipped; a single observer
@@ -477,6 +544,24 @@ func Combine(list ...*sim.Observer) *sim.Observer {
 					prev(r, drops, dups)
 				}
 				o.LinkFaults(r, drops, dups)
+			}
+		}
+		if o.Arrived != nil {
+			prev := out.Arrived
+			out.Arrived = func(r, v, tok int, seq int64) {
+				if prev != nil {
+					prev(r, v, tok, seq)
+				}
+				o.Arrived(r, v, tok, seq)
+			}
+		}
+		if o.Collected != nil {
+			prev := out.Collected
+			out.Collected = func(r, tok int, seq int64, born int) {
+				if prev != nil {
+					prev(r, tok, seq, born)
+				}
+				o.Collected(r, tok, seq, born)
 			}
 		}
 		if o.Stalled != nil {

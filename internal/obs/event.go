@@ -70,6 +70,14 @@ type RoundEvent struct {
 	// stay 0 unless the run attached a sim.Tracer.
 	FirstDeliveries     int
 	RedundantDeliveries int
+	// Arrivals / Collected count, in arrival-mode runs, the tokens injected
+	// by the arrival process this round and the tokens garbage-collected at
+	// this round's barrier. Outstanding is the live token count after the
+	// barrier (Total then equals N · Outstanding). All stay 0 with
+	// arrivals off.
+	Arrivals    int
+	Collected   int
+	Outstanding int
 	// Stalled marks the round on which the engine's stall watchdog
 	// terminated the run (at most one event per run has it set).
 	Stalled bool
@@ -169,6 +177,12 @@ func (e *RoundEvent) AppendJSON(buf []byte) []byte {
 	b = strconv.AppendInt(b, int64(e.FirstDeliveries), 10)
 	b = append(b, `,"redundant_deliveries":`...)
 	b = strconv.AppendInt(b, int64(e.RedundantDeliveries), 10)
+	b = append(b, `,"arrivals":`...)
+	b = strconv.AppendInt(b, int64(e.Arrivals), 10)
+	b = append(b, `,"collected":`...)
+	b = strconv.AppendInt(b, int64(e.Collected), 10)
+	b = append(b, `,"outstanding":`...)
+	b = strconv.AppendInt(b, int64(e.Outstanding), 10)
 	b = append(b, `,"stalled":`...)
 	b = strconv.AppendBool(b, e.Stalled)
 	b = append(b, '}')
@@ -202,6 +216,9 @@ type eventJSON struct {
 	FloodFallbacks int              `json:"flood_fallback"`
 	FirstDeliv     int              `json:"first_deliveries"`
 	RedundantDeliv int              `json:"redundant_deliveries"`
+	Arrivals       int              `json:"arrivals"`
+	Collected      int              `json:"collected"`
+	Outstanding    int              `json:"outstanding"`
 	Stalled        bool             `json:"stalled"`
 }
 
@@ -242,6 +259,9 @@ func ParseEvents(r io.Reader) ([]RoundEvent, error) {
 			FloodFallbacks:      ej.FloodFallbacks,
 			FirstDeliveries:     ej.FirstDeliv,
 			RedundantDeliveries: ej.RedundantDeliv,
+			Arrivals:            ej.Arrivals,
+			Collected:           ej.Collected,
+			Outstanding:         ej.Outstanding,
 			Stalled:             ej.Stalled,
 		}
 		fillCounts(&e.MsgsByKind, &kindNames, ej.MsgsKind)

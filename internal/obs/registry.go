@@ -69,6 +69,7 @@ type Histogram struct {
 	buckets []atomic.Int64 // len(bounds)+1; buckets[i] counts v <= bounds[i]
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the largest observation (-Inf when empty)
 }
 
 // NewHistogram builds a histogram with the given upper bounds (ascending;
@@ -80,21 +81,33 @@ func NewHistogram(bounds []float64) *Histogram {
 			panic("obs: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{
+	h := &Histogram{
 		bounds:  append([]float64(nil), bounds...),
 		buckets: make([]atomic.Int64, len(bounds)+1),
 	}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // RoundBuckets is the default bucket layout for per-round count
 // distributions (messages or tokens per round).
 var RoundBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 
+// LatencyBuckets is the default bucket layout for round-denominated
+// latency distributions (token arrival to garbage collection).
+var LatencyBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -107,14 +120,26 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Max returns the largest observation, or NaN on an empty histogram.
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return math.NaN()
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
 // Quantile estimates the q-quantile (q clamped to [0, 1]) by linear
 // interpolation within the bucket containing the target rank, in the style
 // of Prometheus' histogram_quantile: each bucket's observations are
 // assumed uniformly spread between its lower and upper edge (the first
 // bucket interpolates from 0, or collapses to its bound when that bound is
-// ≤ 0). Ranks that land in the implicit +Inf bucket clamp to the highest
-// finite bound. It returns NaN on an empty histogram, and the mean for a
-// boundless count/sum histogram.
+// ≤ 0). The tracked maximum bounds the estimate on both sides of the top:
+// ranks landing in the implicit +Inf bucket return it (the bucket has no
+// upper edge, so clamping to the highest finite bound would silently
+// understate the tail), and finite-bucket interpolation is capped at it (a
+// sparse top bucket would otherwise report a p99 above the largest
+// observation ever made). It returns NaN on an empty histogram, and the
+// mean for a boundless count/sum histogram.
 func (h *Histogram) Quantile(q float64) float64 {
 	count := h.count.Load()
 	if count == 0 || math.IsNaN(q) {
@@ -128,7 +153,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if len(h.bounds) == 0 {
 		return h.Sum() / float64(count)
 	}
-	rank := q * float64(count)
+	v := h.interpolate(q * float64(count))
+	if m := h.Max(); v > m {
+		return m
+	}
+	return v
+}
+
+// interpolate locates the bucket containing rank and interpolates inside
+// it; ranks past every finite bucket yield +Inf for Quantile to cap.
+func (h *Histogram) interpolate(rank float64) float64 {
 	var cum int64
 	for i, upper := range h.bounds {
 		bc := h.buckets[i].Load()
@@ -148,7 +182,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += bc
 	}
-	return h.bounds[len(h.bounds)-1]
+	return math.Inf(1)
 }
 
 // Sum returns the sum of all observations.

@@ -70,10 +70,10 @@ func TestHistogramQuantile(t *testing.T) {
 		{0.25, 5},
 		{0.5, 10},
 		{0.75, 15},
-		{0.9, 18},
-		{1, 20},
-		{-3, 0}, // clamps to q=0
-		{7, 20}, // clamps to q=1
+		{0.9, 15}, // interpolation says 18, capped at the max observation
+		{1, 15},   // likewise capped (nothing above 15 was ever observed)
+		{-3, 0},   // clamps to q=0
+		{7, 15},   // clamps to q=1, then caps at the max
 	} {
 		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
 			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
@@ -92,12 +92,13 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
 	}
 
-	// Ranks landing in the implicit +Inf bucket clamp to the highest
-	// finite bound — the tightest claim the bucket layout can make.
+	// Ranks landing in the implicit +Inf bucket return the tracked maximum
+	// observation — clamping to the highest finite bound would report a
+	// p99 of 2 for a distribution whose tail actually reached 100.
 	inf := NewHistogram([]float64{1, 2})
 	inf.Observe(100)
-	if got := inf.Quantile(0.99); got != 2 {
-		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 2", got)
+	if got := inf.Quantile(0.99); got != 100 {
+		t.Fatalf("+Inf-bucket quantile = %v, want max observation 100", got)
 	}
 
 	// A boundless count/sum histogram falls back to the mean.
@@ -127,30 +128,74 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 
 func h2empty() *Histogram { return NewHistogram([]float64{1, 2}) }
 
+func TestHistogramOverflowBucketQuantiles(t *testing.T) {
+	// Regression for the tail-latency understatement: with observations in
+	// the implicit +Inf bucket, high quantiles must reflect the real tail,
+	// not the top finite edge.
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 98; i++ {
+		h.Observe(5)
+	}
+	h.Observe(500)
+	h.Observe(900)
+	// Rank 99 of 100 is the first +Inf-bucket rank; the old clamp answered
+	// 20 here, hiding a 45x tail.
+	if got := h.Quantile(0.99); got != 900 {
+		t.Fatalf("p99 = %v, want max observation 900", got)
+	}
+	if got := h.Quantile(1); got != 900 {
+		t.Fatalf("p100 = %v, want 900", got)
+	}
+	// Ranks inside the finite buckets are untouched by the max tracking.
+	if got := h.Quantile(0.5); math.Abs(got-float64(50)/98*10) > 1e-9 {
+		t.Fatalf("p50 = %v, want interpolation inside (0,10]", got)
+	}
+
+	// Every observation in the overflow bucket: all quantiles report max.
+	all := NewHistogram([]float64{1})
+	all.Observe(7)
+	all.Observe(9)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := all.Quantile(q); got != 9 {
+			t.Fatalf("all-overflow Quantile(%v) = %v, want 9", q, got)
+		}
+	}
+
+	// Max is exposed directly, and NaN while empty.
+	if got := all.Max(); got != 9 {
+		t.Fatalf("Max = %v, want 9", got)
+	}
+	if got := h2empty().Max(); !math.IsNaN(got) {
+		t.Fatalf("empty Max = %v, want NaN", got)
+	}
+}
+
 func TestHistogramQuantileSingleBucket(t *testing.T) {
 	// One finite bound, every observation inside it: q=0 pins the lower
-	// edge, q=1 the bound, and interior ranks interpolate linearly across
-	// the single bucket regardless of where the observations actually sat.
+	// edge, interior ranks interpolate linearly across the single bucket,
+	// and the max observation caps whatever the interpolation claims above
+	// it (the bucket alone would answer 8 for q=1 when nothing above 3 was
+	// ever observed).
 	h := NewHistogram([]float64{8})
 	for i := 0; i < 4; i++ {
 		h.Observe(3)
 	}
 	for _, tc := range []struct{ q, want float64 }{
-		{0, 0}, {0.25, 2}, {0.5, 4}, {1, 8},
+		{0, 0}, {0.25, 2}, {0.5, 3}, {1, 3},
 	} {
 		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
 			t.Fatalf("single-bucket Quantile(%v) = %v, want %v", tc.q, got, tc.want)
 		}
 	}
-	// A single observation behaves the same way: the histogram only knows
-	// the bucket, not the point.
+	// A single observation: every rank collapses onto it once the cap
+	// bites; low ranks still interpolate from the bucket's lower edge.
 	one := NewHistogram([]float64{8})
 	one.Observe(5)
 	if got := one.Quantile(0); got != 0 {
 		t.Fatalf("single-obs Quantile(0) = %v, want 0", got)
 	}
-	if got := one.Quantile(1); got != 8 {
-		t.Fatalf("single-obs Quantile(1) = %v, want 8", got)
+	if got := one.Quantile(1); got != 5 {
+		t.Fatalf("single-obs Quantile(1) = %v, want max observation 5", got)
 	}
 }
 

@@ -58,6 +58,51 @@ type RoundRec struct {
 	Heads   int
 }
 
+// ArriveRec is one token injection in an arrival-mode run: the token (by
+// slot and generation sequence number) entered the system at node Node in
+// round Round — the root of that generation's dissemination DAG.
+type ArriveRec struct {
+	Round int
+	Node  int
+	Token int
+	Seq   int64
+}
+
+// CollectRec is one token garbage collection: the generation occupying
+// slot Token (sequence Seq, injected in round Born) was held by every
+// counted node at round Round's barrier and left the system after
+// Latency = Round - Born rounds.
+type CollectRec struct {
+	Round   int
+	Token   int
+	Seq     int64
+	Born    int
+	Latency int
+}
+
+// SLAViolation is one per-token deadline miss (Config.SLA): the generation
+// took Latency > SLA rounds from arrival to collection — or, when
+// Outstanding is set, was still uncollected that long after arrival when
+// the run ended.
+type SLAViolation struct {
+	Round       int
+	Token       int
+	Seq         int64
+	Born        int
+	Latency     int
+	Outstanding bool
+}
+
+// String formats the deadline miss on one line.
+func (s SLAViolation) String() string {
+	state := "collected"
+	if s.Outstanding {
+		state = "still outstanding"
+	}
+	return fmt.Sprintf("sla violation: token %d (seq %d, born round %d) %s after %d rounds",
+		s.Token, s.Seq, s.Born, state, s.Latency)
+}
+
 // PaceViolation is one structured warning from the online pace checker:
 // at the end of 1-based phase Phase (round Round), the weakest live head
 // held HeadMin tokens but Theorem 1's schedule required Required.
@@ -102,6 +147,12 @@ type Summary struct {
 	RedundantTokens int64
 	RedundantByKind [sim.NumKinds]int64
 	PaceViolations  int
+	// Arrivals / Collected / SLAViolations carry the arrival-mode account:
+	// tokens injected, tokens garbage-collected, and per-token deadline
+	// misses. All zero in batch runs.
+	Arrivals      int64
+	Collected     int64
+	SLAViolations int
 	// BySender lists per-sender redundant-message counts, descending by
 	// count (ascending node ID among ties); senders with zero redundancy
 	// are omitted.
@@ -110,11 +161,14 @@ type Summary struct {
 
 // Log is a fully parsed (or Keep-retained) provenance stream.
 type Log struct {
-	Meta    Meta
-	Edges   []Edge
-	Rounds  []RoundRec
-	Pace    []PaceViolation
-	Summary *Summary
+	Meta        Meta
+	Edges       []Edge
+	Rounds      []RoundRec
+	Pace        []PaceViolation
+	Arrivals    []ArriveRec
+	Collections []CollectRec
+	SLA         []SLAViolation
+	Summary     *Summary
 }
 
 var kindNames = [sim.NumKinds]string{"broadcast", "upload", "relay", "coded"}
@@ -228,6 +282,51 @@ func AppendPaceJSON(b []byte, p *PaceViolation) []byte {
 	return append(b, '}')
 }
 
+// AppendArriveJSON appends one token-injection record.
+func AppendArriveJSON(b []byte, a *ArriveRec) []byte {
+	b = append(b, `{"t":"arrive","round":`...)
+	b = strconv.AppendInt(b, int64(a.Round), 10)
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(a.Node), 10)
+	b = append(b, `,"token":`...)
+	b = strconv.AppendInt(b, int64(a.Token), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, a.Seq, 10)
+	return append(b, '}')
+}
+
+// AppendCollectJSON appends one garbage-collection record.
+func AppendCollectJSON(b []byte, c *CollectRec) []byte {
+	b = append(b, `{"t":"collect","round":`...)
+	b = strconv.AppendInt(b, int64(c.Round), 10)
+	b = append(b, `,"token":`...)
+	b = strconv.AppendInt(b, int64(c.Token), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, c.Seq, 10)
+	b = append(b, `,"born":`...)
+	b = strconv.AppendInt(b, int64(c.Born), 10)
+	b = append(b, `,"latency":`...)
+	b = strconv.AppendInt(b, int64(c.Latency), 10)
+	return append(b, '}')
+}
+
+// AppendSLAJSON appends one deadline-miss record.
+func AppendSLAJSON(b []byte, s *SLAViolation) []byte {
+	b = append(b, `{"t":"sla","round":`...)
+	b = strconv.AppendInt(b, int64(s.Round), 10)
+	b = append(b, `,"token":`...)
+	b = strconv.AppendInt(b, int64(s.Token), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, s.Seq, 10)
+	b = append(b, `,"born":`...)
+	b = strconv.AppendInt(b, int64(s.Born), 10)
+	b = append(b, `,"latency":`...)
+	b = strconv.AppendInt(b, int64(s.Latency), 10)
+	b = append(b, `,"outstanding":`...)
+	b = strconv.AppendBool(b, s.Outstanding)
+	return append(b, '}')
+}
+
 // AppendSummaryJSON appends the run-level summary record.
 func AppendSummaryJSON(b []byte, s *Summary) []byte {
 	b = append(b, `{"t":"summary","first":`...)
@@ -248,6 +347,12 @@ func AppendSummaryJSON(b []byte, s *Summary) []byte {
 	}
 	b = append(b, `},"pace_violations":`...)
 	b = strconv.AppendInt(b, int64(s.PaceViolations), 10)
+	b = append(b, `,"arrivals":`...)
+	b = strconv.AppendInt(b, s.Arrivals, 10)
+	b = append(b, `,"collected":`...)
+	b = strconv.AppendInt(b, s.Collected, 10)
+	b = append(b, `,"sla_violations":`...)
+	b = strconv.AppendInt(b, int64(s.SLAViolations), 10)
 	b = append(b, `,"by_sender":[`...)
 	for i, sr := range s.BySender {
 		if i > 0 {
@@ -292,8 +397,17 @@ type recordJSON struct {
 	Phase    int `json:"phase"`
 	Required int `json:"required"`
 
+	Node        int   `json:"node"`
+	Seq         int64 `json:"seq"`
+	Born        int   `json:"born"`
+	Latency     int   `json:"latency"`
+	Outstanding bool  `json:"outstanding"`
+
 	RedundantKind  map[string]int64 `json:"redundant_kind"`
 	PaceViolations int              `json:"pace_violations"`
+	Arrivals       int64            `json:"arrivals"`
+	Collected      int64            `json:"collected"`
+	SLAViolationsN int              `json:"sla_violations"`
 	BySender       [][2]int64       `json:"by_sender"`
 }
 
@@ -342,12 +456,29 @@ func ParseLog(r io.Reader) (*Log, error) {
 				Round: rec.Round, Phase: rec.Phase,
 				HeadMin: rec.HeadMin, Required: rec.Required,
 			})
+		case "arrive":
+			log.Arrivals = append(log.Arrivals, ArriveRec{
+				Round: rec.Round, Node: rec.Node, Token: rec.Token, Seq: rec.Seq,
+			})
+		case "collect":
+			log.Collections = append(log.Collections, CollectRec{
+				Round: rec.Round, Token: rec.Token, Seq: rec.Seq,
+				Born: rec.Born, Latency: rec.Latency,
+			})
+		case "sla":
+			log.SLA = append(log.SLA, SLAViolation{
+				Round: rec.Round, Token: rec.Token, Seq: rec.Seq,
+				Born: rec.Born, Latency: rec.Latency, Outstanding: rec.Outstanding,
+			})
 		case "summary":
 			s := &Summary{
 				First:           rec.First,
 				Redundant:       rec.Redundant,
 				RedundantTokens: rec.RedundantTokens,
 				PaceViolations:  rec.PaceViolations,
+				Arrivals:        rec.Arrivals,
+				Collected:       rec.Collected,
+				SLAViolations:   rec.SLAViolationsN,
 			}
 			for i, n := range kindNames {
 				s.RedundantByKind[i] = rec.RedundantKind[n]

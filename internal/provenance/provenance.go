@@ -51,6 +51,16 @@ type Config struct {
 	// OnPace, when non-nil, is invoked from the engine goroutine for every
 	// pace violation, in round order.
 	OnPace func(PaceViolation)
+	// SLA, when positive, arms the per-token delivery deadline monitor for
+	// arrival-mode runs (the steady-state generalisation of the pace
+	// checker): a token garbage-collected more than SLA rounds after its
+	// arrival — or still outstanding that long when the run ends — emits an
+	// sla record, bumps sim_sla_violations_total and invokes OnSLA.
+	SLA int
+	// OnSLA, when non-nil, is invoked from the engine goroutine for every
+	// SLA violation, in round order (outstanding-at-end violations fire at
+	// Flush).
+	OnSLA func(SLAViolation)
 }
 
 // tshard is one worker shard's private tracer state. The engine's shard
@@ -96,6 +106,19 @@ type Tracer struct {
 	paceViolations int
 	paceC          *obs.Counter
 	flushed        bool
+
+	// Arrival-mode state (sim.ArrivalTracer), initialised lazily on the
+	// first Injected/Collected callback so batch runs pay nothing. born/seq
+	// shadow the engine's per-slot identity, liveArr the outstanding slots —
+	// the SLA monitor needs both to age uncollected tokens at Flush.
+	arrOn         bool
+	born          []int
+	seqs          []int64
+	liveArr       bitset.Set
+	arrivals      int64
+	collectedTok  int64
+	slaViolations int
+	slaC          *obs.Counter
 }
 
 // New returns a Tracer for a single run.
@@ -104,6 +127,8 @@ func New(cfg Config) *Tracer {
 	if cfg.Registry != nil {
 		t.paceC = cfg.Registry.Counter("sim_pace_violations_total",
 			"Phase boundaries at which a live head was behind the Theorem 1 pace.")
+		t.slaC = cfg.Registry.Counter("sim_sla_violations_total",
+			"Tokens that missed the per-token delivery deadline (Config.SLA).")
 	}
 	return t
 }
@@ -245,10 +270,11 @@ func (t *Tracer) Delivered(shard, v int, vw *sim.View, inbox []*sim.Message, tok
 // ascending learner order, identical to a serial run — emit this round's
 // records, and run the pace check at phase boundaries.
 func (t *Tracer) RoundEnd(r int, crashed []bool) (first, redundant int) {
+	// Note: t.buf is NOT reset here — writeBuf already leaves it empty, and
+	// in arrival mode it holds this round's arrive records, appended by
+	// Injected before the round ran. A reset here would silently discard
+	// them (the bug the arrival-order regression test pins down).
 	var redTok int64
-	if t.cfg.Sink != nil {
-		t.buf = t.buf[:0]
-	}
 	for s := range t.shards {
 		sh := &t.shards[s]
 		for i := range sh.edges {
@@ -324,6 +350,103 @@ func (t *Tracer) RoundEnd(r int, crashed []bool) (first, redundant int) {
 	return first, redundant
 }
 
+// arrInit lazily sizes the arrival-mode state: the initial batch occupies
+// slots 0..k-1, born at round 0 with sequence numbers equal to their slots
+// (matching the engine's arrState).
+func (t *Tracer) arrInit() {
+	if t.arrOn {
+		return
+	}
+	t.arrOn = true
+	t.born = make([]int, t.k)
+	t.seqs = make([]int64, t.k)
+	for s := 0; s < t.k; s++ {
+		t.seqs[s] = int64(s)
+		t.liveArr.Add(s)
+	}
+}
+
+// Injected implements sim.ArrivalTracer: record the token's identity
+// (generation-aware — a reused slot gets fresh born/seq), seed the target's
+// known set so the injection itself is a DAG root rather than a
+// first-delivery edge, and buffer the arrive record. It runs on the engine
+// goroutine before the round's Send, so the records land in the stream
+// ahead of the round's edges.
+func (t *Tracer) Injected(r, v, tok int, seq int64) {
+	t.arrInit()
+	for tok >= len(t.born) {
+		t.born = append(t.born, 0)
+		t.seqs = append(t.seqs, int64(len(t.seqs)))
+	}
+	t.born[tok], t.seqs[tok] = r, seq
+	t.liveArr.Add(tok)
+	t.known[v].Add(tok)
+	t.arrivals++
+	rec := ArriveRec{Round: r, Node: v, Token: tok, Seq: seq}
+	if t.cfg.Sink != nil {
+		t.buf = AppendArriveJSON(t.buf, &rec)
+		t.buf = append(t.buf, '\n')
+	}
+	if t.log != nil {
+		t.log.Arrivals = append(t.log.Arrivals, rec)
+	}
+}
+
+// Collected implements sim.ArrivalTracer: emit one collect record per
+// garbage-collected slot (ascending, with latency), check each against the
+// SLA deadline, and prune every node's known set — without the pruning a
+// reused slot's next generation would diff as already-known and its
+// dissemination would go untraced. Runs on the engine goroutine after
+// RoundEnd, so collect records follow the round record they belong to.
+func (t *Tracer) Collected(r int, gc *bitset.Set) {
+	t.arrInit()
+	gc.Range(func(tok int) bool {
+		lat := r - t.born[tok]
+		rec := CollectRec{Round: r, Token: tok, Seq: t.seqs[tok], Born: t.born[tok], Latency: lat}
+		t.collectedTok++
+		t.liveArr.Remove(tok)
+		if t.cfg.Sink != nil {
+			t.buf = AppendCollectJSON(t.buf, &rec)
+			t.buf = append(t.buf, '\n')
+		}
+		if t.log != nil {
+			t.log.Collections = append(t.log.Collections, rec)
+		}
+		if t.cfg.SLA > 0 && lat > t.cfg.SLA {
+			t.slaViolation(r, tok, lat, false)
+		}
+		return true
+	})
+	for v := range t.known {
+		t.known[v].DifferenceWith(gc)
+	}
+	if t.cfg.Sink != nil {
+		t.writeBuf()
+	}
+}
+
+// slaViolation emits one deadline miss through every configured channel.
+func (t *Tracer) slaViolation(r, tok, lat int, outstanding bool) {
+	pv := SLAViolation{
+		Round: r, Token: tok, Seq: t.seqs[tok], Born: t.born[tok],
+		Latency: lat, Outstanding: outstanding,
+	}
+	t.slaViolations++
+	if t.cfg.Sink != nil {
+		t.buf = AppendSLAJSON(t.buf, &pv)
+		t.buf = append(t.buf, '\n')
+	}
+	if t.log != nil {
+		t.log.SLA = append(t.log.SLA, pv)
+	}
+	if t.slaC != nil {
+		t.slaC.Inc()
+	}
+	if t.cfg.OnSLA != nil {
+		t.cfg.OnSLA(pv)
+	}
+}
+
 // writeBuf sends the encode buffer to the sink, latching the first error.
 func (t *Tracer) writeBuf() {
 	if t.err != nil || len(t.buf) == 0 {
@@ -343,6 +466,9 @@ func (t *Tracer) summary() *Summary {
 		RedundantTokens: t.redTokens,
 		RedundantByKind: t.redByKind,
 		PaceViolations:  t.paceViolations,
+		Arrivals:        t.arrivals,
+		Collected:       t.collectedTok,
+		SLAViolations:   t.slaViolations,
 	}
 	merged := make([]int64, t.n)
 	for i := range t.shards {
@@ -370,6 +496,17 @@ func (t *Tracer) summary() *Summary {
 func (t *Tracer) Flush() error {
 	if !t.flushed {
 		t.flushed = true
+		// Age the still-outstanding tokens against the SLA deadline: a run
+		// that ended (MaxRounds, stall) with overdue tokens in flight is a
+		// deadline miss even though no collect record will ever say so.
+		if t.cfg.SLA > 0 && t.arrOn {
+			t.liveArr.Range(func(tok int) bool {
+				if lat := t.round - t.born[tok]; lat > t.cfg.SLA {
+					t.slaViolation(t.round, tok, lat, true)
+				}
+				return true
+			})
+		}
 		s := t.summary()
 		if t.log != nil {
 			t.log.Summary = s
@@ -395,4 +532,11 @@ func (t *Tracer) Log() *Log {
 // PaceViolations returns the number of pace warnings emitted so far.
 func (t *Tracer) PaceViolations() int { return t.paceViolations }
 
-var _ sim.Tracer = (*Tracer)(nil)
+// SLAViolationCount returns the number of deadline misses recorded so far
+// (outstanding-at-end misses are only counted once Flush runs).
+func (t *Tracer) SLAViolationCount() int { return t.slaViolations }
+
+var (
+	_ sim.Tracer        = (*Tracer)(nil)
+	_ sim.ArrivalTracer = (*Tracer)(nil)
+)

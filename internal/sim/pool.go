@@ -18,7 +18,27 @@ type msgPool struct {
 	// used* mark the arena high-water of the current round.
 	usedMsgs int
 	usedSets int
+	// trim enables the steady-state decay policy (see recycle). The engine
+	// sets it only for arrivals-mode runs; batch runs keep the plain ratchet
+	// so the hot path stays branch-for-branch identical to earlier records.
+	trim bool
+	// lowRounds counts consecutive recycles with both arenas under a quarter
+	// of their capacity; peak* track the high-water usage inside the streak.
+	lowRounds int
+	peakMsgs  int
+	peakSets  int
 }
+
+// trimAfter is how many consecutive quiet rounds (usage under ¼ of
+// capacity) the pool tolerates before shrinking the arenas. Long enough
+// that phase-periodic traffic (uploads every T rounds) never thrashes,
+// short enough that one burst round stops pinning peak memory for the rest
+// of an unbounded run.
+const trimAfter = 64
+
+// trimFloor is the arena length below which trimming is never attempted;
+// a few dozen objects are noise.
+const trimFloor = 32
 
 // message returns a zeroed Message valid until the end of the round.
 func (p *msgPool) message() *Message {
@@ -45,8 +65,54 @@ func (p *msgPool) set() *bitset.Set {
 
 // recycle returns every handed-out object to the arena. Called by the
 // engine at the round barrier, after delivery and observation are done.
+//
+// Without trimming the arena ratchets: one burst round pins its high-water
+// capacity (and every pooled bitset's word storage) for the rest of the
+// run — fine for finite batch runs, a leak for unbounded steady-state ones.
+// With trim set, a streak of trimAfter recycles in which both arenas stayed
+// under ¼ of capacity shrinks them to twice the streak's peak usage, with
+// fresh backing arrays so the old Messages and their payload words become
+// collectable.
 func (p *msgPool) recycle() {
+	if p.trim {
+		if p.usedMsgs > p.peakMsgs {
+			p.peakMsgs = p.usedMsgs
+		}
+		if p.usedSets > p.peakSets {
+			p.peakSets = p.usedSets
+		}
+		if (len(p.msgs) > trimFloor || len(p.sets) > trimFloor) &&
+			p.usedMsgs*4 <= len(p.msgs) && p.usedSets*4 <= len(p.sets) {
+			if p.lowRounds++; p.lowRounds >= trimAfter {
+				p.shrink()
+			}
+		} else {
+			p.lowRounds, p.peakMsgs, p.peakSets = 0, 0, 0
+		}
+	}
 	p.usedMsgs, p.usedSets = 0, 0
+}
+
+// shrink reallocates both arenas at twice the recent peak (floor trimFloor),
+// dropping the excess objects and their backing arrays.
+func (p *msgPool) shrink() {
+	keep := func(n, peak int) int {
+		want := 2 * peak
+		if want < trimFloor {
+			want = trimFloor
+		}
+		if want > n {
+			want = n
+		}
+		return want
+	}
+	if n := keep(len(p.msgs), p.peakMsgs); n < len(p.msgs) {
+		p.msgs = append(make([]*Message, 0, n), p.msgs[:n]...)
+	}
+	if n := keep(len(p.sets), p.peakSets); n < len(p.sets) {
+		p.sets = append(make([]*bitset.Set, 0, n), p.sets[:n]...)
+	}
+	p.lowRounds, p.peakMsgs, p.peakSets = 0, 0, 0
 }
 
 // stats reports the arena's retained footprint — pooled messages, pooled
@@ -78,4 +144,15 @@ type shardState struct {
 	// notes buffers the shard's View.Note emissions for the round; the
 	// engine merges, replays and truncates it at the round barrier.
 	notes []note
+	// Arrival-mode GC scratch (see the barrier in Run): inter accumulates
+	// the shard's intersection of counted nodes' token sets (interAny marks
+	// it meaningful), preSum / cntN / cntHeld are the shard's pre-GC
+	// delivered popcount and counted-node stats, and removed counts the
+	// (node, token) pairs the shard's Collect pass dropped.
+	inter    bitset.Set
+	interAny bool
+	preSum   int
+	cntN     int
+	cntHeld  int
+	removed  int
 }

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// poolRound simulates one engine round taking n messages (each with a
+// payload set) from the pool and recycling at the barrier.
+func poolRound(p *msgPool, n int) {
+	for i := 0; i < n; i++ {
+		m := p.message()
+		m.Tokens = p.set()
+	}
+	p.recycle()
+}
+
+// TestMsgPoolTrimDecay is the regression test for the arena ratchet: one
+// burst round used to pin the high-water capacity for the rest of the run.
+// With the steady-state trim enabled, a long streak of quiet rounds must
+// shrink the arenas back toward the quiet working set.
+func TestMsgPoolTrimDecay(t *testing.T) {
+	p := &msgPool{trim: true}
+	poolRound(p, 1000)
+	msgs, sets, _ := p.stats()
+	if msgs != 1000 || sets != 1000 {
+		t.Fatalf("burst arena = %d msgs / %d sets, want 1000/1000", msgs, sets)
+	}
+
+	// Quiet traffic at 1% of the burst: after the trim streak the arenas
+	// must decay instead of holding the burst capacity forever.
+	for r := 0; r < 2*trimAfter; r++ {
+		poolRound(p, 10)
+	}
+	msgs, sets, bytes := p.stats()
+	if msgs >= 1000 || sets >= 1000 {
+		t.Fatalf("arena did not decay after quiet streak: %d msgs / %d sets", msgs, sets)
+	}
+	if msgs > 2*trimFloor || sets > 2*trimFloor {
+		t.Fatalf("arena decayed only to %d msgs / %d sets (%d set bytes), want <= %d", msgs, sets, bytes, 2*trimFloor)
+	}
+
+	// The pool still serves bursts after a trim, and a sustained high load
+	// resets the streak so capacity is not thrashed away.
+	poolRound(p, 500)
+	for r := 0; r < 2*trimAfter; r++ {
+		poolRound(p, 400)
+	}
+	msgs, _, _ = p.stats()
+	if msgs < 400 {
+		t.Fatalf("trim fired under sustained load: %d msgs retained", msgs)
+	}
+}
+
+// TestMsgPoolNoTrimRatchet pins the batch-mode contract: with trim off the
+// arena keeps its high-water capacity, which is what the alloc-parity
+// benchmarks rely on (capacity reached once is never re-grown).
+func TestMsgPoolNoTrimRatchet(t *testing.T) {
+	p := &msgPool{}
+	poolRound(p, 300)
+	for r := 0; r < 4*trimAfter; r++ {
+		poolRound(p, 1)
+	}
+	msgs, sets, _ := p.stats()
+	if msgs != 300 || sets != 300 {
+		t.Fatalf("batch-mode arena changed size: %d msgs / %d sets, want 300/300", msgs, sets)
+	}
+}

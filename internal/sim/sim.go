@@ -286,6 +286,17 @@ type Metrics struct {
 	// reported through View.Note.
 	Handovers      int
 	FloodFallbacks int
+	// TokensInjected / TokensCollected count, in arrival-mode runs, the
+	// dynamically injected tokens (the initial batch excluded) and the
+	// tokens garbage-collected after full dissemination.
+	TokensInjected  int64
+	TokensCollected int64
+	// OutstandingTokens is the number of live (injected, not yet collected)
+	// tokens when the run ended; PeakOutstanding is the run's high-water
+	// queue depth. Both include the initial batch and stay 0 with Arrivals
+	// off.
+	OutstandingTokens int
+	PeakOutstanding   int
 	// CompletionRound is the 1-based round count after which every node
 	// held all k tokens, or -1 if dissemination did not complete within
 	// the executed rounds.
@@ -343,10 +354,12 @@ func (s *StallReport) String() string {
 //
 // Event ordering is deterministic regardless of Options.Workers: within a
 // round, Recovered fires first (ascending node ID), then Crashed
-// (ascending node ID), then RoundStart, then one Sent per transmission in
+// (ascending node ID), then RoundStart, then Arrived (only in arrival-mode
+// runs, ascending arrival sequence), then one Sent per transmission in
 // ascending sender ID, then Noted in ascending node ID (per-node emission
 // order preserved), then Deliveries (only when Options.Tracer is set),
-// then LinkFaults, then Progress, then — at most once per run, as its
+// then LinkFaults, then Collected (arrival mode, ascending token slot),
+// then Progress, then — at most once per run, as its
 // final event — Stalled. Across rounds everything is ascending in r, so
 // the full Sent stream is sorted by (round, sender). Parallel runs buffer
 // per-shard and merge at the round barrier, so the observed stream is
@@ -381,6 +394,15 @@ type Observer struct {
 	// fault injection dropped or duplicated at least one delivery, with
 	// the round's counts.
 	LinkFaults func(r int, drops, dups int)
+	// Arrived, if set, is called for every token injected by the arrival
+	// process (Options.Arrivals): round, target node, token slot, and the
+	// token's global arrival sequence number (sequence numbers distinguish
+	// generations when a collected token's slot is reused).
+	Arrived func(r, v, tok int, seq int64)
+	// Collected, if set, is called once per token garbage-collected at
+	// round r's barrier, ascending in token slot, with the token's
+	// sequence number and injection round (delivery latency is r - born).
+	Collected func(r, tok int, seq int64, born int)
 	// Stalled, if set, is called when the stall watchdog terminates the
 	// run (see Options.StallWindow).
 	Stalled func(r int, rep *StallReport)
@@ -412,6 +434,20 @@ type Tracer interface {
 	RoundStart(r int, hier *ctvg.Hierarchy)
 	Delivered(shard, v int, vw *View, inbox []*Message, tokens *bitset.Set)
 	RoundEnd(r int, crashed []bool) (first, redundant int)
+}
+
+// ArrivalTracer is the optional tracer extension for arrival-mode runs: a
+// Tracer that also implements it receives every injection and every GC
+// batch. Injected is called from the engine goroutine right after the token
+// is handed to node v (before the round's Send), in ascending arrival
+// sequence; Collected is called once per GC round from the engine goroutine
+// at the round barrier, after RoundEnd, with the collected slot set (gc
+// aliases engine scratch — read-only, not retained). A tracer that records
+// first deliveries must prune the collected slots from its per-node known
+// sets, or a reused slot's next generation would be silently untraced.
+type ArrivalTracer interface {
+	Injected(r, v, tok int, seq int64)
+	Collected(r int, gc *bitset.Set)
 }
 
 // Faults declares the failures injected into a run. It is an alias for
@@ -486,6 +522,16 @@ type Options struct {
 	// CLIs put an alg= label there (via runtime/pprof.Do) so CPU profiles
 	// attribute samples by both protocol and stage. nil means Background.
 	LabelCtx context.Context
+	// Arrivals, if non-nil, switches the run into steady-state mode: tokens
+	// keep arriving per the configured process (see Arrivals), and tokens
+	// held by every live node are garbage-collected at the round barrier so
+	// state stays bounded over unbounded runs. Every node must implement
+	// Injector and Collectible; the assignment's k tokens form the initial
+	// batch (slots 0..k-1). Completion then means: the arrival process is
+	// exhausted (past Stop, or MaxTokens reached) and every injected token
+	// has been collected. The disabled (nil) path costs one pointer
+	// comparison per round and allocates nothing.
+	Arrivals *Arrivals
 	// NoStabilityCache disables the stability-window fast path: the engine
 	// then calls At/HierarchyAt and refreshes every node's view each round
 	// even when the dynamic advertises frozen windows via ctvg.Stability.
@@ -520,6 +566,20 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 	met := &Metrics{CompletionRound: -1}
 	outbox := make([]*Message, n)
 	views := make([]View, n)
+
+	// Steady-state arrival mode: all bookkeeping hangs off one pointer, so
+	// the batch path below pays a nil comparison per round and nothing else.
+	var arr *arrState
+	if opts.Arrivals != nil {
+		if err := opts.Arrivals.validate(n); err != nil {
+			return nil, err
+		}
+		if arr, err = newArrState(opts.Arrivals, n, k, nodes); err != nil {
+			return nil, err
+		}
+		met.OutstandingTokens = arr.liveCount()
+		met.PeakOutstanding = arr.liveCount()
+	}
 
 	// Fault state. crashed marks nodes currently down; recoverAt holds the
 	// rejoin round of nodes in a downtime window (faults.NoRecovery
@@ -582,10 +642,21 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 	for v := range views {
 		views[v].noDelta = opts.NoDeltaDelivery
 	}
+	if arr != nil {
+		// Unbounded runs must not let one burst round pin the arenas'
+		// high-water capacity forever; batch runs keep the plain ratchet.
+		for s := range shards {
+			shards[s].pool.trim = true
+		}
+	}
 
 	tracer := opts.Tracer
 	if tracer != nil {
 		tracer.RunStart(n, k, nshards, nodes)
+	}
+	var atr ArrivalTracer
+	if arr != nil && tracer != nil {
+		atr, _ = tracer.(ArrivalTracer)
 	}
 
 	// Timing: all self-profiling state hangs off one pointer, allocated
@@ -715,6 +786,53 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		}
 	}
 
+	// Arrival-mode GC, two sharded passes at the round barrier. Pass 1
+	// scans every node once: the pre-GC delivered popcount, the counted
+	// population (up, or down but rejoining — the same nodes doneLive
+	// counts), and the intersection of counted nodes' token sets. Pass 2,
+	// run only when the merged intersection contains live tokens, removes
+	// the collected set from every node (crashed ones included: GC is an
+	// accounting operation on stable storage) and measures exactly how many
+	// pairs it dropped, so the post-GC delivered count is exact even when
+	// permanently crashed nodes held part of the collected set. Set
+	// intersection and integer addition commute, so merging the shards in
+	// order is bit-identical to a serial scan. Both closures are built only
+	// in arrival mode, keeping the batch path allocation-identical.
+	var arrScan, arrCollect func(s, lo, hi int)
+	if arr != nil {
+		arrScan = func(s, lo, hi int) {
+			st := &shards[s]
+			st.interAny = false
+			st.preSum, st.cntN, st.cntHeld = 0, 0, 0
+			for v := lo; v < hi; v++ {
+				tk := nodes[v].Tokens()
+				l := tk.Len()
+				st.preSum += l
+				if crashed[v] && (recoverAt == nil || recoverAt[v] == faults.NoRecovery) {
+					continue
+				}
+				st.cntN++
+				st.cntHeld += l
+				if !st.interAny {
+					st.inter.CopyFrom(tk)
+					st.interAny = true
+				} else {
+					st.inter.IntersectWith(tk)
+				}
+			}
+		}
+		arrCollect = func(s, lo, hi int) {
+			st := &shards[s]
+			removed := 0
+			for v := lo; v < hi; v++ {
+				pre := nodes[v].Tokens().Len()
+				arr.collects[v].Collect(arr.gc)
+				removed += pre - nodes[v].Tokens().Len()
+			}
+			st.removed = removed
+		}
+	}
+
 	// The fan-out entry points are the raw shard closures when timing is
 	// off and timed wrappers (per-shard clock, stage=/shard= pprof labels)
 	// when it is on. Wrapping conditionally — instead of capturing a flag
@@ -820,6 +938,16 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		}
 		tst.end(StageTracer, segT)
 
+		// Arrival injection: new tokens reach their target nodes before the
+		// round's Send, on the engine goroutine, so serial and parallel runs
+		// inject identically. Timed under the faults stage — like crashes
+		// and recoveries, arrivals are externally scheduled events.
+		if arr != nil {
+			segT = tst.seg(StageFaults)
+			arr.inject(r, crashed, hier, obs, atr, met)
+			tst.end(StageFaults, segT)
+		}
+
 		// Collect, then merge the per-shard accumulators in shard order
 		// and replay the Sent stream from outbox in ascending sender
 		// order — identical for serial and parallel runs.
@@ -914,7 +1042,67 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 
 		segT = tst.seg(StageProgress)
 		delivered := 0
-		if needDelivered {
+		countedN, outstanding := 0, 0
+		if arr != nil {
+			// Pass 1: scan, then merge the shard intersections in order.
+			if parallelRun {
+				parallel.ForEachBounds(bounds, arrScan)
+			} else {
+				arrScan(0, 0, n)
+			}
+			countedHeld, haveInter := 0, false
+			for s := range shards {
+				st := &shards[s]
+				delivered += st.preSum
+				countedN += st.cntN
+				countedHeld += st.cntHeld
+				if !st.interAny {
+					continue
+				}
+				if !haveInter {
+					arr.gc.CopyFrom(&st.inter)
+					haveInter = true
+				} else {
+					arr.gc.IntersectWith(&st.inter)
+				}
+			}
+			if !haveInter {
+				arr.gc.Clear()
+			}
+			arr.gc.IntersectWith(arr.live)
+			// Pass 2: collect the fully disseminated tokens and rebase the
+			// accounting on the post-GC universe, so Progress and the
+			// totals below stay mutually consistent.
+			if gcLen := arr.gc.Len(); gcLen > 0 {
+				if atr != nil {
+					atr.Collected(r, arr.gc)
+				}
+				if parallelRun {
+					parallel.ForEachBounds(bounds, arrCollect)
+				} else {
+					arrCollect(0, 0, n)
+				}
+				for s := range shards {
+					delivered -= shards[s].removed
+				}
+				countedHeld -= countedN * gcLen
+				arr.gc.Range(func(tok int) bool {
+					if obs != nil && obs.Collected != nil {
+						obs.Collected(r, tok, arr.seq[tok], arr.born[tok])
+					}
+					arr.live.Remove(tok)
+					arr.free.Add(tok)
+					return true
+				})
+				arr.collected += int64(gcLen)
+				met.TokensCollected += int64(gcLen)
+			}
+			outstanding = countedN*arr.liveCount() - countedHeld
+			met.OutstandingTokens = arr.liveCount()
+			if obs != nil && obs.Progress != nil {
+				obs.Progress(r, delivered)
+			}
+		} else if needDelivered {
 			// The delivered count is a sum of per-node popcounts; integer
 			// addition commutes, so the sharded sum below matches the
 			// serial one exactly.
@@ -940,7 +1128,15 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		}
 
 		met.Rounds = r + 1
-		done := doneLive(nodes, crashed, recoverAt, k, workers)
+		var done bool
+		if arr != nil {
+			// Steady state is complete when the arrival process can inject
+			// nothing more and every token has been collected — which
+			// requires at least one counted node, same as doneLive.
+			done = countedN > 0 && arr.live.Empty() && arr.exhausted(r+1)
+		} else {
+			done = doneLive(nodes, crashed, recoverAt, k, workers)
+		}
 		tst.end(StageProgress, segT)
 
 		// Round barrier: messages and payload sets handed out this round
@@ -981,14 +1177,28 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 			}
 		}
 		if opts.StallWindow > 0 && !met.Complete {
-			if delivered == lastDelivered {
+			// A stall is outstanding work with no progress. Under arrivals
+			// a flat delivered count is healthy whenever nothing is
+			// outstanding (every live pair delivered, the next burst not
+			// yet arrived), so idle gaps reset the watchdog instead of
+			// tripping it; an all-dead population (countedN == 0) still
+			// counts as stalled — nobody is left to make progress.
+			healthyIdle := arr != nil && countedN > 0 && outstanding == 0
+			if delivered == lastDelivered && !healthyIdle {
 				stallRun++
 			} else {
 				stallRun = 0
 				lastDelivered = delivered
 			}
 			if stallRun >= opts.StallWindow {
-				rep := stallReport(r, opts.StallWindow, delivered, n*k, crashed, recoverAt)
+				// Total tracks the live token universe: k for batch runs,
+				// injected-minus-collected (plus the initial batch) under
+				// arrivals.
+				total := n * k
+				if arr != nil {
+					total = n * arr.liveCount()
+				}
+				rep := stallReport(r, opts.StallWindow, delivered, total, crashed, recoverAt)
 				met.Stall = rep
 				if obs != nil && obs.Stalled != nil {
 					obs.Stalled(r, rep)

@@ -32,8 +32,8 @@ func (a *Assignment) N() int { return len(a.Initial) }
 // Validate checks that every token 0..K-1 is held by at least one node and
 // that no node holds a token outside the domain.
 func (a *Assignment) Validate() error {
-	if a.K <= 0 {
-		return fmt.Errorf("token: k=%d must be positive", a.K)
+	if a.K < 0 {
+		return fmt.Errorf("token: k=%d must be non-negative", a.K)
 	}
 	union := bitset.New(a.K)
 	for v, s := range a.Initial {
@@ -93,6 +93,12 @@ func SingleSource(n, k, src int) *Assignment {
 	}
 	return a
 }
+
+// Empty returns an assignment with no initial tokens (K = 0): every node
+// starts with an empty set. It exists for pure-arrival steady-state runs
+// (sim.Options.Arrivals), where all traffic enters through the arrival
+// process rather than an initial batch.
+func Empty(n int) *Assignment { return empty(n, 0) }
 
 // Random gives every token to a uniformly chosen owner (independently), so
 // a node may own several tokens and k may exceed n.
