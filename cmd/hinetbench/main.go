@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -48,19 +49,20 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "paper table to regenerate (2 or 3)")
-		sweep   = flag.String("sweep", "", "parameter sweep: n0 | k | nr | alpha | mobility")
-		all     = flag.Bool("all", false, "run every table and sweep")
-		seeds   = flag.Int("seeds", 8, "Monte-Carlo replications per row")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		curve   = flag.Bool("curve", false, "print per-round convergence sparklines")
-		claims  = flag.Bool("claims", false, "print the reproduction ledger")
-		outDir  = flag.String("out", "", "directory to additionally write each table as CSV")
-		metrics = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
-		noCache = flag.Bool("nocache", false, "disable the engine's stability-window cache (A/B timing check; results are identical)")
-		noDelta = flag.Bool("nodelta", false, "disable delta-aware delivery (A/B timing check; results are identical)")
-		timing  = flag.String("timing", "", "directory for per-seed engine stage-span JSONL (Table 3 rows); prints a per-stage breakdown")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		table    = flag.Int("table", 0, "paper table to regenerate (2 or 3)")
+		sweep    = flag.String("sweep", "", "parameter sweep: n0 | k | nr | alpha | mobility")
+		all      = flag.Bool("all", false, "run every table and sweep")
+		seeds    = flag.Int("seeds", 8, "Monte-Carlo replications per row")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		curve    = flag.Bool("curve", false, "print per-round convergence sparklines")
+		claims   = flag.Bool("claims", false, "print the reproduction ledger")
+		outDir   = flag.String("out", "", "directory to additionally write each table as CSV")
+		metrics  = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
+		noCache  = flag.Bool("nocache", false, "disable the engine's stability-window cache (A/B timing check; results are identical)")
+		noDelta  = flag.Bool("nodelta", false, "disable delta-aware delivery (A/B timing check; results are identical)")
+		timing   = flag.String("timing", "", "directory for per-seed engine stage-span JSONL (Table 3 rows); prints a per-stage breakdown")
+		selfstab = flag.Bool("selfstab", false, "Table 3: replace the oracle hierarchies with the self-stabilizing clustering protocol in every replication")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		arrival   = flag.String("arrival", "", "steady-state load test: offered rate(s) in tokens per round, comma-separated")
 		arrN      = flag.Int("arrival-n", 1000, "load test network size")
@@ -168,6 +170,9 @@ func main() {
 		cfg.NoCache = *noCache
 		cfg.NoDelta = *noDelta
 		cfg.TimingDir = *timing
+		if *selfstab {
+			cfg.SelfStabilize = &sim.SelfStabilize{Watchdog: cfg.P.T()}
+		}
 		tb, rows, err := experiment.Table3Report(cfg)
 		if err != nil {
 			fatal(err)
@@ -295,13 +300,18 @@ func timingBreakdown(rows []experiment.RowResult) *report.Table {
 		obs.WallBreakdown(wall, cpu), rounds)
 }
 
-// parseRates splits the -arrival flag's comma-separated offered rates.
+// parseRates splits the -arrival flag's comma-separated offered rates,
+// rejecting NaN and negative values (the Poisson sampler treats them as
+// undefined) with a clear error.
 func parseRates(s string) ([]float64, error) {
 	var out []float64
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return nil, fmt.Errorf("-arrival: %v", err)
+		}
+		if math.IsNaN(v) || v < 0 {
+			return nil, fmt.Errorf("-arrival: rate must be a non-negative number of tokens per round (got %v)", v)
 		}
 		out = append(out, v)
 	}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRates(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    []float64
+		wantErr string // substring, "" = valid
+	}{
+		{name: "single rate", in: "0.5", want: []float64{0.5}},
+		{name: "zero rate", in: "0", want: []float64{0}},
+		{name: "sweep", in: "0.25, 0.5,1,2", want: []float64{0.25, 0.5, 1, 2}},
+		{name: "negative rate", in: "-1", wantErr: "non-negative"},
+		{name: "negative in sweep", in: "0.5,-0.25", wantErr: "non-negative"},
+		{name: "NaN rate", in: "NaN", wantErr: "non-negative"},
+		{name: "garbage", in: "fast", wantErr: "-arrival"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseRates(tc.in)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error mentioning %q, got rates %v", tc.wantErr, got)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@
 //	-crash-heads 20,50          # every live cluster head crashes at these rounds
 //	-recover-after 15           # crashed heads rejoin after 15 rounds (0 = crash-stop)
 //	-failover 3                 # run the self-healing protocol variant (head-silence window)
+//	-selfstab                   # emergent hierarchy: self-stabilizing clustering protocol
 //	-stall-window 50            # terminate with a diagnostic after 50 zero-progress rounds
 //
 // Self-profiling and parallelism apply to every simulating scenario too:
@@ -100,6 +101,7 @@ func main() {
 		recoverAfter = flag.Int("recover-after", 0, "rounds after which crashed heads recover (0 = crash-stop)")
 		failover     = flag.Int("failover", 0, "run the self-healing protocol variant with this head-silence window (0 = plain)")
 		stallWindow  = flag.Int("stall-window", 0, "terminate after this many consecutive zero-progress rounds (0 = off)")
+		selfstab     = flag.Bool("selfstab", false, "maintain the hierarchy with the self-stabilizing clustering protocol (emergent, rides the same faulty links) instead of the scenario's oracle")
 
 		arrival = flag.Float64("arrival", 0, "steady-state mode: expected token arrivals per round (0 = off)")
 		arrStop = flag.Int("arrival-stop", 0, "arrival window end round (0 = arrivals never stop)")
@@ -109,6 +111,17 @@ func main() {
 		arrMax  = flag.Int("arrival-max", 0, "cap on total injected tokens (0 = unbounded)")
 	)
 	flag.Parse()
+
+	stallSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "stall-window" {
+			stallSet = true
+		}
+	})
+	if err := validateFlags(*drop, *arrival, *stallWindow, stallSet); err != nil {
+		fmt.Fprintln(os.Stderr, "hinetsim:", err)
+		os.Exit(1)
+	}
 
 	if *pprof != "" {
 		startPprof("hinetsim", *pprof)
@@ -126,7 +139,7 @@ func main() {
 	mi := &instr{
 		path: *metrics, provDir: *prov, faults: plan, stall: *stallWindow,
 		timingPath: *timing, tsample: *tsample, tnorm: *tnorm, workers: *workers,
-		arr: arr,
+		arr: arr, selfstab: *selfstab,
 	}
 	if *failover > 0 {
 		mi.fo = &core.Failover{Window: *failover}
@@ -256,6 +269,11 @@ type instr struct {
 	faults *sim.Faults
 	stall  int
 	fo     *core.Failover
+	// selfstab switches every scenario to the emergent hierarchy: the
+	// self-stabilizing clustering protocol maintains the roles over the
+	// same faulty links, with the convergence watchdog armed at one phase
+	// length (8 rounds for per-round protocols).
+	selfstab bool
 	// arr is the -arrival traffic process; attach copies it into each
 	// scenario's options and stretches short round budgets to cover the
 	// arrival window plus a drain allowance.
@@ -312,6 +330,22 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 	}
 	if in.stall > 0 {
 		opts.StallWindow = in.stall
+	}
+	if in.selfstab {
+		wd := phaseLen
+		if wd <= 0 {
+			wd = 8
+		}
+		opts.SelfStabilize = &sim.SelfStabilize{Watchdog: wd}
+		opts.Observer = obs.Combine(opts.Observer, &sim.Observer{
+			Diverged: func(r int, rep *sim.ConvergenceReport) {
+				fmt.Fprintln(os.Stderr, "hinetsim: warning:", rep)
+			},
+		})
+		// The theorem budgets assume an oracle hierarchy from round 0;
+		// the emergent hierarchy spends its own rounds converging (and
+		// reconverging after faults), so give the run a repair allowance.
+		opts.MaxRounds *= 4
 	}
 	if in.workers != 0 {
 		opts.Workers = in.workers

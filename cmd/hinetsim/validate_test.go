@@ -1,0 +1,50 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		drop     float64
+		arrival  float64
+		stall    int
+		stallSet bool
+		wantErr  string // substring, "" = valid
+	}{
+		{name: "all defaults", wantErr: ""},
+		{name: "valid drop", drop: 0.05, wantErr: ""},
+		{name: "drop at one", drop: 1, wantErr: ""},
+		{name: "negative drop", drop: -0.1, wantErr: "-drop"},
+		{name: "drop above one", drop: 1.5, wantErr: "-drop"},
+		{name: "NaN drop", drop: math.NaN(), wantErr: "-drop"},
+		{name: "valid arrival", arrival: 0.5, wantErr: ""},
+		{name: "negative arrival", arrival: -2, wantErr: "-arrival"},
+		{name: "NaN arrival", arrival: math.NaN(), wantErr: "-arrival"},
+		{name: "valid stall window", stall: 50, stallSet: true, wantErr: ""},
+		{name: "default stall off", stall: 0, stallSet: false, wantErr: ""},
+		{name: "explicit zero stall window", stall: 0, stallSet: true, wantErr: "-stall-window"},
+		{name: "negative stall window", stall: -3, stallSet: true, wantErr: "-stall-window"},
+		{name: "negative stall window unset", stall: -3, stallSet: false, wantErr: "-stall-window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.drop, tc.arrival, tc.stall, tc.stallSet)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

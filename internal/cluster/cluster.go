@@ -219,6 +219,55 @@ func Backbone(g *graph.Graph, h *ctvg.Hierarchy) *graph.Graph {
 	return b
 }
 
+// repairBackbone checks that the backbone still connects the heads after a
+// cluster merge and, when it does not, re-runs gateway selection at
+// increasing depth until every pair of heads connected in g is connected
+// through relays. Within one component the escalation terminates at the
+// component diameter at the latest, so the g.N() bound is never the
+// binding one; heads in different components of g stay apart, as they
+// must. Returns the number of escalation steps taken.
+func repairBackbone(g *graph.Graph, h *ctvg.Hierarchy, depth int) int {
+	heads := h.Heads()
+	repairs := 0
+	for d := depth; d < g.N(); d++ {
+		if backboneBridges(g, h, heads) {
+			break
+		}
+		SelectGateways(g, h, d+1)
+		repairs++
+	}
+	return repairs
+}
+
+// backboneBridges reports whether, within every connected component of g,
+// the heads of that component are mutually connected through the backbone
+// (the subgraph induced by heads and gateways).
+func backboneBridges(g *graph.Graph, h *ctvg.Hierarchy, heads []int) bool {
+	if len(heads) <= 1 {
+		return true
+	}
+	bb := Backbone(g, h)
+	grouped := make([]bool, g.N())
+	group := make([]int, 0, len(heads))
+	for _, u := range heads {
+		if grouped[u] {
+			continue
+		}
+		dist, _ := g.BFS(u)
+		group = group[:0]
+		for _, w := range heads {
+			if dist[w] != graph.Inf {
+				grouped[w] = true
+				group = append(group, w)
+			}
+		}
+		if len(group) > 1 && !bb.ConnectedSubset(group) {
+			return false
+		}
+	}
+	return true
+}
+
 // Stats reports what incremental maintenance changed.
 type Stats struct {
 	// Reaffiliations counts nodes whose cluster head changed to a
@@ -231,6 +280,10 @@ type Stats struct {
 	// returned hierarchy is then prev itself (pointer-identical), which
 	// lets round caches recognise stable windows by identity.
 	Unchanged bool
+	// GatewayRepairs counts the extra gateway-depth escalation steps the
+	// post-merge backbone revalidation needed to reconnect the surviving
+	// heads (0 when the configured depth already bridged them).
+	GatewayRepairs int
 }
 
 // Maintain updates a hierarchy after a topology change with minimal churn:
@@ -308,6 +361,14 @@ func Maintain(g *graph.Graph, prev *ctvg.Hierarchy, cfg Config) (*ctvg.Hierarchy
 	}
 
 	SelectGateways(g, next, cfg.gatewayDepth())
+	if st.RemovedHeads > 0 {
+		// A merge empties the abdicating head's cluster, and the span that
+		// cluster covered can leave the surviving heads further apart than
+		// cfg.GatewayDepth — the gateway pass above then bridges nothing
+		// and the backbone silently falls apart even though the graph is
+		// connected. Revalidate instead of trusting it.
+		st.GatewayRepairs = repairBackbone(g, next, cfg.gatewayDepth())
+	}
 	if st == (Stats{}) && next.Equal(prev) {
 		st.Unchanged = true
 		return prev, st

@@ -229,6 +229,61 @@ func TestMaintainMergesAdjacentHeads(t *testing.T) {
 	}
 }
 
+func TestMaintainMergeRepairsBackbone(t *testing.T) {
+	// Regression: a merge that empties a cluster used to leave a stale,
+	// disconnected backbone. Path 0-1-2-3 with prev heads {0, 1, 3}: the
+	// 0-1 edge merges head 1 into 0 and empties 1's cluster, leaving the
+	// surviving heads 0 and 3 three hops apart — past GatewayDepth 2, so
+	// the plain gateway pass bridged nothing and Maintain returned a
+	// backbone with no relay path between the heads.
+	g := graph.Path(4)
+	prev := ctvg.NewHierarchy(4)
+	prev.SetHead(0)
+	prev.SetHead(1)
+	prev.SetHead(3)
+	prev.SetMember(2, 3)
+	next, st := Maintain(g, prev, Config{GatewayDepth: 2})
+	if st.RemovedHeads != 1 {
+		t.Fatalf("removed heads %d, want 1 (merge must fire)", st.RemovedHeads)
+	}
+	if st.GatewayRepairs == 0 {
+		t.Fatal("repair pass reported no escalation on a broken backbone")
+	}
+	heads := next.Heads()
+	bb := Backbone(g, next)
+	if !bb.ConnectedSubset(heads) {
+		t.Fatalf("backbone does not reconnect surviving heads %v (edges %v)", heads, bb.Edges())
+	}
+	if err := next.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainMergeAcrossComponentsNoEscalation(t *testing.T) {
+	// Heads in different components of g must not trigger runaway depth
+	// escalation: the repair pass groups heads by component and accepts a
+	// backbone that bridges each component internally.
+	g := graph.New(5)
+	g.AddEdge(0, 1) // component A: merge 1 into 0
+	g.AddEdge(3, 4) // component B: head 3, member 4
+	prev := ctvg.NewHierarchy(5)
+	prev.SetHead(0)
+	prev.SetHead(1)
+	prev.SetHead(2) // isolated head
+	prev.SetHead(3)
+	prev.SetMember(4, 3)
+	next, st := Maintain(g, prev, Config{})
+	if st.RemovedHeads != 1 {
+		t.Fatalf("removed heads %d, want 1", st.RemovedHeads)
+	}
+	if st.GatewayRepairs != 0 {
+		t.Fatalf("escalated %d times across disconnected components", st.GatewayRepairs)
+	}
+	if err := next.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMaintainOrphanBecomesHead(t *testing.T) {
 	g := graph.New(2)
 	g.AddEdge(0, 1)

@@ -109,6 +109,15 @@ func TestChaosRandomFaultPlans(t *testing.T) {
 			Workers:          1 + rng.Intn(4),
 			Faults:           plan,
 		}
+		// Half the runs swap the oracle hierarchy for the self-stabilizing
+		// clustering protocol, so the soak also shakes the emergent-repair
+		// path under every fault combination above.
+		if rng.Prob(0.5) {
+			opts.SelfStabilize = &sim.SelfStabilize{
+				OrphanAfter: 1 + rng.Intn(3),
+				Watchdog:    T + rng.Intn(4*T),
+			}
+		}
 
 		met, err := sim.RunProtocol(adversary.NewHiNet(cfg, xrand.New(advSeed)), proto, assign, opts)
 		if err != nil {
@@ -219,6 +228,12 @@ func TestChaosArrivals(t *testing.T) {
 			Workers:          1 + rng.Intn(4),
 			Faults:           plan,
 			Arrivals:         arr,
+		}
+		if rng.Prob(0.5) {
+			opts.SelfStabilize = &sim.SelfStabilize{
+				OrphanAfter: 1 + rng.Intn(3),
+				Watchdog:    T + rng.Intn(4*T),
+			}
 		}
 
 		met, err := sim.RunProtocol(adversary.NewHiNet(cfg, xrand.New(advSeed)), proto, assign, opts)

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/faults"
+	"repro/internal/provenance"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+// The ISSUE acceptance scenario: the oracle hierarchy is switched off
+// (Options.SelfStabilize), every elected head is crashed mid-phase, and
+// the links carry bursty Gilbert–Elliott loss — the same loss the
+// maintenance beacons ride. Both failover variants must still complete
+// on the emergent hierarchy, and the convergence machinery must have
+// reported rounds-to-reconverge for the repair episodes.
+func TestSelfStabHeadCrashUnderBurstyLossCompletes(t *testing.T) {
+	const n, k, alpha, L, theta = 50, 5, 2, 2, 6
+	T := Theorem1T(k, alpha, L)
+
+	variants := []struct {
+		name  string
+		proto func() sim.Protocol
+		crash []int
+	}{
+		// Crash rounds hit both the cold-start merge cascade (when many
+		// nodes still transiently claim head) and the converged hierarchy
+		// mid-phase. HeadCrashDowntime lets the victims rejoin, so the
+		// clustering protocol must survive the exodus AND the returns.
+		{"alg1", func() sim.Protocol { return Alg1{T: T, Failover: &Failover{Window: 3}} }, []int{T + T/2, 4 * T}},
+		{"alg2", func() sim.Protocol { return Alg2{Failover: &Failover{Window: 3}} }, []int{3, 4 * T}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				cfg := adversary.HiNetConfig{
+					N: n, Theta: theta, L: L, T: T,
+					Reaffiliations: 2, ChurnEdges: 8,
+				}
+				if v.name == "alg2" {
+					cfg.T = 1
+				}
+				assign := token.Spread(n, k, xrand.New(seed+900))
+				m := sim.MustRunProtocol(adversary.NewHiNet(cfg, xrand.New(seed)), v.proto(), assign, sim.Options{
+					MaxRounds:        120 * T,
+					StopWhenComplete: true,
+					StallWindow:      30 * T,
+					SelfStabilize:    &sim.SelfStabilize{Watchdog: T},
+					Faults: &sim.Faults{
+						Seed:              seed,
+						HeadCrashRounds:   v.crash,
+						HeadCrashDowntime: 2 * T,
+						Burst: &faults.GilbertElliott{
+							PGoodBad: 0.05,
+							PBadGood: 0.4,
+							DropBad:  0.8,
+						},
+					},
+				})
+				if !m.Complete {
+					t.Fatalf("seed %d: incomplete on emergent hierarchy under head crash + bursty loss: %v", seed, m)
+				}
+				if m.Elections == 0 {
+					t.Fatalf("seed %d: no elections — hierarchy was not emergent: %v", seed, m)
+				}
+				// The watchdog machinery must have measured at least one
+				// repair: cold-start plus the head-crash episode each leave
+				// the hierarchy invalid until the protocol reconverges.
+				if m.Reconvergences == 0 && m.ConvergenceReports == 0 {
+					t.Fatalf("seed %d: no rounds-to-reconverge reported: %v", seed, m)
+				}
+				if m.MaintenanceBeacons == 0 {
+					t.Fatalf("seed %d: maintenance budget unaccounted: %v", seed, m)
+				}
+			}
+		})
+	}
+}
+
+// Satellite: failover composed with head-targeted crashes AND recovery
+// (the -crash-heads / -recover-after composition). After the crashed
+// heads rejoin, every node must end with the full batch (token
+// conservation) and the provenance DAG must stay a forest — exactly one
+// in-edge per (learner, token), i.e. no duplicate first-delivery edges
+// minted when a recovered node re-enters the collect/deliver cycle.
+func TestFailoverHeadCrashRecoveryConservesTokensAndProvenance(t *testing.T) {
+	const n, k, alpha, L, theta = 40, 4, 2, 2, 5
+	T := Theorem1T(k, alpha, L)
+
+	variants := []struct {
+		name  string
+		proto func() sim.Protocol
+	}{
+		{"alg1", func() sim.Protocol { return Alg1{T: T, Failover: &Failover{Window: 3}} }},
+		{"alg2", func() sim.Protocol { return Alg2{Failover: &Failover{Window: 3}} }},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cfg := adversary.HiNetConfig{
+				N: n, Theta: theta, L: L, T: T,
+				Reaffiliations: 1, ChurnEdges: 4,
+			}
+			if v.name == "alg2" {
+				cfg.T = 1
+			}
+			const seed = 41
+			assign := token.Spread(n, k, xrand.New(seed+1))
+			tracer := provenance.New(provenance.Config{Keep: true})
+			proto := v.proto()
+			nodes := proto.Nodes(assign)
+			m := sim.MustRun(adversary.NewHiNet(cfg, xrand.New(seed)), nodes, assign, sim.Options{
+				MaxRounds:        120 * T,
+				StopWhenComplete: true,
+				StallWindow:      30 * T,
+				Tracer:           tracer,
+				Faults: &sim.Faults{
+					Seed:              seed,
+					HeadCrashRounds:   []int{T / 2, 2 * T},
+					HeadCrashDowntime: 2 * T,
+				},
+			})
+			if !m.Complete {
+				t.Fatalf("incomplete under head crash + recovery: %v", m)
+			}
+			if m.Recoveries == 0 {
+				t.Fatalf("crash/recovery plan never fired (vacuous): %v", m)
+			}
+			// Token conservation: every node, including the recovered
+			// heads, holds exactly the k-token batch.
+			for id, node := range nodes {
+				if node.Tokens().Len() != assign.K {
+					t.Fatalf("node %d ends with %d/%d tokens after rejoin", id, node.Tokens().Len(), assign.K)
+				}
+			}
+			// No duplicate provenance edges on rejoin: one in-edge per
+			// (learner, token) pair, and initial holders never learn their
+			// own tokens again.
+			log := tracer.Log()
+			if log == nil {
+				t.Fatal("Keep tracer returned no log")
+			}
+			held := make(map[[2]int]bool)
+			for tok, hs := range log.Meta.Holders {
+				for _, h := range hs {
+					held[[2]int{h, tok}] = true
+				}
+			}
+			seen := make(map[[2]int]bool)
+			for _, e := range log.Edges {
+				key := [2]int{e.Learner, e.Token}
+				if seen[key] {
+					t.Fatalf("duplicate provenance edge: node %d learned token %d twice", e.Learner, e.Token)
+				}
+				if held[key] {
+					t.Fatalf("provenance edge for initially held pair: node %d token %d", e.Learner, e.Token)
+				}
+				seen[key] = true
+			}
+			// The forest covers the run exactly: holders + first
+			// deliveries account for every (node, token) pair once.
+			if len(held)+len(log.Edges) != n*k {
+				t.Fatalf("provenance accounting leaks: %d held + %d edges != %d pairs",
+					len(held), len(log.Edges), n*k)
+			}
+		})
+	}
+}

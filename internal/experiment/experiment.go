@@ -93,6 +93,13 @@ type PointConfig struct {
 	// replication seed so each seed draws its own traffic. Invalid
 	// processes fail the point before any row runs.
 	Arrivals *sim.Arrivals
+	// SelfStabilize, when non-nil, switches every replication of every row
+	// to the emergent hierarchy (sim.Options.SelfStabilize): the
+	// self-stabilizing clustering protocol maintains the roles over the
+	// same faulty links the tokens ride, instead of the adversary's oracle
+	// hierarchy. Flat-protocol rows (KLO, flooding) ignore roles and are
+	// unaffected beyond the maintenance beacon budget.
+	SelfStabilize *sim.SelfStabilize
 }
 
 // Table3Config is the paper's Table 3 operating point with a default
@@ -172,6 +179,7 @@ type runSpec struct {
 	noDelta    bool
 	faults     *sim.Faults
 	arrivals   *sim.Arrivals
+	selfstab   *sim.SelfStabilize
 }
 
 func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
@@ -212,6 +220,10 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			arr := *spec.arrivals
 			arr.Seed ^= seed
 			opts.Arrivals = &arr
+		}
+		if spec.selfstab != nil {
+			ss := *spec.selfstab
+			opts.SelfStabilize = &ss
 		}
 		var col *obs.Collector
 		var mf *os.File
@@ -442,7 +454,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 	}, analysis.KLOTInterval(p))
 	if err != nil {
 		return nil, err
@@ -464,7 +476,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg1{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
 	if err != nil {
 		return nil, err
@@ -479,7 +491,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 	}, analysis.KLOOneInterval(p))
 	if err != nil {
 		return nil, err
@@ -500,7 +512,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg2{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
 	if err != nil {
 		return nil, err

@@ -65,6 +65,11 @@ type regInstruments struct {
 	gatewayFlips *Counter
 	arrivals     *Counter
 	collectedTok *Counter
+	elections    *Counter
+	adoptions    *Counter
+	headMerges   *Counter
+	beacons      *Counter
+	convReports  *Counter
 	delivered    *Gauge
 	totalPairs   *Gauge
 	heads        *Gauge
@@ -72,6 +77,7 @@ type regInstruments struct {
 	outstanding  *Gauge
 	roundTokens  *Histogram
 	latency      *Histogram
+	reconverge   *Histogram
 }
 
 func newRegInstruments(r *Registry) *regInstruments {
@@ -94,6 +100,11 @@ func newRegInstruments(r *Registry) *regInstruments {
 		gatewayFlips: r.Counter("sim_gateway_flips_total", "nodes entering or leaving gateway duty"),
 		arrivals:     r.Counter("sim_token_arrivals_total", "tokens injected by the arrival process"),
 		collectedTok: r.Counter("sim_tokens_collected_total", "fully disseminated tokens garbage-collected"),
+		elections:    r.Counter("sim_elections_total", "nodes elected themselves cluster head (self-stabilization)"),
+		adoptions:    r.Counter("sim_adoptions_total", "orphaned or unaffiliated nodes adopted into a cluster (self-stabilization)"),
+		headMerges:   r.Counter("sim_head_merges_total", "heads abdicated to a lower-ID neighbouring head (self-stabilization)"),
+		beacons:      r.Counter("sim_maintenance_beacons_total", "maintenance beacons sent by the self-stabilizing protocol"),
+		convReports:  r.Counter("sim_convergence_reports_total", "convergence watchdog reports (hierarchy invalid for the configured window)"),
 		delivered:    r.Gauge("sim_delivered_pairs", "(node, token) pairs delivered so far"),
 		totalPairs:   r.Gauge("sim_total_pairs", "delivery ceiling n*k"),
 		heads:        r.Gauge("sim_heads", "current head-set size"),
@@ -101,6 +112,7 @@ func newRegInstruments(r *Registry) *regInstruments {
 		outstanding:  r.Gauge("sim_outstanding_tokens", "live (injected, not yet collected) tokens"),
 		roundTokens:  r.Histogram("sim_round_tokens", "tokens sent per round", RoundBuckets),
 		latency:      r.Histogram("sim_token_latency_rounds", "rounds from token arrival to garbage collection", LatencyBuckets),
+		reconverge:   r.Histogram("sim_reconverge_rounds", "rounds the emergent hierarchy spent invalid before reconverging", LatencyBuckets),
 	}
 	for i := range kindNames {
 		ri.msgsKind[i] = r.Counter(`sim_messages_kind_total{kind="`+kindNames[i]+`"}`, "transmissions by message kind")
@@ -168,17 +180,19 @@ func NewCollector(cfg Config) *Collector {
 // with other observers via Combine if the run also needs ad-hoc hooks.
 func (c *Collector) Observer() *sim.Observer {
 	return &sim.Observer{
-		RoundStart: c.roundStart,
-		Sent:       c.sent,
-		Progress:   c.progress,
-		Crashed:    c.crashed,
-		Recovered:  c.recovered,
-		Noted:      c.noted,
-		Deliveries: c.deliveries,
-		LinkFaults: c.linkFaults,
-		Arrived:    c.arrived,
-		Collected:  c.collected,
-		Stalled:    c.stalled,
+		RoundStart:  c.roundStart,
+		Sent:        c.sent,
+		Progress:    c.progress,
+		Crashed:     c.crashed,
+		Recovered:   c.recovered,
+		Noted:       c.noted,
+		Deliveries:  c.deliveries,
+		LinkFaults:  c.linkFaults,
+		Arrived:     c.arrived,
+		Collected:   c.collected,
+		Stalled:     c.stalled,
+		Maintenance: c.maintenance,
+		Diverged:    c.diverged,
 	}
 }
 
@@ -319,6 +333,23 @@ func (c *Collector) stalled(r int, rep *sim.StallReport) {
 	c.cur.Stalled = true
 }
 
+func (c *Collector) maintenance(r int, ms sim.MaintenanceStats) {
+	c.ensure(r)
+	c.cur.Elections = ms.Elections
+	c.cur.Adoptions = ms.Adoptions
+	c.cur.HeadMerges = ms.HeadMerges
+	c.cur.Beacons = ms.BeaconsSent
+	c.cur.StabValid = ms.Valid
+	c.cur.Reconverge = ms.Reconverged
+}
+
+func (c *Collector) diverged(r int, rep *sim.ConvergenceReport) {
+	c.ensure(r)
+	if c.reg != nil {
+		c.reg.convReports.Inc()
+	}
+}
+
 // finalize closes the current round: derives idle/stall, emits JSONL,
 // updates the registry, and retains the event when configured.
 func (c *Collector) finalize() {
@@ -389,6 +420,13 @@ func (c *Collector) finalize() {
 		ri.gatewayFlips.Add(int64(e.GatewayFlips))
 		ri.arrivals.Add(int64(e.Arrivals))
 		ri.collectedTok.Add(int64(e.Collected))
+		ri.elections.Add(int64(e.Elections))
+		ri.adoptions.Add(int64(e.Adoptions))
+		ri.headMerges.Add(int64(e.HeadMerges))
+		ri.beacons.Add(int64(e.Beacons))
+		if e.Reconverge > 0 {
+			ri.reconverge.Observe(float64(e.Reconverge))
+		}
 		ri.delivered.Set(int64(e.Delivered))
 		if c.cfg.Arrivals {
 			ri.totalPairs.Set(int64(e.Total))
@@ -571,6 +609,24 @@ func Combine(list ...*sim.Observer) *sim.Observer {
 					prev(r, rep)
 				}
 				o.Stalled(r, rep)
+			}
+		}
+		if o.Maintenance != nil {
+			prev := out.Maintenance
+			out.Maintenance = func(r int, ms sim.MaintenanceStats) {
+				if prev != nil {
+					prev(r, ms)
+				}
+				o.Maintenance(r, ms)
+			}
+		}
+		if o.Diverged != nil {
+			prev := out.Diverged
+			out.Diverged = func(r int, rep *sim.ConvergenceReport) {
+				if prev != nil {
+					prev(r, rep)
+				}
+				o.Diverged(r, rep)
 			}
 		}
 	}

@@ -78,6 +78,21 @@ type RoundEvent struct {
 	Arrivals    int
 	Collected   int
 	Outstanding int
+	// Elections / Adoptions / HeadMerges / Beacons carry the
+	// self-stabilizing clustering protocol's per-round repair account in
+	// emergent-hierarchy runs (sim.Options.SelfStabilize): nodes electing
+	// themselves head, orphans joining a cluster, heads abdicating to a
+	// lower-ID neighbour, and the maintenance beacons spent doing it.
+	// StabValid reports whether the emergent hierarchy was valid this
+	// round; Reconverge, when positive, is the length of the invalid
+	// streak this round ended (the protocol's rounds-to-reconverge). All
+	// stay zero (and StabValid false) with self-stabilization off.
+	Elections  int
+	Adoptions  int
+	HeadMerges int
+	Beacons    int
+	StabValid  bool
+	Reconverge int
 	// Stalled marks the round on which the engine's stall watchdog
 	// terminated the run (at most one event per run has it set).
 	Stalled bool
@@ -183,6 +198,18 @@ func (e *RoundEvent) AppendJSON(buf []byte) []byte {
 	b = strconv.AppendInt(b, int64(e.Collected), 10)
 	b = append(b, `,"outstanding":`...)
 	b = strconv.AppendInt(b, int64(e.Outstanding), 10)
+	b = append(b, `,"elections":`...)
+	b = strconv.AppendInt(b, int64(e.Elections), 10)
+	b = append(b, `,"adoptions":`...)
+	b = strconv.AppendInt(b, int64(e.Adoptions), 10)
+	b = append(b, `,"head_merges":`...)
+	b = strconv.AppendInt(b, int64(e.HeadMerges), 10)
+	b = append(b, `,"beacons":`...)
+	b = strconv.AppendInt(b, int64(e.Beacons), 10)
+	b = append(b, `,"stab_valid":`...)
+	b = strconv.AppendBool(b, e.StabValid)
+	b = append(b, `,"reconverge":`...)
+	b = strconv.AppendInt(b, int64(e.Reconverge), 10)
 	b = append(b, `,"stalled":`...)
 	b = strconv.AppendBool(b, e.Stalled)
 	b = append(b, '}')
@@ -219,6 +246,12 @@ type eventJSON struct {
 	Arrivals       int              `json:"arrivals"`
 	Collected      int              `json:"collected"`
 	Outstanding    int              `json:"outstanding"`
+	Elections      int              `json:"elections"`
+	Adoptions      int              `json:"adoptions"`
+	HeadMerges     int              `json:"head_merges"`
+	Beacons        int              `json:"beacons"`
+	StabValid      bool             `json:"stab_valid"`
+	Reconverge     int              `json:"reconverge"`
 	Stalled        bool             `json:"stalled"`
 }
 
@@ -262,6 +295,12 @@ func ParseEvents(r io.Reader) ([]RoundEvent, error) {
 			Arrivals:            ej.Arrivals,
 			Collected:           ej.Collected,
 			Outstanding:         ej.Outstanding,
+			Elections:           ej.Elections,
+			Adoptions:           ej.Adoptions,
+			HeadMerges:          ej.HeadMerges,
+			Beacons:             ej.Beacons,
+			StabValid:           ej.StabValid,
+			Reconverge:          ej.Reconverge,
 			Stalled:             ej.Stalled,
 		}
 		fillCounts(&e.MsgsByKind, &kindNames, ej.MsgsKind)

@@ -58,6 +58,25 @@ type RoundRec struct {
 	Heads   int
 }
 
+// MaintRec is one round of self-stabilizing clustering maintenance
+// (sim.Options.SelfStabilize): the repair events and beacon budget the
+// emergent hierarchy spent this round, as handed to the tracer through
+// sim.MaintenanceTracer. Emitted only in self-stabilizing runs.
+type MaintRec struct {
+	Round int
+	// Elections / Adoptions / HeadMerges count this round's repair events;
+	// Beacons is the round's maintenance message budget.
+	Elections  int
+	Adoptions  int
+	HeadMerges int
+	Beacons    int
+	// Valid reports whether the emergent hierarchy was valid this round;
+	// Reconverged, when positive, is the invalid-streak length this round
+	// ended (rounds-to-reconverge).
+	Valid       bool
+	Reconverged int
+}
+
 // ArriveRec is one token injection in an arrival-mode run: the token (by
 // slot and generation sequence number) entered the system at node Node in
 // round Round — the root of that generation's dissemination DAG.
@@ -153,6 +172,15 @@ type Summary struct {
 	Arrivals      int64
 	Collected     int64
 	SLAViolations int
+	// Elections / Adoptions / HeadMerges / MaintenanceBeacons total the
+	// self-stabilizing protocol's repair work and message budget over the
+	// run — the maintenance cost the ledger attributes alongside the
+	// dissemination traffic it rides with. All zero when
+	// sim.Options.SelfStabilize is off.
+	Elections          int64
+	Adoptions          int64
+	HeadMerges         int64
+	MaintenanceBeacons int64
 	// BySender lists per-sender redundant-message counts, descending by
 	// count (ascending node ID among ties); senders with zero redundancy
 	// are omitted.
@@ -164,6 +192,7 @@ type Log struct {
 	Meta        Meta
 	Edges       []Edge
 	Rounds      []RoundRec
+	Maint       []MaintRec
 	Pace        []PaceViolation
 	Arrivals    []ArriveRec
 	Collections []CollectRec
@@ -269,6 +298,25 @@ func AppendRoundJSON(b []byte, r *RoundRec) []byte {
 	return append(b, '}')
 }
 
+// AppendMaintJSON appends one clustering-maintenance record.
+func AppendMaintJSON(b []byte, m *MaintRec) []byte {
+	b = append(b, `{"t":"maint","round":`...)
+	b = strconv.AppendInt(b, int64(m.Round), 10)
+	b = append(b, `,"elections":`...)
+	b = strconv.AppendInt(b, int64(m.Elections), 10)
+	b = append(b, `,"adoptions":`...)
+	b = strconv.AppendInt(b, int64(m.Adoptions), 10)
+	b = append(b, `,"head_merges":`...)
+	b = strconv.AppendInt(b, int64(m.HeadMerges), 10)
+	b = append(b, `,"beacons":`...)
+	b = strconv.AppendInt(b, int64(m.Beacons), 10)
+	b = append(b, `,"valid":`...)
+	b = strconv.AppendBool(b, m.Valid)
+	b = append(b, `,"reconverged":`...)
+	b = strconv.AppendInt(b, int64(m.Reconverged), 10)
+	return append(b, '}')
+}
+
 // AppendPaceJSON appends one pace-violation warning record.
 func AppendPaceJSON(b []byte, p *PaceViolation) []byte {
 	b = append(b, `{"t":"pace","round":`...)
@@ -353,6 +401,14 @@ func AppendSummaryJSON(b []byte, s *Summary) []byte {
 	b = strconv.AppendInt(b, s.Collected, 10)
 	b = append(b, `,"sla_violations":`...)
 	b = strconv.AppendInt(b, int64(s.SLAViolations), 10)
+	b = append(b, `,"elections":`...)
+	b = strconv.AppendInt(b, s.Elections, 10)
+	b = append(b, `,"adoptions":`...)
+	b = strconv.AppendInt(b, s.Adoptions, 10)
+	b = append(b, `,"head_merges":`...)
+	b = strconv.AppendInt(b, s.HeadMerges, 10)
+	b = append(b, `,"maintenance_beacons":`...)
+	b = strconv.AppendInt(b, s.MaintenanceBeacons, 10)
 	b = append(b, `,"by_sender":[`...)
 	for i, sr := range s.BySender {
 		if i > 0 {
@@ -403,6 +459,14 @@ type recordJSON struct {
 	Latency     int   `json:"latency"`
 	Outstanding bool  `json:"outstanding"`
 
+	Elections   int64 `json:"elections"`
+	Adoptions   int64 `json:"adoptions"`
+	HeadMerges  int64 `json:"head_merges"`
+	Beacons     int64 `json:"beacons"`
+	Valid       bool  `json:"valid"`
+	Reconverged int   `json:"reconverged"`
+	MaintBeac   int64 `json:"maintenance_beacons"`
+
 	RedundantKind  map[string]int64 `json:"redundant_kind"`
 	PaceViolations int              `json:"pace_violations"`
 	Arrivals       int64            `json:"arrivals"`
@@ -451,6 +515,13 @@ func ParseLog(r io.Reader) (*Log, error) {
 				RedundantTokens: rec.RedundantTokens,
 				HeadMin:         rec.HeadMin, Heads: rec.Heads,
 			})
+		case "maint":
+			log.Maint = append(log.Maint, MaintRec{
+				Round:     rec.Round,
+				Elections: int(rec.Elections), Adoptions: int(rec.Adoptions),
+				HeadMerges: int(rec.HeadMerges), Beacons: int(rec.Beacons),
+				Valid: rec.Valid, Reconverged: rec.Reconverged,
+			})
 		case "pace":
 			log.Pace = append(log.Pace, PaceViolation{
 				Round: rec.Round, Phase: rec.Phase,
@@ -472,13 +543,17 @@ func ParseLog(r io.Reader) (*Log, error) {
 			})
 		case "summary":
 			s := &Summary{
-				First:           rec.First,
-				Redundant:       rec.Redundant,
-				RedundantTokens: rec.RedundantTokens,
-				PaceViolations:  rec.PaceViolations,
-				Arrivals:        rec.Arrivals,
-				Collected:       rec.Collected,
-				SLAViolations:   rec.SLAViolationsN,
+				First:              rec.First,
+				Redundant:          rec.Redundant,
+				RedundantTokens:    rec.RedundantTokens,
+				PaceViolations:     rec.PaceViolations,
+				Arrivals:           rec.Arrivals,
+				Collected:          rec.Collected,
+				SLAViolations:      rec.SLAViolationsN,
+				Elections:          rec.Elections,
+				Adoptions:          rec.Adoptions,
+				HeadMerges:         rec.HeadMerges,
+				MaintenanceBeacons: rec.MaintBeac,
 			}
 			for i, n := range kindNames {
 				s.RedundantByKind[i] = rec.RedundantKind[n]

@@ -119,6 +119,14 @@ type Tracer struct {
 	collectedTok  int64
 	slaViolations int
 	slaC          *obs.Counter
+
+	// Self-stabilization totals (sim.MaintenanceTracer), fed once per
+	// round by the engine when Options.SelfStabilize is set; batch and
+	// oracle-hierarchy runs never see the callback and pay nothing.
+	elections  int64
+	adoptions  int64
+	headMerges int64
+	maintBeac  int64
 }
 
 // New returns a Tracer for a single run.
@@ -350,6 +358,30 @@ func (t *Tracer) RoundEnd(r int, crashed []bool) (first, redundant int) {
 	return first, redundant
 }
 
+// Maintenance implements sim.MaintenanceTracer: attribute one round of
+// the self-stabilizing protocol's repair work and beacon budget to the
+// ledger. The engine invokes it right after RoundStart, so maint records
+// precede the round's arrive records and edges in the stream.
+func (t *Tracer) Maintenance(r int, ms sim.MaintenanceStats) {
+	t.elections += int64(ms.Elections)
+	t.adoptions += int64(ms.Adoptions)
+	t.headMerges += int64(ms.HeadMerges)
+	t.maintBeac += int64(ms.BeaconsSent)
+	rec := MaintRec{
+		Round:     r,
+		Elections: ms.Elections, Adoptions: ms.Adoptions,
+		HeadMerges: ms.HeadMerges, Beacons: ms.BeaconsSent,
+		Valid: ms.Valid, Reconverged: ms.Reconverged,
+	}
+	if t.cfg.Sink != nil {
+		t.buf = AppendMaintJSON(t.buf, &rec)
+		t.buf = append(t.buf, '\n')
+	}
+	if t.log != nil {
+		t.log.Maint = append(t.log.Maint, rec)
+	}
+}
+
 // arrInit lazily sizes the arrival-mode state: the initial batch occupies
 // slots 0..k-1, born at round 0 with sequence numbers equal to their slots
 // (matching the engine's arrState).
@@ -469,6 +501,11 @@ func (t *Tracer) summary() *Summary {
 		Arrivals:        t.arrivals,
 		Collected:       t.collectedTok,
 		SLAViolations:   t.slaViolations,
+		Elections:       t.elections,
+		Adoptions:       t.adoptions,
+		HeadMerges:      t.headMerges,
+
+		MaintenanceBeacons: t.maintBeac,
 	}
 	merged := make([]int64, t.n)
 	for i := range t.shards {
@@ -537,6 +574,7 @@ func (t *Tracer) PaceViolations() int { return t.paceViolations }
 func (t *Tracer) SLAViolationCount() int { return t.slaViolations }
 
 var (
-	_ sim.Tracer        = (*Tracer)(nil)
-	_ sim.ArrivalTracer = (*Tracer)(nil)
+	_ sim.Tracer            = (*Tracer)(nil)
+	_ sim.ArrivalTracer     = (*Tracer)(nil)
+	_ sim.MaintenanceTracer = (*Tracer)(nil)
 )

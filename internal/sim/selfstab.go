@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster/selfstab"
+	"repro/internal/ctvg"
+)
+
+// SelfStabilize configures the emergent clustering mode (see
+// Options.SelfStabilize): the run's hierarchy is maintained by the
+// message-passing self-stabilizing protocol in internal/cluster/selfstab
+// instead of being handed down by the adversary.
+type SelfStabilize struct {
+	// OrphanAfter is the number of consecutive rounds a member tolerates
+	// silence from its head before treating itself as orphaned; 0 means
+	// the protocol default of 2.
+	OrphanAfter int
+	// Watchdog arms the convergence watchdog: when the emergent hierarchy
+	// has not been valid (every live node covered, heads bridged through
+	// live relays) for Watchdog consecutive rounds, the engine emits a
+	// structured ConvergenceReport through Observer.Diverged and counts it
+	// in Metrics.ConvergenceReports. Unlike the stall watchdog the run
+	// continues — divergence is the protocol's repair window, not a
+	// failure. 0 disables the reports (validity is still tracked, so
+	// rounds-to-reconverge telemetry works either way).
+	Watchdog int
+}
+
+// MaintenanceStats summarises one round of the self-stabilizing clustering
+// protocol; it is handed to Observer.Maintenance and, for tracers that
+// implement MaintenanceTracer, to the provenance ledger.
+type MaintenanceStats struct {
+	// Elections / Adoptions / HeadMerges count this round's repair events
+	// (nodes electing themselves head, orphaned or unaffiliated nodes
+	// joining a cluster, heads abdicating to a lower-ID neighbour).
+	Elections  int
+	Adoptions  int
+	HeadMerges int
+	// BeaconsSent is the round's maintenance message budget: one beacon
+	// per live node. BeaconsHeard counts the receptions that survived the
+	// link faults.
+	BeaconsSent  int
+	BeaconsHeard int
+	// Valid reports whether the emergent hierarchy was valid this round
+	// (after fault injection felled its victims).
+	Valid bool
+	// Reconverged, when positive, reports that this round ended an invalid
+	// streak of that many rounds — the protocol's rounds-to-reconverge.
+	Reconverged int
+}
+
+// ConvergenceReport is the convergence watchdog's structured diagnostic:
+// the emergent hierarchy has not been valid for Window consecutive rounds,
+// and this is what the live population looked like when the watchdog
+// fired.
+type ConvergenceReport struct {
+	// Round is the round index at which the watchdog fired.
+	Round int
+	// Window is the configured invalid-round threshold; InvalidFor is the
+	// actual streak length when the report fired (== Window).
+	Window     int
+	InvalidFor int
+	// Heads and Unaffiliated count live heads and live nodes with no
+	// cluster; Orphaned counts live members or gateways whose named head
+	// is dead or no longer a head.
+	Heads        int
+	Unaffiliated int
+	Orphaned     int
+}
+
+// String formats the diagnostic on one line.
+func (c *ConvergenceReport) String() string {
+	return fmt.Sprintf("hierarchy invalid at round %d: not valid for %d rounds, %d heads, %d unaffiliated, %d orphaned",
+		c.Round, c.InvalidFor, c.Heads, c.Unaffiliated, c.Orphaned)
+}
+
+// MaintenanceTracer is the optional tracer extension for self-stabilizing
+// runs: a Tracer that also implements it receives each round's clustering
+// maintenance summary, so the ledger can attribute the maintenance message
+// budget alongside the dissemination traffic it rides with. Maintenance is
+// called from the engine goroutine right after Tracer.RoundStart.
+type MaintenanceTracer interface {
+	Maintenance(r int, ms MaintenanceStats)
+}
+
+// stabState is the engine-side bundle for Options.SelfStabilize. Like the
+// timing and arrival subsystems, everything hangs off one pointer so the
+// disabled path stays allocation-free.
+type stabState struct {
+	state      *selfstab.State
+	window     int
+	round      selfstab.Stats // last Commit's merged counters
+	ms         MaintenanceStats
+	rep        *ConvergenceReport // non-nil only on the round the watchdog fires
+	invalidRun int
+	runShard   func(s, lo, hi int)
+}
+
+func newStabState(cfg *SelfStabilize, n, nshards int) *stabState {
+	return &stabState{
+		state:  selfstab.New(n, selfstab.Config{OrphanAfter: cfg.OrphanAfter}, nshards),
+		window: cfg.Watchdog,
+	}
+}
+
+// observe runs after the round's fault injection: it snapshots the round's
+// maintenance stats, evaluates hierarchy validity against the post-crash
+// population, advances the convergence watchdog and folds the counters
+// into the run metrics.
+func (sb *stabState) observe(r int, met *Metrics, crashed []bool) {
+	rd := sb.round
+	ms := MaintenanceStats{
+		Elections:    rd.Elections,
+		Adoptions:    rd.Adoptions,
+		HeadMerges:   rd.HeadMerges,
+		BeaconsSent:  rd.BeaconsSent,
+		BeaconsHeard: rd.BeaconsHeard,
+	}
+	ms.Valid = sb.state.Valid()
+	sb.rep = nil
+	if ms.Valid {
+		if sb.invalidRun > 0 {
+			ms.Reconverged = sb.invalidRun
+			met.Reconvergences++
+		}
+		sb.invalidRun = 0
+	} else {
+		sb.invalidRun++
+		if sb.window > 0 && sb.invalidRun == sb.window {
+			sb.rep = sb.report(r, crashed)
+			met.ConvergenceReports++
+		}
+	}
+	met.Elections += ms.Elections
+	met.Adoptions += ms.Adoptions
+	met.HeadMerges += ms.HeadMerges
+	met.MaintenanceBeacons += int64(ms.BeaconsSent)
+	sb.ms = ms
+}
+
+func (sb *stabState) report(r int, crashed []bool) *ConvergenceReport {
+	h := sb.state.Hierarchy()
+	rep := &ConvergenceReport{Round: r, Window: sb.window, InvalidFor: sb.invalidRun}
+	for v := 0; v < h.N(); v++ {
+		if crashed[v] {
+			continue
+		}
+		switch h.Role[v] {
+		case ctvg.Head:
+			rep.Heads++
+		case ctvg.Unaffiliated:
+			rep.Unaffiliated++
+		default:
+			if c := h.Cluster[v]; c == ctvg.NoCluster || crashed[c] || h.Role[c] != ctvg.Head {
+				rep.Orphaned++
+			}
+		}
+	}
+	return rep
+}

@@ -286,6 +286,20 @@ type Metrics struct {
 	// reported through View.Note.
 	Handovers      int
 	FloodFallbacks int
+	// Elections / Adoptions / HeadMerges count the self-stabilizing
+	// clustering protocol's repair events, and MaintenanceBeacons its
+	// message budget (one beacon per live node per round). All stay 0
+	// unless Options.SelfStabilize is set.
+	Elections          int
+	Adoptions          int
+	HeadMerges         int
+	MaintenanceBeacons int64
+	// ConvergenceReports counts convergence-watchdog firings (the
+	// emergent hierarchy stayed invalid for a full watchdog window);
+	// Reconvergences counts repaired divergence episodes — invalid
+	// streaks that returned to validity.
+	ConvergenceReports int
+	Reconvergences     int
 	// TokensInjected / TokensCollected count, in arrival-mode runs, the
 	// dynamically injected tokens (the initial batch excluded) and the
 	// tokens garbage-collected after full dissemination.
@@ -354,7 +368,9 @@ func (s *StallReport) String() string {
 //
 // Event ordering is deterministic regardless of Options.Workers: within a
 // round, Recovered fires first (ascending node ID), then Crashed
-// (ascending node ID), then RoundStart, then Arrived (only in arrival-mode
+// (ascending node ID), then RoundStart, then — in self-stabilizing runs
+// only — Maintenance and (on the round the convergence watchdog fires)
+// Diverged, then Arrived (only in arrival-mode
 // runs, ascending arrival sequence), then one Sent per transmission in
 // ascending sender ID, then Noted in ascending node ID (per-node emission
 // order preserved), then Deliveries (only when Options.Tracer is set),
@@ -406,6 +422,15 @@ type Observer struct {
 	// Stalled, if set, is called when the stall watchdog terminates the
 	// run (see Options.StallWindow).
 	Stalled func(r int, rep *StallReport)
+	// Maintenance, if set, receives each round's self-stabilizing
+	// clustering summary (repair events, beacon budget, validity). It
+	// fires only when Options.SelfStabilize is set, right after
+	// RoundStart.
+	Maintenance func(r int, ms MaintenanceStats)
+	// Diverged, if set, is called when the convergence watchdog fires:
+	// the emergent hierarchy has not been valid for the configured
+	// window. Unlike Stalled the run continues.
+	Diverged func(r int, rep *ConvergenceReport)
 }
 
 // Tracer observes individual token deliveries at per-message granularity —
@@ -539,6 +564,19 @@ type Options struct {
 	// streams; the switch exists for A/B measurement and as an escape
 	// hatch.
 	NoStabilityCache bool
+	// SelfStabilize, if non-nil, replaces the adversary-provided hierarchy
+	// with one maintained by the message-passing self-stabilizing
+	// clustering protocol (internal/cluster/selfstab): every live node
+	// broadcasts one beacon per round over the same faulty links the
+	// payload rides, each node recomputes its role from the beacons it
+	// heard, and HierarchyAt is never consulted. Head-targeted crashes
+	// then fell the *elected* heads. The stability-window cache is
+	// bypassed — the emergent hierarchy may change every round. The
+	// protocol step fans out over the same shard partition as delivery
+	// and merges its counters in shard order, so self-stabilizing runs
+	// keep the engine's serial/parallel bit-identity. The disabled (nil)
+	// path costs one pointer comparison per round and allocates nothing.
+	SelfStabilize *SelfStabilize
 }
 
 // Run executes nodes against the dynamic network d for up to
@@ -670,14 +708,29 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		timer.RunStart(nshards)
 	}
 
+	// Self-stabilizing clustering: all protocol state hangs off one
+	// pointer, so the oracle-hierarchy path below pays a nil comparison
+	// per round and nothing else. The beacon exchange is sharded over the
+	// same bounds as delivery, so its per-receiver fault queries stay on
+	// the shard that owns the receiver.
+	var stb *stabState
+	if opts.SelfStabilize != nil {
+		stb = newStabState(opts.SelfStabilize, n, nshards)
+	}
+	var mtr MaintenanceTracer
+	if stb != nil && tracer != nil {
+		mtr, _ = tracer.(MaintenanceTracer)
+	}
+
 	// Stability-window cache: when the dynamic advertises T-interval
 	// stable windows (ctvg.Stability), graph, hierarchy and the per-node
 	// views are frozen on the window's first round and reused until the
 	// window ends — churn or reaffiliation starts a new window, which
 	// refetches everything. Rounds inside a window skip At/HierarchyAt and
-	// all O(n) view rebuilding.
+	// all O(n) view rebuilding. Self-stabilizing runs bypass the cache:
+	// the emergent hierarchy may change every round.
 	stab, hasStab := d.(ctvg.Stability)
-	if opts.NoStabilityCache {
+	if opts.NoStabilityCache || stb != nil {
 		hasStab = false
 	}
 	cachedUntil := -1
@@ -697,6 +750,17 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 	var r int
 	var fresh bool
 	sizeFn := opts.SizeFn
+
+	// The beacon exchange reuses the payload's per-link drop draws: a
+	// beacon from u to v in round r is lost exactly when a payload on the
+	// same link would be (Injector.Drop is pure in (round, src, dst), so
+	// querying it here and again in the deliver fan-out yields one atomic
+	// outcome per link per round — the beacon piggybacks on the node's
+	// round transmission).
+	if stb != nil {
+		stbDrop := func(u, v int) bool { return lossy && inj.Drop(r, u, v) }
+		stb.runShard = func(s, lo, hi int) { stb.state.Shard(s, lo, hi, stbDrop) }
+	}
 
 	// Collect phase: every node decides its transmission from its local
 	// view only, then the transmission is charged to the accounting. Nodes
@@ -901,11 +965,27 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 			g = d.At(r)
 			tst.end(StageSnapshot, segT)
 			segT = tst.seg(StageHierarchy)
-			hier = d.HierarchyAt(r)
-			cachedUntil = r
-			if hasStab {
-				if s := stab.StableUntil(r); s > r {
-					cachedUntil = s
+			if stb != nil {
+				// One protocol round: every live node beacons, every live
+				// node recomputes its role from what it heard. The emergent
+				// hierarchy replaces the adversary's for everything below —
+				// views, head-targeted crashes, accounting, tracing.
+				stb.state.Begin(g, crashed)
+				if parallelRun {
+					parallel.ForEachBounds(bounds, stb.runShard)
+				} else {
+					stb.runShard(0, 0, n)
+				}
+				stb.round = stb.state.Commit()
+				hier = stb.state.Hierarchy()
+				cachedUntil = r
+			} else {
+				hier = d.HierarchyAt(r)
+				cachedUntil = r
+				if hasStab {
+					if s := stab.StableUntil(r); s > r {
+						cachedUntil = s
+					}
 				}
 			}
 			tst.end(StageHierarchy, segT)
@@ -927,14 +1007,33 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 			}
 		}
 		tst.end(StageFaults, segT)
+		if stb != nil {
+			// Validity is judged against the post-crash population, so a
+			// head felled this very round already invalidates its members;
+			// the convergence watchdog advances here.
+			segT = tst.seg(StageHierarchy)
+			stb.observe(r, met, crashed)
+			tst.end(StageHierarchy, segT)
+		}
 		segT = tst.seg(StageObserve)
 		if obs != nil && obs.RoundStart != nil {
 			obs.RoundStart(r, g, hier)
+		}
+		if stb != nil && obs != nil {
+			if obs.Maintenance != nil {
+				obs.Maintenance(r, stb.ms)
+			}
+			if stb.rep != nil && obs.Diverged != nil {
+				obs.Diverged(r, stb.rep)
+			}
 		}
 		tst.end(StageObserve, segT)
 		segT = tst.seg(StageTracer)
 		if tracer != nil {
 			tracer.RoundStart(r, hier)
+			if mtr != nil {
+				mtr.Maintenance(r, stb.ms)
+			}
 		}
 		tst.end(StageTracer, segT)
 
