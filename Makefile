@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint build test race fuzz bench bench10k benchstat chaos cover timing-smoke
+.PHONY: check vet fmt lint build test race fuzz bench bench10k benchstat chaos cover timing-smoke health-smoke
 
 check: lint build test race
 
@@ -95,7 +95,7 @@ bench10k:
 # when the total hides it.
 benchstat:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k|BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h . | tee bench.latest.out
-	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR9.json
 
 # timing-smoke is CI's end-to-end determinism check for the self-profiling
 # layer: the same 1k-node scenario serial and with -workers 4, both with
@@ -110,3 +110,20 @@ timing-smoke:
 	cmp timing.serial.jsonl timing.par.jsonl
 	@echo "timing streams byte-identical (serial vs -workers 4)"
 	@rm -f timing.serial.jsonl timing.par.jsonl
+
+# health-smoke is CI's end-to-end check for the flight recorder: a run whose
+# heads all crash at round 4 must stall, the stall SLO rule must fire, a
+# postmortem bundle must land in the dump directory, and hinettrace
+# postmortem must diagnose it back to the stall rule (the in-repo unit
+# versions are TestStallProducesExactlyOneBundle and friends; this one goes
+# through both binaries).
+health-smoke:
+	rm -rf health-smoke.dumps
+	$(GO) run ./cmd/hinetsim -scenario hinet -n 64 -k 8 -theta 16 -seed 1 \
+		-crash-heads 4 -stall-window 8 -health "stall>=8,pace" \
+		-dump-dir health-smoke.dumps -record 64 > /dev/null
+	ls health-smoke.dumps/hinet-r*-stall.dump
+	$(GO) run ./cmd/hinettrace postmortem health-smoke.dumps/hinet-r*-stall.dump \
+		| grep "first violated invariant: rule stall"
+	@echo "stall anomaly dumped and diagnosed (hinetsim -> hinettrace postmortem)"
+	@rm -rf health-smoke.dumps

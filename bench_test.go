@@ -22,6 +22,8 @@ import (
 	"repro/internal/graph"
 	hinetmodel "repro/internal/hinet"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/obs/recorder"
 	"repro/internal/provenance"
 	"repro/internal/sim"
 	"repro/internal/token"
@@ -257,6 +259,93 @@ func BenchmarkHiNet1kArrivals(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(collected)/float64(b.N), "tokens-collected")
 	b.ReportMetric(float64(peak), "peak-queue")
+}
+
+// BenchmarkHiNet1kRecorded is the flight-recorder-on counterpart of
+// BenchmarkHiNet1k: the same workload with the full black box attached — a
+// 512-round event ring, the online health engine evaluating the Theorem 1
+// pace and stall rules, and the event stream serialised (to io.Discard, so
+// disk speed stays out of the measurement). BENCH_PR9.json records the
+// delta against the recorder-off numbers; BenchmarkHiNet1k itself must stay
+// at the BENCH_PR2.json baseline since a disabled recorder is one nil
+// pointer (TestTimingOffAllocParity pins that).
+func BenchmarkHiNet1kRecorded(b *testing.B) {
+	d, assign, T, rounds := hiNet1kDynamic(b)
+	rules, err := health.ParseRules("pace,stall>=50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var violations int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := recorder.New(recorder.Config{
+			Obs: obs.Config{
+				N: 1000, K: 16, PhaseLen: T,
+				Sink: io.Discard, SizeFn: wire.Size,
+			},
+			Rules: rules, Alpha: 2,
+		})
+		met := sim.MustRunProtocol(d, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size, Observer: rec.Observer(),
+		})
+		if !met.Complete {
+			b.Fatalf("1k-node HiNet recorded run incomplete: %v", met)
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if h := rec.Health(); h != nil {
+			violations = h.Violations()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(violations), "slo-violations")
+}
+
+// BenchmarkHiNet10kRecorded is the 10k-scale recorder-on workload: like
+// BenchmarkHiNet10k (adversary generation and trace recording inside the
+// measured loop) with the flight recorder and health engine attached.
+func BenchmarkHiNet10kRecorded(b *testing.B) {
+	const (
+		n     = 10000
+		k     = 16
+		alpha = 2
+		l     = 2
+		theta = 50
+	)
+	T := core.Theorem1T(k, alpha, l)
+	rounds := core.Theorem1Phases(theta, alpha) * T
+	rules, err := health.ParseRules("pace,stall>=50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := adversary.NewHiNet(adversary.HiNetConfig{
+			N: n, Theta: theta, L: l, T: T,
+			Reaffiliations: 200, HeadChurn: 2,
+		}, xrand.New(1))
+		tr := ctvg.Record(adv, rounds)
+		assign := token.Spread(n, k, xrand.New(2))
+		rec := recorder.New(recorder.Config{
+			Obs: obs.Config{
+				N: n, K: k, PhaseLen: T,
+				Sink: io.Discard, SizeFn: wire.Size,
+			},
+			Rules: rules, Alpha: alpha,
+		})
+		met := sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+			MaxRounds: rounds, SizeFn: wire.Size, Observer: rec.Observer(),
+		})
+		if !met.Complete {
+			b.Fatalf("10k recorded run incomplete: %v", met)
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // hiNet1kAllocBudget is the timing-off allocation budget of the 1k hot-path

@@ -18,6 +18,13 @@
 //	hinetbench -table 3 -timing d  # per-seed engine stage spans into d/, plus a
 //	                               # per-stage breakdown table over all Table 3 runs
 //	hinetbench -pprof :6060        # expose net/http/pprof while running
+//	hinetbench -table 3 -health "pace,stall>=50" -dump-dir dumps
+//	                               # arm the flight recorder: online SLO rules
+//	                               # per replication, postmortem bundles into
+//	                               # dumps/ on any anomaly
+//
+// SIGINT/SIGTERM stops in-flight replications at their next round barrier,
+// flushes every sink, prints what completed, and exits 130.
 //
 // Steady-state load testing (continuous token arrivals with GC):
 //
@@ -35,9 +42,12 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
@@ -63,6 +73,8 @@ func main() {
 		timing   = flag.String("timing", "", "directory for per-seed engine stage-span JSONL (Table 3 rows); prints a per-stage breakdown")
 		selfstab = flag.Bool("selfstab", false, "Table 3: replace the oracle hierarchies with the self-stabilizing clustering protocol in every replication")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		healthS  = flag.String("health", "", `online SLO rules per replication, e.g. "pace,p99<=40,queue<=500" (see internal/obs/health)`)
+		dumpDir  = flag.String("dump-dir", "", "write postmortem bundles to this directory on per-replication anomalies")
 
 		arrival   = flag.String("arrival", "", "steady-state load test: offered rate(s) in tokens per round, comma-separated")
 		arrN      = flag.Int("arrival-n", 1000, "load test network size")
@@ -77,6 +89,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine shards for the load test (0 = serial)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM flips a flag every running replication polls at its
+	// round barrier, so in-flight runs end cleanly with all sinks flushed
+	// before the process exits 130.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		signal.Stop(sigc)
+	}()
+	stop := func() bool { return interrupted.Load() }
 
 	if *pprof != "" {
 		go func() {
@@ -133,6 +158,9 @@ func main() {
 		cfg.SLA = *arrSLA
 		cfg.Seed = *arrSeed
 		cfg.Workers = *workers
+		cfg.HealthRules = *healthS
+		cfg.DumpDir = *dumpDir
+		cfg.Stop = stop
 		cfg.Arrivals = sim.Arrivals{
 			Seed: *arrSeed, Stop: *arrRounds,
 			OnRounds: *arrOn, OffRounds: *arrOff,
@@ -158,6 +186,14 @@ func main() {
 		fmt.Fprintf(out, "wall clock: %d tokens through %d simulated rounds in %v (%.0f tokens/sec)\n\n",
 			collected, rounds, elapsed.Round(time.Millisecond),
 			float64(collected)/elapsed.Seconds())
+		if *healthS != "" || *dumpDir != "" {
+			var viol, bundles int
+			for _, r := range results {
+				viol += r.HealthViolations
+				bundles += r.Bundles
+			}
+			emitHealthLine(out, viol, bundles, *dumpDir)
+		}
 		ran = true
 	}
 	if *all || *table == 2 {
@@ -170,6 +206,9 @@ func main() {
 		cfg.NoCache = *noCache
 		cfg.NoDelta = *noDelta
 		cfg.TimingDir = *timing
+		cfg.HealthRules = *healthS
+		cfg.DumpDir = *dumpDir
+		cfg.Stop = stop
 		if *selfstab {
 			cfg.SelfStabilize = &sim.SelfStabilize{Watchdog: cfg.P.T()}
 		}
@@ -179,6 +218,14 @@ func main() {
 		}
 		emit(tb)
 		emitHeadline(out, rows)
+		if *healthS != "" || *dumpDir != "" {
+			var viol, bundles int
+			for _, r := range rows {
+				viol += r.HealthViolations
+				bundles += r.Bundles
+			}
+			emitHealthLine(out, viol, bundles, *dumpDir)
+		}
 		if *metrics != "" {
 			fmt.Fprintf(out, "wrote per-seed round series to %s/\n\n", *metrics)
 		}
@@ -251,6 +298,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "hinetbench: interrupted; partial results above, streams flushed cleanly")
+		os.Exit(130)
+	}
+}
+
+// emitHealthLine summarises the flight recorder's verdict over a batch of
+// replications.
+func emitHealthLine(w io.Writer, viol, bundles int, dumpDir string) {
+	if viol == 0 {
+		fmt.Fprintf(w, "health: ok — all SLO rules held in every replication\n\n")
+		return
+	}
+	fmt.Fprintf(w, "health: %d violation(s) across replications", viol)
+	if bundles > 0 {
+		fmt.Fprintf(w, "; %d postmortem bundle(s) in %s", bundles, dumpDir)
+	}
+	fmt.Fprint(w, "\n\n")
 }
 
 // table2 renders the symbolic Table 2 next to its evaluation at the Table 3

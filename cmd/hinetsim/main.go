@@ -39,6 +39,19 @@
 //	-arrival-hotspot 4          # concentrate arrivals on node 4's cluster
 //	-arrival-max 100            # cap total injected tokens
 //
+// The flight recorder and online health engine apply to every simulating
+// scenario:
+//
+//	-record 512                 # keep the last 512 rounds in the flight-recorder ring
+//	-health "pace,stall>=50"    # online SLO rules (see internal/obs/health)
+//	-dump-dir dumps             # write postmortem bundles here on any anomaly
+//
+// With -pprof serving, the recorder also exposes live /statusz and
+// /healthz pages on the same listener. Bundles are rendered with
+// `hinettrace postmortem <bundle>`. SIGINT/SIGTERM end the run cleanly at
+// the next round barrier: all JSONL/metrics/timing streams are flushed
+// complete, and the process exits 130.
+//
 // Every scenario runs under runtime/pprof labels (scenario=, plus the
 // engine's stage=/shard= labels when -timing is on), so CPU profiles taken
 // through -pprof attribute samples by round stage.
@@ -48,13 +61,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/adversary"
 	"repro/internal/baseline"
@@ -68,6 +85,8 @@ import (
 	"repro/internal/multihop"
 	"repro/internal/netcode"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/obs/recorder"
 	"repro/internal/provenance"
 	"repro/internal/render"
 	"repro/internal/sim"
@@ -102,6 +121,10 @@ func main() {
 		failover     = flag.Int("failover", 0, "run the self-healing protocol variant with this head-silence window (0 = plain)")
 		stallWindow  = flag.Int("stall-window", 0, "terminate after this many consecutive zero-progress rounds (0 = off)")
 		selfstab     = flag.Bool("selfstab", false, "maintain the hierarchy with the self-stabilizing clustering protocol (emergent, rides the same faulty links) instead of the scenario's oracle")
+
+		record    = flag.Int("record", 0, "flight recorder: keep the last N rounds in a ring for postmortem dumps (0 = off unless -health/-dump-dir)")
+		healthSpc = flag.String("health", "", `online SLO rules, e.g. "pace,p99<=40,queue<=500,stall>=50" (see internal/obs/health)`)
+		dumpDir   = flag.String("dump-dir", "", "write postmortem bundles to this directory on stall/pace/SLO/divergence anomalies")
 
 		arrival = flag.Float64("arrival", 0, "steady-state mode: expected token arrivals per round (0 = off)")
 		arrStop = flag.Int("arrival-stop", 0, "arrival window end round (0 = arrivals never stop)")
@@ -140,10 +163,37 @@ func main() {
 		path: *metrics, provDir: *prov, faults: plan, stall: *stallWindow,
 		timingPath: *timing, tsample: *tsample, tnorm: *tnorm, workers: *workers,
 		arr: arr, selfstab: *selfstab,
+		record: *record, healthSpec: *healthSpc, dumpDir: *dumpDir,
+		scenario: *scenario, alpha: *alpha,
+		fing: map[string]string{
+			"scenario": *scenario,
+			"n":        strconv.Itoa(*n), "k": strconv.Itoa(*k),
+			"theta": strconv.Itoa(*theta), "alpha": strconv.Itoa(*alpha),
+			"l": strconv.Itoa(*l), "seed": strconv.FormatUint(*seed, 10),
+			"workers": strconv.Itoa(*workers),
+			"drop":    strconv.FormatFloat(*drop, 'g', -1, 64),
+			"burst":   *burst, "crash_heads": *crashHeads,
+			"selfstab": strconv.FormatBool(*selfstab),
+			"arrival":  strconv.FormatFloat(*arrival, 'g', -1, 64),
+		},
 	}
 	if *failover > 0 {
 		mi.fo = &core.Failover{Window: *failover}
 	}
+
+	// SIGINT/SIGTERM end the run cleanly at the next round barrier: the
+	// engine returns, the normal close path flushes every stream
+	// (metrics/provenance/timing/bundles stay valid, non-truncated), and
+	// the process exits 130. A second signal kills the process as usual.
+	var interrupted atomic.Bool
+	mi.stopFlag = &interrupted
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		signal.Stop(sigc)
+	}()
 
 	// Run the whole scenario under a scenario= pprof label so CPU profiles
 	// taken through -pprof attribute samples to it; the engine layers its
@@ -180,6 +230,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hinetsim:", err)
 		os.Exit(1)
+	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "hinetsim: interrupted; streams flushed cleanly")
+		os.Exit(130)
 	}
 }
 
@@ -289,6 +343,27 @@ type instr struct {
 	tf         *os.File
 	tm         *obs.Timing
 	labelCtx   context.Context
+
+	// Flight recorder / online health wiring (-record, -health,
+	// -dump-dir): the recorder owns the metrics collector when enabled,
+	// so the ring, the health rules and the JSONL sink see one stream.
+	record     int
+	healthSpec string
+	dumpDir    string
+	scenario   string
+	alpha      int
+	fing       map[string]string
+	rec        *recorder.Recorder
+
+	// stopFlag is flipped by the SIGINT/SIGTERM handler; attach installs
+	// it as the engine's cooperative Stop hook so runs end at a round
+	// barrier and every stream flushes complete.
+	stopFlag *atomic.Bool
+}
+
+// recording reports whether any flight-recorder flag is set.
+func (in *instr) recording() bool {
+	return in.record > 0 || in.healthSpec != "" || in.dumpDir != ""
 }
 
 // alg1 returns the scenario's Algorithm 1: the self-healing failover
@@ -364,6 +439,47 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 		opts.Timing = in.tm
 		opts.LabelCtx = in.labelCtx
 	}
+	if in.stopFlag != nil {
+		stop := in.stopFlag
+		opts.Stop = func(int) bool { return stop.Load() }
+	}
+	if in.recording() && in.rec == nil {
+		rules, err := health.ParseRules(in.healthSpec)
+		if err != nil {
+			return opts, err
+		}
+		var sink io.Writer
+		if in.path != "" {
+			f, err := os.Create(in.path)
+			if err != nil {
+				return opts, err
+			}
+			in.f = f
+			sink = f
+		}
+		in.rec = recorder.New(recorder.Config{
+			Obs: obs.Config{
+				N: n, K: k, PhaseLen: phaseLen, Sink: sink,
+				SizeFn: opts.SizeFn, Arrivals: in.arr != nil,
+			},
+			Depth:       in.record,
+			Rules:       rules,
+			Alpha:       in.alpha,
+			DumpDir:     in.dumpDir,
+			Prefix:      in.scenario,
+			Fingerprint: in.fing,
+			FaultPlan:   in.faults,
+		})
+		in.col = in.rec.Collector()
+		// Live inspection on the -pprof listener (DefaultServeMux).
+		in.rec.RegisterHTTP(nil)
+		opts.Observer = obs.Combine(opts.Observer, in.rec.Observer())
+		if in.tm != nil {
+			// Tee stage timings into the ring (and the stage-regression
+			// rule) on their way to the -timing sink.
+			opts.Timing = in.rec.TimingSink(in.tm)
+		}
+	}
 	if in.provDir != "" && in.pf == nil {
 		if err := os.MkdirAll(in.provDir, 0o755); err != nil {
 			return opts, err
@@ -378,11 +494,14 @@ func (in *instr) attach(opts sim.Options, n, k, phaseLen int) (sim.Options, erro
 			Budget: in.budget,
 			OnPace: func(v provenance.PaceViolation) {
 				fmt.Fprintln(os.Stderr, "hinetsim: warning:", v)
+				if in.rec != nil {
+					in.rec.Trigger("pace", v.Round)
+				}
 			},
 		})
 		opts.Tracer = in.tracer
 	}
-	if in.path == "" || in.f != nil {
+	if in.rec != nil || in.path == "" || in.f != nil {
 		return opts, nil
 	}
 	f, err := os.Create(in.path)
@@ -432,6 +551,37 @@ func (in *instr) close() error {
 				return err
 			}
 		}
+	}
+	if in.rec != nil {
+		err := in.rec.Close()
+		if in.f != nil {
+			if cerr := in.f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if in.path != "" {
+			fmt.Printf("wrote per-round metrics to %s\n", in.path)
+		}
+		if h := in.rec.Health(); h != nil {
+			if h.Healthy() {
+				fmt.Println("health: ok — all SLO rules held")
+			} else {
+				fmt.Printf("health: %d violation(s)\n", h.Violations())
+				for _, s := range h.States() {
+					if s.Violations > 0 {
+						fmt.Printf("  rule %-12s ×%d, first at round %d, last %.2f vs %.2f\n",
+							s.Rule.Kind, s.Violations, s.FirstRound, s.LastValue, s.LastLimit)
+					}
+				}
+			}
+		}
+		for _, b := range in.rec.Bundles() {
+			fmt.Printf("wrote postmortem bundle %s\n", b)
+		}
+		return nil
 	}
 	if in.f == nil {
 		return nil

@@ -13,6 +13,7 @@
 //	hinettrace critical-path -log prov.jsonl [-token T] [-format ...]
 //	hinettrace redundancy    -log prov.jsonl [-top N] [-format ...]
 //	hinettrace timing        -in run.timing.jsonl [-format ...]
+//	hinettrace postmortem    run-r42-stall.dump [-format ...]
 //
 // stats replays a recorded trace through the internal/obs layer and prints
 // a phase-by-phase breakdown (uploads, relays, progress, churn, stalls) —
@@ -31,18 +32,29 @@
 // timing reads back a per-round engine stage-span JSONL stream (written by
 // hinetsim -timing, hinetbench -timing or experiment TimingDir) and prints
 // the per-stage wall/CPU breakdown plus the last resource sample.
+//
+// postmortem reads back a flight-recorder bundle (written automatically by
+// hinetsim/hinetbench -dump-dir when a stall, Theorem 1 pace violation, SLO
+// miss or convergence divergence fires) and prints the diagnosis: the
+// anomaly, the last healthy round, the first violated invariant, the
+// progress trajectory over the recorded window, and the stage-time trend
+// when timing was attached.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/ctvg"
 	"repro/internal/hinet"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/obs/recorder"
 	"repro/internal/provenance"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -76,6 +88,8 @@ func main() {
 		err = redundancy(os.Args[2:])
 	case "timing":
 		err = timing(os.Args[2:])
+	case "postmortem":
+		err = postmortem(os.Args[2:])
 	default:
 		usage()
 	}
@@ -86,7 +100,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats|lineage|critical-path|redundancy|timing [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hinettrace record|info|replay|probe|stats|lineage|critical-path|redundancy|timing|postmortem [flags]")
 	os.Exit(2)
 }
 
@@ -396,6 +410,101 @@ func timing(args []string) error {
 		}
 	}
 	return nil
+}
+
+// postmortem reads back a flight-recorder bundle (written automatically on
+// stall/pace/SLO/divergence anomalies) and renders its diagnosis: the last
+// healthy round, the first violated invariant, the progress trajectory over
+// the ring window, and the stage-time trend when timing was attached.
+func postmortem(args []string) error {
+	fs := flag.NewFlagSet("postmortem", flag.ExitOnError)
+	in := fs.String("in", "", "postmortem bundle (.dump); may also be the first positional argument")
+	format := fs.String("format", "text", "table output: text | json | csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *in
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return fmt.Errorf("postmortem: bundle path required (hinettrace postmortem run-r42-stall.dump)")
+	}
+	b, err := recorder.ReadBundle(path)
+	if err != nil {
+		return err
+	}
+	d := b.Diagnose()
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Bundle    string              `json:"bundle"`
+			Diagnosis *recorder.Diagnosis `json:"diagnosis"`
+			Health    []health.State      `json:"health,omitempty"`
+			Metrics   sim.Metrics         `json:"metrics"`
+			Faults    any                 `json:"faults,omitempty"`
+			Finger    map[string]string   `json:"fingerprint,omitempty"`
+		}{path, d, b.Health, b.Metrics, b.Faults, b.Fingerprint})
+	}
+	aux := auxOut(*format)
+	fmt.Fprintf(aux, "postmortem %s\n", path)
+	fmt.Fprintf(aux, "anomaly: %s at round %d (run %q, n=%d k=%d phase-len=%d, ring depth %d)\n",
+		d.Reason, d.Round, b.Prefix, b.N, b.K, b.PhaseLen, b.Depth)
+	if d.LastHealthyRound >= 0 {
+		fmt.Fprintf(aux, "last healthy round: %d\n", d.LastHealthyRound)
+	} else {
+		fmt.Fprintln(aux, "last healthy round: none inside the ring window")
+	}
+	if fv := d.FirstViolated; fv != nil {
+		fmt.Fprintf(aux, "first violated invariant: rule %s at round %d (last %.2f vs limit %.2f)\n",
+			fv.Rule.Kind, fv.FirstRound, fv.LastValue, fv.LastLimit)
+	}
+	for _, s := range b.Health {
+		if s.Violations > 0 && (d.FirstViolated == nil || s.Rule.Kind != d.FirstViolated.Rule.Kind) {
+			fmt.Fprintf(aux, "also violated: rule %s ×%d, first at round %d\n",
+				s.Rule.Kind, s.Violations, s.FirstRound)
+		}
+	}
+	for _, note := range d.Notes {
+		fmt.Fprintln(aux, "note:", note)
+	}
+	if keys := sortedKeys(b.Fingerprint); len(keys) > 0 {
+		fmt.Fprint(aux, "config:")
+		for _, k := range keys {
+			fmt.Fprintf(aux, " %s=%s", k, b.Fingerprint[k])
+		}
+		fmt.Fprintln(aux)
+	}
+	tb := report.NewTable(fmt.Sprintf("progress trajectory — last %d recorded rounds", len(d.Trajectory)),
+		"round", "delivered", "total", "stall", "msgs", "outstanding", "crashes", "drops")
+	for _, p := range d.Trajectory {
+		tb.AddRowf(p.Round, p.Delivered, p.Total, p.Stall, p.Messages, p.Outstanding, p.Crashes, p.Drops)
+	}
+	if err := writeTable(tb, *format); err != nil {
+		return err
+	}
+	if len(d.Stages) > 0 {
+		st := report.NewTable("stage-time trend — ring first half vs last quarter",
+			"stage", "base ns/round", "tail ns/round", "ratio")
+		for _, s := range d.Stages {
+			st.AddRowf(s.Stage, s.BaseNs, s.TailNs, fmt.Sprintf("%.2f", s.Ratio))
+		}
+		if err := writeTable(st, *format); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in deterministic order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // depthQuantiles folds the log's first-delivery hop depths through an obs

@@ -14,6 +14,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctvg"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/obs/recorder"
 	"repro/internal/provenance"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -53,6 +55,16 @@ type ArrivalConfig struct {
 	// Workers is the engine shard count (0 or 1 = serial; results are
 	// bit-identical either way).
 	Workers int
+	// HealthRules, when non-empty, attaches the online health engine
+	// (internal/obs/health) with this rule spec; DumpDir, when non-empty,
+	// receives a postmortem bundle per anomaly (internal/obs/recorder).
+	// Either one arms the flight recorder.
+	HealthRules string
+	DumpDir     string
+	// Stop, when non-nil, is polled at every round barrier; once it
+	// returns true the run ends cleanly at its current round. The hook for
+	// SIGINT-driven graceful shutdown.
+	Stop func() bool
 }
 
 // ArrivalResult is one measured load point.
@@ -83,6 +95,11 @@ type ArrivalResult struct {
 	LatencyMax float64
 	// SLAViolations counts per-token deadline misses (0 unless SLA set).
 	SLAViolations int
+	// HealthViolations counts SLO-rule violations and Bundles the
+	// postmortem bundles written (0 unless HealthRules/DumpDir armed the
+	// flight recorder).
+	HealthViolations int
+	Bundles          int
 	// PaceThroughput is the Theorem 1 reference rate k/(M·T) tokens per
 	// round — k tokens disseminated per M = ⌈θ/α⌉+1 phases of T = k+α·L
 	// rounds. Saturation is OfferedRate / PaceThroughput: offered load as
@@ -150,7 +167,39 @@ func ArrivalLoad(cfg ArrivalConfig) (ArrivalResult, error) {
 	}
 
 	reg := obs.NewRegistry()
-	col := obs.NewCollector(obs.Config{N: n, K: k, Registry: reg, Arrivals: true})
+	ocfg := obs.Config{N: n, K: k, Registry: reg, Arrivals: true}
+	var col *obs.Collector
+	var rec *recorder.Recorder
+	if cfg.HealthRules != "" || cfg.DumpDir != "" {
+		rules, err := health.ParseRules(cfg.HealthRules)
+		if err != nil {
+			return ArrivalResult{}, fmt.Errorf("experiment: %w", err)
+		}
+		// Health rules need phase structure; arrival streams otherwise run
+		// without one. The Theorem-1 pace floor only governs Algorithm 1.
+		ocfg.PhaseLen = 1
+		if cfg.Proto == "alg1" {
+			ocfg.PhaseLen = T
+		} else {
+			kept := rules[:0:0]
+			for _, r := range rules {
+				if r.Kind != health.KindPace {
+					kept = append(kept, r)
+				}
+			}
+			rules = kept
+		}
+		rec = recorder.New(recorder.Config{
+			Obs:     ocfg,
+			Rules:   rules,
+			Alpha:   p.Alpha,
+			DumpDir: cfg.DumpDir,
+			Prefix:  "arrival_" + name,
+		})
+		col = rec.Collector()
+	} else {
+		col = obs.NewCollector(ocfg)
+	}
 	arr := cfg.Arrivals
 	opts := sim.Options{
 		MaxRounds:        arr.Stop + drain,
@@ -159,6 +208,13 @@ func ArrivalLoad(cfg ArrivalConfig) (ArrivalResult, error) {
 		Observer:         col.Observer(),
 		Workers:          cfg.Workers,
 		Arrivals:         &arr,
+	}
+	if rec != nil {
+		opts.Observer = rec.Observer()
+	}
+	if cfg.Stop != nil {
+		stop := cfg.Stop
+		opts.Stop = func(int) bool { return stop() }
 	}
 	var tracer *provenance.Tracer
 	if cfg.SLA > 0 {
@@ -170,7 +226,11 @@ func ArrivalLoad(cfg ArrivalConfig) (ArrivalResult, error) {
 	if err != nil {
 		return ArrivalResult{}, err
 	}
-	if err := col.Flush(); err != nil {
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return ArrivalResult{}, err
+		}
+	} else if err := col.Flush(); err != nil {
 		return ArrivalResult{}, err
 	}
 	if tracer != nil {
@@ -202,6 +262,12 @@ func ArrivalLoad(cfg ArrivalConfig) (ArrivalResult, error) {
 	}
 	if tracer != nil {
 		res.SLAViolations = tracer.SLAViolationCount()
+	}
+	if rec != nil {
+		if h := rec.Health(); h != nil {
+			res.HealthViolations = h.Violations()
+		}
+		res.Bundles = len(rec.Bundles())
 	}
 	switch {
 	case met.Stall != nil:

@@ -20,6 +20,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -30,6 +31,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctvg"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/obs/recorder"
 	"repro/internal/parallel"
 	"repro/internal/provenance"
 	"repro/internal/report"
@@ -100,6 +103,23 @@ type PointConfig struct {
 	// hierarchy. Flat-protocol rows (KLO, flooding) ignore roles and are
 	// unaffected beyond the maintenance beacon budget.
 	SelfStabilize *sim.SelfStabilize
+	// HealthRules, when non-empty, attaches the online health engine
+	// (internal/obs/health) to every replication with this rule spec
+	// (health.ParseRules syntax). Violation counts are summed into each
+	// row's HealthViolations. Invalid specs fail the point before any row
+	// runs.
+	HealthRules string
+	// DumpDir, together with HealthRules, arms the flight recorder
+	// (internal/obs/recorder) on every replication: when non-empty it
+	// receives a postmortem bundle per anomaly, named
+	// <row-slug>_seed<NN>-r<round>-<reason>.dump. Bundle counts are summed
+	// into each row's Bundles. The directory is created if missing.
+	DumpDir string
+	// Stop, when non-nil, is polled at every round barrier of every
+	// replication; once it returns true each in-flight run ends cleanly at
+	// its current round (streams flushed, files valid). The hook for
+	// SIGINT-driven graceful shutdown in the CLIs.
+	Stop func() bool
 }
 
 // Table3Config is the paper's Table 3 operating point with a default
@@ -154,6 +174,11 @@ type RowResult struct {
 	StageWallNs []int64
 	StageCPUNs  []int64
 	TimedRounds int
+	// HealthViolations sums SLO-rule violations across replications and
+	// Bundles counts the postmortem bundles written (0 unless HealthRules
+	// / DumpDir armed the flight recorder).
+	HealthViolations int
+	Bundles          int
 }
 
 // measured runs a protocol/adversary pairing over seeds and aggregates.
@@ -180,6 +205,12 @@ type runSpec struct {
 	faults     *sim.Faults
 	arrivals   *sim.Arrivals
 	selfstab   *sim.SelfStabilize
+	// healthRules/dumpDir arm the flight recorder; alpha feeds its
+	// Theorem-1 pace rule; stop is the graceful-shutdown poll.
+	healthRules []health.Rule
+	dumpDir     string
+	alpha       int
+	stop        func() bool
 }
 
 func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
@@ -196,6 +227,8 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 		wall      []int64 // per-sim.Stage span totals (timing runs only)
 		cpu       []int64
 		rounds    int
+		health    int
+		bundles   int
 		err       error
 	}
 	samples := parallel.Map(spec.seeds, spec.workers, func(i int) sample {
@@ -225,21 +258,57 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			ss := *spec.selfstab
 			opts.SelfStabilize = &ss
 		}
+		if spec.stop != nil {
+			stop := spec.stop
+			opts.Stop = func(int) bool { return stop() }
+		}
 		var col *obs.Collector
+		var rec *recorder.Recorder
 		var mf *os.File
-		if spec.metricsDir != "" {
-			path := filepath.Join(spec.metricsDir, fmt.Sprintf("%s_seed%02d.jsonl", spec.slug, i))
-			var err error
-			mf, err = os.Create(path)
-			if err != nil {
-				return sample{err: err}
+		rules := spec.healthRules
+		if spec.paceBudget == nil {
+			// The Theorem-1 pace floor only governs Algorithm 1 rows; on
+			// the other rows the rule would flag perfectly healthy runs.
+			kept := rules[:0:0]
+			for _, r := range rules {
+				if r.Kind != health.KindPace {
+					kept = append(kept, r)
+				}
 			}
-			col = obs.NewCollector(obs.Config{
+			rules = kept
+		}
+		recording := len(spec.healthRules) > 0 || spec.dumpDir != ""
+		if spec.metricsDir != "" || recording {
+			var sink io.Writer
+			if spec.metricsDir != "" {
+				path := filepath.Join(spec.metricsDir, fmt.Sprintf("%s_seed%02d.jsonl", spec.slug, i))
+				var err error
+				mf, err = os.Create(path)
+				if err != nil {
+					return sample{err: err}
+				}
+				sink = mf
+			}
+			ocfg := obs.Config{
 				N: spec.n, K: spec.k, PhaseLen: spec.phaseLen,
-				Sink: mf, SizeFn: wire.Size,
+				Sink: sink, SizeFn: wire.Size,
 				Arrivals: spec.arrivals != nil,
-			})
-			opts.Observer = col.Observer()
+			}
+			if recording {
+				rec = recorder.New(recorder.Config{
+					Obs:       ocfg,
+					Rules:     rules,
+					Alpha:     spec.alpha,
+					DumpDir:   spec.dumpDir,
+					Prefix:    fmt.Sprintf("%s_seed%02d", spec.slug, i),
+					FaultPlan: opts.Faults,
+				})
+				col = rec.Collector()
+				opts.Observer = rec.Observer()
+			} else {
+				col = obs.NewCollector(ocfg)
+				opts.Observer = col.Observer()
+			}
 		}
 		var tracer *provenance.Tracer
 		var pf *os.File
@@ -276,6 +345,11 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			opts.LabelCtx = pprof.WithLabels(context.Background(),
 				pprof.Labels("alg", spec.slug))
 		}
+		if rec != nil && tm != nil {
+			// Tee stage timings into the flight-recorder ring (and its
+			// stage-regression rule) on their way to the timing sink.
+			opts.Timing = rec.TimingSink(tm)
+		}
 		met, err := sim.RunProtocol(d, p, assign, opts)
 		if err != nil {
 			if mf != nil {
@@ -289,7 +363,22 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			}
 			return sample{err: err}
 		}
-		if col != nil {
+		var healthViol, bundleCnt int
+		if rec != nil {
+			err := rec.Close()
+			if mf != nil {
+				if cerr := mf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				return sample{err: err}
+			}
+			if h := rec.Health(); h != nil {
+				healthViol = h.Violations()
+			}
+			bundleCnt = len(rec.Bundles())
+		} else if col != nil {
 			err := col.Flush()
 			if cerr := mf.Close(); err == nil {
 				err = cerr
@@ -341,6 +430,8 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			wall:      wall,
 			cpu:       cpu,
 			rounds:    rounds,
+			health:    healthViol,
+			bundles:   bundleCnt,
 		}
 		if tracer != nil {
 			s.pace = tracer.PaceViolations()
@@ -384,6 +475,8 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			}
 			res.TimedRounds += s.rounds
 		}
+		res.HealthViolations += s.health
+		res.Bundles += s.bundles
 	}
 	res.MeasuredTime = parallel.Mean(times)
 	res.MeasuredComm = parallel.Mean(comms)
@@ -441,6 +534,19 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return nil, err
 		}
 	}
+	var rules []health.Rule
+	if cfg.HealthRules != "" {
+		var err error
+		rules, err = health.ParseRules(cfg.HealthRules)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	if cfg.DumpDir != "" {
+		if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	n, k, alpha, L, theta := p.N0, p.K, p.Alpha, p.L, p.Theta
 	T := p.T()
 
@@ -455,6 +561,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
 	}, analysis.KLOTInterval(p))
 	if err != nil {
 		return nil, err
@@ -477,6 +584,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return adv, core.Alg1{T: T}
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
 	if err != nil {
 		return nil, err
@@ -492,6 +600,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
 	}, analysis.KLOOneInterval(p))
 	if err != nil {
 		return nil, err
@@ -513,6 +622,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			return adv, core.Alg2{}
 		},
 		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
 	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -38,6 +39,13 @@ type Config struct {
 	// Keep retains the per-round events in memory for Events() — the
 	// input to phase summaries and convergence analysis.
 	Keep bool
+	// OnEvent, if set, receives every finalized round event, after
+	// normalisation and after the sink/registry updates. The event aliases
+	// collector storage (its slices are reused across rounds): read-only,
+	// valid only during the call — deep-copy anything retained past it.
+	// This is the flight recorder's feed; it fires even when the sink has
+	// already failed, so in-memory consumers outlive a full disk.
+	OnEvent func(*RoundEvent)
 }
 
 // regInstruments caches the registry handles so round finalisation does no
@@ -146,6 +154,13 @@ type Collector struct {
 	cur     RoundEvent
 	started bool
 	curHier *ctvg.Hierarchy // aliases engine storage; valid within the round
+
+	// errRound / lostRounds attribute a sink write failure: the round whose
+	// emission first failed, and how many later rounds were dropped because
+	// of it. Flush folds both into the returned error, so callers learn not
+	// just that a write failed but how much of the stream is missing.
+	errRound   int
+	lostRounds int
 
 	prevRole    []ctvg.Role
 	prevCluster []int
@@ -383,11 +398,19 @@ func (c *Collector) finalize() {
 	e.Stall = c.stall
 	c.prevDelivered = e.Delivered
 
-	if c.w != nil && c.err == nil {
-		c.buf = e.AppendJSON(c.buf[:0])
-		c.buf = append(c.buf, '\n')
-		if _, err := c.w.Write(c.buf); err != nil {
-			c.err = err
+	if c.w != nil {
+		if c.err == nil {
+			c.buf = e.AppendJSON(c.buf[:0])
+			c.buf = append(c.buf, '\n')
+			if _, err := c.w.Write(c.buf); err != nil {
+				// Latch the first write error where emission failed, not
+				// where Flush happened to notice it: Err() reports it from
+				// this round on, and Flush attributes the loss.
+				c.err = err
+				c.errRound = e.Round
+			}
+		} else {
+			c.lostRounds++
 		}
 	}
 	if c.reg != nil {
@@ -442,6 +465,9 @@ func (c *Collector) finalize() {
 		ev.Recovered = append([]int(nil), e.Recovered...)
 		c.events = append(c.events, ev)
 	}
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(e)
+	}
 }
 
 // sortDedup sorts xs ascending and removes adjacent duplicates in place.
@@ -461,6 +487,11 @@ func sortDedup(xs []int) []int {
 
 // Flush finalises the in-flight round and drains the sink buffer. Call it
 // after the run returns (and before reading the sink); it is idempotent.
+// A sink write error that surfaced during round emission is returned
+// attributed: which round's event failed first and how many later events
+// were dropped — so a full disk reports a truncated stream, never passes
+// one off as complete (the same contract hinettrace record enforces at
+// Close).
 func (c *Collector) Flush() error {
 	if c.started {
 		c.finalize()
@@ -470,13 +501,26 @@ func (c *Collector) Flush() error {
 	if c.w != nil {
 		if err := c.w.Flush(); err != nil && c.err == nil {
 			c.err = err
+			c.errRound = c.cur.Round
 		}
 	}
-	return c.err
+	return c.Err()
 }
 
-// Err returns the first sink write error, if any.
-func (c *Collector) Err() error { return c.err }
+// Err returns the first sink write error, attributed to the round whose
+// emission failed (plus the count of later events dropped because of it),
+// or nil. Unlike Flush it never touches the sink, so it is safe to poll
+// mid-run from observer callbacks.
+func (c *Collector) Err() error {
+	if c.err == nil {
+		return nil
+	}
+	if c.lostRounds > 0 {
+		return fmt.Errorf("obs: event sink failed at round %d (%d later events dropped): %w",
+			c.errRound, c.lostRounds, c.err)
+	}
+	return fmt.Errorf("obs: event sink failed at round %d: %w", c.errRound, c.err)
+}
 
 // Events returns the retained per-round series (Config.Keep must be set;
 // call Flush first so the final round is included).
@@ -627,6 +671,15 @@ func Combine(list ...*sim.Observer) *sim.Observer {
 					prev(r, rep)
 				}
 				o.Diverged(r, rep)
+			}
+		}
+		if o.Barrier != nil {
+			prev := out.Barrier
+			out.Barrier = func(r int, met *sim.Metrics) {
+				if prev != nil {
+					prev(r, met)
+				}
+				o.Barrier(r, met)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"slices"
 	"strings"
 	"testing"
@@ -459,5 +460,69 @@ func TestSummarizePhases(t *testing.T) {
 	}
 	if !strings.Contains(tb.String(), "uploads") {
 		t.Fatal("phase table missing uploads column")
+	}
+}
+
+// TestCollectorPropagatesEmissionErrors pins the mid-run error contract: a
+// sink write failure during round emission is visible through Err() while
+// the run is still going (not only at Flush), later rounds keep being
+// collected but are counted as dropped, and Flush returns the attributed
+// error.
+func TestCollectorPropagatesEmissionErrors(t *testing.T) {
+	const n, k, T, rounds = 32, 6, 12, 48
+	tr := testTrace(t, n, rounds, T)
+	assign := token.Spread(n, k, xrand.New(9))
+
+	// Let two buffer spills through (~8 KiB ≈ a dozen rounds), then fail
+	// (failAfterWriter is shared with the timing-sink error test).
+	w := &failAfterWriter{n: 8192}
+	onEvents := 0
+	col := NewCollector(Config{
+		N: n, K: k, PhaseLen: T, Sink: w, Keep: true,
+		OnEvent: func(*RoundEvent) { onEvents++ },
+	})
+	errSeenAtRound := -1
+	obsv := Combine(col.Observer(), &sim.Observer{
+		Barrier: func(r int, met *sim.Metrics) {
+			if errSeenAtRound < 0 && col.Err() != nil {
+				errSeenAtRound = r
+			}
+		},
+	})
+	met := sim.MustRunProtocol(tr, core.Alg1{T: T}, assign, sim.Options{
+		MaxRounds: rounds, Observer: obsv,
+	})
+
+	err := col.Flush()
+	if err == nil {
+		t.Fatal("Flush returned nil after the sink failed")
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "event sink failed at round") {
+		t.Fatalf("error not attributed to a round: %q", msg)
+	}
+	if !strings.Contains(msg, "later events dropped") {
+		t.Fatalf("error does not count the dropped tail: %q", msg)
+	}
+	if errSeenAtRound < 0 {
+		t.Fatal("write error only surfaced at Flush, not at emission time")
+	}
+	if errSeenAtRound >= met.Rounds-1 {
+		t.Fatalf("error latched only at the last round (%d of %d)", errSeenAtRound, met.Rounds)
+	}
+	// In-memory consumers must outlive the dead sink: every round still
+	// reached OnEvent and the retained series.
+	if onEvents != met.Rounds {
+		t.Fatalf("OnEvent fired %d times for %d rounds", onEvents, met.Rounds)
+	}
+	if len(col.Events()) != met.Rounds {
+		t.Fatalf("retained %d events for %d rounds", len(col.Events()), met.Rounds)
+	}
+	// Err is idempotent and Flush after an error keeps returning it.
+	if err2 := col.Flush(); err2 == nil || !errors.Is(err2, errDiskFull) {
+		t.Fatalf("second Flush: %v", err2)
 	}
 }

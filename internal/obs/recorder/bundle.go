@@ -1,0 +1,459 @@
+package recorder
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/sim"
+)
+
+// Bundle format: a JSONL file. Line 1 is the header; each following line
+// is a single-key section object ({"fingerprint":...}, {"metrics":...},
+// {"faults":...}, {"health":...}) until {"events":N}, which is followed
+// by exactly N round-event lines (the Collector's wire encoding), an
+// optional {"timing":M} with M timing lines, and a closing {"end":true}.
+//
+// Every section except timing is deterministic — fingerprint maps encode
+// with sorted keys, Metrics and fault plans are fixed structs, events use
+// the Collector's fixed-key-order encoder — so bundles from serial and
+// parallel runs of the same configuration are byte-identical. Timing rows
+// carry wall-clock durations and are exempt from that guarantee (they are
+// only present when a timing sink was attached).
+
+const (
+	bundleMagic   = "hinet-postmortem"
+	bundleVersion = 1
+)
+
+// bundleHeader is line 1 of a dump.
+type bundleHeader struct {
+	Bundle   string `json:"bundle"`
+	Version  int    `json:"version"`
+	Reason   string `json:"reason"`
+	Round    int    `json:"round"`
+	Prefix   string `json:"prefix"`
+	N        int    `json:"n"`
+	K        int    `json:"k"`
+	PhaseLen int    `json:"phase_len"`
+	Depth    int    `json:"depth"`
+}
+
+// TimingRow is one recorded round's stage timing in a bundle.
+type TimingRow struct {
+	Round int     `json:"round"`
+	Wall  []int64 `json:"wall"`
+	// Shard holds per-shard stage durations for the fan-out stages, one
+	// row per shard, when the run executed with Workers > 1.
+	Shard [][]int64 `json:"shard,omitempty"`
+}
+
+// Bundle is a parsed postmortem dump.
+type Bundle struct {
+	Reason      string
+	Round       int
+	Prefix      string
+	N, K        int
+	PhaseLen    int
+	Depth       int
+	Fingerprint map[string]string
+	Metrics     sim.Metrics
+	Faults      *faults.Plan
+	Health      []health.State
+	Events      []obs.RoundEvent
+	Timing      []TimingRow
+}
+
+// writeBundle renders the ring (and the run's metadata) into
+// DumpDir/<prefix>-r<round>-<reason>.dump and returns the path.
+func (rec *Recorder) writeBundle(req dumpReq) (string, error) {
+	if err := os.MkdirAll(rec.cfg.DumpDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(rec.cfg.DumpDir, rec.bundleName(req))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	w := bufio.NewWriter(f)
+	werr := rec.renderBundle(w, req)
+	if ferr := w.Flush(); werr == nil {
+		werr = ferr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return "", fmt.Errorf("recorder: writing %s: %w", path, werr)
+	}
+	return path, nil
+}
+
+// renderBundle writes the dump body. It snapshots the ring under rec.mu
+// but runs the encoding outside it where possible.
+func (rec *Recorder) renderBundle(w io.Writer, req dumpReq) error {
+	writeLine := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+
+	if err := writeLine(bundleHeader{
+		Bundle: bundleMagic, Version: bundleVersion,
+		Reason: req.reason, Round: req.round, Prefix: rec.cfg.Prefix,
+		N: rec.cfg.Obs.N, K: rec.cfg.Obs.K, PhaseLen: rec.cfg.Obs.PhaseLen,
+		Depth: len(rec.ring),
+	}); err != nil {
+		return err
+	}
+	// json.Marshal emits map keys sorted, keeping the section
+	// deterministic across runs.
+	if err := writeLine(map[string]map[string]string{"fingerprint": orEmpty(rec.cfg.Fingerprint)}); err != nil {
+		return err
+	}
+
+	rec.mu.Lock()
+	met := rec.met
+	events := rec.eventsLocked()
+	var timing []TimingRow
+	if rec.timed {
+		start := rec.head - rec.n
+		if start < 0 {
+			start += len(rec.ring)
+		}
+		for i := 0; i < rec.n; i++ {
+			row := &rec.timing[(start+i)%len(rec.ring)]
+			tr := TimingRow{Round: row.round, Wall: append([]int64(nil), row.wall[:]...)}
+			for _, s := range row.shard {
+				tr.Shard = append(tr.Shard, append([]int64(nil), s[:]...))
+			}
+			timing = append(timing, tr)
+		}
+	}
+	// Deep-copy the events before releasing the lock: the engine may
+	// overwrite ring slots while we encode.
+	evs := make([]obs.RoundEvent, len(events))
+	for i, e := range events {
+		evs[i] = *e
+		evs[i].Crashed = append([]int(nil), e.Crashed...)
+		evs[i].Recovered = append([]int(nil), e.Recovered...)
+	}
+	rec.mu.Unlock()
+
+	if err := writeLine(map[string]sim.Metrics{"metrics": met}); err != nil {
+		return err
+	}
+	if rec.cfg.FaultPlan != nil {
+		if err := writeLine(map[string]*faults.Plan{"faults": rec.cfg.FaultPlan}); err != nil {
+			return err
+		}
+	}
+	if states := rec.hea.States(); len(states) > 0 {
+		if err := writeLine(map[string][]health.State{"health": states}); err != nil {
+			return err
+		}
+	}
+	if err := writeLine(map[string]int{"events": len(evs)}); err != nil {
+		return err
+	}
+	var buf []byte
+	for i := range evs {
+		buf = evs[i].AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if timing != nil {
+		if err := writeLine(map[string]int{"timing": len(timing)}); err != nil {
+			return err
+		}
+		for _, tr := range timing {
+			if err := writeLine(tr); err != nil {
+				return err
+			}
+		}
+	}
+	return writeLine(map[string]bool{"end": true})
+}
+
+func orEmpty(m map[string]string) map[string]string {
+	if m == nil {
+		return map[string]string{}
+	}
+	return m
+}
+
+// ReadBundle parses the dump at path.
+func ReadBundle(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBundle(f)
+}
+
+// ParseBundle parses a dump stream written by the flight recorder.
+func ParseBundle(r io.Reader) (*Bundle, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := func() ([]byte, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.ErrUnexpectedEOF
+		}
+		return sc.Bytes(), nil
+	}
+
+	var hdr bundleHeader
+	l, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("recorder: reading bundle header: %w", err)
+	}
+	if err := json.Unmarshal(l, &hdr); err != nil || hdr.Bundle != bundleMagic {
+		return nil, fmt.Errorf("recorder: not a postmortem bundle")
+	}
+	if hdr.Version != bundleVersion {
+		return nil, fmt.Errorf("recorder: bundle version %d, want %d", hdr.Version, bundleVersion)
+	}
+	b := &Bundle{
+		Reason: hdr.Reason, Round: hdr.Round, Prefix: hdr.Prefix,
+		N: hdr.N, K: hdr.K, PhaseLen: hdr.PhaseLen, Depth: hdr.Depth,
+	}
+
+	// section is the union of every possible section line.
+	type section struct {
+		Fingerprint *map[string]string `json:"fingerprint"`
+		Metrics     *sim.Metrics       `json:"metrics"`
+		Faults      *faults.Plan       `json:"faults"`
+		Health      []health.State     `json:"health"`
+		Events      *int               `json:"events"`
+		Timing      *int               `json:"timing"`
+		End         bool               `json:"end"`
+	}
+	for {
+		l, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("recorder: truncated bundle: %w", err)
+		}
+		var s section
+		if err := json.Unmarshal(l, &s); err != nil {
+			return nil, fmt.Errorf("recorder: bad bundle section: %w", err)
+		}
+		switch {
+		case s.End:
+			return b, nil
+		case s.Fingerprint != nil:
+			b.Fingerprint = *s.Fingerprint
+		case s.Metrics != nil:
+			b.Metrics = *s.Metrics
+		case s.Faults != nil:
+			b.Faults = s.Faults
+		case s.Health != nil:
+			b.Health = s.Health
+		case s.Events != nil:
+			var raw bytes.Buffer
+			for i := 0; i < *s.Events; i++ {
+				el, err := line()
+				if err != nil {
+					return nil, fmt.Errorf("recorder: truncated event section: %w", err)
+				}
+				raw.Write(el)
+				raw.WriteByte('\n')
+			}
+			evs, err := obs.ParseEvents(&raw)
+			if err != nil {
+				return nil, fmt.Errorf("recorder: event section: %w", err)
+			}
+			b.Events = evs
+		case s.Timing != nil:
+			for i := 0; i < *s.Timing; i++ {
+				tl, err := line()
+				if err != nil {
+					return nil, fmt.Errorf("recorder: truncated timing section: %w", err)
+				}
+				var tr TimingRow
+				if err := json.Unmarshal(tl, &tr); err != nil {
+					return nil, fmt.Errorf("recorder: timing row: %w", err)
+				}
+				b.Timing = append(b.Timing, tr)
+			}
+		default:
+			return nil, fmt.Errorf("recorder: unrecognised bundle section %q", l)
+		}
+	}
+}
+
+// TrajectoryPoint is one ring round in a diagnosis: the progress and
+// pressure series heading into the failure.
+type TrajectoryPoint struct {
+	Round       int   `json:"round"`
+	Delivered   int   `json:"delivered"`
+	Total       int   `json:"total"`
+	Stall       int   `json:"stall"`
+	Messages    int64 `json:"messages"`
+	Outstanding int   `json:"outstanding"`
+	Crashes     int   `json:"crashes"`
+	Drops       int64 `json:"drops"`
+}
+
+// StageTrend compares one stage's wall time early in the ring window
+// against its tail (the approach into the anomaly).
+type StageTrend struct {
+	Stage string `json:"stage"`
+	// BaseNs / TailNs are mean per-round nanoseconds over the first half
+	// and last quarter of the timed window; Ratio is tail/base.
+	BaseNs int64   `json:"base_ns"`
+	TailNs int64   `json:"tail_ns"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// Diagnosis is what `hinettrace postmortem` renders: the bundle's anomaly
+// located against the recorded window.
+type Diagnosis struct {
+	Reason string `json:"reason"`
+	Round  int    `json:"round"`
+	// LastHealthyRound is the newest recorded round that was still making
+	// delivery progress before the first violation (−1 if the whole
+	// window is already unhealthy or progress-free).
+	LastHealthyRound int `json:"last_healthy_round"`
+	// FirstViolated is the health rule that broke first (nil when the
+	// bundle carries no health verdicts — the trigger reason then stands
+	// alone, e.g. an engine-watchdog stall with no rule set).
+	FirstViolated *health.State `json:"first_violated,omitempty"`
+	// Trajectory is the tail of the ring window (up to 16 rounds).
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+	// Stages lists per-stage time trends when the bundle has timing rows,
+	// slowest-regressing first.
+	Stages []StageTrend `json:"stages,omitempty"`
+	// Notes are one-line observations about the window.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Diagnose locates the bundle's anomaly: the first violated rule, the
+// last round that still looked healthy, and the progress/stage-time
+// trajectory into the failure.
+func (b *Bundle) Diagnose() *Diagnosis {
+	d := &Diagnosis{Reason: b.Reason, Round: b.Round, LastHealthyRound: -1}
+
+	for i := range b.Health {
+		s := &b.Health[i]
+		if s.Violations == 0 {
+			continue
+		}
+		if d.FirstViolated == nil || s.FirstRound < d.FirstViolated.FirstRound {
+			d.FirstViolated = s
+		}
+	}
+
+	// Last healthy round: newest recorded round before the first
+	// violation that was still making progress (stall streak 0).
+	limit := b.Round
+	if d.FirstViolated != nil && d.FirstViolated.FirstRound <= limit {
+		limit = d.FirstViolated.FirstRound - 1
+	}
+	for i := len(b.Events) - 1; i >= 0; i-- {
+		e := &b.Events[i]
+		if e.Round <= limit && e.Stall == 0 && !e.Stalled {
+			d.LastHealthyRound = e.Round
+			break
+		}
+	}
+
+	tail := b.Events
+	if len(tail) > 16 {
+		tail = tail[len(tail)-16:]
+	}
+	var crashes int
+	var drops int64
+	for i := range b.Events {
+		crashes += len(b.Events[i].Crashed)
+		drops += b.Events[i].Drops
+	}
+	for i := range tail {
+		e := &tail[i]
+		d.Trajectory = append(d.Trajectory, TrajectoryPoint{
+			Round: e.Round, Delivered: e.Delivered, Total: e.Total,
+			Stall: e.Stall, Messages: e.Messages, Outstanding: e.Outstanding,
+			Crashes: len(e.Crashed), Drops: e.Drops,
+		})
+	}
+	d.Stages = stageTrends(b.Timing)
+
+	if n := len(b.Events); n > 0 {
+		first, last := &b.Events[0], &b.Events[n-1]
+		d.Notes = append(d.Notes, fmt.Sprintf("window covers rounds %d–%d (%d of %d ring slots)",
+			first.Round, last.Round, n, b.Depth))
+		if last.Total > 0 {
+			d.Notes = append(d.Notes, fmt.Sprintf("progress at dump: %d/%d pairs (%.1f%%), stall streak %d",
+				last.Delivered, last.Total, 100*last.ProgressRatio(), last.Stall))
+		}
+		if crashes > 0 {
+			d.Notes = append(d.Notes, fmt.Sprintf("%d crashes in window", crashes))
+		}
+		if drops > 0 {
+			d.Notes = append(d.Notes, fmt.Sprintf("%d link-fault drops in window", drops))
+		}
+		if last.Stalled {
+			d.Notes = append(d.Notes, "engine stall watchdog terminated the run")
+		}
+	}
+	if b.Metrics.Stall != nil {
+		d.Notes = append(d.Notes, b.Metrics.Stall.String())
+	}
+	return d
+}
+
+// stageTrends summarises per-stage wall-time drift across the timed
+// window: mean of the first half vs mean of the last quarter.
+func stageTrends(rows []TimingRow) []StageTrend {
+	if len(rows) < 8 {
+		return nil
+	}
+	half, quarter := rows[:len(rows)/2], rows[len(rows)-len(rows)/4:]
+	var out []StageTrend
+	for s := 0; s < int(sim.NumStages); s++ {
+		var base, tail int64
+		for _, r := range half {
+			if s < len(r.Wall) {
+				base += r.Wall[s]
+			}
+		}
+		for _, r := range quarter {
+			if s < len(r.Wall) {
+				tail += r.Wall[s]
+			}
+		}
+		base /= int64(len(half))
+		tail /= int64(len(quarter))
+		if base == 0 && tail == 0 {
+			continue
+		}
+		ratio := 0.0
+		if base > 0 {
+			ratio = float64(tail) / float64(base)
+		}
+		out = append(out, StageTrend{Stage: sim.Stage(s).String(), BaseNs: base, TailNs: tail, Ratio: ratio})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Ratio > out[j-1].Ratio; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

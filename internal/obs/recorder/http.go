@@ -1,0 +1,86 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// RegisterHTTP installs the live inspection surfaces on mux
+// (http.DefaultServeMux when nil, which is what the CLIs' -pprof listener
+// serves):
+//
+//   - /statusz — human-readable run status: round, phase, progress,
+//     outstanding tokens, ring occupancy, rule states, bundles written.
+//     ?format=json returns the Status struct.
+//   - /healthz — 200 "ok" while every SLO rule holds, 503 naming the
+//     violated rules otherwise. Suitable as a liveness/quality probe for
+//     long unattended runs.
+func (rec *Recorder) RegisterHTTP(mux *http.ServeMux) {
+	if mux == nil {
+		mux = http.DefaultServeMux
+	}
+	mux.HandleFunc("/statusz", rec.handleStatusz)
+	mux.HandleFunc("/healthz", rec.handleHealthz)
+}
+
+func (rec *Recorder) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := rec.Status()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if st.Round < 0 {
+		fmt.Fprintln(w, "run: no rounds recorded yet")
+		return
+	}
+	fmt.Fprintf(w, "round %d (phase %d)\n", st.Round, st.Phase)
+	if st.Total > 0 {
+		fmt.Fprintf(w, "progress: %d/%d pairs (%.1f%%)\n",
+			st.Delivered, st.Total, 100*float64(st.Delivered)/float64(st.Total))
+	}
+	fmt.Fprintf(w, "outstanding tokens: %d\n", st.Outstanding)
+	fmt.Fprintf(w, "stall streak: %d", st.Stall)
+	if st.Stalled {
+		fmt.Fprint(w, " (watchdog fired)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "flight recorder: %d/%d rounds\n", st.RingLen, st.RingCap)
+	if st.Healthy {
+		fmt.Fprintln(w, "health: ok")
+	} else {
+		fmt.Fprintf(w, "health: %d violations\n", st.Violations)
+	}
+	for _, s := range st.Rules {
+		verdict := "ok"
+		if s.Violations > 0 {
+			verdict = fmt.Sprintf("VIOLATED ×%d (first at round %d)", s.Violations, s.FirstRound)
+		}
+		fmt.Fprintf(w, "  rule %-12s %s  last: %.2f vs %.2f @ round %d\n",
+			s.Rule.Kind, verdict, s.LastValue, s.LastLimit, s.LastRound)
+	}
+	for _, b := range st.Bundles {
+		fmt.Fprintf(w, "bundle: %s\n", b)
+	}
+}
+
+func (rec *Recorder) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := rec.Status()
+	if st.Healthy {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, "unhealthy: %d violations\n", st.Violations)
+	for _, s := range st.Rules {
+		if s.Violations > 0 {
+			fmt.Fprintf(w, "rule %s: ×%d, first at round %d, last %.2f vs %.2f\n",
+				s.Rule.Kind, s.Violations, s.FirstRound, s.LastValue, s.LastLimit)
+		}
+	}
+}

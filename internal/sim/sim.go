@@ -375,7 +375,8 @@ func (s *StallReport) String() string {
 // ascending sender ID, then Noted in ascending node ID (per-node emission
 // order preserved), then Deliveries (only when Options.Tracer is set),
 // then LinkFaults, then Collected (arrival mode, ascending token slot),
-// then Progress, then — at most once per run, as its
+// then Progress, then Barrier (once per executed round, with the run's
+// Metrics so far), then — at most once per run, as its
 // final event — Stalled. Across rounds everything is ascending in r, so
 // the full Sent stream is sorted by (round, sender). Parallel runs buffer
 // per-shard and merge at the round barrier, so the observed stream is
@@ -431,6 +432,14 @@ type Observer struct {
 	// the emergent hierarchy has not been valid for the configured
 	// window. Unlike Stalled the run continues.
 	Diverged func(r int, rep *ConvergenceReport)
+	// Barrier, if set, is called once per executed round at the round
+	// barrier, after Progress and before the completion/stall checks, with
+	// the run's Metrics accumulated so far (met.Rounds already counts round
+	// r). met aliases engine storage: read-only, valid only during the
+	// call — snapshot (struct copy) anything retained past it. This is the
+	// flight recorder's feed for mid-run Metrics snapshots; the disabled
+	// (nil) path costs one nil check per round and allocates nothing.
+	Barrier func(r int, met *Metrics)
 }
 
 // Tracer observes individual token deliveries at per-message granularity —
@@ -564,6 +573,15 @@ type Options struct {
 	// streams; the switch exists for A/B measurement and as an escape
 	// hatch.
 	NoStabilityCache bool
+	// Stop, if set, is polled once per round at the round barrier (after
+	// Barrier/Stalled events): when it returns true the run ends cleanly
+	// at that round, with Metrics and every observer/tracer/timing stream
+	// consistent up to and including it. This is the cooperative
+	// cancellation hook the CLIs use for SIGINT/SIGTERM handling — the
+	// signal goroutine only flips an atomic flag, and all sink flushing
+	// stays on the engine goroutine, race-free. The disabled (nil) path
+	// costs one nil check per round and allocates nothing.
+	Stop func(r int) bool
 	// SelfStabilize, if non-nil, replaces the adversary-provided hierarchy
 	// with one maintained by the message-passing self-stabilizing
 	// clustering protocol (internal/cluster/selfstab): every live node
@@ -1227,6 +1245,9 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 		}
 
 		met.Rounds = r + 1
+		if obs != nil && obs.Barrier != nil {
+			obs.Barrier(r, met)
+		}
 		var done bool
 		if arr != nil {
 			// Steady state is complete when the arrival process can inject
@@ -1304,6 +1325,9 @@ func Run(d ctvg.Dynamic, nodes []Node, assign *token.Assignment, opts Options) (
 				}
 				break
 			}
+		}
+		if opts.Stop != nil && opts.Stop(r) {
+			break
 		}
 	}
 	return met, nil
