@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint build test race fuzz bench bench10k benchstat chaos cover timing-smoke health-smoke
+.PHONY: check vet fmt lint build test race fuzz bench bench10k bench100k benchstat chaos cover timing-smoke health-smoke
 
 check: lint build test race
 
@@ -86,6 +86,15 @@ bench:
 bench10k:
 	$(GO) test -run '^$$' -bench 'BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h .
 
+# The 100k streaming suite behind BENCH_PR10.json: the adversary runs live
+# through the engine (ForwardOnly delta streaming, no recorded trace), so
+# the benchmark covers generation + dissemination at 100,000 nodes. The
+# LongTrace variant doubles the round count to demonstrate that retained
+# heap (live-MB) is independent of trace length; 10kStream is the same
+# configuration at 10k, the linearity baseline.
+bench100k:
+	$(GO) test -run '^$$' -bench 'BenchmarkHiNet10kStream|BenchmarkHiNet100k' -benchmem -count 3 -timeout 2h .
+
 # benchstat re-runs the 1k and 10k suites and diffs the numbers against the
 # committed BENCH_*.json records via cmd/benchdiff: each record's "after"
 # section is a ceiling, so a perf regression fails the target. Timing gets a
@@ -94,8 +103,8 @@ bench10k:
 # for the Timed variants, so a regression inside one engine stage fails even
 # when the total hides it.
 benchstat:
-	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k|BenchmarkHiNet10k' -benchmem -count 3 -timeout 2h . | tee bench.latest.out
-	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR9.json
+	$(GO) test -run '^$$' -bench 'BenchmarkHiNet1k|BenchmarkHiNet10k|BenchmarkHiNet100k' -benchmem -count 3 -timeout 2h . | tee bench.latest.out
+	$(GO) run ./cmd/benchdiff -input bench.latest.out BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR9.json BENCH_PR10.json
 
 # timing-smoke is CI's end-to-end determinism check for the self-profiling
 # layer: the same 1k-node scenario serial and with -workers 4, both with

@@ -11,6 +11,7 @@ package repro
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/adversary"
@@ -449,6 +450,84 @@ func BenchmarkHiNet10kAlg2NoDelta(b *testing.B) { benchHiNet10k(b, 16, true, tru
 // bookkeeping.
 func BenchmarkHiNet10kAlg2K4096(b *testing.B)        { benchHiNet10k(b, 4096, true, false) }
 func BenchmarkHiNet10kAlg2K4096NoDelta(b *testing.B) { benchHiNet10k(b, 4096, true, true) }
+
+// benchHiNetStream runs the delta-streamed pipeline end to end at scale:
+// the engine pulls rounds straight from a ForwardOnly HiNet adversary, so
+// phases materialise copy-on-write as the run advances and everything
+// behind the working window is discarded. No snapshot list is ever built —
+// retained memory is O(n + window), independent of how many rounds run,
+// which the live-MB metric (live heap after the run, trace still
+// referenced) makes visible next to ns/op.
+func benchHiNetStream(b *testing.B, n, k, rounds int, alg2 bool) {
+	const (
+		alpha = 2
+		l     = 2
+		theta = 50
+	)
+	T := core.Theorem1T(16, alpha, l) // 20-round phases, as in the 10k family
+	reaff := n / 50
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := adversary.NewHiNet(adversary.HiNetConfig{
+			N: n, Theta: theta, L: l, T: T,
+			Reaffiliations: reaff, HeadChurn: 2,
+		}, xrand.New(1)).ForwardOnly()
+		assign := token.Spread(n, k, xrand.New(2))
+		var met *sim.Metrics
+		if alg2 {
+			met = sim.MustRunProtocol(adv, core.Alg2{}, assign, sim.Options{
+				MaxRounds: rounds, StopWhenComplete: true, SizeFn: wire.Size,
+			})
+		} else {
+			met = sim.MustRunProtocol(adv, core.Alg1{T: T}, assign, sim.Options{
+				MaxRounds: rounds, SizeFn: wire.Size,
+			})
+		}
+		if !met.Complete {
+			b.Fatalf("streamed run incomplete: %v", met)
+		}
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/1e6, "live-MB")
+	}
+}
+
+// BenchmarkHiNet100k is the tentpole scale point: Algorithm 1 on a
+// 100k-node (20, 2)-HiNet over the full Theorem 1 budget (26 phases x 20
+// rounds), streamed via deltas. ns/op should sit roughly 10x the
+// BenchmarkHiNet10k reference (time linear in n); live-MB should match
+// BenchmarkHiNet100kLongTrace (memory independent of trace length).
+func BenchmarkHiNet100k(b *testing.B) {
+	T := core.Theorem1T(16, 2, 2)
+	rounds := core.Theorem1Phases(50, 2) * T
+	benchHiNetStream(b, 100_000, 16, rounds, false)
+}
+
+// BenchmarkHiNet100kLongTrace doubles the round budget at the same point:
+// ns/op roughly doubles, live-MB must stay flat — the O(changes)-storage
+// claim in one A/B pair.
+func BenchmarkHiNet100kLongTrace(b *testing.B) {
+	T := core.Theorem1T(16, 2, 2)
+	rounds := 2 * core.Theorem1Phases(50, 2) * T
+	benchHiNetStream(b, 100_000, 16, rounds, false)
+}
+
+// BenchmarkHiNet100kAlg2 runs Algorithm 2 to completion at 100k: per-round
+// communication is Θ(n) relays regardless of n's flat neighborhoods, so
+// completion cost scales like n · completion-rounds.
+func BenchmarkHiNet100kAlg2(b *testing.B) {
+	benchHiNetStream(b, 100_000, 16, 400, true)
+}
+
+// BenchmarkHiNet10kStream is the same streamed pipeline at 10k — the base
+// point of the 10k -> 100k linearity comparison, on the identical path.
+func BenchmarkHiNet10kStream(b *testing.B) {
+	T := core.Theorem1T(16, 2, 2)
+	rounds := core.Theorem1Phases(50, 2) * T
+	benchHiNetStream(b, 10_000, 16, rounds, false)
+}
 
 // BenchmarkHiNet10kTimed is the timing-on variant of BenchmarkHiNet10k —
 // the scale where per-stage attribution starts to matter (snapshot

@@ -70,6 +70,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "directory for per-seed round-series JSONL (Table 3 rows)")
 		noCache  = flag.Bool("nocache", false, "disable the engine's stability-window cache (A/B timing check; results are identical)")
 		noDelta  = flag.Bool("nodelta", false, "disable delta-aware delivery (A/B timing check; results are identical)")
+		deltas   = flag.Bool("deltas", false, "record each replication's dynamic as an O(changes) delta trace before running (A/B storage check; results are identical)")
 		timing   = flag.String("timing", "", "directory for per-seed engine stage-span JSONL (Table 3 rows); prints a per-stage breakdown")
 		selfstab = flag.Bool("selfstab", false, "Table 3: replace the oracle hierarchies with the self-stabilizing clustering protocol in every replication")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -205,6 +206,7 @@ func main() {
 		cfg.MetricsDir = *metrics
 		cfg.NoCache = *noCache
 		cfg.NoDelta = *noDelta
+		cfg.UseDeltaTraces = *deltas
 		cfg.TimingDir = *timing
 		cfg.HealthRules = *healthS
 		cfg.DumpDir = *dumpDir

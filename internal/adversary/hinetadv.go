@@ -103,15 +103,38 @@ type HiNetStats struct {
 // star edge to its head; churn edges are layered per round on top. At each
 // phase boundary the configured number of members re-affiliate and heads
 // rotate within the pool.
+//
+// Dynamics are produced as deltas, not snapshot lists: each phase's stable
+// graph is materialised once as a frozen CSR (member stars derived from the
+// hierarchy plus the backbone), per-round churn is kept as small effective
+// edge sets, and round snapshots are assembled copy-on-write with
+// graph.ApplyDelta — so a churny round costs O(n + ChurnEdges), not an
+// O(E) deep clone, and no per-round snapshot is ever retained beyond a
+// one-round cursor. WindowDelta additionally emits the transition between
+// two window-start rounds directly (ctvg.DeltaSource), which is what
+// ctvg.RecordDeltas consumes.
 type HiNet struct {
 	cfg      HiNetConfig
 	headsPer int
 	pool     []int // the θ head-eligible node IDs
 	rng      *xrand.Rand
+	bd       *graph.Builder // reused across phase materialisations
 
-	phases []*phase
-	snaps  []*graph.Graph
-	stats  HiNetStats
+	// phases[i] describes phase phaseBase+i; forward-only mode slides the
+	// base upward and discards older phases.
+	phases    []*phase
+	phaseBase int
+	// churn[r-churnBase] is round r's effective churn additions: canonical
+	// sorted edges drawn for the round that are not already in the phase's
+	// stable graph.
+	churn     [][]graph.Edge
+	churnBase int
+	// One-round cursor for churny At: the last materialised snapshot.
+	curRound int
+	curG     *graph.Graph
+
+	forward bool
+	stats   HiNetStats
 }
 
 // NewHiNet builds the adversary; it panics on an infeasible configuration
@@ -124,12 +147,24 @@ func NewHiNet(cfg HiNetConfig, rng *xrand.Rand) *HiNet {
 	if headsPer == 0 {
 		headsPer = cfg.Theta
 	}
-	a := &HiNet{cfg: cfg, headsPer: headsPer, rng: rng}
+	a := &HiNet{cfg: cfg, headsPer: headsPer, rng: rng,
+		bd: graph.NewBuilder(cfg.N), curRound: -1}
 	all := make([]int, cfg.N)
 	for i := range all {
 		all[i] = i
 	}
 	a.pool = xrand.Sample(rng, all, cfg.Theta)
+	return a
+}
+
+// ForwardOnly switches the adversary into streaming mode: phases (and, as
+// WindowDelta consumes them, churn sets) older than the working window are
+// discarded, so memory stays O(E + ChurnEdges·retained rounds) no matter
+// how many rounds are generated. Accessing a discarded round panics.
+// Intended for single-pass consumers like ctvg.RecordDeltas; returns the
+// receiver for chaining.
+func (a *HiNet) ForwardOnly() *HiNet {
+	a.forward = true
 	return a
 }
 
@@ -155,19 +190,65 @@ func (a *HiNet) At(r int) *graph.Graph {
 		// cannot perturb the rng stream.
 		return a.phaseAt(r / a.cfg.T).stable
 	}
-	for len(a.snaps) <= r {
-		cur := len(a.snaps)
+	if r == a.curRound {
+		return a.curG
+	}
+	a.ensureChurn(r)
+	// Copy-on-write assembly: the frozen stable CSR plus this round's
+	// effective churn additions. O(n + ChurnEdges), no per-edge clone, and
+	// earlier rounds' snapshots stay valid in whoever still holds them.
+	g := a.phaseAt(r / a.cfg.T).stable.ApplyDelta(&graph.Delta{Add: a.churnAt(r)})
+	a.curRound, a.curG = r, g
+	return g
+}
+
+// ensureChurn draws (and memoises) the effective churn sets of every round
+// up to and including r, interleaving phase generation exactly as the
+// snapshot path always did: each round first forces its phase, then draws
+// ChurnEdges candidate pairs. Pairs that are self-loops, already in the
+// phase's stable graph, or repeats within the round add no edge — the same
+// outcomes AddEdge's no-op path used to produce — so only the effective
+// additions are stored.
+func (a *HiNet) ensureChurn(r int) {
+	if r < a.churnBase {
+		panic(fmt.Sprintf("adversary: HiNet round %d discarded (forward-only)", r))
+	}
+	for a.churnBase+len(a.churn) <= r {
+		cur := a.churnBase + len(a.churn)
 		p := a.phaseAt(cur / a.cfg.T)
-		g := p.stable.Clone()
+		var set []graph.Edge
 		for j := 0; j < a.cfg.ChurnEdges; j++ {
 			u, v := a.rng.Intn(a.cfg.N), a.rng.Intn(a.cfg.N)
-			if u != v {
-				g.AddEdge(u, v)
+			if u == v {
+				continue
+			}
+			e := graph.NormEdge(u, v)
+			if p.stable.HasEdge(e.U, e.V) {
+				continue
+			}
+			dup := false
+			for _, x := range set {
+				if x == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				set = append(set, e)
 			}
 		}
-		a.snaps = append(a.snaps, g)
+		graph.SortEdges(set)
+		a.churn = append(a.churn, set)
 	}
-	return a.snaps[r]
+}
+
+// churnAt returns round r's effective churn additions (ensureChurn must
+// have reached r).
+func (a *HiNet) churnAt(r int) []graph.Edge {
+	if r < a.churnBase {
+		panic(fmt.Sprintf("adversary: HiNet round %d discarded (forward-only)", r))
+	}
+	return a.churn[r-a.churnBase]
 }
 
 // HierarchyAt implements ctvg.Dynamic.
@@ -193,17 +274,28 @@ func (a *HiNet) StableUntil(r int) int {
 }
 
 // phaseAt returns (generating as needed) the stable structure of phase i.
+// In forward-only mode, only the two most recent phases are retained.
 func (a *HiNet) phaseAt(i int) *phase {
-	for len(a.phases) <= i {
-		if len(a.phases) == 0 {
+	if i < a.phaseBase {
+		panic(fmt.Sprintf("adversary: HiNet phase %d discarded (forward-only)", i))
+	}
+	for a.phaseBase+len(a.phases) <= i {
+		if len(a.phases) == 0 && a.phaseBase == 0 {
 			heads := xrand.Sample(a.rng, a.pool, a.headsPer)
-			a.phases = append(a.phases, a.buildPhase(heads, nil))
+			p := a.buildPhase(heads, nil)
+			a.materialize(p)
+			a.phases = append(a.phases, p)
 		} else {
 			a.phases = append(a.phases, a.nextPhase(a.phases[len(a.phases)-1]))
 		}
 		a.stats.Phases++
+		if a.forward && len(a.phases) > 2 {
+			a.phases[0] = nil
+			a.phases = a.phases[1:]
+			a.phaseBase++
+		}
 	}
-	return a.phases[i]
+	return a.phases[i-a.phaseBase]
 }
 
 // nextPhase derives phase i+1 from phase i: rotate heads within the pool,
@@ -238,7 +330,10 @@ func (a *HiNet) nextPhase(prev *phase) *phase {
 
 // buildPhaseWithReaffiliation builds a phase reusing as much of the
 // previous stable structure as possible, then forcibly re-affiliates the
-// configured number of members.
+// configured number of members. The stable graph is materialised only
+// after the re-affiliations, so a moved member's star edge is emitted once
+// instead of being inserted and shifted out again — the edits live purely
+// on the hierarchy (a member has exactly one stable edge, to its head).
 func (a *HiNet) buildPhaseWithReaffiliation(heads []int, prev *phase) *phase {
 	p := a.buildPhase(heads, prev)
 	// Forced re-affiliations: move random members to a different head.
@@ -255,12 +350,41 @@ func (a *HiNet) buildPhaseWithReaffiliation(heads []int, prev *phase) *phase {
 		for nh == old {
 			nh = heads[a.rng.Intn(len(heads))]
 		}
-		p.stable.RemoveEdge(v, old)
-		p.stable.AddEdge(v, nh)
 		p.hier.SetMember(v, nh)
 		a.stats.Reaffiliations++
 	}
+	a.materialize(p)
 	return p
+}
+
+// materialize builds the phase's stable graph in one frozen-CSR pass: the
+// head-level backbone realised through the gateway chains, plus one star
+// edge per member to its head (read back off the hierarchy, which by now
+// includes any re-affiliations). Replaces the old per-edge AddEdge
+// assembly, whose O(deg) insert-shifting dominated generation at 100k
+// nodes; draws no randomness, so the rng stream is untouched.
+func (a *HiNet) materialize(p *phase) {
+	bd := a.bd
+	for _, lk := range p.links {
+		chain := p.gwFor[lk]
+		switch a.cfg.L - 1 {
+		case 0: // L=1: heads directly adjacent
+			bd.Add(lk.from, lk.to)
+		case 1: // L=2: one gateway, adjacent to both heads
+			bd.Add(lk.from, chain[0])
+			bd.Add(chain[0], lk.to)
+		case 2: // L=3: two gateways
+			bd.Add(lk.from, chain[0])
+			bd.Add(chain[0], chain[1])
+			bd.Add(chain[1], lk.to)
+		}
+	}
+	for v, role := range p.hier.Role {
+		if role == ctvg.Member {
+			bd.Add(v, p.hier.Cluster[v])
+		}
+	}
+	p.stable = bd.Build()
 }
 
 // buildPhase constructs a phase's hierarchy and stable graph for the given
@@ -273,7 +397,6 @@ func (a *HiNet) buildPhaseWithReaffiliation(heads []int, prev *phase) *phase {
 func (a *HiNet) buildPhase(heads []int, prev *phase) *phase {
 	n := a.cfg.N
 	h := ctvg.NewHierarchy(n)
-	stable := graph.New(n)
 	isHead := make([]bool, n)
 	for _, v := range heads {
 		h.SetHead(v)
@@ -345,24 +468,16 @@ func (a *HiNet) buildPhase(heads []int, prev *phase) *phase {
 		}
 	}
 
-	// Realise the backbone.
+	// Assign gateway roles along the backbone; the edges themselves are
+	// emitted later by materialize, once the hierarchy is final.
 	for _, lk := range links {
 		chain := gwFor[lk]
 		switch gwPerLink {
-		case 0: // L=1: heads directly adjacent
-			stable.AddEdge(lk.from, lk.to)
 		case 1: // L=2: one gateway, adjacent to both heads
-			g1 := chain[0]
-			stable.AddEdge(lk.from, g1)
-			stable.AddEdge(g1, lk.to)
-			h.SetGateway(g1, lk.from)
+			h.SetGateway(chain[0], lk.from)
 		case 2: // L=3: two gateways
-			g1, g2 := chain[0], chain[1]
-			stable.AddEdge(lk.from, g1)
-			stable.AddEdge(g1, g2)
-			stable.AddEdge(g2, lk.to)
-			h.SetGateway(g1, lk.from)
-			h.SetGateway(g2, lk.to)
+			h.SetGateway(chain[0], lk.from)
+			h.SetGateway(chain[1], lk.to)
 		}
 	}
 
@@ -382,15 +497,92 @@ func (a *HiNet) buildPhase(heads []int, prev *phase) *phase {
 			head = heads[a.rng.Intn(len(heads))]
 		}
 		h.SetMember(v, head)
-		stable.AddEdge(v, head)
 	}
 	return &phase{
-		hier:   h,
-		stable: stable,
-		heads:  append([]int(nil), heads...),
-		links:  links,
-		gwFor:  gwFor,
+		hier:  h,
+		heads: append([]int(nil), heads...),
+		links: links,
+		gwFor: gwFor,
 	}
+}
+
+// WindowDelta implements ctvg.DeltaSource: the transition between the
+// snapshots (and hierarchies) of two window-start rounds, emitted natively
+// from the phase structures and churn sets instead of diffing materialised
+// snapshots. For rounds inside one phase only the churn sets differ, so
+// the delta costs O(ChurnEdges); across a phase boundary the stable
+// structures are diffed once per boundary and adjusted for the churn
+// layers (a churn edge of one round may coincide with a stable edge of the
+// other phase, so plain set union does not commute with the diff).
+func (a *HiNet) WindowDelta(r0, r1 int) (*graph.Delta, ctvg.HierarchyDelta) {
+	if r0 < 0 || r1 <= r0 {
+		panic("adversary: WindowDelta needs 0 <= r0 < r1")
+	}
+	if a.cfg.ChurnEdges > 0 {
+		a.ensureChurn(r1)
+	}
+	p0, p1 := a.phaseAt(r0/a.cfg.T), a.phaseAt(r1/a.cfg.T)
+	var hd ctvg.HierarchyDelta
+	if p0 != p1 {
+		hd = ctvg.HierarchyDeltaBetween(p0.hier, p1.hier)
+	}
+	if a.cfg.ChurnEdges == 0 {
+		if p0 == p1 {
+			return &graph.Delta{}, hd
+		}
+		return graph.DeltaBetween(p0.stable, p1.stable), hd
+	}
+	c0, c1 := a.churnAt(r0), a.churnAt(r1)
+	var gd *graph.Delta
+	if p0 == p1 {
+		// Same stable structure: the transition is pure churn algebra.
+		gd = &graph.Delta{Add: edgeSetDiff(c1, c0), Remove: edgeSetDiff(c0, c1)}
+	} else {
+		// Round r's edge set is S ∪ C with C ∩ S = ∅ by construction, so
+		// with D = diff(S0, S1):
+		//   adds    = (D.Add \ C0)    ∪ (C1 \ C0 \ S0)
+		//   removes = (D.Remove \ C1) ∪ (C0 \ C1 \ S1)
+		d := graph.DeltaBetween(p0.stable, p1.stable)
+		add := edgeSetDiff(d.Add, c0)
+		for _, e := range edgeSetDiff(c1, c0) {
+			if !p0.stable.HasEdge(e.U, e.V) {
+				add = append(add, e)
+			}
+		}
+		graph.SortEdges(add)
+		rem := edgeSetDiff(d.Remove, c1)
+		for _, e := range edgeSetDiff(c0, c1) {
+			if !p1.stable.HasEdge(e.U, e.V) {
+				rem = append(rem, e)
+			}
+		}
+		graph.SortEdges(rem)
+		gd = &graph.Delta{Add: add, Remove: rem}
+	}
+	if a.forward && r0 > a.churnBase {
+		// Single-pass consumption: churn sets before the previous window
+		// start can no longer be asked for.
+		a.churn = a.churn[r0-a.churnBase:]
+		a.churnBase = r0
+	}
+	return gd, hd
+}
+
+// edgeSetDiff returns the entries of a not present in b; both inputs are
+// canonical sorted edge lists, so this is a linear merge.
+func edgeSetDiff(a, b []graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	j := 0
+	for _, e := range a {
+		for j < len(b) && (b[j].U < e.U || (b[j].U == e.U && b[j].V < e.V)) {
+			j++
+		}
+		if j < len(b) && b[j] == e {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // sameIntSet reports whether a and b contain the same elements (as sets).
@@ -411,6 +603,7 @@ func sameIntSet(a, b []int) bool {
 }
 
 var (
-	_ ctvg.Dynamic   = (*HiNet)(nil)
-	_ ctvg.Stability = (*HiNet)(nil)
+	_ ctvg.Dynamic     = (*HiNet)(nil)
+	_ ctvg.Stability   = (*HiNet)(nil)
+	_ ctvg.DeltaSource = (*HiNet)(nil)
 )

@@ -84,6 +84,13 @@ type PointConfig struct {
 	// in every replication — the A/B switch for verifying the skip changes
 	// timings only, never results.
 	NoDelta bool
+	// UseDeltaTraces records every replication's dynamic into a
+	// ctvg.DeltaTrace (O(changes) storage, copy-on-write snapshots) before
+	// the run instead of letting the engine pull rounds from the live
+	// adversary. Results are identical either way — proven by the
+	// delta-trace equivalence suite — so this is the A/B switch keeping the
+	// snapshot path reachable as the conformance oracle. Off by default.
+	UseDeltaTraces bool
 	// Faults, when non-nil, injects the same fault plan into every
 	// replication of every row, with the plan's seed mixed with the
 	// replication seed so fault randomness varies across seeds like
@@ -202,6 +209,7 @@ type runSpec struct {
 	workers    int
 	noCache    bool
 	noDelta    bool
+	deltas     bool
 	faults     *sim.Faults
 	arrivals   *sim.Arrivals
 	selfstab   *sim.SelfStabilize
@@ -213,27 +221,37 @@ type runSpec struct {
 	stop        func() bool
 }
 
-func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
-	type sample struct {
-		time      int
-		comm      int64
-		bytes     int64
-		relay     int64
-		member    int64
-		first     int64
-		redundant int64
-		pace      int
-		complete  bool
-		wall      []int64 // per-sim.Stage span totals (timing runs only)
-		cpu       []int64
-		rounds    int
-		health    int
-		bundles   int
-		err       error
-	}
-	samples := parallel.Map(spec.seeds, spec.workers, func(i int) sample {
+// seedSample is one replication's raw measurements, produced by runSeed and
+// folded into a RowResult by aggregateRow.
+type seedSample struct {
+	time      int
+	comm      int64
+	bytes     int64
+	relay     int64
+	member    int64
+	first     int64
+	redundant int64
+	pace      int
+	complete  bool
+	wall      []int64 // per-sim.Stage span totals (timing runs only)
+	cpu       []int64
+	rounds    int
+	health    int
+	bundles   int
+	err       error
+}
+
+// runSeed executes replication i of a row: one (adversary, protocol) run
+// with whatever instrumentation the spec arms. It is the unit of work both
+// runRow's per-row pool and RunGrid's cross-seed pool schedule.
+func runSeed(spec runSpec, i int) seedSample {
+	type sample = seedSample
+	{
 		seed := uint64(i)*1_000_003 + 17
 		d, p := spec.build(seed)
+		if spec.deltas {
+			d = ctvg.RecordDeltas(d, spec.budget)
+		}
 		assign := token.Spread(spec.n, spec.k, xrand.New(seed^0xabcdef))
 		opts := sim.Options{
 			MaxRounds:        spec.budget,
@@ -437,7 +455,19 @@ func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
 			s.pace = tracer.PaceViolations()
 		}
 		return s
+	}
+}
+
+func runRow(spec runSpec, analytic analysis.Cost) (RowResult, error) {
+	samples := parallel.Map(spec.seeds, spec.workers, func(i int) seedSample {
+		return runSeed(spec, i)
 	})
+	return aggregateRow(spec, analytic, samples)
+}
+
+// aggregateRow folds per-seed samples (in seed order) into the row's
+// deterministic aggregate.
+func aggregateRow(spec runSpec, analytic analysis.Cost, samples []seedSample) (RowResult, error) {
 	for _, s := range samples {
 		if s.err != nil {
 			return RowResult{}, fmt.Errorf("experiment: %s: %w", spec.model, s.err)
@@ -500,9 +530,16 @@ func distribute(total, boundaries int) int {
 	return (total + boundaries - 1) / boundaries
 }
 
-// RunPoint executes all four rows at the configured operating point and
-// returns them in the paper's Table 2 order.
-func RunPoint(cfg PointConfig) ([]RowResult, error) {
+// rowJob pairs one row's run spec with its analytic cost: the unit RunPoint
+// runs sequentially and RunGrid schedules onto its shared pool.
+type rowJob struct {
+	spec     runSpec
+	analytic analysis.Cost
+}
+
+// pointSpecs validates the operating point, creates its output directories
+// and returns the four Table 2 rows as schedulable jobs in paper order.
+func pointSpecs(cfg PointConfig) ([]rowJob, error) {
 	p := cfg.P
 	p.NR = cfg.NRT
 	if err := p.Validate(); err != nil {
@@ -552,7 +589,7 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 
 	// Row 1: KLO T-interval.
 	kloTPhases := baseline.KLOTPhases(n, T, k)
-	rowKLOT, err := runRow(runSpec{
+	jobKLOT := rowJob{spec: runSpec{
 		model: "(k+α*L)-interval connected [7]",
 		slug:  "klo_t", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		budget: kloTPhases * T,
@@ -560,17 +597,14 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewTInterval(n, T, cfg.ChurnEdges, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.KLOT{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, deltas: cfg.UseDeltaTraces, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
-	}, analysis.KLOTInterval(p))
-	if err != nil {
-		return nil, err
-	}
+	}, analytic: analysis.KLOTInterval(p)}
 
 	// Row 2: Algorithm 1 on (T, L)-HiNet.
 	alg1Phases := core.Theorem1Phases(theta, alpha)
 	nrTotalT := cfg.P.NM * cfg.NRT
-	rowAlg1, err := runRow(runSpec{
+	jobAlg1 := rowJob{spec: runSpec{
 		model: "(k+α*L, L)-HiNet",
 		slug:  "alg1", phaseLen: T, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		paceBudget: &provenance.Budget{PhaseLen: T, Phases: alg1Phases, Alpha: alpha, Theta: theta},
@@ -583,15 +617,12 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg1{T: T}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, deltas: cfg.UseDeltaTraces, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
-	}, func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }())
-	if err != nil {
-		return nil, err
-	}
+	}, analytic: func() analysis.Cost { pp := p; pp.NR = cfg.NRT; return analysis.HiNetTInterval(pp) }()}
 
 	// Row 3: KLO 1-interval flooding.
-	rowFlood, err := runRow(runSpec{
+	jobFlood := rowJob{spec: runSpec{
 		model: "1-interval connected [7]",
 		slug:  "flood", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		budget: baseline.FloodRounds(n),
@@ -599,17 +630,14 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			adv := adversary.NewOneInterval(n, 0, xrand.New(seed))
 			return sim.NewFlat(adv), baseline.Flood{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, deltas: cfg.UseDeltaTraces, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
-	}, analysis.KLOOneInterval(p))
-	if err != nil {
-		return nil, err
-	}
+	}, analytic: analysis.KLOOneInterval(p)}
 
 	// Row 4: Algorithm 2 on (1, L)-HiNet.
 	budget1 := core.Theorem2Rounds(n)
 	nrTotal1 := cfg.P.NM * cfg.NR1
-	rowAlg2, err := runRow(runSpec{
+	jobAlg2 := rowJob{spec: runSpec{
 		model: "(1, L)-HiNet",
 		slug:  "alg2", phaseLen: 1, metricsDir: cfg.MetricsDir, provDir: cfg.ProvenanceDir, timingDir: cfg.TimingDir,
 		budget: budget1,
@@ -621,14 +649,76 @@ func RunPoint(cfg PointConfig) ([]RowResult, error) {
 			}, xrand.New(seed))
 			return adv, core.Alg2{}
 		},
-		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
+		k: k, n: n, seeds: cfg.Seeds, workers: cfg.Workers, noCache: cfg.NoCache, noDelta: cfg.NoDelta, deltas: cfg.UseDeltaTraces, faults: cfg.Faults, arrivals: cfg.Arrivals, selfstab: cfg.SelfStabilize,
 		healthRules: rules, dumpDir: cfg.DumpDir, alpha: alpha, stop: cfg.Stop,
-	}, func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }())
+	}, analytic: func() analysis.Cost { pp := p; pp.NR = cfg.NR1; return analysis.HiNetOneInterval(pp) }()}
+
+	return []rowJob{jobKLOT, jobAlg1, jobFlood, jobAlg2}, nil
+}
+
+// RunPoint executes all four rows at the configured operating point and
+// returns them in the paper's Table 2 order.
+func RunPoint(cfg PointConfig) ([]RowResult, error) {
+	jobs, err := pointSpecs(cfg)
 	if err != nil {
 		return nil, err
 	}
+	out := make([]RowResult, len(jobs))
+	for i, job := range jobs {
+		out[i], err = runRow(job.spec, job.analytic)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
-	return []RowResult{rowKLOT, rowAlg1, rowFlood, rowAlg2}, nil
+// RunGrid executes several operating points over ONE bounded worker pool:
+// every (point, row, seed) replication becomes an independent task, so a
+// grid keeps all cores busy even when individual rows have few seeds —
+// where RunPoint-per-point parallelises only within a row. workers bounds
+// the pool (0 = GOMAXPROCS). Results are assembled by index, so ordering
+// is deterministic regardless of scheduling: out[i] are cfgs[i]'s rows in
+// paper order, aggregated in seed order, and per-seed metrics, provenance
+// and timing files land exactly where RunPoint would put them. The first
+// error in (point, row, seed) order wins, matching the sequential path.
+func RunGrid(cfgs []PointConfig, workers int) ([][]RowResult, error) {
+	type task struct {
+		point, row, seed int
+	}
+	jobs := make([][]rowJob, len(cfgs))
+	var tasks []task
+	for pi, cfg := range cfgs {
+		pj, err := pointSpecs(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: point %d: %w", pi, err)
+		}
+		jobs[pi] = pj
+		for ri, job := range pj {
+			for si := 0; si < job.spec.seeds; si++ {
+				tasks = append(tasks, task{pi, ri, si})
+			}
+		}
+	}
+	samples := parallel.Map(len(tasks), workers, func(ti int) seedSample {
+		t := tasks[ti]
+		return runSeed(jobs[t.point][t.row].spec, t.seed)
+	})
+	out := make([][]RowResult, len(cfgs))
+	cursor := 0
+	for pi := range cfgs {
+		out[pi] = make([]RowResult, len(jobs[pi]))
+		for ri, job := range jobs[pi] {
+			rowSamples := samples[cursor : cursor+job.spec.seeds]
+			cursor += job.spec.seeds
+			var err error
+			out[pi][ri], err = aggregateRow(job.spec, job.analytic, rowSamples)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: point %d: %w", pi, err)
+			}
+		}
+	}
+	return out, nil
 }
 
 // Table3Report renders the full paper-vs-analytic-vs-measured comparison

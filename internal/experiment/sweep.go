@@ -39,36 +39,41 @@ func scalePoint(n0, k, alpha, L, nrT, nr1, seeds, churn int) PointConfig {
 	}
 }
 
+// sweepGrid runs one PointConfig per x-value through RunGrid's shared
+// cross-seed pool and pairs each x with its rows.
+func sweepGrid(xs []int, label string, mk func(x int) PointConfig) ([]SweepPoint, error) {
+	cfgs := make([]PointConfig, len(xs))
+	for i, x := range xs {
+		cfgs[i] = mk(x)
+	}
+	grid, err := RunGrid(cfgs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s sweep: %w", label, err)
+	}
+	out := make([]SweepPoint, len(xs))
+	for i, x := range xs {
+		out[i] = SweepPoint{X: x, Rows: grid[i]}
+	}
+	return out, nil
+}
+
 // SweepN0 sweeps the network size with Table 3 proportions and returns one
 // SweepPoint per n0. The paper's headline shape — the HiNet rows cost a
 // fraction of their flat counterparts, with the gap widening in n0 — is
 // what this sweep regenerates.
 func SweepN0(ns []int, seeds int) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ns))
-	for _, n0 := range ns {
-		cfg := scalePoint(n0, 8, 5, 2, analysis.Table3NRT, analysis.Table3NR1, seeds, n0/10)
-		rows, err := RunPoint(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("n0=%d: %w", n0, err)
-		}
-		out = append(out, SweepPoint{X: n0, Rows: rows})
-	}
-	return out, nil
+	return sweepGrid(ns, "n0", func(n0 int) PointConfig {
+		return scalePoint(n0, 8, 5, 2, analysis.Table3NRT, analysis.Table3NR1, seeds, n0/10)
+	})
 }
 
 // SweepK sweeps the token count at the Table 3 network point.
 func SweepK(ks []int, seeds int) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ks))
-	for _, k := range ks {
+	return sweepGrid(ks, "k", func(k int) PointConfig {
 		cfg := Table3Config(seeds)
 		cfg.P.K = k
-		rows, err := RunPoint(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("k=%d: %w", k, err)
-		}
-		out = append(out, SweepPoint{X: k, Rows: rows})
-	}
-	return out, nil
+		return cfg
+	})
 }
 
 // SweepNR sweeps the re-affiliation rate applied to both HiNet rows. The
@@ -77,18 +82,12 @@ func SweepK(ks []int, seeds int) ([]SweepPoint, error) {
 // paying appears only at implausibly high churn — the paper's "n_r should
 // be much less than n_0" argument, made executable.
 func SweepNR(nrs []int, seeds int) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(nrs))
-	for _, nr := range nrs {
+	return sweepGrid(nrs, "nr", func(nr int) PointConfig {
 		cfg := Table3Config(seeds)
 		cfg.NRT = nr
 		cfg.NR1 = nr
-		rows, err := RunPoint(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("nr=%d: %w", nr, err)
-		}
-		out = append(out, SweepPoint{X: nr, Rows: rows})
-	}
-	return out, nil
+		return cfg
+	})
 }
 
 // SweepAlpha sweeps the progress coefficient α at the Table 3 network
@@ -98,17 +97,11 @@ func SweepNR(nrs []int, seeds int) ([]SweepPoint, error) {
 // (⌈θ/α⌉+1)(n0−nm)k + nm·nr·k are non-monotone in α; the sweep exposes the
 // optimum.
 func SweepAlpha(alphas []int, seeds int) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(alphas))
-	for _, a := range alphas {
+	return sweepGrid(alphas, "alpha", func(a int) PointConfig {
 		cfg := Table3Config(seeds)
 		cfg.P.Alpha = a
-		rows, err := RunPoint(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("alpha=%d: %w", a, err)
-		}
-		out = append(out, SweepPoint{X: a, Rows: rows})
-	}
-	return out, nil
+		return cfg
+	})
 }
 
 // AlphaTable renders the α sweep focused on the Algorithm 1 tradeoff.

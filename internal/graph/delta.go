@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta is the symmetric difference between two graphs on the same vertex
+// set, split into the edges to insert and the edges to drop. Both lists are
+// canonical (U < V), sorted by U then V, duplicate-free and disjoint, so a
+// Delta can be compared, inverted and applied without normalisation passes.
+//
+// Deltas are the storage unit of the streamed dynamic-network
+// representation: a T-stable trace keeps one O(|changes|) Delta per
+// stability-window transition instead of one O(E) snapshot per window.
+type Delta struct {
+	Add    []Edge
+	Remove []Edge
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool { return len(d.Add) == 0 && len(d.Remove) == 0 }
+
+// Len returns the number of edge changes.
+func (d *Delta) Len() int { return len(d.Add) + len(d.Remove) }
+
+// Inverse returns the delta that undoes d. The edge slices are shared, not
+// copied.
+func (d *Delta) Inverse() *Delta { return &Delta{Add: d.Remove, Remove: d.Add} }
+
+// SortEdges sorts edges in place into canonical Delta order (by U, then V).
+// Callers assembling Delta lists by hand normalise each edge with NormEdge
+// and then sort with this.
+func SortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
+// DeltaBetween returns the delta transforming a into b: applying the result
+// to a yields a graph Equal to b. Both graphs must have the same vertex
+// count. Runs in O(n + E_a + E_b) via per-vertex sorted-list merges.
+func DeltaBetween(a, b *Graph) *Delta {
+	if a.n != b.n {
+		panic("graph: DeltaBetween on graphs with different vertex counts")
+	}
+	d := &Delta{}
+	if a == b {
+		return d
+	}
+	for u := 0; u < a.n; u++ {
+		la, lb := a.adj[u], b.adj[u]
+		i, j := 0, 0
+		for i < len(la) || j < len(lb) {
+			switch {
+			case j == len(lb) || (i < len(la) && la[i] < lb[j]):
+				if la[i] > u {
+					d.Remove = append(d.Remove, Edge{u, la[i]})
+				}
+				i++
+			case i == len(la) || la[i] > lb[j]:
+				if lb[j] > u {
+					d.Add = append(d.Add, Edge{u, lb[j]})
+				}
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+	}
+	return d
+}
+
+// ApplyDelta returns a new graph equal to g with the delta applied, sharing
+// every untouched adjacency list with g (copy-on-write: only the endpoints
+// named by the delta get fresh lists). The receiver is left unchanged but
+// is marked frozen, so a later direct mutation of either graph copies
+// before writing and the sharing stays invisible. Cost is O(n) for the
+// header plus O(deg) per touched vertex — independent of |E| for small
+// deltas.
+//
+// The delta must be strict: adding an edge already present or removing an
+// absent one panics, so edge counts stay exact.
+func (g *Graph) ApplyDelta(d *Delta) *Graph {
+	c := &Graph{n: g.n, m: g.m + len(d.Add) - len(d.Remove), adj: make([][]int, g.n), frozen: true}
+	g.frozen = true
+	copy(c.adj, g.adj)
+	if d.Empty() {
+		return c
+	}
+
+	// Flatten both directions of every change and group them per vertex.
+	type vedit struct {
+		v, w int
+		add  bool
+	}
+	ed := make([]vedit, 0, 2*d.Len())
+	for _, e := range d.Add {
+		g.check(e.U)
+		g.check(e.V)
+		if e.U == e.V {
+			panic("graph: ApplyDelta with self-loop")
+		}
+		ed = append(ed, vedit{e.U, e.V, true}, vedit{e.V, e.U, true})
+	}
+	for _, e := range d.Remove {
+		g.check(e.U)
+		g.check(e.V)
+		ed = append(ed, vedit{e.U, e.V, false}, vedit{e.V, e.U, false})
+	}
+	sort.Slice(ed, func(i, j int) bool {
+		if ed[i].v != ed[j].v {
+			return ed[i].v < ed[j].v
+		}
+		return ed[i].w < ed[j].w
+	})
+
+	for i := 0; i < len(ed); {
+		v := ed[i].v
+		j := i
+		for j < len(ed) && ed[j].v == v {
+			j++
+		}
+		// Merge v's sorted adjacency list with its sorted edit run into a
+		// fresh slice; adds colliding with a present neighbour and removes
+		// of an absent one panic.
+		lst := g.adj[v]
+		adds := 0
+		for _, e := range ed[i:j] {
+			if e.add {
+				adds++
+			}
+		}
+		out := make([]int, 0, len(lst)+2*adds-(j-i))
+		li := 0
+		for _, e := range ed[i:j] {
+			for li < len(lst) && lst[li] < e.w {
+				out = append(out, lst[li])
+				li++
+			}
+			if e.add {
+				if li < len(lst) && lst[li] == e.w {
+					panic(fmt.Sprintf("graph: ApplyDelta adds existing edge {%d,%d}", v, e.w))
+				}
+				out = append(out, e.w)
+			} else {
+				if li == len(lst) || lst[li] != e.w {
+					panic(fmt.Sprintf("graph: ApplyDelta removes absent edge {%d,%d}", v, e.w))
+				}
+				li++
+			}
+		}
+		out = append(out, lst[li:]...)
+		c.adj[v] = out
+		i = j
+	}
+	return c
+}
+
+// UnapplyDelta returns a new graph equal to g with the delta undone: it
+// rewinds the transition ApplyDelta performed. Same copy-on-write sharing
+// and strictness as ApplyDelta.
+func (g *Graph) UnapplyDelta(d *Delta) *Graph {
+	return g.ApplyDelta(d.Inverse())
+}

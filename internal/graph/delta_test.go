@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDeltaBetweenAndApply(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(30)
+		a := RandomConnected(n, n-1+rng.Intn(n), rng)
+		b := RandomConnected(n, n-1+rng.Intn(n), rng)
+		d := DeltaBetween(a, b)
+		got := a.ApplyDelta(d)
+		if !got.Equal(b) {
+			t.Fatalf("trial %d: ApplyDelta(DeltaBetween(a,b)) != b", trial)
+		}
+		if got.M() != b.M() {
+			t.Fatalf("trial %d: M = %d, want %d", trial, got.M(), b.M())
+		}
+		back := got.UnapplyDelta(d)
+		if !back.Equal(a) {
+			t.Fatalf("trial %d: UnapplyDelta did not rewind to a", trial)
+		}
+		// Canonical order and disjointness.
+		for i := 1; i < len(d.Add); i++ {
+			if d.Add[i-1].U > d.Add[i].U || (d.Add[i-1].U == d.Add[i].U && d.Add[i-1].V >= d.Add[i].V) {
+				t.Fatalf("trial %d: Add list not sorted", trial)
+			}
+		}
+		for _, e := range d.Add {
+			if e.U >= e.V {
+				t.Fatalf("trial %d: non-canonical add %v", trial, e)
+			}
+		}
+	}
+}
+
+func TestDeltaBetweenIdentical(t *testing.T) {
+	g := FromEdgeList(4, []Edge{{0, 1}, {1, 2}})
+	if d := DeltaBetween(g, g); !d.Empty() {
+		t.Fatalf("self-delta not empty: %+v", d)
+	}
+	if d := DeltaBetween(g, g.Clone()); !d.Empty() {
+		t.Fatalf("clone-delta not empty: %+v", d)
+	}
+}
+
+func TestApplyDeltaCopyOnWrite(t *testing.T) {
+	g := FromEdgeList(6, []Edge{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	d := &Delta{Add: []Edge{{2, 3}}, Remove: []Edge{{0, 1}}}
+	h := g.ApplyDelta(d)
+
+	// Source unchanged.
+	if !g.HasEdge(0, 1) || g.HasEdge(2, 3) || g.M() != 4 {
+		t.Fatal("ApplyDelta mutated its receiver")
+	}
+	if h.HasEdge(0, 1) || !h.HasEdge(2, 3) || h.M() != 4 {
+		t.Fatalf("ApplyDelta result wrong: %v", h)
+	}
+	// Untouched vertices share storage; later mutation of either graph
+	// must not leak into the other (both sides are frozen).
+	if &g.adj[5][0] != &h.adj[5][0] {
+		t.Fatal("untouched adjacency was copied, not shared")
+	}
+	h.AddEdge(5, 0)
+	if g.HasEdge(5, 0) {
+		t.Fatal("mutation of the derived graph leaked into the source")
+	}
+	g.RemoveEdge(4, 5)
+	if !h.HasEdge(4, 5) {
+		t.Fatal("mutation of the source leaked into the derived graph")
+	}
+}
+
+func TestApplyDeltaUnfrozenSourceStaysSafe(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	h := g.ApplyDelta(&Delta{Add: []Edge{{2, 3}}})
+	// The unfrozen source was retroactively frozen so its next mutation
+	// copies instead of writing into storage now shared with h.
+	g.AddEdge(0, 3)
+	if h.HasEdge(0, 3) {
+		t.Fatal("source mutation leaked into the derived graph")
+	}
+	if !h.HasEdge(2, 3) || h.M() != 3 {
+		t.Fatalf("derived graph wrong: %v", h)
+	}
+}
+
+func TestApplyDeltaStrict(t *testing.T) {
+	g := FromEdgeList(3, []Edge{{0, 1}})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("add existing", func() { g.ApplyDelta(&Delta{Add: []Edge{{0, 1}}}) })
+	mustPanic("remove absent", func() { g.ApplyDelta(&Delta{Remove: []Edge{{1, 2}}}) })
+	mustPanic("self-loop", func() { g.ApplyDelta(&Delta{Add: []Edge{{2, 2}}}) })
+}
+
+func TestDeltaInverse(t *testing.T) {
+	d := &Delta{Add: []Edge{{0, 1}}, Remove: []Edge{{2, 3}}}
+	inv := d.Inverse()
+	if len(inv.Add) != 1 || inv.Add[0] != (Edge{2, 3}) || len(inv.Remove) != 1 || inv.Remove[0] != (Edge{0, 1}) {
+		t.Fatalf("Inverse wrong: %+v", inv)
+	}
+	if d.Len() != 2 || d.Empty() {
+		t.Fatal("Len/Empty wrong")
+	}
+}
+
+func TestSortEdges(t *testing.T) {
+	es := []Edge{{2, 3}, {0, 5}, {0, 2}, {1, 4}}
+	SortEdges(es)
+	want := []Edge{{0, 2}, {0, 5}, {1, 4}, {2, 3}}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("SortEdges order %v, want %v", es, want)
+		}
+	}
+}

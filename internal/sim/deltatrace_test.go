@@ -1,0 +1,81 @@
+package sim_test
+
+// Delta traces must be a pure storage optimisation: running any protocol
+// over a ctvg.DeltaTrace (O(changes) storage, copy-on-write materialising
+// cursor) must produce identical Metrics and byte-identical observer AND
+// provenance JSONL streams as the same run over the snapshot ctvg.Trace it
+// was recorded from — serial and on 4 workers. This is the conformance
+// oracle for the delta-streamed dynamics pipeline; it rides `make race` so
+// the stateful cursor is also proven safe under the engine's worker
+// parallelism (snapshots are fetched by the coordinating goroutine only).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/ctvg"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/xrand"
+)
+
+func TestDeltaTraceMatchesSnapshots(t *testing.T) {
+	const n, k, alpha, L = 80, 8, 2, 2
+	theta := 12
+	T := core.Theorem1T(k, alpha, L)
+	rounds := core.Theorem1Phases(theta, alpha) * T
+
+	cfg := adversary.HiNetConfig{
+		N: n, Theta: theta, L: L, T: T,
+		Reaffiliations: 6, HeadChurn: 2,
+	}
+	// Same seed, two independent adversaries: one recorded as snapshots
+	// (the oracle), one streamed into a delta trace.
+	snapTrace := ctvg.Record(adversary.NewHiNet(cfg, xrand.New(1)), rounds)
+	deltaTrace := ctvg.RecordDeltas(adversary.NewHiNet(cfg, xrand.New(1)), rounds)
+	assign := token.Spread(n, k, xrand.New(2))
+	crashAt := map[int]int{5: 3, 33: T + 3, 61: 2*T + 7}
+
+	scenarios := []struct {
+		name    string
+		proto   sim.Protocol
+		crashAt map[int]int
+	}{
+		{"alg1", core.Alg1{T: T}, nil},
+		{"alg2", core.Alg2{}, nil},
+		// Crashes exercise failover (acting heads, floods, NACK re-uploads),
+		// the densest source of observer and provenance events.
+		{"alg1-failover", core.Alg1{T: T, Failover: &core.Failover{Window: 2}}, crashAt},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			refMet, refObs, refProv := runDelta(t, snapTrace, sc.proto, assign, T, rounds, 1, false, sc.crashAt)
+			if len(refObs) == 0 || len(refProv) == 0 {
+				t.Fatal("snapshot oracle run produced empty streams")
+			}
+			for _, tc := range []struct {
+				name    string
+				workers int
+			}{
+				{"delta-serial", 1},
+				{"delta-parallel", 4},
+			} {
+				met, obsJSON, provJSON := runDelta(t, deltaTrace, sc.proto, assign, T, rounds, tc.workers, false, sc.crashAt)
+				if !reflect.DeepEqual(met, refMet) {
+					t.Errorf("%s: metrics diverge:\n  got  %+v\n  want %+v", tc.name, met, refMet)
+				}
+				if !bytes.Equal(obsJSON, refObs) {
+					t.Errorf("%s: observer JSONL diverges from snapshot oracle (%d vs %d bytes)",
+						tc.name, len(obsJSON), len(refObs))
+				}
+				if !bytes.Equal(provJSON, refProv) {
+					t.Errorf("%s: provenance JSONL diverges from snapshot oracle (%d vs %d bytes)",
+						tc.name, len(provJSON), len(refProv))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package tvg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DeltaSource is the optional interface through which a generating Dynamic
+// emits its window transitions natively as edge deltas, so recording a
+// delta trace never has to materialise two snapshots and diff them.
+type DeltaSource interface {
+	Dynamic
+	// WindowDelta returns the delta transforming the snapshot of round
+	// prevStart into the snapshot of round start. Both rounds must be
+	// stability-window starts with prevStart < start, visited in ascending
+	// order (matching how recording walks the dynamic).
+	WindowDelta(prevStart, start int) *graph.Delta
+}
+
+// DeltaTrace is a Dynamic backed by one base snapshot plus one edge Delta
+// per stability-window transition: the O(changes) counterpart of Trace's
+// snapshot list. Rounds beyond the recorded range repeat the final window,
+// so a finite delta trace describes an eventually-static network, exactly
+// like Trace.
+//
+// At materialises the requested window on a cursor via copy-on-write
+// Apply/Unapply, so a transition costs O(n + |changes|) regardless of |E|,
+// and total memory stays O(E + total changes) — independent of the round
+// count. Within one window, repeated At calls return the identical
+// *graph.Graph pointer (which Record's dedup fast path and the engine's
+// stability cache rely on); rewinding and replaying yields fresh pointers.
+//
+// The cursor makes a DeltaTrace stateful: unlike Trace it must not be
+// shared by concurrent runs. The engine itself is fine — snapshots are
+// fetched by the coordinating goroutine only — but give each concurrent
+// run its own DeltaTrace (or record one Trace and share that).
+type DeltaTrace struct {
+	n      int
+	length int
+	starts []int          // starts[i] is the first round of window i; starts[0] == 0
+	deltas []*graph.Delta // deltas[i] transforms window i-1 into window i; deltas[0] is nil
+
+	cur  int // cursor: window index of curG
+	curG *graph.Graph
+	base *graph.Graph // window 0, kept so rewinds cannot drift
+}
+
+// NewDeltaTrace assembles a delta trace from a base snapshot, the start
+// round of every later window and the delta entering it. rounds is the
+// recorded length; starts must be strictly increasing within (0, rounds).
+func NewDeltaTrace(base *graph.Graph, starts []int, deltas []*graph.Delta, rounds int) *DeltaTrace {
+	if rounds <= 0 {
+		panic("tvg: DeltaTrace needs rounds > 0")
+	}
+	if len(starts) != len(deltas) {
+		panic(fmt.Sprintf("tvg: %d window starts but %d deltas", len(starts), len(deltas)))
+	}
+	prev := 0
+	for i, s := range starts {
+		if s <= prev || s >= rounds {
+			panic(fmt.Sprintf("tvg: window start %d out of order (round %d, %d recorded)", i, s, rounds))
+		}
+		prev = s
+	}
+	t := &DeltaTrace{
+		n:      base.N(),
+		length: rounds,
+		starts: append([]int{0}, starts...),
+		deltas: append([]*graph.Delta{nil}, deltas...),
+		base:   base,
+		curG:   base,
+	}
+	return t
+}
+
+// N implements Dynamic.
+func (t *DeltaTrace) N() int { return t.n }
+
+// Len returns the number of recorded rounds.
+func (t *DeltaTrace) Len() int { return t.length }
+
+// Windows returns the number of stability windows.
+func (t *DeltaTrace) Windows() int { return len(t.starts) }
+
+// Changes returns the total number of edge changes across all transitions:
+// the storage the delta representation actually pays for beyond one
+// snapshot.
+func (t *DeltaTrace) Changes() int {
+	total := 0
+	for _, d := range t.deltas[1:] {
+		total += d.Len()
+	}
+	return total
+}
+
+// windowOf returns the index of the window containing round r (already
+// clamped to the recorded range).
+func (t *DeltaTrace) windowOf(r int) int {
+	return sort.SearchInts(t.starts, r+1) - 1
+}
+
+// seek moves the cursor to window w and returns its snapshot.
+func (t *DeltaTrace) seek(w int) *graph.Graph {
+	for t.cur < w {
+		t.curG = t.curG.ApplyDelta(t.deltas[t.cur+1])
+		t.cur++
+	}
+	if t.cur > w {
+		// Rewinding all the way to window 0 reuses the retained base
+		// snapshot directly; partial rewinds unapply transition by
+		// transition.
+		if w == 0 {
+			t.cur, t.curG = 0, t.base
+		}
+		for t.cur > w {
+			t.curG = t.curG.UnapplyDelta(t.deltas[t.cur])
+			t.cur--
+		}
+	}
+	return t.curG
+}
+
+// At implements Dynamic; rounds past the end repeat the last window.
+func (t *DeltaTrace) At(r int) *graph.Graph {
+	if r < 0 {
+		panic("tvg: negative round")
+	}
+	if r >= t.length {
+		r = t.length - 1
+	}
+	return t.seek(t.windowOf(r))
+}
+
+// StableUntil implements Stability: rounds of the final window (and past
+// the recorded range) extend forever, earlier windows run to the round
+// before the next window start.
+func (t *DeltaTrace) StableUntil(r int) int {
+	if r < 0 {
+		panic("tvg: negative round")
+	}
+	if r >= t.length {
+		return math.MaxInt
+	}
+	w := t.windowOf(r)
+	if w == len(t.starts)-1 {
+		return math.MaxInt
+	}
+	return t.starts[w+1] - 1
+}
+
+// RecordDeltas materialises rounds [0, rounds) of any Dynamic into a
+// DeltaTrace: the streaming counterpart of Record. When the source
+// implements DeltaSource its native transitions are consumed; otherwise
+// consecutive window snapshots are diffed with graph.DeltaBetween.
+// Transitions that change nothing are merged into the preceding window, so
+// the window structure matches what NewTrace's Equal-based dedup would
+// produce.
+func RecordDeltas(d Dynamic, rounds int) *DeltaTrace {
+	if rounds <= 0 {
+		panic("tvg: RecordDeltas needs rounds > 0")
+	}
+	st, _ := d.(Stability)
+	src, native := d.(DeltaSource)
+
+	prev := d.At(0)
+	base := prev.Clone()
+	var starts []int
+	var deltas []*graph.Delta
+	prevStart := 0
+	next := func(r int) int {
+		if st != nil {
+			if s := st.StableUntil(r); s > r {
+				if s >= rounds-1 {
+					return rounds // this window covers the rest
+				}
+				return s + 1
+			}
+		}
+		return r + 1
+	}
+	for r := next(0); r < rounds; r = next(r) {
+		var delta *graph.Delta
+		if native {
+			delta = src.WindowDelta(prevStart, r)
+		} else {
+			cur := d.At(r)
+			delta = graph.DeltaBetween(prev, cur)
+			prev = cur
+		}
+		if delta.Empty() {
+			continue
+		}
+		starts = append(starts, r)
+		deltas = append(deltas, delta)
+		prevStart = r
+	}
+	return NewDeltaTrace(base, starts, deltas, rounds)
+}
+
+var (
+	_ Dynamic   = (*DeltaTrace)(nil)
+	_ Stability = (*DeltaTrace)(nil)
+)

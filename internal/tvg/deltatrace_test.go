@@ -1,0 +1,124 @@
+package tvg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// randomTrace builds a Trace whose windows change by a few random edge
+// flips each, the shape DeltaTrace exists for.
+func randomTrace(t *testing.T, n, windows, winLen int, seed uint64) *Trace {
+	t.Helper()
+	rng := xrand.New(seed)
+	g := graph.RandomConnected(n, 2*n, rng)
+	var snaps []*graph.Graph
+	for w := 0; w < windows; w++ {
+		if w > 0 {
+			g = g.Clone()
+			for i := 0; i < 3; i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					if g.HasEdge(u, v) {
+						g.RemoveEdge(u, v)
+					} else {
+						g.AddEdge(u, v)
+					}
+				}
+			}
+		}
+		for r := 0; r < winLen; r++ {
+			snaps = append(snaps, g)
+		}
+	}
+	return NewTrace(snaps)
+}
+
+func TestDeltaTraceMatchesTrace(t *testing.T) {
+	tr := randomTrace(t, 24, 6, 4, 1)
+	dt := RecordDeltas(tr, tr.Len())
+
+	if dt.N() != tr.N() || dt.Len() != tr.Len() {
+		t.Fatalf("shape mismatch: n=%d/%d len=%d/%d", dt.N(), tr.N(), dt.Len(), tr.Len())
+	}
+	// Forward, backward and random access must all agree with the oracle.
+	for r := 0; r < tr.Len()+5; r++ {
+		if !dt.At(r).Equal(tr.At(r)) {
+			t.Fatalf("round %d: snapshot mismatch (forward)", r)
+		}
+		if got, want := dt.StableUntil(r), tr.StableUntil(r); got != want {
+			t.Fatalf("round %d: StableUntil %d, want %d", r, got, want)
+		}
+	}
+	for r := tr.Len() - 1; r >= 0; r-- {
+		if !dt.At(r).Equal(tr.At(r)) {
+			t.Fatalf("round %d: snapshot mismatch (backward)", r)
+		}
+	}
+	rng := xrand.New(9)
+	for i := 0; i < 50; i++ {
+		r := rng.Intn(tr.Len())
+		if !dt.At(r).Equal(tr.At(r)) {
+			t.Fatalf("round %d: snapshot mismatch (random)", r)
+		}
+	}
+}
+
+func TestDeltaTracePointerStableWithinWindow(t *testing.T) {
+	tr := randomTrace(t, 16, 4, 5, 2)
+	dt := RecordDeltas(tr, tr.Len())
+	for r := 0; r < tr.Len(); r++ {
+		a, b := dt.At(r), dt.At(r)
+		if a != b {
+			t.Fatalf("round %d: repeated At returned distinct pointers", r)
+		}
+		if s := dt.StableUntil(r); s < tr.Len() && dt.At(s) != a {
+			t.Fatalf("round %d: window-end snapshot pointer differs", r)
+		}
+	}
+}
+
+func TestDeltaTraceStorage(t *testing.T) {
+	// 50 identical-content windows with 2 flips between each: the delta
+	// trace must store ~4 changes per transition, not 50 snapshots.
+	tr := randomTrace(t, 40, 50, 3, 3)
+	dt := RecordDeltas(tr, tr.Len())
+	if w := dt.Windows(); w != 50 {
+		t.Fatalf("windows = %d, want 50", w)
+	}
+	if ch, max := dt.Changes(), 49*6; ch > max {
+		t.Fatalf("stored %d changes, want <= %d", ch, max)
+	}
+}
+
+func TestDeltaTraceMergesUnchangedWindows(t *testing.T) {
+	g := graph.FromEdgeList(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	h := g.Clone()
+	h.AddEdge(0, 3)
+	// Content-equal but pointer-distinct snapshots must merge into one
+	// window, exactly as NewTrace's Equal-based index does.
+	tr := NewTrace([]*graph.Graph{g, g.Clone(), g.Clone(), h, h.Clone()})
+	dt := RecordDeltas(tr, tr.Len())
+	if w := dt.Windows(); w != 2 {
+		t.Fatalf("windows = %d, want 2", w)
+	}
+	if got := dt.StableUntil(0); got != 2 {
+		t.Fatalf("StableUntil(0) = %d, want 2", got)
+	}
+	if got := dt.StableUntil(3); got != math.MaxInt {
+		t.Fatalf("StableUntil(3) = %d, want MaxInt", got)
+	}
+}
+
+func TestDeltaTraceSingleWindow(t *testing.T) {
+	g := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}})
+	dt := RecordDeltas(Static{G: g}, 7)
+	if dt.Windows() != 1 || dt.StableUntil(0) != math.MaxInt {
+		t.Fatalf("static dynamic: windows=%d stable=%d", dt.Windows(), dt.StableUntil(0))
+	}
+	if !dt.At(100).Equal(g) {
+		t.Fatal("past-end round differs from the single window")
+	}
+}

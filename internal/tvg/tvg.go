@@ -205,13 +205,27 @@ func FromTrace(t *Trace) *TVG {
 
 // StableSubgraph returns the intersection of the snapshots of rounds
 // [from, from+T): the maximal subgraph present throughout the window.
+// When the dynamic advertises Stability, rounds inside a stability window
+// are intersected once, so the cost is O(distinct snapshots), not O(T).
 func StableSubgraph(d Dynamic, from, T int) *graph.Graph {
 	if T <= 0 {
 		panic("tvg: StableSubgraph needs T > 0")
 	}
+	st, _ := d.(Stability)
 	acc := d.At(from).Clone()
-	for r := from + 1; r < from+T; r++ {
+	r := from + 1
+	for r < from+T {
+		if st != nil {
+			if s := st.StableUntil(r - 1); s >= r {
+				// Rounds r-1..s share one snapshot, already intersected.
+				if s >= from+T-1 {
+					break
+				}
+				r = s + 1
+			}
+		}
 		acc = graph.Intersect(acc, d.At(r))
+		r++
 	}
 	return acc
 }
@@ -228,14 +242,28 @@ func WindowConnected(d Dynamic, from, T int) bool {
 // connected over rounds [0, horizon): every window of T consecutive rounds
 // within the horizon contains a stable connected spanning subgraph (KLO's
 // definition, checked on sliding windows).
+//
+// When the dynamic advertises Stability, a slid window is re-checked only
+// if its content changed: sliding [from-1, from-1+T) to [from, from+T)
+// drops round from-1 and gains round from+T-1, so if round from-1 equals
+// round from and round from+T-2 equals round from+T-1, the window's
+// snapshot set — hence its intersection — is unchanged.
 func IntervalConnected(d Dynamic, T, horizon int) bool {
 	if T <= 0 || horizon < T {
 		panic("tvg: IntervalConnected needs 0 < T <= horizon")
 	}
+	st, _ := d.(Stability)
+	checked := false
 	for from := 0; from+T <= horizon; from++ {
+		if checked && st != nil &&
+			st.StableUntil(from-1) >= from &&
+			st.StableUntil(from+T-2) >= from+T-1 {
+			continue
+		}
 		if !WindowConnected(d, from, T) {
 			return false
 		}
+		checked = true
 	}
 	return true
 }
